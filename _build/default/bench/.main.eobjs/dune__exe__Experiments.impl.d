@@ -1,0 +1,1 @@
+bench/experiments.ml: Consistency Fmt List Metrics Mvc Printf Query Relational Sim Source String System Tables Unix Warehouse Whips Workload

@@ -1,0 +1,1 @@
+bench/paper_traces.ml: Action_list Consistency Fmt List Mvc Printf Query Relational Source String Tables Warehouse Whips Workload

@@ -1,0 +1,1 @@
+bench/tables.ml: List Printf String

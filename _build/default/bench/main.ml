@@ -1,0 +1,44 @@
+(* Benchmark harness entry point. With no arguments every experiment runs
+   in DESIGN.md order (paper traces, figures, performance studies, micro);
+   individual experiments can be selected by name. *)
+
+let experiments =
+  [ ("table1", Paper_traces.table1);
+    ("example2", Paper_traces.example2);
+    ("example3", Paper_traces.example3);
+    ("example4", Paper_traces.example4);
+    ("example5", Paper_traces.example5);
+    ("figure1", Experiments.figure1);
+    ("figure2", Experiments.figure2);
+    ("figure3", Experiments.figure3);
+    ("freshness", Experiments.freshness);
+    ("bottleneck", Experiments.bottleneck);
+    ("batching", Experiments.batching);
+    ("partition", Experiments.partition);
+    ("multisource", Experiments.multisource);
+    ("promptness", Experiments.promptness);
+    ("relrouting", Experiments.relrouting);
+    ("aggregates", Experiments.aggregates);
+    ("optimizer", Experiments.optimizer);
+    ("soak", Experiments.soak);
+    ("micro", Micro.run) ]
+
+let usage () =
+  Printf.printf "usage: main.exe [experiment ...]\navailable experiments:\n";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
+  | _ :: args ->
+    let run name =
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment: %s\n" name;
+        usage ();
+        exit 1
+    in
+    if List.mem "--help" args || List.mem "-h" args then usage ()
+    else List.iter run args
+  | [] -> usage ()

@@ -1,0 +1,251 @@
+(* Bechamel micro-benchmarks: one [Test.make] per kernel underlying the
+   experiment tables (VUT bookkeeping, painting-algorithm event handling,
+   incremental delta computation, bag operations, the consistency oracle).
+   Estimated via OLS on monotonic-clock samples. *)
+
+open Bechamel
+open Relational
+
+let int_schema names = Schema.make (List.map (fun n -> (n, Value.Int_ty)) names)
+
+let random_bag seed n =
+  let rng = Sim.Rng.create seed in
+  let rec loop i acc =
+    if i = 0 then acc
+    else
+      loop (i - 1)
+        (Bag.add (Tuple.ints [ Sim.Rng.int rng 50; Sim.Rng.int rng 50 ]) acc)
+  in
+  loop n Bag.empty
+
+let join_db n =
+  let rs = int_schema [ "A"; "B" ] and ss = int_schema [ "B"; "C" ] in
+  Database.of_list
+    [ ("R", Relation.with_contents (Relation.create rs) (random_bag 1 n));
+      ("S", Relation.with_contents (Relation.create ss) (random_bag 2 n)) ]
+
+let test_vut_lifecycle =
+  Test.make ~name:"vut: 64-row add/color/purge lifecycle"
+    (Staged.stage (fun () ->
+         let views = [ "V1"; "V2"; "V3"; "V4" ] in
+         let vut = Mvc.Vut.create ~views in
+         for row = 1 to 64 do
+           Mvc.Vut.add_row vut ~row ~rel:views
+         done;
+         for row = 1 to 64 do
+           List.iter
+             (fun view ->
+               Mvc.Vut.set_color vut ~row ~view Mvc.Vut.Gray)
+             views;
+           Mvc.Vut.purge_row vut row
+         done))
+
+let test_vut_next_red =
+  Test.make ~name:"vut: next_red scan over 256 live rows"
+    (Staged.stage
+       (let vut = Mvc.Vut.create ~views:[ "V" ] in
+        for row = 1 to 256 do
+          Mvc.Vut.add_row vut ~row ~rel:[ "V" ]
+        done;
+        Mvc.Vut.set_color vut ~row:256 ~view:"V" Mvc.Vut.Red;
+        fun () -> ignore (Mvc.Vut.next_red vut ~row:1 ~view:"V")))
+
+let drive_spa n_rows =
+  let views = [ "V1"; "V2"; "V3" ] in
+  let spa = Mvc.Spa.create ~views ~emit:(fun _ -> ()) () in
+  for row = 1 to n_rows do
+    Mvc.Spa.receive_rel spa ~row ~rel:views;
+    List.iter
+      (fun view ->
+        Mvc.Spa.receive_action_list spa
+          (Query.Action_list.delta ~view ~state:row Signed_bag.zero))
+      views
+  done
+
+let test_spa =
+  Test.make ~name:"spa: 64 updates x 3 views end to end"
+    (Staged.stage (fun () -> drive_spa 64))
+
+let drive_pa n_rows =
+  let views = [ "V1"; "V2"; "V3" ] in
+  let pa = Mvc.Pa.create ~views ~emit:(fun _ -> ()) () in
+  for row = 1 to n_rows do
+    Mvc.Pa.receive_rel pa ~row ~rel:views
+  done;
+  (* Each manager sends batched lists covering four rows at a time. *)
+  List.iter
+    (fun view ->
+      let row = ref 4 in
+      while !row <= n_rows do
+        Mvc.Pa.receive_action_list pa
+          (Query.Action_list.delta ~view ~state:!row Signed_bag.zero);
+        row := !row + 4
+      done)
+    views
+
+let test_pa =
+  Test.make ~name:"pa: 64 updates x 3 views, batches of 4"
+    (Staged.stage (fun () -> drive_pa 64))
+
+let test_delta_join =
+  Test.make ~name:"delta: single insert into 512-tuple join"
+    (Staged.stage
+       (let db = join_db 512 in
+        let expr = Query.Algebra.(join (base "R") (base "S")) in
+        let changes =
+          Query.Delta.of_update (Update.insert "S" (Tuple.ints [ 7; 7 ]))
+        in
+        fun () -> ignore (Query.Delta.eval ~pre:db changes expr)))
+
+let test_eval_join =
+  Test.make ~name:"eval: full 512x512 natural join"
+    (Staged.stage
+       (let db = join_db 512 in
+        let expr = Query.Algebra.(join (base "R") (base "S")) in
+        fun () -> ignore (Query.Eval.eval_bag db expr)))
+
+let test_bag_union =
+  Test.make ~name:"bag: union of two 1024-tuple bags"
+    (Staged.stage
+       (let a = random_bag 3 1024 and b = random_bag 4 1024 in
+        fun () -> ignore (Bag.union a b)))
+
+let test_oracle =
+  Test.make ~name:"oracle: verdict for a 20-txn SPA run"
+    (Staged.stage
+       (let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with seed = 5; n_transactions = 20 }
+        in
+        let result = Whips.System.run (Whips.System.default scen) in
+        fun () -> ignore (Whips.System.verdict result)))
+
+let test_system =
+  Test.make ~name:"system: full 20-txn simulated run (SPA)"
+    (Staged.stage
+       (let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with seed = 5; n_transactions = 20 }
+        in
+        fun () -> ignore (Whips.System.run (Whips.System.default scen))))
+
+let test_delta_pushdown =
+  Test.make ~name:"delta: selective view, optimized vs raw definition"
+    (Staged.stage
+       (let db = join_db 512 in
+        let raw =
+          Query.Algebra.(
+            select
+              (Query.Pred.eq "A" (Value.Int 3))
+              (join (base "R") (base "S")))
+        in
+        let optimized =
+          Query.Optimize.optimize
+            ~schemas:(fun n -> Database.schema db n)
+            raw
+        in
+        let changes =
+          Query.Delta.of_update (Update.insert "S" (Tuple.ints [ 3; 3 ]))
+        in
+        fun () ->
+          ignore (Query.Delta.eval ~pre:db changes raw);
+          ignore (Query.Delta.eval ~pre:db changes optimized)))
+
+let test_delta_pushdown_only =
+  Test.make ~name:"delta: optimized definition alone"
+    (Staged.stage
+       (let db = join_db 512 in
+        let optimized =
+          Query.Optimize.optimize
+            ~schemas:(fun n -> Database.schema db n)
+            Query.Algebra.(
+              select
+                (Query.Pred.eq "A" (Value.Int 3))
+                (join (base "R") (base "S")))
+        in
+        let changes =
+          Query.Delta.of_update (Update.insert "S" (Tuple.ints [ 3; 3 ]))
+        in
+        fun () -> ignore (Query.Delta.eval ~pre:db changes optimized)))
+
+(* Ablation for the auxiliary-view trade (references [12]/[8]): the delta
+   of V = R |><| S |><| T computed directly over base data vs through
+   materialized RS and ST. *)
+let three_way_db n =
+  let rs = int_schema [ "A"; "B" ]
+  and ss = int_schema [ "B"; "C" ]
+  and ts = int_schema [ "C"; "D" ] in
+  Database.of_list
+    [ ("R", Relation.with_contents (Relation.create rs) (random_bag 11 n));
+      ("S", Relation.with_contents (Relation.create ss) (random_bag 12 n));
+      ("T", Relation.with_contents (Relation.create ts) (random_bag 13 n)) ]
+
+let test_delta_direct_3way =
+  Test.make ~name:"delta: V=R|><|S|><|T directly over base data (256 tuples)"
+    (Staged.stage
+       (let db = three_way_db 256 in
+        let expr = Query.Algebra.(join_all [ base "R"; base "S"; base "T" ]) in
+        let changes =
+          Query.Delta.of_update (Update.insert "S" (Tuple.ints [ 7; 7 ]))
+        in
+        fun () -> ignore (Query.Delta.eval ~pre:db changes expr)))
+
+let test_delta_via_aux =
+  Test.make ~name:"delta: same V through materialized RS and ST"
+    (Staged.stage
+       (let db = three_way_db 256 in
+        let rs_def = Query.Algebra.(join (base "R") (base "S")) in
+        let st_def = Query.Algebra.(join (base "S") (base "T")) in
+        let aux_db =
+          Database.of_list
+            [ ("RS", Query.Eval.eval db rs_def);
+              ("ST", Query.Eval.eval db st_def) ]
+        in
+        let over_aux = Query.Algebra.(join (base "RS") (base "ST")) in
+        let changes =
+          Query.Delta.of_update (Update.insert "S" (Tuple.ints [ 7; 7 ]))
+        in
+        fun () ->
+          let aux_changes =
+            Query.Delta.changes_of_list
+              [ ("RS", Query.Delta.eval ~pre:db changes rs_def);
+                ("ST", Query.Delta.eval ~pre:db changes st_def) ]
+          in
+          ignore (Query.Delta.eval ~pre:aux_db aux_changes over_aux)))
+
+let tests =
+  [ test_vut_lifecycle; test_vut_next_red; test_spa; test_pa; test_delta_join;
+    test_eval_join; test_bag_union; test_delta_pushdown;
+    test_delta_pushdown_only; test_delta_direct_3way; test_delta_via_aux;
+    test_oracle; test_system ]
+
+let run () =
+  Tables.section "micro-benchmarks (Bechamel, ns per run, OLS estimate)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let estimate =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ e ] -> Printf.sprintf "%.0f ns" e
+              | Some es ->
+                String.concat ","
+                  (List.map (fun e -> Printf.sprintf "%.0f" e) es)
+              | None -> "n/a"
+            in
+            [ name; estimate ] :: acc)
+          analyzed []
+        |> List.concat)
+      tests
+  in
+  Tables.print ~title:"kernel costs" ~header:[ "benchmark"; "time/run" ] rows

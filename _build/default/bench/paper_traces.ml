@@ -1,0 +1,181 @@
+(* Reproduction of the paper's worked examples: Table 1 and the VUT
+   evolution tables of Examples 2-5 (the only "tables and figures" the
+   paper contains; its quantitative study was deferred to future work —
+   see EXPERIMENTS.md). Each printer drives the real algorithm and renders
+   the table exactly as the corresponding test asserts it. *)
+
+open Query
+
+let al view state = Action_list.delta ~view ~state Relational.Signed_bag.zero
+
+(* Table 1 / Example 1: run the real system over the scenario and print
+   the view contents at each source state and each warehouse state. *)
+let table1 () =
+  Tables.section "Table 1 (Example 1): multiple view consistency problem";
+  let scen = Workload.Scenarios.example1 in
+  let srcs = Workload.Scenarios.sources scen in
+  let _ = Workload.Scenarios.run_script scen srcs in
+  let show db v =
+    Relational.Bag.to_string
+      (Relational.Relation.contents (Query.View.materialize db v))
+  in
+  let rows =
+    List.mapi
+      (fun i db ->
+        [ Printf.sprintf "ss%d" i;
+          Relational.Relation.to_string (Relational.Database.find db "S")
+          |> String.map (fun c -> if c = '\n' then ' ' else c);
+          show db (List.nth scen.views 0);
+          show db (List.nth scen.views 1) ])
+      (Source.Sources.states srcs)
+  in
+  Tables.print ~title:"source states and view values"
+    ~header:[ "state"; "S"; "V1 = R |><| S"; "V2 = S |><| T" ]
+    rows;
+  let result = Whips.System.run { (Whips.System.default scen) with seed = 2 } in
+  let ws_rows =
+    List.mapi
+      (fun j ws ->
+        [ Printf.sprintf "ws%d" j;
+          Relational.Bag.to_string
+            (Relational.Relation.contents (Relational.Database.find ws "V1"));
+          Relational.Bag.to_string
+            (Relational.Relation.contents (Relational.Database.find ws "V2")) ])
+      (Warehouse.Store.states result.store)
+  in
+  Tables.print
+    ~title:
+      "warehouse states under the merge process (V1 and V2 move together; \
+       the paper's inconsistent state at t2 never appears)"
+    ~header:[ "state"; "V1"; "V2" ] ws_rows;
+  Printf.printf "consistency: %s\n"
+    (Fmt.str "%a" Consistency.Checker.pp_verdict (Whips.System.verdict result))
+
+(* Example 2: the first VUT illustration. *)
+let example2 () =
+  Tables.section "Example 2: ViewUpdateTable under SPA";
+  let log = ref [] in
+  let spa =
+    Mvc.Spa.create ~views:[ "V1"; "V2"; "V3" ]
+      ~emit:(fun wt ->
+        log :=
+          Printf.sprintf "apply WT covering rows [%s]"
+            (String.concat ";"
+               (List.map string_of_int wt.Warehouse.Wt.rows))
+          :: !log)
+      ()
+  in
+  let snap label =
+    Printf.printf "%-24s | %s\n" label
+      (String.concat " || "
+         (String.split_on_char '\n' (Mvc.Vut.render (Mvc.Spa.vut spa))))
+  in
+  Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Spa.receive_rel spa ~row:2 ~rel:[ "V3" ];
+  snap "REL1, REL2 received";
+  Mvc.Spa.receive_action_list spa (al "V2" 1);
+  snap "AL(V2,1) received";
+  Mvc.Spa.receive_action_list spa (al "V1" 1);
+  snap "AL(V1,1) received";
+  Mvc.Spa.receive_action_list spa (al "V3" 2);
+  Printf.printf "%-24s | (table empty)\n" "AL(V3,2) received";
+  List.iter (Printf.printf "  %s\n") (List.rev !log)
+
+(* Example 3: SPA applying rows out of update order. *)
+let example3 () =
+  Tables.section "Example 3: SPA trace (times t4-t11 of the paper)";
+  let order = ref [] in
+  let spa =
+    Mvc.Spa.create ~views:[ "V1"; "V2"; "V3" ]
+      ~emit:(fun wt -> order := !order @ [ wt.Warehouse.Wt.rows ])
+      ()
+  in
+  let snap label =
+    Printf.printf "%-10s %s\n" label
+      (String.concat " | "
+         (String.split_on_char '\n' (Mvc.Vut.render (Mvc.Spa.vut spa))))
+  in
+  Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Spa.receive_action_list spa (al "V2" 1);
+  Mvc.Spa.receive_rel spa ~row:2 ~rel:[ "V3" ];
+  Mvc.Spa.receive_rel spa ~row:3 ~rel:[ "V2" ];
+  snap "t4:";
+  Mvc.Spa.receive_action_list spa (al "V3" 2);
+  snap "t5-t6:";
+  Mvc.Spa.receive_action_list spa (al "V2" 3);
+  snap "t7:";
+  Mvc.Spa.receive_action_list spa (al "V1" 1);
+  Printf.printf "t8-t11:    (table empty)\n";
+  Printf.printf "warehouse transaction order: %s (matches the paper: WT2, WT1, WT3)\n"
+    (String.concat ", "
+       (List.map
+          (fun rows ->
+            "WT" ^ String.concat "+" (List.map string_of_int rows))
+          !order))
+
+(* Example 4: why SPA breaks down on intertwined action lists. *)
+let example4 () =
+  Tables.section "Example 4: intertwined action lists (PA's raison d'etre)";
+  let order = ref [] in
+  let pa =
+    Mvc.Pa.create ~views:[ "V1"; "V2"; "V3" ]
+      ~emit:(fun wt -> order := !order @ [ wt.Warehouse.Wt.rows ])
+      ()
+  in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V2"; "V3" ];
+  Mvc.Pa.receive_rel pa ~row:3 ~rel:[ "V1"; "V2" ];
+  Mvc.Pa.receive_action_list pa (al "V1" 3);
+  Printf.printf "after batched AL(V1,3):\n%s\n"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  Mvc.Pa.receive_action_list pa (al "V2" 1);
+  Mvc.Pa.receive_action_list pa (al "V2" 2);
+  Mvc.Pa.receive_action_list pa (al "V3" 2);
+  Printf.printf
+    "rows 1 and 2 have every list, yet PA holds them (SPA would wrongly \
+     apply them):\n%s\n"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  Mvc.Pa.receive_action_list pa (al "V2" 3);
+  Printf.printf "after AL(V2,3): applied %s in one transaction\n"
+    (String.concat ", "
+       (List.map
+          (fun rows -> "rows " ^ String.concat "+" (List.map string_of_int rows))
+          !order))
+
+(* Example 5: the Painting Algorithm trace. *)
+let example5 () =
+  Tables.section "Example 5: PA trace (times t0-t7 of the paper)";
+  let order = ref [] in
+  let pa =
+    Mvc.Pa.create ~views:[ "V1"; "V2"; "V3" ]
+      ~emit:(fun wt -> order := !order @ [ wt.Warehouse.Wt.rows ])
+      ()
+  in
+  let snap label =
+    Printf.printf "%s\n%s\n" label
+      (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa))
+  in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V2"; "V3" ];
+  Mvc.Pa.receive_rel pa ~row:3 ~rel:[ "V2"; "V3" ];
+  snap "t0: RELs received";
+  Mvc.Pa.receive_action_list pa (al "V2" 1);
+  Mvc.Pa.receive_action_list pa (al "V2" 3);
+  snap "t1,t2: AL(V2,1), AL(V2,3) arrived";
+  Mvc.Pa.receive_action_list pa (al "V3" 2);
+  Mvc.Pa.receive_action_list pa (al "V1" 1);
+  snap "t3,t4,t5: AL(V3,2), AL(V1,1) arrived; row 1 applied";
+  Mvc.Pa.receive_action_list pa (al "V3" 3);
+  Printf.printf "t6,t7: AL(V3,3) arrived; table empty\n";
+  Printf.printf "warehouse transactions: %s (matches the paper: WT1 alone, then WT2+WT3)\n"
+    (String.concat ", "
+       (List.map
+          (fun rows -> "{" ^ String.concat "," (List.map string_of_int rows) ^ "}")
+          !order))
+
+let run () =
+  table1 ();
+  example2 ();
+  example3 ();
+  example4 ();
+  example5 ()

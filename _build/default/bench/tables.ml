@@ -1,0 +1,30 @@
+(* Aligned-column table printing for the experiment reports. *)
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        max acc (String.length (try List.nth row c with Failure _ -> "")))
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad row widths)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (line row)) rows
+
+let section name = Printf.printf "\n###### %s ######\n" name
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let f4 x = Printf.sprintf "%.4f" x
+
+let ms x = Printf.sprintf "%.2fms" (1000.0 *. x)

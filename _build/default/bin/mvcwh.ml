@@ -1,0 +1,290 @@
+(* mvcwh — command-line runner for the MVC warehouse simulator.
+
+     mvcwh list
+     mvcwh run --scenario bank --vm batching --rate 60 --seed 3
+     mvcwh run --random 7 --transactions 200 --views 6 --merge passthrough
+*)
+
+open Cmdliner
+
+let scenario_names =
+  List.map (fun s -> s.Workload.Scenarios.name) Workload.Scenarios.all
+
+let find_scenario name =
+  List.find_opt
+    (fun s -> String.equal s.Workload.Scenarios.name name)
+    Workload.Scenarios.all
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "built-in scenarios:@.";
+    List.iter
+      (fun s ->
+        Fmt.pr "  %-14s %d views, %d transactions, relations: %s@."
+          s.Workload.Scenarios.name
+          (List.length s.views) (List.length s.script)
+          (String.concat ", "
+             (List.map
+                (fun (spec : Source.Sources.spec) -> spec.relation)
+                s.specs)))
+      Workload.Scenarios.all;
+    Fmt.pr
+      "@.use `run --random SEED` for a generated workload, and \
+       `bench/main.exe` for the paper experiments.@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in scenarios")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let vm_kind_conv =
+  let parse = function
+    | "complete" -> Ok Whips.System.Complete_vm
+    | "batching" -> Ok Whips.System.Batching_vm
+    | "strobe" -> Ok Whips.System.Strobe_vm
+    | "convergent" -> Ok Whips.System.Convergent_vm
+    | s when String.length s > 9 && String.sub s 0 9 = "periodic:" -> (
+      match float_of_string_opt (String.sub s 9 (String.length s - 9)) with
+      | Some p when p > 0.0 -> Ok (Whips.System.Periodic_vm p)
+      | Some _ | None -> Error (`Msg "periodic:<seconds> expects a positive float"))
+    | s when String.length s > 9 && String.sub s 0 9 = "complete-" -> (
+      match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+      | Some n when n > 0 -> Ok (Whips.System.Complete_n_vm n)
+      | Some _ | None -> Error (`Msg "complete-<n> expects a positive integer"))
+    | s -> Error (`Msg ("unknown view-manager kind: " ^ s))
+  in
+  let print ppf = function
+    | Whips.System.Complete_vm -> Fmt.string ppf "complete"
+    | Whips.System.Batching_vm -> Fmt.string ppf "batching"
+    | Whips.System.Strobe_vm -> Fmt.string ppf "strobe"
+    | Whips.System.Periodic_vm p -> Fmt.pf ppf "periodic:%g" p
+    | Whips.System.Convergent_vm -> Fmt.string ppf "convergent"
+    | Whips.System.Complete_n_vm n -> Fmt.pf ppf "complete-%d" n
+    | Whips.System.Derived_vm _ -> Fmt.string ppf "derived"
+  in
+  Arg.conv (parse, print)
+
+let merge_kind_conv =
+  let parse = function
+    | "auto" -> Ok Whips.System.Auto
+    | "spa" -> Ok Whips.System.Force_spa
+    | "pa" -> Ok Whips.System.Force_pa
+    | "passthrough" -> Ok Whips.System.Force_passthrough
+    | "holdall" -> Ok Whips.System.Force_holdall
+    | "sequential" -> Ok Whips.System.Sequential
+    | s -> Error (`Msg ("unknown merge kind: " ^ s))
+  in
+  let print ppf = function
+    | Whips.System.Auto -> Fmt.string ppf "auto"
+    | Whips.System.Force_spa -> Fmt.string ppf "spa"
+    | Whips.System.Force_pa -> Fmt.string ppf "pa"
+    | Whips.System.Force_passthrough -> Fmt.string ppf "passthrough"
+    | Whips.System.Force_holdall -> Fmt.string ppf "holdall"
+    | Whips.System.Sequential -> Fmt.string ppf "sequential"
+  in
+  Arg.conv (parse, print)
+
+let submit_conv =
+  let parse = function
+    | "serial" -> Ok Warehouse.Submitter.Serial
+    | "dependency" -> Ok Warehouse.Submitter.Dependency
+    | s when String.length s > 8 && String.sub s 0 8 = "batched-" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some n when n > 0 -> Ok (Warehouse.Submitter.Batched n)
+      | Some _ | None -> Error (`Msg "batched-<n> expects a positive integer"))
+    | s -> Error (`Msg ("unknown submit policy: " ^ s))
+  in
+  let print ppf p = Fmt.string ppf (Warehouse.Submitter.policy_name p) in
+  Arg.conv (parse, print)
+
+let run_system ~scenario ~file ~random ~transactions ~views ~vm ~merge
+    ~submit ~rate ~groups ~semantic_filter ~via_manager ~optimize ~timeline
+    ~explain ~seed ~show_states =
+  let scen =
+    match (scenario, file, random) with
+    | _, Some path, _ -> (
+      match Workload.Scenario_file.load path with
+      | scen -> scen
+      | exception Workload.Scenario_file.Invalid_scenario msg ->
+        Fmt.epr "invalid scenario file: %s@." msg;
+        exit 1
+      | exception Workload.Sexp.Parse_error msg ->
+        Fmt.epr "parse error: %s@." msg;
+        exit 1
+      | exception Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 1)
+    | Some name, None, _ -> (
+      match find_scenario name with
+      | Some s -> s
+      | None ->
+        Fmt.epr "unknown scenario %s (try: %s)@." name
+          (String.concat ", " scenario_names);
+        exit 1)
+    | None, None, Some gen_seed ->
+      Workload.Generator.generate
+        { Workload.Generator.default with
+          seed = gen_seed;
+          n_transactions = transactions;
+          n_views = views;
+          n_relations = views + 1 }
+    | None, None, None -> Workload.Scenarios.paper_views
+  in
+  let cfg =
+    { (Whips.System.default scen) with
+      vm_kind = vm;
+      merge_kind = merge;
+      submit;
+      arrival = Whips.System.Poisson rate;
+      merge_groups = groups;
+      semantic_filter;
+      rel_routing =
+        (if via_manager then Whips.System.Via_manager else Whips.System.Direct);
+      optimize_views = optimize;
+      record_timeline = timeline;
+      seed }
+  in
+  let result = Whips.System.run cfg in
+  Fmt.pr "scenario       : %s@." scen.Workload.Scenarios.name;
+  Fmt.pr "views          : %s@."
+    (String.concat ", " (List.map Query.View.name scen.views));
+  Fmt.pr "merge algorithm: %s@." result.merge_algorithm;
+  Fmt.pr "metrics        : %a@." Whips.Metrics.pp result.metrics;
+  if show_states then begin
+    Fmt.pr "warehouse states:@.";
+    List.iteri
+      (fun i ws ->
+        Fmt.pr "  ws%-3d %s@." i
+          (String.concat "  "
+             (List.map
+                (fun v ->
+                  let name = Query.View.name v in
+                  Fmt.str "%s=%a" name Relational.Bag.pp
+                    (Relational.Relation.contents
+                       (Relational.Database.find ws name)))
+                scen.views)))
+      (Warehouse.Store.states result.store)
+  end;
+  if timeline then begin
+    Fmt.pr "timeline:@.";
+    List.iter
+      (fun (t, event) -> Fmt.pr "  %8.4fs  %s@." t event)
+      result.timeline
+  end;
+  let verdict, witness = Whips.System.verdict_with_witness result in
+  Fmt.pr "consistency    : %a@." Consistency.Checker.pp_verdict verdict;
+  (if explain then
+     match witness with
+     | None -> Fmt.pr "witness        : none (run is not strongly consistent)@."
+     | Some chain ->
+       Fmt.pr "witness (warehouse state -> source state per view):@.";
+       List.iteri
+         (fun j per_view ->
+           Fmt.pr "  ws%-3d %s@." j
+             (String.concat "  "
+                (List.map (fun (v, c) -> Printf.sprintf "%s@ss%d" v c) per_view)))
+         chain);
+  if not verdict.convergent then exit 2
+
+let run_cmd =
+  let scenario =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:(Printf.sprintf "Built-in scenario (%s)."
+                     (String.concat ", " scenario_names)))
+  in
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"PATH"
+             ~doc:"Load a scenario from an s-expression file (see \
+                   lib/workload/scenario_file.mli for the grammar).")
+  in
+  let random =
+    Arg.(value & opt (some int) None
+         & info [ "random" ] ~docv:"SEED" ~doc:"Generate a random workload.")
+  in
+  let transactions =
+    Arg.(value & opt int 50
+         & info [ "transactions" ] ~doc:"Random workload: transaction count.")
+  in
+  let views =
+    Arg.(value & opt int 4 & info [ "views" ] ~doc:"Random workload: view count.")
+  in
+  let vm =
+    Arg.(value & opt vm_kind_conv Whips.System.Complete_vm
+         & info [ "vm" ]
+             ~doc:"View managers: complete, batching, strobe, periodic:SEC, \
+                   convergent, complete-N.")
+  in
+  let merge =
+    Arg.(value & opt merge_kind_conv Whips.System.Auto
+         & info [ "merge" ]
+             ~doc:"Merge: auto, spa, pa, passthrough, holdall, sequential.")
+  in
+  let submit =
+    Arg.(value & opt submit_conv Warehouse.Submitter.Serial
+         & info [ "submit" ] ~doc:"Commit policy: serial, dependency, batched-N.")
+  in
+  let rate =
+    Arg.(value & opt float 40.0
+         & info [ "rate" ] ~doc:"Poisson arrival rate (transactions/s).")
+  in
+  let groups =
+    Arg.(value & opt (some int) None
+         & info [ "merge-processes" ] ~doc:"Distribute the merge (Section 6.1).")
+  in
+  let semantic_filter =
+    Arg.(value & flag
+         & info [ "semantic-filter" ]
+             ~doc:"Integrator rules out provably irrelevant updates.")
+  in
+  let via_manager =
+    Arg.(value & flag
+         & info [ "rel-via-manager" ]
+             ~doc:"Route REL_i through a relevant view manager (Section \
+                   3.2's alternative) instead of directly to the merge.")
+  in
+  let optimize =
+    Arg.(value & flag
+         & info [ "optimize-views" ]
+             ~doc:"Rewrite view definitions (selection pushdown etc.) \
+                   before maintenance.")
+  in
+  let timeline =
+    Arg.(value & flag
+         & info [ "timeline" ] ~doc:"Print the full simulated event log.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the oracle's witness: which source state each \
+                   view was mapped to at every warehouse state.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let show_states =
+    Arg.(value & flag
+         & info [ "states" ] ~doc:"Print every recorded warehouse state.")
+  in
+  let run scenario file random transactions views vm merge submit rate groups
+      semantic_filter via_manager optimize timeline explain seed show_states =
+    run_system ~scenario ~file ~random ~transactions ~views ~vm ~merge
+      ~submit ~rate ~groups ~semantic_filter ~via_manager ~optimize ~timeline
+      ~explain ~seed ~show_states
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a warehouse scenario through the simulated system and \
+             check its consistency level")
+    Term.(
+      const run $ scenario $ file $ random $ transactions $ views $ vm
+      $ merge $ submit $ rate $ groups $ semantic_filter $ via_manager
+      $ optimize $ timeline $ explain $ seed $ show_states)
+
+let () =
+  let info =
+    Cmd.info "mvcwh" ~version:"1.0"
+      ~doc:"Multiple View Consistency warehouse simulator (ICDE 1997)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

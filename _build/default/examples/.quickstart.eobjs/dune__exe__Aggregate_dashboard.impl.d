@@ -1,0 +1,1 @@
+examples/aggregate_dashboard.ml: Bag Consistency Database Fmt List Query Relation Relational Tuple Value Warehouse Whips Workload

@@ -1,0 +1,1 @@
+examples/aggregate_dashboard.mli:

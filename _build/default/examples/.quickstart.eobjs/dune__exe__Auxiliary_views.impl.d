@@ -1,0 +1,1 @@
+examples/auxiliary_views.ml: Consistency Database Fmt List Query Relation Relational Warehouse Whips Workload

@@ -1,0 +1,1 @@
+examples/auxiliary_views.mli:

@@ -1,0 +1,1 @@
+examples/bank_consistency.ml: Bag Consistency Database Fmt List Relation Relational Tuple Value Warehouse Whips Workload

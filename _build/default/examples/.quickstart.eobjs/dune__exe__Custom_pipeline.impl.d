@@ -1,0 +1,1 @@
+examples/custom_pipeline.ml: Bag Consistency Database Fmt Integrator List Mvc Query Relation Relational Schema Signed_bag Source String Tuple Update Value Warehouse

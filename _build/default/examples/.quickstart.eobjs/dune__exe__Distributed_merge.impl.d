@@ -1,0 +1,1 @@
+examples/distributed_merge.ml: Consistency Fmt List Mvc Printf Query Relational Sim Source String Whips Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bag Consistency Database Fmt List Query Relation Relational Schema Sim Source Tuple Update Value Warehouse Whips Workload

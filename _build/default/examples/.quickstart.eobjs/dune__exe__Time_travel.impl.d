@@ -1,0 +1,1 @@
+examples/time_travel.ml: Bag Database Fmt List Query Relation Relational String Tuple Value Warehouse Whips Workload

@@ -1,0 +1,1 @@
+lib/consistency/checker.ml: Array Bag Database Fmt Fun Hashtbl Int List Option Printf Query Relation Relational Set String Update

@@ -1,0 +1,1 @@
+lib/consistency/checker.mli: Bag Database Format Query Relational Update

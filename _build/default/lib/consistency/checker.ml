@@ -1,0 +1,501 @@
+open Relational
+
+type verdict = {
+  convergent : bool;
+  strongly_consistent : bool;
+  complete : bool;
+  conclusive : bool;
+  detail : string;
+}
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "convergent=%b strong=%b complete=%b%s%s" v.convergent
+    v.strongly_consistent v.complete
+    (if v.conclusive then "" else " (inconclusive)")
+    (if String.equal v.detail "ok" then "" else " [" ^ v.detail ^ "]")
+
+(* Exploration budget for the cut search (DFS nodes per warehouse state)
+   and per-view candidate cap. Exceeding either can only cause false
+   negatives, which are reported as inconclusive. *)
+let search_budget = 100_000
+
+let candidate_cap = 60
+
+module Int_set = Set.Make (Int)
+
+(* ---------- grouping: views coupled by common transactions ---------- *)
+
+(* Two views are constrained against each other exactly when some
+   transaction is relevant to both: that transaction must fall on the same
+   side of both views' cuts (for single-update transactions this is the
+   shared-base-relation condition; a multi-relation transaction couples
+   even views with disjoint relations, because its effects must appear
+   atomically — Section 6.2). Monotonicity is per view, so the cut search
+   decomposes exactly into the connected components of this relevance
+   graph. *)
+let relevant_to view (txn : Update.Transaction.t) =
+  List.exists
+    (fun r -> Query.View.uses view r)
+    (Update.Transaction.relations txn)
+
+let group_indices views txn_arr =
+  let arr = Array.of_list views in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  Array.iter
+    (fun txn ->
+      let members = ref [] in
+      Array.iteri
+        (fun i v -> if relevant_to v txn then members := i :: !members)
+        arr;
+      match !members with
+      | [] -> ()
+      | first :: rest -> List.iter (fun j -> union first j) rest)
+    txn_arr;
+  let buckets = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i _ ->
+      let root = find i in
+      match Hashtbl.find_opt buckets root with
+      | Some members -> Hashtbl.replace buckets root (i :: members)
+      | None ->
+        Hashtbl.add buckets root [ i ];
+        order := root :: !order)
+    arr;
+  List.rev_map (fun root -> List.rev (Hashtbl.find buckets root)) !order
+  |> List.rev
+
+(* ---------- per-group context ---------- *)
+
+type ctx = {
+  nviews : int;
+  f : int;
+  expected : Bag.t array array; (* expected.(i).(x) = V_x(ss_i) *)
+  touches : Int_set.t array array;
+      (* ids of transactions touching a relation shared by views x,y *)
+  obs : Int_set.t array; (* per view: observable transaction ids *)
+  mutable budget_hit : bool;
+  mutable pruned : bool;
+}
+
+let build_ctx ~views ~txn_arr ~states =
+  let nviews = List.length views in
+  let f = Array.length states - 1 in
+  let view_arr = Array.of_list views in
+  let expected =
+    Array.init (f + 1) (fun i ->
+        Array.map
+          (fun v -> Relation.contents (Query.View.materialize states.(i) v))
+          view_arr)
+  in
+  let rels_of = Array.map Query.View.base_relations view_arr in
+  (* touches.(x).(y): transactions relevant to both views — these must be
+     on the same side of both cuts. *)
+  let touches =
+    Array.init nviews (fun x ->
+        Array.init nviews (fun y ->
+            if x = y then Int_set.empty
+            else
+              Array.fold_left
+                (fun acc (txn : Update.Transaction.t) ->
+                  if relevant_to view_arr.(x) txn && relevant_to view_arr.(y) txn
+                  then Int_set.add txn.id acc
+                  else acc)
+                Int_set.empty txn_arr))
+  in
+  let obs =
+    Array.init nviews (fun x ->
+        let rec loop i acc =
+          if i > f then acc
+          else begin
+            let relevant =
+              List.exists
+                (fun r -> List.mem r rels_of.(x))
+                (Update.Transaction.relations txn_arr.(i - 1))
+            in
+            let changed =
+              not (Bag.equal expected.(i).(x) expected.(i - 1).(x))
+            in
+            loop (i + 1)
+              (if relevant && changed then Int_set.add i acc else acc)
+          end
+        in
+        loop 1 Int_set.empty)
+  in
+  { nviews; f; expected; touches; obs; budget_hit = false; pruned = false }
+
+let candidates ctx x content =
+  let rec collect i acc =
+    if i > ctx.f then List.rev acc
+    else
+      collect (i + 1)
+        (if Bag.equal ctx.expected.(i).(x) content then i :: acc else acc)
+  in
+  collect 0 []
+
+let compatible ctx x cx y cy =
+  let lo = min cx cy and hi = max cx cy in
+  lo = hi
+  || not (Int_set.exists (fun i -> i > lo && i <= hi) ctx.touches.(x).(y))
+
+let applied_obs ctx cut =
+  let union = ref Int_set.empty in
+  Array.iteri
+    (fun x cx ->
+      Int_set.iter
+        (fun i -> if i <= cx then union := Int_set.add i !union)
+        ctx.obs.(x))
+    cut;
+  !union
+
+type frontier_entry = {
+  cut : int array;
+  singles : bool;
+  obs_count : int;
+  parent : frontier_entry option; (* chain predecessor, for witnesses *)
+}
+
+let cut_le a b =
+  let n = Array.length a in
+  let rec loop i = i >= n || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let realizable_cuts ctx per_view_candidates =
+  let results = ref [] in
+  let nodes = ref 0 in
+  let cut = Array.make ctx.nviews 0 in
+  let rec assign x =
+    if !nodes > search_budget then ctx.budget_hit <- true
+    else if x = ctx.nviews then results := Array.copy cut :: !results
+    else
+      List.iter
+        (fun c ->
+          incr nodes;
+          if not ctx.budget_hit then begin
+            cut.(x) <- c;
+            let ok =
+              let rec check y =
+                y >= x || (compatible ctx x c y cut.(y) && check (y + 1))
+              in
+              check 0
+            in
+            if ok then assign (x + 1)
+          end)
+        per_view_candidates.(x)
+  in
+  assign 0;
+  !results
+
+(* Cap a candidate list, always keeping the largest value so the final
+   source state stays reachable; record that pruning happened. *)
+let cap_candidates ctx cands =
+  let n = List.length cands in
+  if n <= candidate_cap then cands
+  else begin
+    ctx.pruned <- true;
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | c :: rest -> c :: take (k - 1) rest
+    in
+    let head = take (candidate_cap - 1) cands in
+    head @ [ List.nth cands (n - 1) ]
+  end
+
+let pareto entries =
+  let at_least_as_good e' e =
+    cut_le e'.cut e.cut && (e'.singles || not e.singles)
+  in
+  List.fold_left
+    (fun kept e ->
+      if List.exists (fun e' -> at_least_as_good e' e) kept then kept
+      else e :: List.filter (fun e' -> not (at_least_as_good e e')) kept)
+    [] entries
+
+let advance_frontier ctx frontier per_view_candidates =
+  let floor_of x =
+    List.fold_left (fun acc e -> min acc e.cut.(x)) max_int frontier
+  in
+  let filtered =
+    Array.init ctx.nviews (fun x ->
+        let fl = floor_of x in
+        cap_candidates ctx
+          (List.filter (fun c -> c >= fl) per_view_candidates.(x)))
+  in
+  if Array.exists (fun l -> l = []) filtered then []
+  else begin
+    let cuts = realizable_cuts ctx filtered in
+    let entries =
+      List.filter_map
+        (fun cut ->
+          let preds = List.filter (fun e -> cut_le e.cut cut) frontier in
+          if preds = [] then None
+          else begin
+            let obs_count = Int_set.cardinal (applied_obs ctx cut) in
+            let single_pred =
+              List.find_opt
+                (fun e -> e.singles && obs_count - e.obs_count <= 1)
+                preds
+            in
+            let singles = Option.is_some single_pred in
+            let parent =
+              match single_pred with Some p -> Some p | None -> Some (List.hd preds)
+            in
+            Some { cut; singles; obs_count; parent }
+          end)
+        cuts
+    in
+    pareto entries
+  end
+
+type group_outcome = {
+  g_convergent : bool;
+  g_strong : bool;
+  g_complete : bool;
+  g_detail : string option;
+  g_changed_steps : Int_set.t;
+      (* indices (into the undeduplicated warehouse sequence) of steps at
+         which this group's contents changed *)
+  g_witness : int array array option;
+      (* per ORIGINAL warehouse state, this group's chosen cut *)
+}
+
+(* Run the chain search for one group of views over the warehouse content
+   history (one Bag.t array per warehouse state, one slot per view of the
+   group). *)
+let check_group ctx ws_contents =
+  let n_ws = Array.length ws_contents in
+  let last = ws_contents.(n_ws - 1) in
+  let convergent = Array.for_all2 Bag.equal last ctx.expected.(ctx.f) in
+  let changed_steps = ref Int_set.empty in
+  for j = 1 to n_ws - 1 do
+    if not (Array.for_all2 Bag.equal ws_contents.(j) ws_contents.(j - 1))
+    then changed_steps := Int_set.add j !changed_steps
+  done;
+  (* Deduplicate consecutive identical states: a held cut costs nothing and
+     applies zero observable transactions. [rep.(j)] maps each original
+     state to its deduplicated position. *)
+  let rep = Array.make n_ws 0 in
+  let dedup =
+    let rec loop j pos acc =
+      if j >= n_ws then List.rev acc
+      else if
+        j > 0 && Array.for_all2 Bag.equal ws_contents.(j) ws_contents.(j - 1)
+      then begin
+        rep.(j) <- pos - 1;
+        loop (j + 1) pos acc
+      end
+      else begin
+        rep.(j) <- pos;
+        loop (j + 1) (pos + 1) (ws_contents.(j) :: acc)
+      end
+    in
+    loop 0 0 []
+  in
+  let total_obs =
+    Int_set.cardinal (Array.fold_left Int_set.union Int_set.empty ctx.obs)
+  in
+  let rec walk j frontier = function
+    | [] -> Ok frontier
+    | state :: rest ->
+      let per_view =
+        Array.mapi (fun x _ -> candidates ctx x state.(x)) state
+      in
+      if Array.exists (fun l -> l = []) per_view then
+        Error
+          (Printf.sprintf
+             "a view's contents at warehouse state %d match no source state" j)
+      else begin
+        let frontier' =
+          if j = 0 then
+            pareto
+              (List.map
+                 (fun cut ->
+                   let obs_count = Int_set.cardinal (applied_obs ctx cut) in
+                   { cut; singles = obs_count = 0; obs_count; parent = None })
+                 (realizable_cuts ctx
+                    (Array.map (cap_candidates ctx) per_view)))
+          else advance_frontier ctx frontier per_view
+        in
+        if frontier' = [] then
+          Error
+            (Printf.sprintf
+               "warehouse state %d: no realizable cut extends the chain" j)
+        else walk (j + 1) frontier' rest
+      end
+  in
+  match walk 0 [] dedup with
+  | Error detail ->
+    { g_convergent = convergent; g_strong = false; g_complete = false;
+      g_detail = Some detail; g_changed_steps = !changed_steps;
+      g_witness = None }
+  | Ok frontier ->
+    let strong = convergent in
+    let complete =
+      strong
+      && List.exists (fun e -> e.singles && e.obs_count = total_obs) frontier
+    in
+    let witness =
+      (* Reconstruct one chain, preferring a completeness witness. *)
+      let final =
+        match
+          List.find_opt
+            (fun e -> e.singles && e.obs_count = total_obs)
+            frontier
+        with
+        | Some e -> Some e
+        | None -> ( match frontier with e :: _ -> Some e | [] -> None)
+      in
+      match final with
+      | None -> None
+      | Some e ->
+        let rec collect e acc =
+          match e.parent with
+          | None -> e.cut :: acc
+          | Some p -> collect p (e.cut :: acc)
+        in
+        let dedup_cuts = Array.of_list (collect e []) in
+        Some (Array.map (fun j -> dedup_cuts.(rep.(j))) (Array.init n_ws Fun.id))
+    in
+    { g_convergent = convergent; g_strong = strong; g_complete = complete;
+      g_detail =
+        (if not convergent then
+           Some "final warehouse state differs from V(ss_f)"
+         else None);
+      g_changed_steps = !changed_steps; g_witness = witness }
+
+type witness = (string * int) list list
+
+let check_with_witness ~views ~transactions ~source_states ~warehouse_states =
+  if views = [] then invalid_arg "Checker: no views";
+  let states = Array.of_list source_states in
+  let f = Array.length states - 1 in
+  if f < 0 then invalid_arg "Checker: empty source state sequence";
+  if List.length transactions <> f then
+    invalid_arg "Checker: |transactions| must be |source_states| - 1";
+  let txn_arr = Array.of_list transactions in
+  Array.iteri
+    (fun k (txn : Update.Transaction.t) ->
+      if txn.id <> k + 1 then
+        invalid_arg "Checker: transaction ids must be 1..f in order")
+    txn_arr;
+  if warehouse_states = [] then
+    invalid_arg "Checker: empty warehouse sequence";
+  let view_arr = Array.of_list views in
+  let ws =
+    Array.of_list
+      (List.map
+         (fun db ->
+           Array.map
+             (fun v ->
+               Relation.contents (Database.find db (Query.View.name v)))
+             view_arr)
+         warehouse_states)
+  in
+  let groups = group_indices views txn_arr in
+  let outcomes_and_ctx =
+    List.map
+      (fun indices ->
+        let group_views = List.map (fun i -> view_arr.(i)) indices in
+        let ctx = build_ctx ~views:group_views ~txn_arr ~states in
+        let contents =
+          Array.map
+            (fun state ->
+              Array.of_list (List.map (fun i -> state.(i)) indices))
+            ws
+        in
+        (indices, ctx, check_group ctx contents))
+      groups
+  in
+  let outcomes = List.map (fun (_, _, o) -> o) outcomes_and_ctx in
+  let convergent = List.for_all (fun o -> o.g_convergent) outcomes in
+  let strong = List.for_all (fun o -> o.g_strong) outcomes in
+  let per_group_complete = List.for_all (fun o -> o.g_complete) outcomes in
+  (* Joint completeness: groups are fully decoupled (no transaction is
+     relevant to two groups), so one warehouse step advancing two groups
+     necessarily applies at least two observable transactions. *)
+  let steps_ok =
+    let n_ws = Array.length ws in
+    let rec step j ok =
+      if (not ok) || j >= n_ws then ok
+      else begin
+        let changed =
+          List.length
+            (List.filter
+               (fun (_, _, o) -> Int_set.mem j o.g_changed_steps)
+               outcomes_and_ctx)
+        in
+        step (j + 1) (changed <= 1)
+      end
+    in
+    step 1 true
+  in
+  let complete = strong && per_group_complete && steps_ok in
+  let conclusive =
+    List.for_all
+      (fun (_, ctx, o) ->
+        (* Pruning and budget exhaustion can only produce false negatives:
+           a successful chain is always trustworthy. *)
+        (o.g_strong && (o.g_complete || not ctx.budget_hit))
+        || ((not ctx.budget_hit) && not ctx.pruned))
+      outcomes_and_ctx
+  in
+  let detail =
+    match List.find_map (fun o -> o.g_detail) outcomes with
+    | Some d -> d
+    | None ->
+      if not convergent then "final warehouse state differs from V(ss_f)"
+      else if not complete then
+        if not steps_ok then
+          "a warehouse step advances several independent view groups"
+        else "chain exists but some step applies several observable updates"
+      else "ok"
+  in
+  let witness =
+    if not strong then None
+    else begin
+      let n_ws = Array.length ws in
+      let per_state j =
+        List.concat_map
+          (fun (indices, _, o) ->
+            match o.g_witness with
+            | None -> []
+            | Some cuts ->
+              List.mapi
+                (fun pos i ->
+                  (Query.View.name view_arr.(i), cuts.(j).(pos)))
+                indices)
+          outcomes_and_ctx
+      in
+      let all = List.init n_ws per_state in
+      if List.exists (fun l -> l = []) all && views <> [] then None
+      else Some all
+    end
+  in
+  ( { convergent; strongly_consistent = strong; complete; conclusive; detail },
+    witness )
+
+let check ~views ~transactions ~source_states ~warehouse_states =
+  fst (check_with_witness ~views ~transactions ~source_states ~warehouse_states)
+
+let check_single_view ~view ~transactions ~source_states ~contents =
+  let schema =
+    match source_states with
+    | db :: _ -> Relation.schema (Query.View.materialize db view)
+    | [] -> invalid_arg "Checker: empty source state sequence"
+  in
+  let warehouse_states =
+    List.map
+      (fun bag ->
+        Database.of_list
+          [ ( Query.View.name view,
+              Relation.with_contents (Relation.create schema) bag ) ])
+      contents
+  in
+  check ~views:[ view ] ~transactions ~source_states ~warehouse_states

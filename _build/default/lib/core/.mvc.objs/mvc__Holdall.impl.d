@@ -1,0 +1,1 @@
+lib/core/holdall.ml: Int List Map Query Warehouse

@@ -1,0 +1,1 @@
+lib/core/holdall.mli: Query Warehouse

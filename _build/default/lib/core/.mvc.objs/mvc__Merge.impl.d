@@ -1,0 +1,1 @@
+lib/core/merge.ml: Holdall Pa Query Spa Vut Warehouse

@@ -1,0 +1,1 @@
+lib/core/merge.mli: Query Warehouse

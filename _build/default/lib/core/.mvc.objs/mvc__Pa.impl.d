@@ -1,0 +1,1 @@
+lib/core/pa.ml: Hashtbl Int List Printf Query Set Vut Warehouse

@@ -1,0 +1,1 @@
+lib/core/pa.mli: Query Vut Warehouse

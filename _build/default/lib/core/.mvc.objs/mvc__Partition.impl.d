@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Hashtbl Int List Query

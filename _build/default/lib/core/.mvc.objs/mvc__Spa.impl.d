@@ -1,0 +1,1 @@
+lib/core/spa.ml: Hashtbl List Printf Query Vut Warehouse

@@ -1,0 +1,1 @@
+lib/core/spa.mli: Query Vut Warehouse

@@ -1,0 +1,1 @@
+lib/core/vut.ml: Array Fmt Hashtbl Int List Map Printf String

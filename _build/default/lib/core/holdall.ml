@@ -1,0 +1,62 @@
+module Int_map = Map.Make (Int)
+
+type row_state = {
+  mutable expected : string list option; (* REL, when it has arrived *)
+  mutable lists : Query.Action_list.t list; (* arrival order *)
+}
+
+type t = {
+  views : string list;
+  emit : Warehouse.Wt.t -> unit;
+  mutable rows : row_state Int_map.t;
+  mutable held : int;
+}
+
+let create ~views ~emit () = { views; emit; rows = Int_map.empty; held = 0 }
+
+let row_state t row =
+  match Int_map.find_opt row t.rows with
+  | Some st -> st
+  | None ->
+    let st = { expected = None; lists = [] } in
+    t.rows <- Int_map.add row st t.rows;
+    st
+
+let receive_rel t ~row ~rel =
+  (row_state t row).expected <- Some rel
+
+let receive_action_list t (al : Query.Action_list.t) =
+  let st = row_state t al.state in
+  st.lists <- st.lists @ [ al ];
+  t.held <- t.held + 1
+
+let complete st =
+  match st.expected with
+  | None -> false
+  | Some rel ->
+    List.length st.lists = List.length rel
+    && List.for_all
+         (fun v ->
+           List.exists (fun (al : Query.Action_list.t) -> al.view = v) st.lists)
+         rel
+
+let flush t =
+  let ready, kept =
+    Int_map.partition (fun _ st -> complete st) t.rows
+  in
+  t.rows <- kept;
+  Int_map.iter
+    (fun row st ->
+      (match st.expected with
+      | Some [] | None -> ()
+      | Some _ ->
+        t.held <- t.held - List.length st.lists;
+        t.emit (Warehouse.Wt.make ~rows:[ row ] st.lists));
+      ())
+    ready
+
+let held_action_lists t = t.held
+
+let pending_rows t = Int_map.cardinal t.rows
+
+let quiescent t = Int_map.is_empty t.rows && t.held = 0

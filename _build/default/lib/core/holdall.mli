@@ -1,0 +1,32 @@
+(** The non-prompt complete merge of Section 4.4's discussion.
+
+    "We could devise an algorithm that waits until all actions about all
+    source updates (U_1 to U_f) arrive, then applies WT_1 ... WT_f to the
+    warehouse in that order. This algorithm is also complete under MVC,
+    but is clearly not a desirable one because it unnecessarily delays
+    actions."
+
+    Implemented as the promptness baseline: everything is buffered until
+    {!flush} (the end of the update stream in a simulation), then released
+    one warehouse transaction per row, in row order. The freshness
+    experiments quantify exactly how much promptness SPA buys. *)
+
+type t
+
+val create : views:string list -> emit:(Warehouse.Wt.t -> unit) -> unit -> t
+
+val receive_rel : t -> row:int -> rel:string list -> unit
+
+val receive_action_list : t -> Query.Action_list.t -> unit
+
+val flush : t -> unit
+(** Release every buffered row, ascending, one warehouse transaction each.
+    Rows whose action lists have not all arrived are kept (a later flush
+    releases them once complete); released rows are forgotten.
+    @raise Vut.Protocol_error never. *)
+
+val held_action_lists : t -> int
+
+val pending_rows : t -> int
+
+val quiescent : t -> bool

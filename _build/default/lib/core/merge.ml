@@ -1,0 +1,79 @@
+type algorithm = Spa | Pa | Passthrough | Holdall
+
+type impl =
+  | Spa_impl of Spa.t
+  | Pa_impl of Pa.t
+  | Passthrough_impl of {
+      emit : Warehouse.Wt.t -> unit;
+      mutable emitted : int;
+    }
+  | Holdall_impl of Holdall.t
+
+type t = { algorithm : algorithm; impl : impl }
+
+let create algorithm ~views ~emit =
+  let impl =
+    match algorithm with
+    | Spa -> Spa_impl (Spa.create ~views ~emit ())
+    | Pa -> Pa_impl (Pa.create ~views ~emit ())
+    | Passthrough -> Passthrough_impl { emit; emitted = 0 }
+    | Holdall -> Holdall_impl (Holdall.create ~views ~emit ())
+  in
+  { algorithm; impl }
+
+let algorithm t = t.algorithm
+
+let receive_rel t ~row ~rel =
+  match t.impl with
+  | Spa_impl spa -> Spa.receive_rel spa ~row ~rel
+  | Pa_impl pa -> Pa.receive_rel pa ~row ~rel
+  | Passthrough_impl _ -> ()
+  | Holdall_impl h -> Holdall.receive_rel h ~row ~rel
+
+let receive_action_list t al =
+  match t.impl with
+  | Spa_impl spa -> Spa.receive_action_list spa al
+  | Pa_impl pa -> Pa.receive_action_list pa al
+  | Passthrough_impl p ->
+    p.emitted <- p.emitted + 1;
+    p.emit (Warehouse.Wt.make ~rows:[ al.Query.Action_list.state ] [ al ])
+  | Holdall_impl h -> Holdall.receive_action_list h al
+
+let live_rows t =
+  match t.impl with
+  | Spa_impl spa -> Vut.row_count (Spa.vut spa)
+  | Pa_impl pa -> Vut.row_count (Pa.vut pa)
+  | Passthrough_impl _ -> 0
+  | Holdall_impl h -> Holdall.pending_rows h
+
+let held_action_lists t =
+  match t.impl with
+  | Spa_impl spa -> Spa.held_action_lists spa
+  | Pa_impl pa -> Pa.held_action_lists pa
+  | Passthrough_impl _ -> 0
+  | Holdall_impl h -> Holdall.held_action_lists h
+
+let quiescent t =
+  match t.impl with
+  | Spa_impl spa -> Spa.quiescent spa
+  | Pa_impl pa -> Pa.quiescent pa
+  | Passthrough_impl _ -> true
+  | Holdall_impl h -> Holdall.quiescent h
+
+let flush t =
+  match t.impl with
+  | Holdall_impl h -> Holdall.flush h
+  | Spa_impl _ | Pa_impl _ | Passthrough_impl _ -> ()
+
+let wts_emitted t =
+  match t.impl with
+  | Spa_impl spa -> (Spa.stats spa).wts_emitted
+  | Pa_impl pa -> (Pa.stats pa).wts_emitted
+  | Passthrough_impl p -> p.emitted
+  | Holdall_impl _ -> 0
+
+let algorithm_name = function
+  | Spa -> "SPA"
+  | Pa -> "PA"
+  | Passthrough -> "passthrough"
+  | Holdall -> "hold-all"

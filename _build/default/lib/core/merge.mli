@@ -1,0 +1,48 @@
+(** The merge process: a uniform facade over the painting algorithms.
+
+    The merge process "collects changes to the views, holds them until all
+    affected views can be modified together, and then forwards all of the
+    views' changes to the warehouse in a single warehouse transaction"
+    (Section 1.2). Which algorithm it runs depends on the consistency level
+    of the underlying view managers (Section 6.3): SPA when all managers
+    are complete, PA when some are merely strongly consistent, and a
+    pass-through when managers guarantee only convergence — the merge then
+    simply forwards action lists, and the warehouse converges without
+    consistent intermediate states. The pass-through also doubles as the
+    failure-injection device in the test suite: running it where SPA/PA is
+    required makes the consistency oracle light up. *)
+
+type algorithm =
+  | Spa  (** Simple Painting Algorithm — complete MVC. *)
+  | Pa  (** Painting Algorithm — strongly consistent MVC. *)
+  | Passthrough  (** Forward every action list immediately — convergent
+                     only. *)
+  | Holdall
+      (** Buffer everything until flushed, then release row by row —
+          complete but non-prompt (Section 4.4's strawman); the
+          promptness baseline for the freshness benchmarks. *)
+
+type t
+
+val create : algorithm -> views:string list -> emit:(Warehouse.Wt.t -> unit) -> t
+
+val algorithm : t -> algorithm
+
+val receive_rel : t -> row:int -> rel:string list -> unit
+
+val receive_action_list : t -> Query.Action_list.t -> unit
+
+val live_rows : t -> int
+(** Current VUT size (0 for pass-through). *)
+
+val held_action_lists : t -> int
+
+val quiescent : t -> bool
+
+val flush : t -> unit
+(** Release any deliberately held work (only meaningful for [Holdall];
+    a no-op for the painting algorithms, which are prompt). *)
+
+val wts_emitted : t -> int
+
+val algorithm_name : algorithm -> string

@@ -1,0 +1,53 @@
+(** The Painting Algorithm (Algorithm 2, Section 5).
+
+    PA is the merge-process algorithm for {e strongly consistent} view
+    managers (e.g. Strobe [17]), which may batch several intertwined source
+    updates into a single action list: [AL^x_j] brings view [V_x] directly
+    to the state after [U_j], covering every pending earlier update
+    relevant to [V_x]. SPA breaks down on such lists (Example 4): applying
+    a covered row alone would tear the batch apart. PA therefore records,
+    in each covered VUT entry, the {e state} [j] it must jump to, and
+    [ProcessRow] chases these links — both backwards (Line 4: earlier
+    unapplied lists from the same manager) and forwards (Line 5: rows this
+    row is batched with) — accumulating the set [ApplyRows] of rows that
+    must be applied together in one warehouse transaction.
+
+    Theorem 5.1: PA is strongly consistent under MVC (not complete: views
+    may skip intermediate states, which is inherent to batching view
+    managers). Like SPA, PA is prompt.
+
+    Note on [ApplyRows] hygiene: the paper resets [ApplyRows] "before the
+    next time the procedure is called" after a failed attempt. A stale
+    [ApplyRows] would make Line 1 report an unappliable row as appliable,
+    so this implementation resets it before {e every} top-level
+    [ProcessRow] call (from ProcessAction and from the post-apply rescan of
+    Line 9). *)
+
+type stats = {
+  rels_received : int;
+  als_received : int;
+  wts_emitted : int;
+  empty_rels : int;
+  max_live_rows : int;
+  max_rows_per_wt : int;
+      (** Largest [ApplyRows] set applied as one transaction. *)
+}
+
+type t
+
+val create : views:string list -> emit:(Warehouse.Wt.t -> unit) -> unit -> t
+
+val receive_rel : t -> row:int -> rel:string list -> unit
+
+val receive_action_list : t -> Query.Action_list.t -> unit
+(** Deliver [AL^x_j]. The covered rows are the currently white entries of
+    column [x] at rows [<= j]; they are painted red with state [j].
+    @raise Vut.Protocol_error if entry [(j, x)] is not white. *)
+
+val vut : t -> Vut.t
+
+val held_action_lists : t -> int
+
+val quiescent : t -> bool
+
+val stats : t -> stats

@@ -1,0 +1,69 @@
+(* Union-find over view indices. *)
+let groups views =
+  let n = List.length views in
+  let view_arr = Array.of_list views in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  (* Link views through the base relations they use. *)
+  let by_relation = Hashtbl.create 16 in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt by_relation r with
+          | Some j -> union i j
+          | None -> Hashtbl.add by_relation r i)
+        (Query.View.base_relations v))
+    view_arr;
+  let buckets = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i v ->
+      let root = find i in
+      match Hashtbl.find_opt buckets root with
+      | Some members ->
+        Hashtbl.replace buckets root (v :: members)
+      | None ->
+        Hashtbl.add buckets root [ v ];
+        order := root :: !order)
+    view_arr;
+  List.rev_map (fun root -> List.rev (Hashtbl.find buckets root)) !order
+
+let coarsen ~max_groups fine =
+  if max_groups < 1 then invalid_arg "Partition.coarsen: max_groups < 1";
+  if List.length fine <= max_groups then fine
+  else begin
+    (* Largest-first greedy bin packing into max_groups bins. *)
+    let sorted =
+      List.sort
+        (fun a b -> Int.compare (List.length b) (List.length a))
+        fine
+    in
+    let bins = Array.make max_groups [] in
+    let bin_size = Array.make max_groups 0 in
+    let smallest_bin () =
+      let best = ref 0 in
+      Array.iteri (fun i s -> if s < bin_size.(!best) then best := i) bin_size;
+      !best
+    in
+    List.iter
+      (fun group ->
+        let b = smallest_bin () in
+        bins.(b) <- bins.(b) @ group;
+        bin_size.(b) <- bin_size.(b) + List.length group)
+      sorted;
+    List.filter (fun g -> g <> []) (Array.to_list bins)
+  end
+
+let route groups rel =
+  List.concat
+    (List.mapi
+       (fun i group ->
+         if List.exists (fun v -> List.mem (Query.View.name v) rel) group
+         then [ i ]
+         else [])
+       groups)

@@ -1,0 +1,27 @@
+(** Distributing the merge process (Section 6.1).
+
+    When the merge process becomes a bottleneck it can be split: partition
+    the view managers into groups such that the base relations used by one
+    group's views are disjoint from those of every other group, and give
+    each group its own merge process (Figure 3). Updates then never span
+    groups, so the merges never need to coordinate.
+
+    The finest such partition is the set of connected components of the
+    "shares a base relation" graph over views, computed here by union-find.
+    [coarsen] rebalances components into at most [max_groups] groups (the
+    deployment knob benchmark P4 sweeps). *)
+
+val groups : Query.View.t list -> Query.View.t list list
+(** Finest disjoint-base-relation partition; singleton input gives a
+    singleton group. Group order follows first view occurrence; views keep
+    their input order within a group. *)
+
+val coarsen : max_groups:int -> Query.View.t list list -> Query.View.t list list
+(** Merge the finest groups into at most [max_groups] groups, balancing by
+    view count (largest-first bin packing). The disjointness property is
+    preserved (unions of disjoint groups stay mutually disjoint).
+    @raise Invalid_argument if [max_groups < 1]. *)
+
+val route : Query.View.t list list -> string list -> int list
+(** [route groups rel] lists the indices of groups containing at least one
+    of the view names in [rel] — the merges an update's REL must reach. *)

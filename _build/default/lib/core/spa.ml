@@ -1,0 +1,148 @@
+type stats = {
+  rels_received : int;
+  als_received : int;
+  wts_emitted : int;
+  empty_rels : int;
+  max_live_rows : int;
+}
+
+type t = {
+  vut : Vut.t;
+  emit : Warehouse.Wt.t -> unit;
+  pending : (int, Query.Action_list.t list) Hashtbl.t;
+      (* WT_i: buffered action lists per row, in arrival order. *)
+  watermark : (string, int) Hashtbl.t;
+      (* Last action-list state received per view; states from one view
+         manager must strictly increase (FIFO generation order). *)
+  mutable held : int;
+  mutable rels_received : int;
+  mutable als_received : int;
+  mutable wts_emitted : int;
+  mutable empty_rels : int;
+  mutable max_live_rows : int;
+}
+
+let create ~views ~emit () =
+  { vut = Vut.create ~views; emit; pending = Hashtbl.create 64;
+    watermark = Hashtbl.create 16; held = 0;
+    rels_received = 0; als_received = 0; wts_emitted = 0; empty_rels = 0;
+    max_live_rows = 0 }
+
+let vut t = t.vut
+
+let held_action_lists t = t.held
+
+let quiescent t = Vut.row_count t.vut = 0 && t.held = 0
+
+let stats t =
+  { rels_received = t.rels_received; als_received = t.als_received;
+    wts_emitted = t.wts_emitted; empty_rels = t.empty_rels;
+    max_live_rows = t.max_live_rows }
+
+let buffered t row =
+  match Hashtbl.find_opt t.pending row with Some als -> als | None -> []
+
+let is_red (e : Vut.entry) = e.color = Vut.Red
+
+(* Procedure ProcessRow(i), Algorithm 1. *)
+let rec process_row t i =
+  if Vut.has_row t.vut i then begin
+    (* Line 1: some action list of the row has not arrived. *)
+    let some_white =
+      Vut.exists_in_row t.vut ~row:i (fun _ e -> e.color = Vut.White)
+    in
+    (* Line 2: an earlier action list from the same view manager is still
+       unapplied; lists must reach the warehouse in generation order. *)
+    let blocked_by_earlier =
+      Vut.exists_in_row t.vut ~row:i (fun view e ->
+          is_red e && Vut.earlier_with t.vut ~row:i ~view is_red <> [])
+    in
+    if not (some_white || blocked_by_earlier) then begin
+      (* Line 3: red -> gray. *)
+      List.iter
+        (fun view ->
+          if is_red (Vut.entry t.vut ~row:i ~view) then
+            Vut.set_color t.vut ~row:i ~view Vut.Gray)
+        (Vut.views t.vut);
+      (* Line 4: apply WT_i as a single warehouse transaction. *)
+      let actions = buffered t i in
+      Hashtbl.remove t.pending i;
+      t.held <- t.held - List.length actions;
+      t.wts_emitted <- t.wts_emitted + 1;
+      t.emit (Warehouse.Wt.make ~rows:[ i ] actions);
+      (* Line 5: applying this row may enable later rows. *)
+      List.iter
+        (fun view ->
+          if (Vut.entry t.vut ~row:i ~view).color = Vut.Gray then begin
+            let next = Vut.next_red t.vut ~row:i ~view in
+            if next <> 0 then process_row t next
+          end)
+        (Vut.views t.vut);
+      (* Line 6: purge. *)
+      Vut.purge_row t.vut i
+    end
+  end
+
+(* Procedure ProcessAction(AL^x_i), Algorithm 1. *)
+let process_action t (al : Query.Action_list.t) =
+  let entry = Vut.entry t.vut ~row:al.state ~view:al.view in
+  (match entry.color with
+  | Vut.White -> ()
+  | Vut.Red | Vut.Gray | Vut.Black ->
+    raise
+      (Vut.Protocol_error
+         (Printf.sprintf
+            "SPA: unexpected action list for row %d view %s (entry not white)"
+            al.state al.view)));
+  (* Gap detection: with complete managers and FIFO channels, every
+     relevant earlier row's list arrives before this one; an earlier white
+     entry in this column can only mean a lost message. Applying this list
+     anyway would put the view's operations out of generation order —
+     detect the loss instead of corrupting the warehouse. *)
+  (match
+     Vut.earlier_with t.vut ~row:al.state ~view:al.view (fun e ->
+         e.color = Vut.White)
+   with
+  | [] -> ()
+  | missing :: _ ->
+    raise
+      (Vut.Protocol_error
+         (Printf.sprintf
+            "SPA: action list for row %d view %s arrived while row %d is \
+             still waiting for the same manager (lost message?)"
+            al.state al.view missing)));
+  Vut.set_color t.vut ~row:al.state ~view:al.view Vut.Red;
+  process_row t al.state
+
+let receive_rel t ~row ~rel:views =
+  t.rels_received <- t.rels_received + 1;
+  if views = [] then
+    (* A transaction relevant to no view: nothing will ever arrive for it,
+       and no warehouse work is needed. *)
+    t.empty_rels <- t.empty_rels + 1
+  else begin
+    Vut.add_row t.vut ~row ~rel:views;
+    t.max_live_rows <- max t.max_live_rows (Vut.row_count t.vut);
+    List.iter (process_action t) (buffered t row)
+  end
+
+let check_watermark t (al : Query.Action_list.t) =
+  let last =
+    match Hashtbl.find_opt t.watermark al.view with Some s -> s | None -> 0
+  in
+  if al.state <= last then
+    raise
+      (Vut.Protocol_error
+         (Printf.sprintf
+            "SPA: action list for view %s at state %d arrived at or below \
+             the previous state %d"
+            al.view al.state last));
+  Hashtbl.replace t.watermark al.view al.state
+
+let receive_action_list t (al : Query.Action_list.t) =
+  check_watermark t al;
+  t.als_received <- t.als_received + 1;
+  t.held <- t.held + 1;
+  let existing = buffered t al.state in
+  Hashtbl.replace t.pending al.state (existing @ [ al ]);
+  if Vut.has_row t.vut al.state then process_action t al

@@ -1,0 +1,53 @@
+(** The Simple Painting Algorithm (Algorithm 1, Section 4).
+
+    SPA is the merge-process algorithm for systems whose view managers are
+    all {e complete}: each relevant update [U_i] yields exactly one action
+    list [AL^x_i] per relevant view [V_x]. SPA holds arriving action lists
+    in the VUT and releases the full set for row [i] as a single warehouse
+    transaction as soon as (Line 1) every action list of the row has
+    arrived and (Line 2) no earlier unapplied action list exists in any of
+    the row's columns — so action lists from one view manager are applied
+    in generation order. Rows over disjoint views may be applied out of
+    update order (Example 3), which is consistent because the corresponding
+    source transactions commute.
+
+    Theorem 4.1: SPA is complete under MVC. SPA is also {e prompt}: a row
+    is applied at the earliest event after which applying it cannot violate
+    consistency (the tests check this by construction: emission happens
+    synchronously inside the enabling [receive_*] call). *)
+
+type stats = {
+  rels_received : int;
+  als_received : int;
+  wts_emitted : int;
+  empty_rels : int;  (** Transactions relevant to no view. *)
+  max_live_rows : int;  (** High-water mark of the VUT. *)
+}
+
+type t
+
+val create : views:string list -> emit:(Warehouse.Wt.t -> unit) -> unit -> t
+(** [emit] is invoked synchronously with each warehouse transaction, in
+    the order SPA releases them; the caller owns commit sequencing (see
+    {!Warehouse.Submitter}). *)
+
+val receive_rel : t -> row:int -> rel:string list -> unit
+(** Deliver [REL_i] from the integrator.
+    @raise Vut.Protocol_error on duplicate rows or unknown views. *)
+
+val receive_action_list : t -> Query.Action_list.t -> unit
+(** Deliver [AL^x_i] from view manager [x]. Arrival before [REL_i] is
+    legal; the list is buffered (Section 4: "no restrictions on message
+    arrival order, except that messages from the same process must arrive
+    in the order sent").
+    @raise Vut.Protocol_error on duplicate or misdirected action lists. *)
+
+val vut : t -> Vut.t
+
+val held_action_lists : t -> int
+(** Action lists received but not yet released to the warehouse. *)
+
+val quiescent : t -> bool
+(** No live rows and no buffered action lists. *)
+
+val stats : t -> stats

@@ -1,0 +1,146 @@
+type color = White | Red | Gray | Black
+
+type entry = { color : color; state : int }
+
+exception Protocol_error of string
+
+module Int_map = Map.Make (Int)
+
+type cell = { mutable color : color; mutable state : int }
+
+type row = cell array
+
+type t = {
+  view_order : string array;
+  view_index : (string, int) Hashtbl.t;
+  mutable table : row Int_map.t;
+}
+
+let protocol_error fmt = Fmt.kstr (fun s -> raise (Protocol_error s)) fmt
+
+let create ~views =
+  let view_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i v ->
+      if Hashtbl.mem view_index v then
+        invalid_arg (Printf.sprintf "Vut.create: duplicate view %s" v);
+      Hashtbl.add view_index v i)
+    views;
+  { view_order = Array.of_list views; view_index; table = Int_map.empty }
+
+let views t = Array.to_list t.view_order
+
+let index t view =
+  match Hashtbl.find_opt t.view_index view with
+  | Some i -> i
+  | None -> protocol_error "unknown view %s" view
+
+let add_row t ~row ~rel =
+  if Int_map.mem row t.table then protocol_error "row %d already exists" row;
+  let cells =
+    Array.map (fun _ -> { color = Black; state = 0 }) t.view_order
+  in
+  List.iter (fun v -> cells.(index t v) <- { color = White; state = 0 }) rel;
+  t.table <- Int_map.add row cells t.table
+
+let has_row t row = Int_map.mem row t.table
+
+let rows t = List.map fst (Int_map.bindings t.table)
+
+let row_count t = Int_map.cardinal t.table
+
+let cell t ~row ~view =
+  match Int_map.find_opt row t.table with
+  | None -> protocol_error "row %d is not in the VUT" row
+  | Some cells -> cells.(index t view)
+
+let entry t ~row ~view =
+  let c = cell t ~row ~view in
+  ({ color = c.color; state = c.state } : entry)
+
+let set_color t ~row ~view color = (cell t ~row ~view).color <- color
+
+let set_state t ~row ~view state = (cell t ~row ~view).state <- state
+
+let exists_in_row t ~row f =
+  match Int_map.find_opt row t.table with
+  | None -> protocol_error "row %d is not in the VUT" row
+  | Some cells ->
+    let n = Array.length cells in
+    let rec loop i =
+      i < n
+      && (f t.view_order.(i) ({ color = cells.(i).color; state = cells.(i).state } : entry)
+         || loop (i + 1))
+    in
+    loop 0
+
+let fold_row t ~row f init =
+  match Int_map.find_opt row t.table with
+  | None -> protocol_error "row %d is not in the VUT" row
+  | Some cells ->
+    let acc = ref init in
+    Array.iteri
+      (fun i c ->
+        acc := f t.view_order.(i) ({ color = c.color; state = c.state } : entry) !acc)
+      cells;
+    !acc
+
+let earlier_with t ~row ~view pred =
+  let col = index t view in
+  Int_map.fold
+    (fun i cells acc ->
+      if i < row
+         && pred ({ color = cells.(col).color; state = cells.(col).state } : entry)
+      then i :: acc
+      else acc)
+    t.table []
+  |> List.rev
+
+let next_red t ~row ~view =
+  let col = index t view in
+  let found =
+    Int_map.fold
+      (fun i cells acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if i > row && cells.(col).color = Red then Some i else None)
+      t.table None
+  in
+  match found with Some i -> i | None -> 0
+
+let purge_row t row = t.table <- Int_map.remove row t.table
+
+let purgeable t ~row =
+  not
+    (exists_in_row t ~row (fun _ e ->
+         match e.color with White | Red -> true | Gray | Black -> false))
+
+let white_rows_up_to t ~view i =
+  let col = index t view in
+  Int_map.fold
+    (fun i' cells acc ->
+      if i' <= i && cells.(col).color = White then i' :: acc else acc)
+    t.table []
+  |> List.rev
+
+let color_letter = function
+  | White -> "w"
+  | Red -> "r"
+  | Gray -> "g"
+  | Black -> "b"
+
+let render_row t ?(show_state = false) row =
+  match Int_map.find_opt row t.table with
+  | None -> protocol_error "row %d is not in the VUT" row
+  | Some cells ->
+    let render_cell i c =
+      if show_state then
+        Printf.sprintf "%s=(%s,%d)" t.view_order.(i) (color_letter c.color)
+          c.state
+      else Printf.sprintf "%s=%s" t.view_order.(i) (color_letter c.color)
+    in
+    Printf.sprintf "U%d: %s" row
+      (String.concat " " (Array.to_list (Array.mapi render_cell cells)))
+
+let render ?show_state t =
+  String.concat "\n" (List.map (render_row t ?show_state) (rows t))

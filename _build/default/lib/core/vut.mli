@@ -1,0 +1,83 @@
+(** The ViewUpdateTable (VUT) of Section 4.1.
+
+    A two-dimensional table: [VUT[i,x]] corresponds to update [U_i] (row)
+    and view [V_x] (column). Each entry carries a {e color}:
+
+    - [White]: waiting for the action list for this entry;
+    - [Red]: the action list has been received but not yet applied;
+    - [Gray]: the action list has just been applied;
+    - [Black]: the entry need not be examined (update irrelevant to view).
+
+    The Painting Algorithm additionally uses a per-entry [state] field: when
+    a strongly consistent view manager batches updates [U_i .. U_j] into one
+    action list [AL^x_j], every covered entry in column [x] records
+    [state = j], meaning "this row can only be applied together with row
+    [j]" (Section 5.1).
+
+    Rows are created when [REL_i] arrives and purged once fully applied, so
+    the live table stays small (the paper's observation at the end of
+    Example 3). *)
+
+type color = White | Red | Gray | Black
+
+type entry = { color : color; state : int }
+
+type t
+
+exception Protocol_error of string
+
+val create : views:string list -> t
+(** Fixed column set: one per view manager in the system ([VM] in the
+    paper). @raise Invalid_argument on duplicate view names. *)
+
+val views : t -> string list
+
+val add_row : t -> row:int -> rel:string list -> unit
+(** Allocate row [i] upon receipt of [REL_i]: entries for views in [rel]
+    are [White] (state 0), all others [Black].
+    @raise Protocol_error if the row exists or [rel] mentions an unknown
+    view. *)
+
+val has_row : t -> int -> bool
+
+val rows : t -> int list
+(** Live (unpurged) row ids, ascending. *)
+
+val row_count : t -> int
+
+val entry : t -> row:int -> view:string -> entry
+(** @raise Protocol_error if the row is absent or the view unknown. *)
+
+val set_color : t -> row:int -> view:string -> color -> unit
+
+val set_state : t -> row:int -> view:string -> int -> unit
+
+val exists_in_row : t -> row:int -> (string -> entry -> bool) -> bool
+
+val fold_row : t -> row:int -> (string -> entry -> 'a -> 'a) -> 'a -> 'a
+
+val earlier_with : t -> row:int -> view:string -> (entry -> bool) -> int list
+(** Live rows strictly before [row] whose entry in [view] satisfies the
+    predicate, ascending. *)
+
+val next_red : t -> row:int -> view:string -> int
+(** [nextRed(i,x)]: the smallest live row number greater than [row] whose
+    entry in column [view] is red; 0 when none (paper convention). *)
+
+val purge_row : t -> int -> unit
+(** Remove a row. Absent rows are ignored. *)
+
+val purgeable : t -> row:int -> bool
+(** All entries black or gray. *)
+
+val white_rows_up_to : t -> view:string -> int -> int list
+(** Live rows [i' <= i] whose entry in the column is white, ascending —
+    the rows a batched action list [AL^x_i] covers (PA's ProcessAction). *)
+
+val render_row : t -> ?show_state:bool -> int -> string
+(** Compact rendering, e.g. ["U1: V1=w V2=r V3=b"] or with states
+    ["U1: V1=(w,0) ..."] — the format the golden tests compare against the
+    paper's tables. *)
+
+val render : ?show_state:bool -> t -> string
+(** All live rows, one per line. *)

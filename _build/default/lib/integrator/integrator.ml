@@ -1,0 +1,40 @@
+open Relational
+
+type t = {
+  semantic_filter : bool;
+  schemas : string -> Schema.t;
+  views : Query.View.t list;
+  mutable next_id : int;
+}
+
+let create ?(semantic_filter = false) ~schemas views =
+  { semantic_filter; schemas; views; next_id = 1 }
+
+let views t = t.views
+
+let view_names t = List.map Query.View.name t.views
+
+let rel_set t txn =
+  let touched = Update.Transaction.relations txn in
+  let syntactic (v : Query.View.t) =
+    List.exists (fun r -> Query.View.uses v r) touched
+  in
+  let relevant v =
+    syntactic v
+    && (not t.semantic_filter
+       ||
+       let changes = Query.Delta.of_transaction txn in
+       not
+         (Query.Irrelevance.provably_irrelevant ~schemas:t.schemas ~changes
+            v.Query.View.def))
+  in
+  List.filter_map
+    (fun v -> if relevant v then Some (Query.View.name v) else None)
+    t.views
+
+let ingest t txn =
+  let stamped = { txn with Update.Transaction.id = t.next_id } in
+  t.next_id <- t.next_id + 1;
+  (stamped, rel_set t stamped)
+
+let ingested t = t.next_id - 1

@@ -1,0 +1,41 @@
+(** The integrator process (Section 3.2).
+
+    The integrator receives committed source transactions in order, numbers
+    them by arrival ([U_i] is the i-th received), computes the relevant view
+    set [REL_i] — the views that must be modified because of [U_i] — and
+    routes: [REL_i] goes to the merge process, a copy of [U_i] goes to each
+    view manager responsible for a view in [REL_i].
+
+    This module is the integrator's pure core: numbering and REL
+    computation. The WHIPS system assembly wires its outputs onto simulator
+    channels. [REL] defaults to the syntactic test (views whose definition
+    mentions an updated base relation); with [semantic_filter] the
+    integrator additionally rules out updates that selection conditions
+    prove irrelevant (the refinement of reference [7] the paper mentions). *)
+
+open Relational
+
+type t
+
+val create :
+  ?semantic_filter:bool ->
+  schemas:(string -> Schema.t) ->
+  Query.View.t list ->
+  t
+(** [semantic_filter] defaults to false. *)
+
+val views : t -> Query.View.t list
+
+val view_names : t -> string list
+
+val ingest : t -> Update.Transaction.t -> Update.Transaction.t * string list
+(** Number the transaction by arrival order (ids start at 1, overriding any
+    id the caller stamped) and compute [REL_i]. Returns the stamped
+    transaction and the relevant view names (possibly empty: the update
+    affects no view and needs no warehouse work). *)
+
+val rel_set : t -> Update.Transaction.t -> string list
+(** The relevant view set, without numbering side effects. *)
+
+val ingested : t -> int
+(** How many transactions have been numbered. *)

@@ -1,0 +1,1 @@
+lib/query/action_list.ml: Bag Fmt Relational Signed_bag

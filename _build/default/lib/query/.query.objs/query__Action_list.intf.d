@@ -1,0 +1,1 @@
+lib/query/action_list.mli: Bag Format Relational Signed_bag

@@ -1,0 +1,1 @@
+lib/query/algebra.ml: Fmt List Pred Relational Schema Value

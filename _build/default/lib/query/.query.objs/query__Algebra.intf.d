@@ -1,0 +1,1 @@
+lib/query/algebra.mli: Format Pred Relational Schema

@@ -1,0 +1,1 @@
+lib/query/delta.ml: Algebra Bag Database Eval Hashtbl List Map Pred Relational Signed_bag String Tuple Update

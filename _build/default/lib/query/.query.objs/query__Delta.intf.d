@@ -1,0 +1,1 @@
+lib/query/delta.mli: Algebra Database Relational Signed_bag Update

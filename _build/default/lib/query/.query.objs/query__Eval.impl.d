@@ -1,0 +1,1 @@
+lib/query/eval.ml: Algebra Bag Database Hashtbl List Pred Relation Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/query/eval.mli: Algebra Bag Database Relation Relational Schema Tuple

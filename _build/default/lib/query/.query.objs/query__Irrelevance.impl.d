@@ -1,0 +1,1 @@
+lib/query/irrelevance.ml: Algebra Delta List Pred Relational Schema Signed_bag String

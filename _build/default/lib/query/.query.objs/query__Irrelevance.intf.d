@@ -1,0 +1,1 @@
+lib/query/irrelevance.mli: Algebra Delta Relational Schema

@@ -1,0 +1,1 @@
+lib/query/optimize.ml: Algebra List Pred Relational Schema String

@@ -1,0 +1,1 @@
+lib/query/optimize.mli: Algebra Relational

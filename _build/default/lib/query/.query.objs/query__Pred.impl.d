@@ -1,0 +1,1 @@
+lib/query/pred.ml: Fmt List Relational Tuple Value

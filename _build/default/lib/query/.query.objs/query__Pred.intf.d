@@ -1,0 +1,1 @@
+lib/query/pred.mli: Format Relational Schema Tuple Value

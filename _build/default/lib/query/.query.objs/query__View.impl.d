@@ -1,0 +1,1 @@
+lib/query/view.ml: Algebra Eval Fmt List

@@ -1,0 +1,1 @@
+lib/query/view.mli: Algebra Database Format Relation Relational Schema

@@ -1,0 +1,31 @@
+open Relational
+
+type payload = Delta of Signed_bag.t | Refresh of Bag.t
+
+type t = { view : string; state : int; payload : payload }
+
+let delta ~view ~state d = { view; state; payload = Delta d }
+
+let refresh ~view ~state contents = { view; state; payload = Refresh contents }
+
+let is_empty t =
+  match t.payload with
+  | Delta d -> Signed_bag.is_zero d
+  | Refresh _ -> false
+
+let apply t contents =
+  match t.payload with
+  | Delta d -> Signed_bag.apply d contents
+  | Refresh fresh -> fresh
+
+let action_count t =
+  match t.payload with
+  | Delta d -> Signed_bag.size d
+  | Refresh fresh -> Bag.cardinal fresh
+
+let pp ppf t =
+  match t.payload with
+  | Delta d -> Fmt.pf ppf "AL(%s,%d)%a" t.view t.state Signed_bag.pp d
+  | Refresh fresh ->
+    Fmt.pf ppf "AL(%s,%d)refresh[%d tuples]" t.view t.state
+      (Bag.cardinal fresh)

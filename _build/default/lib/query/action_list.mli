@@ -1,0 +1,40 @@
+(** Action lists: the messages view managers send to the merge process.
+
+    [AL^x_j] (paper notation) carries the operations that bring view [V_x]
+    to the state consistent with the source state existing after update
+    [U_j]. A complete view manager sends one action list per relevant
+    update; a strongly consistent manager may batch several intertwined
+    updates into a single list, in which case [state] identifies the *last*
+    update included (Section 3.3). Empty action lists are still sent — the
+    paper notes this simplifies the merge algorithm. *)
+
+open Relational
+
+type payload =
+  | Delta of Signed_bag.t
+      (** Incremental insert/delete operations. *)
+  | Refresh of Bag.t
+      (** Replace the whole view contents — what a periodic-refresh view
+          manager sends ("delete the entire old view and insert tuples of
+          the new view", Section 6.3). *)
+
+type t = {
+  view : string;  (** [x]: the view manager / view this list belongs to. *)
+  state : int;  (** [j]: the update (transaction) id whose source state the
+                    view reaches once this list is applied. *)
+  payload : payload;
+}
+
+val delta : view:string -> state:int -> Signed_bag.t -> t
+
+val refresh : view:string -> state:int -> Bag.t -> t
+
+val is_empty : t -> bool
+
+val apply : t -> Bag.t -> Bag.t
+(** Apply to the current contents of the view at the warehouse. *)
+
+val action_count : t -> int
+(** Number of elementary insert/delete operations carried. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+(** Relational algebra for view definitions.
+
+    The paper's examples use project-select-join views over base relations
+    ([V1 = R |><| S], [V2 = S |><| T |><| Q], [V3 = Q]); we additionally
+    support bag union and renaming so that realistic warehouse workloads
+    (star-schema rollups, unions of regional tables, self-joins) can be
+    generated. Joins are natural joins on shared attribute names. *)
+
+open Relational
+
+(** Aggregate functions for [Group_by]. [Count] counts rows (with
+    multiplicity); the attribute-parameterized aggregates skip [Null]s
+    and yield [Null] on an all-null group. *)
+type aggregate =
+  | Count
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type t =
+  | Base of string  (** A base relation, by name. *)
+  | Select of Pred.t * t
+  | Project of string list * t
+  | Join of t * t  (** Natural join. *)
+  | Union of t * t  (** Additive bag union; operands must have equal
+                        schemas up to attribute names being identical. *)
+  | Rename of (string * string) list * t
+  | Group_by of group_by
+      (** Grouped aggregation — the "aggregate views" the paper notes
+          need different maintenance algorithms (Section 1.2). Output
+          schema: the key attributes followed by one attribute per
+          aggregate. *)
+
+and group_by = {
+  keys : string list;
+  aggregates : (string * aggregate) list;
+      (** (output attribute name, function). *)
+  input : t;
+}
+
+val base : string -> t
+
+val select : Pred.t -> t -> t
+
+val project : string list -> t -> t
+
+val join : t -> t -> t
+
+val join_all : t list -> t
+(** Left-deep natural join. @raise Invalid_argument on empty list. *)
+
+val union : t -> t -> t
+
+val rename : (string * string) list -> t -> t
+
+val group_by : keys:string list -> aggregates:(string * aggregate) list -> t -> t
+
+val base_relations : t -> string list
+(** Distinct base relation names, in first-occurrence order. This is what
+    the integrator consults to compute the relevant view set [REL_i]. *)
+
+val schema_of : (string -> Schema.t) -> t -> Schema.t
+(** Infer the output schema given a schema for each base relation.
+    @raise Invalid_argument on union operands with different schemas or
+    joins with conflicting shared-attribute types.
+    @raise Schema.Unknown_attribute on projections/selections over missing
+    attributes. *)
+
+val depth : t -> int
+
+val size : t -> int
+(** Number of operator nodes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,142 @@
+open Relational
+
+module String_map = Map.Make (String)
+
+type changes = Signed_bag.t String_map.t
+
+let no_changes = String_map.empty
+
+let add_change name delta acc =
+  String_map.update name
+    (function
+      | None -> Some delta
+      | Some existing -> Some (Signed_bag.sum existing delta))
+    acc
+
+let changes_of_list entries =
+  List.fold_left
+    (fun acc (name, delta) -> add_change name delta acc)
+    no_changes entries
+
+let of_update (u : Update.t) =
+  changes_of_list [ (u.relation, Update.to_delta u) ]
+
+let of_transaction (txn : Update.Transaction.t) =
+  List.fold_left
+    (fun acc (u : Update.t) -> add_change u.relation (Update.to_delta u) acc)
+    no_changes txn.updates
+
+let of_transactions txns =
+  List.fold_left
+    (fun acc txn ->
+      String_map.fold add_change (of_transaction txn) acc)
+    no_changes txns
+
+let change_for t name =
+  match String_map.find_opt name t with
+  | Some delta -> delta
+  | None -> Signed_bag.zero
+
+let changed_relations t =
+  List.filter_map
+    (fun (name, delta) ->
+      if Signed_bag.is_zero delta then None else Some name)
+    (String_map.bindings t)
+
+let signed_of_counted entries =
+  List.fold_left (fun acc (tup, n) -> Signed_bag.add tup n acc) Signed_bag.zero
+    entries
+
+let rec eval ~pre changes expr =
+  let lookup name = Database.schema pre name in
+  match (expr : Algebra.t) with
+  | Base name ->
+    (* Force the relation to exist even when unchanged. *)
+    let _ = Database.find pre name in
+    change_for changes name
+  | Select (pred, e) ->
+    let schema = Algebra.schema_of lookup e in
+    Signed_bag.filter (Pred.eval schema pred) (eval ~pre changes e)
+  | Project (names, e) ->
+    let schema = Algebra.schema_of lookup e in
+    Signed_bag.map (Tuple.project schema names) (eval ~pre changes e)
+  | Join (a, b) ->
+    let sa = Algebra.schema_of lookup a and sb = Algebra.schema_of lookup b in
+    let da = eval ~pre changes a and db_ = eval ~pre changes b in
+    if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
+    else begin
+      let pre_a = Bag.to_counted_list (Eval.eval_bag pre a) in
+      let pre_b = Bag.to_counted_list (Eval.eval_bag pre b) in
+      let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
+      (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
+      let part1 = Eval.join_counted sa sb da_l pre_b in
+      let part2 = Eval.join_counted sa sb pre_a db_l in
+      let part3 = Eval.join_counted sa sb da_l db_l in
+      signed_of_counted (List.concat [ part1; part2; part3 ])
+    end
+  | Union (a, b) ->
+    Signed_bag.sum (eval ~pre changes a) (eval ~pre changes b)
+  | Rename (_, e) -> eval ~pre changes e
+  | Group_by group ->
+    let d_in = eval ~pre changes group.input in
+    if Signed_bag.is_zero d_in then Signed_bag.zero
+    else begin
+      let input_schema = Algebra.schema_of lookup group.input in
+      let key_of tup = Tuple.project input_schema group.keys tup in
+      (* Recompute exactly the affected groups: retract the old output row
+         of each touched key, emit the new one. Exact for every aggregate
+         kind, including Min/Max under deletions. *)
+      let affected = Hashtbl.create 16 in
+      Signed_bag.fold
+        (fun tup _ () -> Hashtbl.replace affected (key_of tup) ())
+        d_in ();
+      let pre_in = Eval.eval_bag pre group.input in
+      let groups_of bag =
+        let table = Hashtbl.create 16 in
+        Bag.iter
+          (fun tup n ->
+            let key = key_of tup in
+            if Hashtbl.mem affected key then begin
+              let existing =
+                match Hashtbl.find_opt table key with
+                | Some b -> b
+                | None -> Bag.empty
+              in
+              Hashtbl.replace table key (Bag.add ~count:n tup existing)
+            end)
+          bag;
+        table
+      in
+      let old_groups = groups_of pre_in in
+      let post_in = Signed_bag.apply d_in pre_in in
+      let new_groups = groups_of post_in in
+      Hashtbl.fold
+        (fun key () acc ->
+          let old_members =
+            match Hashtbl.find_opt old_groups key with
+            | Some b -> b
+            | None -> Bag.empty
+          in
+          let new_members =
+            match Hashtbl.find_opt new_groups key with
+            | Some b -> b
+            | None -> Bag.empty
+          in
+          let acc =
+            if Bag.is_empty old_members then acc
+            else
+              Signed_bag.add
+                (Eval.aggregate_group ~input_schema ~group ~key old_members)
+                (-1) acc
+          in
+          if Bag.is_empty new_members then acc
+          else
+            Signed_bag.add
+              (Eval.aggregate_group ~input_schema ~group ~key new_members)
+              1 acc)
+        affected Signed_bag.zero
+    end
+
+let relevant changes expr =
+  let changed = changed_relations changes in
+  List.exists (fun name -> List.mem name changed) (Algebra.base_relations expr)

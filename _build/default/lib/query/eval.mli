@@ -1,0 +1,39 @@
+(** Full evaluation of algebra expressions against a database state.
+
+    Used to materialize initial views, by the periodic-refresh view manager,
+    and — crucially — by the consistency oracle, which recomputes [V(ss_i)]
+    for every source state to decide whether a warehouse state sequence is
+    complete / strongly consistent (Section 2 definitions). *)
+
+open Relational
+
+val eval : Database.t -> Algebra.t -> Relation.t
+(** Evaluate the expression over the database.
+    @raise Database.Unknown_relation if a base relation is missing. *)
+
+val eval_bag : Database.t -> Algebra.t -> Bag.t
+
+val aggregate_group :
+  input_schema:Schema.t ->
+  group:Algebra.group_by ->
+  key:Tuple.t ->
+  Bag.t ->
+  Tuple.t
+(** [aggregate_group ~input_schema ~group ~key contents] computes the
+    output row of one group: the key values followed by each aggregate
+    evaluated over [contents] (the group's input tuples, multiplicities
+    respected). [Null]s are skipped by Sum/Avg/Min/Max and counted by
+    Count; an all-null group yields [Null] for that aggregate. Shared by
+    full evaluation and incremental maintenance, which recomputes exactly
+    the affected groups. *)
+
+val join_counted :
+  Schema.t ->
+  Schema.t ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list
+(** Natural join of counted tuple collections; multiplicities multiply.
+    Counts may be negative, which is how {!Delta} joins signed deltas with
+    pre-state bags. The right side is indexed on the shared attributes, so
+    cost is O(|left| + |right| + |output|). *)

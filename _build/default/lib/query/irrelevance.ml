@@ -1,0 +1,74 @@
+open Relational
+
+(* Rewrite a predicate through the inverse of a rename mapping, so that a
+   predicate formulated against the renamed schema applies to the child. *)
+let unrename_pred mapping pred =
+  let unrename_attr n =
+    match List.find_opt (fun (_, dst) -> String.equal dst n) mapping with
+    | Some (src, _) -> src
+    | None -> n
+  in
+  let unrename_operand = function
+    | Pred.Attr n -> Pred.Attr (unrename_attr n)
+    | Pred.Const _ as c -> c
+  in
+  let rec loop = function
+    | Pred.True -> Pred.True
+    | Pred.False -> Pred.False
+    | Pred.Cmp (cmp, x, y) ->
+      Pred.Cmp (cmp, unrename_operand x, unrename_operand y)
+    | Pred.And (a, b) -> Pred.And (loop a, loop b)
+    | Pred.Or (a, b) -> Pred.Or (loop a, loop b)
+    | Pred.Not a -> Pred.Not (loop a)
+  in
+  loop pred
+
+let subset names schema = List.for_all (Schema.mem schema) names
+
+(* [empty_under schemas changes expr preds]: is the delta of
+   [sigma_{preds}(expr)] provably empty, syntactically? [preds] all apply to
+   [expr]'s schema. *)
+let rec empty_under schemas changes expr preds =
+  match (expr : Algebra.t) with
+  | Base name ->
+    let delta = Delta.change_for changes name in
+    Signed_bag.is_zero delta
+    ||
+    let schema = schemas name in
+    let filter = Pred.conj (List.map fst preds) in
+    let fails (tup, _count) =
+      match Pred.eval schema filter tup with
+      | holds -> not holds
+      | exception Schema.Unknown_attribute _ -> false
+    in
+    List.for_all fails (Signed_bag.to_list delta)
+  | Select (p, e) -> empty_under schemas changes e ((p, ()) :: preds)
+  | Project (_, e) | Rename ([], e) -> empty_under schemas changes e preds
+  | Rename (mapping, e) ->
+    let rewritten =
+      List.map (fun (p, ()) -> (unrename_pred mapping p, ())) preds
+    in
+    empty_under schemas changes e rewritten
+  | Join (a, b) ->
+    let sa = Algebra.schema_of schemas a
+    and sb = Algebra.schema_of schemas b in
+    let pushable schema (p, ()) = subset (Pred.attrs p) schema in
+    let preds_a = List.filter (pushable sa) preds
+    and preds_b = List.filter (pushable sb) preds in
+    empty_under schemas changes a preds_a
+    && empty_under schemas changes b preds_b
+  | Union (a, b) ->
+    empty_under schemas changes a preds && empty_under schemas changes b preds
+  | Group_by { keys; input; _ } ->
+    (* Selections on group keys commute with the aggregation; others are
+       dropped (conservative). *)
+    let keyed =
+      List.filter
+        (fun (p, ()) ->
+          List.for_all (fun a -> List.mem a keys) (Pred.attrs p))
+        preds
+    in
+    empty_under schemas changes input keyed
+
+let provably_irrelevant ~schemas ~changes expr =
+  empty_under schemas changes expr []

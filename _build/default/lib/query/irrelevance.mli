@@ -1,0 +1,24 @@
+(** Semantic irrelevant-update detection.
+
+    Section 3.2 of the paper: the integrator may "be more discerning by
+    using selection conditions in the view definitions to rule out
+    irrelevant updates" (Blakeley et al., reference [7]). This module
+    implements the conservative test: an update to base relation [R] is
+    provably irrelevant to a view when, for every occurrence of [R] in the
+    view definition, every changed tuple fails a selection predicate that
+    applies to that occurrence before any schema-changing operator.
+
+    The test is sound (never claims irrelevance wrongly) but incomplete —
+    when in doubt it answers "maybe relevant". *)
+
+open Relational
+
+val provably_irrelevant :
+  schemas:(string -> Schema.t) ->
+  changes:Delta.changes ->
+  Algebra.t ->
+  bool
+(** [provably_irrelevant ~schemas ~changes expr] is true when the delta of
+    [expr] under [changes] is guaranteed empty without consulting base
+    data. Updates to relations not mentioned in [expr] are trivially
+    irrelevant. *)

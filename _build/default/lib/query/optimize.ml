@@ -1,0 +1,108 @@
+open Relational
+
+(* Rewrite a predicate through the inverse of a rename mapping (same as
+   Irrelevance's pushdown through Rename). *)
+let unrename_pred mapping pred =
+  let unrename_attr n =
+    match List.find_opt (fun (_, dst) -> String.equal dst n) mapping with
+    | Some (src, _) -> src
+    | None -> n
+  in
+  let unrename_operand = function
+    | Pred.Attr n -> Pred.Attr (unrename_attr n)
+    | Pred.Const _ as c -> c
+  in
+  let rec loop = function
+    | Pred.True -> Pred.True
+    | Pred.False -> Pred.False
+    | Pred.Cmp (cmp, x, y) ->
+      Pred.Cmp (cmp, unrename_operand x, unrename_operand y)
+    | Pred.And (a, b) -> Pred.And (loop a, loop b)
+    | Pred.Or (a, b) -> Pred.Or (loop a, loop b)
+    | Pred.Not a -> Pred.Not (loop a)
+  in
+  loop pred
+
+let attrs_within pred schema =
+  List.for_all (Schema.mem schema) (Pred.attrs pred)
+
+(* One top-down pass pushing a pending conjunction of selections as deep
+   as it can go. *)
+let push_selections ~schemas expr =
+  let rec push pending expr =
+    let wrap e =
+      (* Drop any predicates that could not sink further here. *)
+      match pending with
+      | [] -> e
+      | ps -> Algebra.Select (Pred.conj ps, e)
+    in
+    match (expr : Algebra.t) with
+    | Base _ -> wrap expr
+    | Select (p, e) -> push (p :: pending) e
+    | Project (names, e) ->
+      (* Predicates above a projection reference only projected names,
+         which exist below unchanged. *)
+      Algebra.Project (names, push pending e)
+    | Rename (mapping, e) ->
+      Algebra.Rename (mapping, push (List.map (unrename_pred mapping) pending) e)
+    | Join (a, b) ->
+      let sa = Algebra.schema_of schemas a
+      and sb = Algebra.schema_of schemas b in
+      (* Predicates over shared attributes are replicated to both sides:
+         each side's (delta) input shrinks before the join. *)
+      let to_a = List.filter (fun p -> attrs_within p sa) pending in
+      let to_b = List.filter (fun p -> attrs_within p sb) pending in
+      let stuck =
+        List.filter
+          (fun p -> not (attrs_within p sa || attrs_within p sb))
+          pending
+      in
+      let joined = Algebra.Join (push to_a a, push to_b b) in
+      (match stuck with
+      | [] -> joined
+      | ps -> Algebra.Select (Pred.conj ps, joined))
+    | Union (a, b) -> Algebra.Union (push pending a, push pending b)
+    | Group_by { keys; aggregates; input } ->
+      let keyed, stuck =
+        List.partition
+          (fun p -> List.for_all (fun a -> List.mem a keys) (Pred.attrs p))
+          pending
+      in
+      let grouped =
+        Algebra.Group_by { keys; aggregates; input = push keyed input }
+      in
+      (match stuck with
+      | [] -> grouped
+      | ps -> Algebra.Select (Pred.conj ps, grouped))
+  in
+  push [] expr
+
+(* Structural cleanups: collapse stacked projections, drop identity
+   projections and trivially-true selections. *)
+let rec simplify ~schemas expr =
+  match (expr : Algebra.t) with
+  | Base _ -> expr
+  | Select (Pred.True, e) -> simplify ~schemas e
+  | Select (p, e) -> Algebra.Select (p, simplify ~schemas e)
+  | Project (names, Project (_, e)) ->
+    simplify ~schemas (Algebra.Project (names, e))
+  | Project (names, e) ->
+    let e = simplify ~schemas e in
+    if Schema.names (Algebra.schema_of schemas e) = names then e
+    else Algebra.Project (names, e)
+  | Join (a, b) -> Algebra.Join (simplify ~schemas a, simplify ~schemas b)
+  | Union (a, b) -> Algebra.Union (simplify ~schemas a, simplify ~schemas b)
+  | Rename ([], e) -> simplify ~schemas e
+  | Rename (mapping, e) -> Algebra.Rename (mapping, simplify ~schemas e)
+  | Group_by { keys; aggregates; input } ->
+    Algebra.Group_by { keys; aggregates; input = simplify ~schemas input }
+
+let optimize ~schemas expr =
+  let pass e = simplify ~schemas (push_selections ~schemas e) in
+  (* The rewrites strictly shrink or keep size; iterate to a fixpoint with
+     a small bound as a safety net. *)
+  let rec fix n e =
+    let e' = pass e in
+    if n = 0 || e' = e then e' else fix (n - 1) e'
+  in
+  fix 8 expr

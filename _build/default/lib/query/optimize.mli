@@ -1,0 +1,22 @@
+(** Algebraic rewrites for view definitions.
+
+    View managers evaluate delta expressions constantly (once per update
+    or batch), so the shape of the definition matters: a selection sitting
+    above a join forces the join to be computed in full before filtering.
+    [optimize] applies the classic equivalence-preserving rewrites —
+    selection pushdown through joins / unions / projections / renames /
+    group-by keys, adjacent-selection fusion, projection collapsing,
+    identity-projection removal — producing an expression with the same
+    bag semantics (property-tested in [test/test_optimize.ml]) that is
+    never slower to evaluate incrementally.
+
+    Rewrites need the base-relation schemas to decide pushability, hence
+    the [schemas] argument. *)
+
+val optimize : schemas:(string -> Relational.Schema.t) -> Algebra.t -> Algebra.t
+(** Fixpoint of all rewrites. Guaranteed to preserve {!Eval.eval_bag} and
+    {!Delta.eval} semantics and the output schema. *)
+
+val push_selections :
+  schemas:(string -> Relational.Schema.t) -> Algebra.t -> Algebra.t
+(** Only the selection rules (exposed for the ablation benchmark). *)

@@ -1,0 +1,92 @@
+open Relational
+
+type operand = Attr of string | Const of Value.t
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let operand_value schema tup = function
+  | Attr name -> Tuple.field schema tup name
+  | Const v -> v
+
+let cmp_holds cmp a b =
+  let is_null = function Value.Null -> true | _ -> false in
+  if is_null a || is_null b then cmp = Ne
+  else
+    let c = Value.compare a b in
+    match cmp with
+    | Eq -> c = 0
+    | Ne -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let rec eval schema t tup =
+  match t with
+  | True -> true
+  | False -> false
+  | Cmp (cmp, x, y) ->
+    cmp_holds cmp (operand_value schema tup x) (operand_value schema tup y)
+  | And (a, b) -> eval schema a tup && eval schema b tup
+  | Or (a, b) -> eval schema a tup || eval schema b tup
+  | Not a -> not (eval schema a tup)
+
+let attrs t =
+  let add seen name = if List.mem name seen then seen else seen @ [ name ] in
+  let of_operand seen = function Attr n -> add seen n | Const _ -> seen in
+  let rec loop seen = function
+    | True | False -> seen
+    | Cmp (_, x, y) -> of_operand (of_operand seen x) y
+    | And (a, b) | Or (a, b) -> loop (loop seen a) b
+    | Not a -> loop seen a
+  in
+  loop [] t
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> False
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let eq name v = Cmp (Eq, Attr name, Const v)
+
+let lt name v = Cmp (Lt, Attr name, Const v)
+
+let gt name v = Cmp (Gt, Attr name, Const v)
+
+let le name v = Cmp (Le, Attr name, Const v)
+
+let ge name v = Cmp (Ge, Attr name, Const v)
+
+let attr_eq a b = Cmp (Eq, Attr a, Attr b)
+
+let pp_operand ppf = function
+  | Attr n -> Fmt.string ppf n
+  | Const v -> Value.pp ppf v
+
+let cmp_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Cmp (cmp, x, y) ->
+    Fmt.pf ppf "%a %s %a" pp_operand x (cmp_symbol cmp) pp_operand y
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "(not %a)" pp a

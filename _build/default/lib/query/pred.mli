@@ -1,0 +1,50 @@
+(** Selection predicates over tuples.
+
+    Predicates compare attributes and constants and close under boolean
+    connectives. They drive [Select] nodes in {!Algebra} and the
+    integrator's irrelevant-update test (the "selection conditions" rule-out
+    of Section 3.2 / reference [7] of the paper). *)
+
+open Relational
+
+type operand = Attr of string | Const of Value.t
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : Schema.t -> t -> Tuple.t -> bool
+(** Three-valued logic is not modelled: comparisons involving [Null] are
+    false (except [Ne], true), matching the simple semantics the paper's
+    examples need.
+    @raise Schema.Unknown_attribute if the predicate names an attribute
+    missing from the schema. *)
+
+val attrs : t -> string list
+(** Distinct attribute names mentioned, in first-mention order. *)
+
+val conj : t list -> t
+
+val disj : t list -> t
+
+(** Shorthand constructors. *)
+
+val eq : string -> Value.t -> t
+
+val lt : string -> Value.t -> t
+
+val gt : string -> Value.t -> t
+
+val le : string -> Value.t -> t
+
+val ge : string -> Value.t -> t
+
+val attr_eq : string -> string -> t
+
+val pp : Format.formatter -> t -> unit

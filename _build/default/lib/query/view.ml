@@ -1,0 +1,19 @@
+type t = { name : string; def : Algebra.t }
+
+let make name def = { name; def }
+
+let name t = t.name
+
+let base_relations t = Algebra.base_relations t.def
+
+let schema lookup t = Algebra.schema_of lookup t.def
+
+let uses t r = List.mem r (base_relations t)
+
+let materialize db t = Eval.eval db t.def
+
+let overlaps a b =
+  let rels = base_relations b in
+  List.exists (fun r -> List.mem r rels) (base_relations a)
+
+let pp ppf t = Fmt.pf ppf "%s = %a" t.name Algebra.pp t.def

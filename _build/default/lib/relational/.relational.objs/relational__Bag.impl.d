@@ -1,0 +1,1 @@
+lib/relational/bag.ml: Fmt Int List Map Tuple

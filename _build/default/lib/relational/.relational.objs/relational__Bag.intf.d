@@ -1,0 +1,1 @@
+lib/relational/bag.mli: Format Tuple

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Fmt List Map Relation String Update

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Format Relation Schema Update

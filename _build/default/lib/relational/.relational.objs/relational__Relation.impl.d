@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Bag Fmt List Schema Signed_bag Tuple

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Bag Format Schema Signed_bag Tuple

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Fmt Hashtbl List Option Printf Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relational/signed_bag.ml: Bag Fmt Int List Map Tuple

@@ -1,0 +1,1 @@
+lib/relational/signed_bag.mli: Bag Format Tuple

@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Fmt List Schema Value

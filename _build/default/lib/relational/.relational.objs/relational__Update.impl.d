@@ -1,0 +1,1 @@
+lib/relational/update.ml: Fmt List Signed_bag String Tuple

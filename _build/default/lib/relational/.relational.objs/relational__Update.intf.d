@@ -1,0 +1,1 @@
+lib/relational/update.mli: Format Signed_bag Tuple

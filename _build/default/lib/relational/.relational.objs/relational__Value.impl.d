@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Float Fmt Hashtbl Int String

@@ -1,0 +1,69 @@
+module Tuple_map = Map.Make (Tuple)
+
+(* Invariant: every stored multiplicity is > 0. *)
+type t = int Tuple_map.t
+
+let empty = Tuple_map.empty
+
+let is_empty = Tuple_map.is_empty
+
+let cardinal t = Tuple_map.fold (fun _ n acc -> acc + n) t 0
+
+let distinct t = Tuple_map.cardinal t
+
+let count t tup =
+  match Tuple_map.find_opt tup t with Some n -> n | None -> 0
+
+let mem t tup = Tuple_map.mem tup t
+
+let check_count count =
+  if count <= 0 then invalid_arg "Bag: count must be positive"
+
+let add ?(count = 1) tup t =
+  check_count count;
+  Tuple_map.update tup
+    (function None -> Some count | Some n -> Some (n + count))
+    t
+
+let remove ?(count = 1) tup t =
+  check_count count;
+  Tuple_map.update tup
+    (function
+      | None -> None
+      | Some n when n <= count -> None
+      | Some n -> Some (n - count))
+    t
+
+let of_list tuples = List.fold_left (fun acc tup -> add tup acc) empty tuples
+
+let to_counted_list t = Tuple_map.bindings t
+
+let to_list t =
+  List.concat_map
+    (fun (tup, n) -> List.init n (fun _ -> tup))
+    (to_counted_list t)
+
+let fold f t init = Tuple_map.fold f t init
+
+let iter f t = Tuple_map.iter f t
+
+let union a b = Tuple_map.fold (fun tup n acc -> add ~count:n tup acc) b a
+
+let diff a b = Tuple_map.fold (fun tup n acc -> remove ~count:n tup acc) b a
+
+let map f t =
+  Tuple_map.fold (fun tup n acc -> add ~count:n (f tup) acc) t empty
+
+let filter p t = Tuple_map.filter (fun tup _ -> p tup) t
+
+let equal a b = Tuple_map.equal Int.equal a b
+
+let compare a b = Tuple_map.compare Int.compare a b
+
+let pp ppf t =
+  let pp_entry ppf (tup, n) =
+    if n = 1 then Tuple.pp ppf tup else Fmt.pf ppf "%a*%d" Tuple.pp tup n
+  in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_entry) (to_counted_list t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,66 @@
+(** Bags (multisets) of tuples with strictly positive multiplicities.
+
+    Views and base relations are bags: incremental maintenance of
+    select-project-join views is only exact under bag semantics, because a
+    projection can map several source tuples to one view tuple and a single
+    deletion must not remove the view tuple while other derivations remain.
+    Persistent maps make snapshotting source/warehouse state sequences for
+    the consistency oracle O(1). *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Total number of tuples counting multiplicity. *)
+
+val distinct : t -> int
+(** Number of distinct tuples. *)
+
+val count : t -> Tuple.t -> int
+(** Multiplicity of a tuple; 0 when absent. *)
+
+val mem : t -> Tuple.t -> bool
+
+val add : ?count:int -> Tuple.t -> t -> t
+(** [add ?count tup t] inserts [count] (default 1) copies.
+    @raise Invalid_argument if [count <= 0]. *)
+
+val remove : ?count:int -> Tuple.t -> t -> t
+(** [remove ?count tup t] deletes [count] (default 1) copies; multiplicities
+    never drop below zero (removing from an absent tuple is a no-op, removing
+    more copies than present leaves zero).
+    @raise Invalid_argument if [count <= 0]. *)
+
+val of_list : Tuple.t list -> t
+
+val to_list : t -> Tuple.t list
+(** Expanded (multiplicity-respecting) tuple list in tuple order. *)
+
+val to_counted_list : t -> (Tuple.t * int) list
+(** Distinct tuples with multiplicities, in tuple order. *)
+
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+
+val union : t -> t -> t
+(** Additive bag union: multiplicities add. *)
+
+val diff : t -> t -> t
+(** Monus: multiplicities subtract, floored at zero. *)
+
+val map : (Tuple.t -> Tuple.t) -> t -> t
+(** Bag map; multiplicities of colliding images add. *)
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t = { schema : Schema.t; contents : Bag.t }
+
+exception Type_error of string
+
+let create schema = { schema; contents = Bag.empty }
+
+let check_tuple schema tup =
+  if not (Tuple.conforms schema tup) then
+    raise
+      (Type_error
+         (Fmt.str "tuple %a does not conform to schema %a" Tuple.pp tup
+            Schema.pp schema))
+
+let of_tuples schema tuples =
+  List.iter (check_tuple schema) tuples;
+  { schema; contents = Bag.of_list tuples }
+
+let schema t = t.schema
+
+let contents t = t.contents
+
+let with_contents t contents = { t with contents }
+
+let insert ?count tup t =
+  check_tuple t.schema tup;
+  { t with contents = Bag.add ?count tup t.contents }
+
+let delete ?count tup t = { t with contents = Bag.remove ?count tup t.contents }
+
+let apply_delta delta t =
+  { t with contents = Signed_bag.apply delta t.contents }
+
+let cardinal t = Bag.cardinal t.contents
+
+let is_empty t = Bag.is_empty t.contents
+
+let mem t tup = Bag.mem t.contents tup
+
+let count t tup = Bag.count t.contents tup
+
+let tuples t = Bag.to_list t.contents
+
+let equal a b = Schema.equal a.schema b.schema && Bag.equal a.contents b.contents
+
+let equal_contents a b = Bag.equal a.contents b.contents
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@ %a@]" Schema.pp t.schema Bag.pp t.contents
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,48 @@
+(** A relation instance: a {!Bag.t} of tuples typed by a {!Schema.t}. *)
+
+type t
+
+exception Type_error of string
+
+val create : Schema.t -> t
+(** Empty relation over the schema. *)
+
+val of_tuples : Schema.t -> Tuple.t list -> t
+(** @raise Type_error if a tuple does not conform to the schema. *)
+
+val schema : t -> Schema.t
+
+val contents : t -> Bag.t
+
+val with_contents : t -> Bag.t -> t
+(** Replace the contents, keeping the schema. Conformance is the caller's
+    responsibility (used by the evaluator, which constructs typed bags). *)
+
+val insert : ?count:int -> Tuple.t -> t -> t
+(** @raise Type_error if the tuple does not conform. *)
+
+val delete : ?count:int -> Tuple.t -> t -> t
+
+val apply_delta : Signed_bag.t -> t -> t
+(** Apply a signed delta to the contents. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> Tuple.t -> bool
+
+val count : t -> Tuple.t -> int
+
+val tuples : t -> Tuple.t list
+
+val equal : t -> t -> bool
+(** Schemas and contents both equal. *)
+
+val equal_contents : t -> t -> bool
+(** Contents equal, ignoring attribute names (used by the consistency oracle
+    to compare a materialized view with its recomputed definition). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

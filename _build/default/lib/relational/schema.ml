@@ -1,0 +1,101 @@
+type attribute = { name : string; ty : Value.ty }
+
+type t = { attrs : attribute array }
+
+exception Duplicate_attribute of string
+
+exception Unknown_attribute of string
+
+let make pairs =
+  let seen = Hashtbl.create 8 in
+  let check (name, _) =
+    if Hashtbl.mem seen name then raise (Duplicate_attribute name);
+    Hashtbl.add seen name ()
+  in
+  List.iter check pairs;
+  { attrs = Array.of_list (List.map (fun (name, ty) -> { name; ty }) pairs) }
+
+let attributes t = Array.to_list t.attrs
+
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+
+let arity t = Array.length t.attrs
+
+let find_opt t name =
+  let rec loop i =
+    if i >= Array.length t.attrs then None
+    else if String.equal t.attrs.(i).name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let mem t name = Option.is_some (find_opt t name)
+
+let index_of t name =
+  match find_opt t name with
+  | Some i -> i
+  | None -> raise (Unknown_attribute name)
+
+let type_of t name = t.attrs.(index_of t name).ty
+
+let equal a b =
+  Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && x.ty = y.ty)
+       a.attrs b.attrs
+
+let compare a b =
+  let cmp_attr x y =
+    match String.compare x.name y.name with
+    | 0 -> Stdlib.compare x.ty y.ty
+    | c -> c
+  in
+  let rec loop i =
+    match
+      (i >= Array.length a.attrs, i >= Array.length b.attrs)
+    with
+    | true, true -> 0
+    | true, false -> -1
+    | false, true -> 1
+    | false, false -> (
+      match cmp_attr a.attrs.(i) b.attrs.(i) with 0 -> loop (i + 1) | c -> c)
+  in
+  loop 0
+
+let project t names =
+  make (List.map (fun n -> (n, type_of t n)) names)
+
+let common a b =
+  List.filter (fun n -> mem b n) (names a)
+
+let join a b =
+  let shared = common a b in
+  let conflict n = type_of a n <> type_of b n in
+  (match List.find_opt conflict shared with
+  | Some n ->
+    invalid_arg
+      (Printf.sprintf "Schema.join: attribute %s has conflicting types" n)
+  | None -> ());
+  let extra =
+    List.filter (fun attr -> not (mem a attr.name)) (attributes b)
+  in
+  let pairs attrs = List.map (fun attr -> (attr.name, attr.ty)) attrs in
+  make (pairs (attributes a) @ pairs extra)
+
+let rename t mapping =
+  let rename_one attr =
+    match List.assoc_opt attr.name mapping with
+    | Some fresh -> (fresh, attr.ty)
+    | None -> (attr.name, attr.ty)
+  in
+  let missing (src, _) = not (mem t src) in
+  (match List.find_opt missing mapping with
+  | Some (src, _) -> raise (Unknown_attribute src)
+  | None -> ());
+  make (List.map rename_one (attributes t))
+
+let pp ppf t =
+  let pp_attr ppf a = Fmt.pf ppf "%s:%a" a.name Value.pp_ty a.ty in
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_attr) (attributes t)
+
+let to_string t = Fmt.str "%a" pp t

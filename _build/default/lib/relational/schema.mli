@@ -1,0 +1,60 @@
+(** Relation schemas: an ordered list of named, typed attributes.
+
+    Attribute names are significant for natural joins and projections, which
+    is how the paper's example views ([V1 = R |><| S] joining on the shared
+    attribute [B]) are expressed. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t
+(** A schema. Attribute names within a schema are unique. *)
+
+exception Duplicate_attribute of string
+
+exception Unknown_attribute of string
+
+val make : (string * Value.ty) list -> t
+(** [make attrs] builds a schema.
+    @raise Duplicate_attribute if a name is repeated. *)
+
+val attributes : t -> attribute list
+
+val names : t -> string list
+
+val arity : t -> int
+
+val mem : t -> string -> bool
+
+val index_of : t -> string -> int
+(** Position of an attribute.
+    @raise Unknown_attribute if absent. *)
+
+val type_of : t -> string -> Value.ty
+(** @raise Unknown_attribute if absent. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val project : t -> string list -> t
+(** [project s names] is the sub-schema with exactly [names], in the order
+    given. @raise Unknown_attribute on any missing name. *)
+
+val common : t -> t -> string list
+(** Attribute names shared by both schemas, in the order they appear in the
+    first schema. Used to compute natural-join conditions. *)
+
+val join : t -> t -> t
+(** Natural-join schema: all attributes of the first schema followed by the
+    attributes of the second that are not shared.
+    @raise Invalid_argument if a shared attribute has conflicting types. *)
+
+val rename : t -> (string * string) list -> t
+(** [rename s mapping] renames attributes listed in [mapping]; other
+    attributes are untouched.
+    @raise Unknown_attribute if a source name is absent.
+    @raise Duplicate_attribute if renaming introduces a clash. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

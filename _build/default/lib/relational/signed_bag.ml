@@ -1,0 +1,79 @@
+module Tuple_map = Map.Make (Tuple)
+
+(* Invariant: every stored multiplicity is non-zero. *)
+type t = int Tuple_map.t
+
+let zero = Tuple_map.empty
+
+let is_zero = Tuple_map.is_empty
+
+let count t tup =
+  match Tuple_map.find_opt tup t with Some n -> n | None -> 0
+
+let add tup n t =
+  if n = 0 then t
+  else
+    Tuple_map.update tup
+      (function
+        | None -> Some n
+        | Some m when m + n = 0 -> None
+        | Some m -> Some (m + n))
+      t
+
+let singleton tup n = add tup n zero
+
+let of_list entries =
+  List.fold_left (fun acc (tup, n) -> add tup n acc) zero entries
+
+let to_list t = Tuple_map.bindings t
+
+let insertions t =
+  Tuple_map.fold
+    (fun tup n acc -> if n > 0 then Bag.add ~count:n tup acc else acc)
+    t Bag.empty
+
+let deletions t =
+  Tuple_map.fold
+    (fun tup n acc -> if n < 0 then Bag.add ~count:(-n) tup acc else acc)
+    t Bag.empty
+
+let of_parts ~insert ~delete =
+  let with_inserts =
+    Bag.fold (fun tup n acc -> add tup n acc) insert zero
+  in
+  Bag.fold (fun tup n acc -> add tup (-n) acc) delete with_inserts
+
+let sum a b = Tuple_map.fold (fun tup n acc -> add tup n acc) b a
+
+let negate t = Tuple_map.map (fun n -> -n) t
+
+let diff_of_bags ~before ~after =
+  let added = Bag.fold (fun tup n acc -> add tup n acc) after zero in
+  Bag.fold (fun tup n acc -> add tup (-n) acc) before added
+
+let apply t bag =
+  Tuple_map.fold
+    (fun tup n acc ->
+      if n > 0 then Bag.add ~count:n tup acc
+      else Bag.remove ~count:(-n) tup acc)
+    t bag
+
+let applies_exactly t bag =
+  Tuple_map.for_all (fun tup n -> n > 0 || Bag.count bag tup >= -n) t
+
+let map f t =
+  Tuple_map.fold (fun tup n acc -> add (f tup) n acc) t zero
+
+let filter p t = Tuple_map.filter (fun tup _ -> p tup) t
+
+let fold f t init = Tuple_map.fold f t init
+
+let size t = Tuple_map.fold (fun _ n acc -> acc + abs n) t 0
+
+let equal a b = Tuple_map.equal Int.equal a b
+
+let pp ppf t =
+  let pp_entry ppf (tup, n) = Fmt.pf ppf "%+d%a" n Tuple.pp tup in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_entry) (to_list t)
+
+let to_string t = Fmt.str "%a" pp t

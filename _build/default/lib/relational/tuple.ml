@@ -1,0 +1,77 @@
+type t = Value.t array
+
+let of_list vs = Array.of_list vs
+
+let of_array a = Array.copy a
+
+let to_list t = Array.to_list t
+
+let arity t = Array.length t
+
+let get t i = t.(i)
+
+let check_arity schema t =
+  if Array.length t <> Schema.arity schema then
+    invalid_arg "Tuple: arity does not match schema"
+
+let field schema t name =
+  check_arity schema t;
+  t.(Schema.index_of schema name)
+
+let conforms schema t =
+  Array.length t = Schema.arity schema
+  && List.for_all2
+       (fun (attr : Schema.attribute) v -> Value.conforms v attr.ty)
+       (Schema.attributes schema) (Array.to_list t)
+
+let project schema names t =
+  check_arity schema t;
+  Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
+
+let concat a b = Array.append a b
+
+let join sa sb a b =
+  check_arity sa a;
+  check_arity sb b;
+  let shared = Schema.common sa sb in
+  let agree n =
+    Value.equal a.(Schema.index_of sa n) b.(Schema.index_of sb n)
+  in
+  if List.for_all agree shared then begin
+    let extra =
+      List.filter
+        (fun (attr : Schema.attribute) -> not (Schema.mem sa attr.name))
+        (Schema.attributes sb)
+    in
+    let extra_vals =
+      List.map
+        (fun (attr : Schema.attribute) -> b.(Schema.index_of sb attr.name))
+        extra
+    in
+    Some (Array.append a (Array.of_list extra_vals))
+  end
+  else None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else match Value.compare a.(i) b.(i) with 0 -> loop (i + 1) | c -> c
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]" (Fmt.array ~sep:(Fmt.any "; ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t
+
+let ints is = of_list (List.map (fun i -> Value.Int i) is)
+
+let mk = of_list

@@ -1,0 +1,50 @@
+(** Tuples: fixed-arity arrays of {!Value.t}, interpreted against a
+    {!Schema.t}. *)
+
+type t
+
+val of_list : Value.t list -> t
+
+val of_array : Value.t array -> t
+(** The array is copied. *)
+
+val to_list : t -> Value.t list
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val field : Schema.t -> t -> string -> Value.t
+(** [field schema tuple name] is the value of attribute [name].
+    @raise Schema.Unknown_attribute if absent.
+    @raise Invalid_argument if the tuple arity does not match the schema. *)
+
+val conforms : Schema.t -> t -> bool
+(** Arity matches and each value conforms to its attribute type. *)
+
+val project : Schema.t -> string list -> t -> t
+(** Restrict the tuple to the named attributes, in the order given. *)
+
+val concat : t -> t -> t
+
+val join : Schema.t -> Schema.t -> t -> t -> t option
+(** [join sa sb a b] is the natural-join combination of [a] and [b]: [Some]
+    of [a] extended with [b]'s non-shared attributes when all shared
+    attributes agree, [None] otherwise. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Convenience constructors used pervasively in tests and examples. *)
+
+val ints : int list -> t
+
+val mk : Value.t list -> t
+(** Alias of {!of_list}. *)

@@ -1,0 +1,55 @@
+type op =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+  | Modify of { before : Tuple.t; after : Tuple.t }
+
+type t = { relation : string; op : op }
+
+let insert relation tup = { relation; op = Insert tup }
+
+let delete relation tup = { relation; op = Delete tup }
+
+let modify relation ~before ~after = { relation; op = Modify { before; after } }
+
+let to_delta t =
+  match t.op with
+  | Insert tup -> Signed_bag.singleton tup 1
+  | Delete tup -> Signed_bag.singleton tup (-1)
+  | Modify { before; after } ->
+    Signed_bag.add after 1 (Signed_bag.singleton before (-1))
+
+let pp ppf t =
+  match t.op with
+  | Insert tup -> Fmt.pf ppf "insert %s %a" t.relation Tuple.pp tup
+  | Delete tup -> Fmt.pf ppf "delete %s %a" t.relation Tuple.pp tup
+  | Modify { before; after } ->
+    Fmt.pf ppf "modify %s %a -> %a" t.relation Tuple.pp before Tuple.pp after
+
+module Transaction = struct
+  type update = t
+
+  let pp_update = pp
+
+  type t = { id : int; source : string; updates : update list }
+
+  let make ~id ~source updates = { id; source; updates }
+
+  let single ~id ~source update = { id; source; updates = [ update ] }
+
+  let relations t =
+    let add seen rel = if List.mem rel seen then seen else seen @ [ rel ] in
+    List.fold_left (fun seen u -> add seen u.relation) [] t.updates
+
+  let delta_for t relation =
+    List.fold_left
+      (fun acc u ->
+        if String.equal u.relation relation then
+          Signed_bag.sum acc (to_delta u)
+        else acc)
+      Signed_bag.zero t.updates
+
+  let pp ppf t =
+    Fmt.pf ppf "@[T%d@%s{%a}@]" t.id t.source
+      (Fmt.list ~sep:(Fmt.any "; ") pp_update)
+      t.updates
+end

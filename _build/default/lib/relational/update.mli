@@ -1,0 +1,52 @@
+(** Source updates and source transactions.
+
+    Following Section 2.1 of the paper, the base model has each source
+    transaction generate a single tuple insert, delete or modification on one
+    relation of one source. Section 6.2 lifts this to transactions with
+    several updates spanning several sources; {!Transaction.t} supports both,
+    and every algorithm in the repository treats the transaction as the unit
+    of consistency. *)
+
+type op =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+  | Modify of { before : Tuple.t; after : Tuple.t }
+
+type t = { relation : string; op : op }
+(** One update against one named base relation. *)
+
+val insert : string -> Tuple.t -> t
+
+val delete : string -> Tuple.t -> t
+
+val modify : string -> before:Tuple.t -> after:Tuple.t -> t
+
+val to_delta : t -> Signed_bag.t
+(** The signed-bag effect of the update on its relation. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Transaction : sig
+  type update = t
+
+  type t = {
+    id : int;  (** Global sequence number assigned by the integrator
+                   (or the source group); [U_i] in the paper. *)
+    source : string;  (** Originating source (primary source for
+                          multi-source transactions). *)
+    updates : update list;
+  }
+
+  val make : id:int -> source:string -> update list -> t
+
+  val single : id:int -> source:string -> update -> t
+  (** The paper's base model: one update per transaction. *)
+
+  val relations : t -> string list
+  (** Distinct base relations written, in first-write order. *)
+
+  val delta_for : t -> string -> Signed_bag.t
+  (** Combined signed delta of the transaction on one relation. *)
+
+  val pp : Format.formatter -> t -> unit
+end

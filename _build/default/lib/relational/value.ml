@@ -1,0 +1,61 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type ty = Bool_ty | Int_ty | Float_ty | String_ty
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ ->
+    Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some Bool_ty
+  | Int _ -> Some Int_ty
+  | Float _ -> Some Float_ty
+  | String _ -> Some String_ty
+
+let conforms v ty =
+  match type_of v with None -> true | Some ty' -> ty = ty'
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+
+let pp_ty ppf = function
+  | Bool_ty -> Fmt.string ppf "bool"
+  | Int_ty -> Fmt.string ppf "int"
+  | Float_ty -> Fmt.string ppf "float"
+  | String_ty -> Fmt.string ppf "string"
+
+let to_string v = Fmt.str "%a" pp v
+
+let ty_to_string ty = Fmt.str "%a" pp_ty ty

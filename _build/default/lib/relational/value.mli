@@ -1,0 +1,40 @@
+(** Atomic values stored in warehouse and source relations.
+
+    The data model is deliberately small: the MVC algorithms of the paper are
+    independent of the data model (Section 3.1), so a compact typed value
+    domain is enough to express every example and workload while keeping
+    comparisons total and deterministic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+(** Value types, used by {!Schema} to type attributes. [Null] inhabits every
+    type. *)
+type ty = Bool_ty | Int_ty | Float_ty | String_ty
+
+val compare : t -> t -> int
+(** Total order over values; values of different constructors are ordered by
+    constructor rank so that heterogeneous comparisons never raise. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val type_of : t -> ty option
+(** [type_of v] is [None] for [Null], otherwise the value's type. *)
+
+val conforms : t -> ty -> bool
+(** [conforms v ty] holds when [v] may appear in an attribute of type [ty];
+    [Null] conforms to every type. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ty : Format.formatter -> ty -> unit
+
+val to_string : t -> string
+
+val ty_to_string : ty -> string

@@ -1,0 +1,32 @@
+type 'a t = {
+  engine : Engine.t;
+  name : string;
+  latency : unit -> float;
+  deliver : 'a -> unit;
+  mutable last_delivery : float;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine ?(name = "chan") ~latency deliver =
+  { engine; name; latency; deliver; last_delivery = 0.0; sent = 0;
+    delivered = 0 }
+
+let send t msg =
+  let lat = Float.max 0.0 (t.latency ()) in
+  let arrival = Engine.now t.engine +. lat in
+  (* FIFO: never deliver before a previously sent message. *)
+  let arrival = Float.max arrival t.last_delivery in
+  t.last_delivery <- arrival;
+  t.sent <- t.sent + 1;
+  Engine.schedule_at t.engine arrival (fun () ->
+      t.delivered <- t.delivered + 1;
+      t.deliver msg)
+
+let name t = t.name
+
+let sent t = t.sent
+
+let delivered t = t.delivered
+
+let in_flight t = t.sent - t.delivered

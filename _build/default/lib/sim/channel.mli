@@ -1,0 +1,30 @@
+(** FIFO message channels between simulated processes.
+
+    The MVC algorithms' only delivery assumption (Section 4: "messages from
+    the same process must arrive in the order sent") is per-channel FIFO:
+    latency is sampled per message, but a message never overtakes an
+    earlier one on the same channel. Messages on *different* channels
+    interleave arbitrarily — exactly the nondeterminism the painting
+    algorithms must tolerate. *)
+
+type 'a t
+
+val create :
+  Engine.t ->
+  ?name:string ->
+  latency:(unit -> float) ->
+  ('a -> unit) ->
+  'a t
+(** [create engine ~latency deliver] builds a channel whose messages are
+    handed to [deliver] after a sampled latency, preserving send order.
+    Negative sampled latencies are clamped to zero. *)
+
+val send : 'a t -> 'a -> unit
+
+val name : 'a t -> string
+
+val sent : 'a t -> int
+
+val delivered : 'a t -> int
+
+val in_flight : 'a t -> int

@@ -1,0 +1,61 @@
+module Key = struct
+  type t = float * int
+
+  let compare (ta, sa) (tb, sb) =
+    match Float.compare ta tb with 0 -> Int.compare sa sb | c -> c
+end
+
+module Queue_map = Map.Make (Key)
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable queue : (unit -> unit) Queue_map.t;
+  mutable processed : int;
+}
+
+let create () =
+  { clock = 0.0; seq = 0; queue = Queue_map.empty; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is before now (%g)" time t.clock);
+  t.queue <- Queue_map.add (time, t.seq) thunk t.queue;
+  t.seq <- t.seq + 1
+
+let schedule_after t delay thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t (t.clock +. delay) thunk
+
+let pending t = Queue_map.cardinal t.queue
+
+let step t =
+  match Queue_map.min_binding_opt t.queue with
+  | None -> false
+  | Some (((time, _) as key), thunk) ->
+    t.queue <- Queue_map.remove key t.queue;
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    thunk ();
+    true
+
+let run ?until t =
+  let continue () =
+    match Queue_map.min_binding_opt t.queue with
+    | None -> false
+    | Some ((time, _), _) -> (
+      match until with None -> true | Some limit -> time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit && Queue_map.is_empty t.queue ->
+    t.clock <- limit
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()
+
+let processed t = t.processed

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    A minimal deterministic scheduler: events are thunks ordered by
+    (simulated time, insertion sequence). Ties break by insertion order, so
+    runs are exactly reproducible. The WHIPS-style warehouse system wires
+    its processes (sources, integrator, view managers, merge, warehouse) as
+    event handlers over this engine; the engine stands in for the
+    distributed testbed of the paper (see DESIGN.md substitutions). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (seconds). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** Schedule a thunk at an absolute time.
+    @raise Invalid_argument if the time is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** Schedule a thunk [delay] seconds from now. Negative delays are clamped
+    to zero. *)
+
+val pending : t -> int
+(** Number of events not yet dispatched. *)
+
+val step : t -> bool
+(** Dispatch the next event; false when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Dispatch events until the queue drains, or until the next event would
+    be after [until] (the clock is then advanced to [until]). *)
+
+val processed : t -> int
+(** Total events dispatched so far. *)

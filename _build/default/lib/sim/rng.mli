@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic choice in the simulator — message latencies, workload
+    arrivals, generated values — draws from an explicitly seeded [Rng.t], so
+    that a whole distributed-warehouse run is a pure function of its seed.
+    This is what makes the interleaving-randomizing consistency tests and
+    the benchmark sweeps reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. Used to give each
+    simulated process its own stream so adding a process does not perturb
+    the draws of the others. *)
+
+val bits64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean; used for Poisson
+    arrival processes and message latencies. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,20 @@
+type t = { mutable rev_events : string list; mutable length : int }
+
+let create () = { rev_events = []; length = 0 }
+
+let record t event =
+  t.rev_events <- event :: t.rev_events;
+  t.length <- t.length + 1
+
+let recordf t fmt = Fmt.kstr (record t) fmt
+
+let events t = List.rev t.rev_events
+
+let length t = t.length
+
+let clear t =
+  t.rev_events <- [];
+  t.length <- 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Fmt.string) (events t)

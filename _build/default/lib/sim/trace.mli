@@ -1,0 +1,20 @@
+(** Ordered event traces, used by the golden tests that replay the paper's
+    worked examples (the VUT evolution tables of Examples 2-5) and by the
+    experiment printers. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> unit
+
+val recordf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> string list
+(** In recording order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/source/sources.ml: Database List Map Printf Query Relation Relational String Update

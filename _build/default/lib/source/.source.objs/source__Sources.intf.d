@@ -1,0 +1,1 @@
+lib/source/sources.mli: Database Query Relation Relational Schema Update

@@ -1,0 +1,1 @@
+lib/viewmgr/batching_vm.ml: Database List Query Queue Relational Sim Update Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/batching_vm.mli: Query Relational Sim Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/complete_n_vm.ml: Database List Query Queue Relational Sim Update Vm

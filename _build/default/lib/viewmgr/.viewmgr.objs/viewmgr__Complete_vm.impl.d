@@ -1,0 +1,1 @@
+lib/viewmgr/complete_vm.ml: Database Query Queue Relational Sim Update Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/complete_vm.mli: Query Relational Sim Vm

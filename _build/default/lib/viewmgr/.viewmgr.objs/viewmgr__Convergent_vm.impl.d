@@ -1,0 +1,1 @@
+lib/viewmgr/convergent_vm.ml: Database Query Relational Sim Update Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/convergent_vm.mli: Query Relational Sim Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/derived_vm.ml: Database List Printf Query Queue Relation Relational Sim Update Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/derived_vm.mli: Query Relational Sim Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/periodic_vm.ml: Database Query Relation Relational Sim Update Vm

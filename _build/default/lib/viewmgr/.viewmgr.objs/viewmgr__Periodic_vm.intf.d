@@ -1,0 +1,1 @@
+lib/viewmgr/periodic_vm.mli: Query Relational Sim Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/strobe_vm.ml: Bag List Query Relational Update Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/strobe_vm.mli: Query Relational Sim Vm

@@ -1,0 +1,1 @@
+lib/viewmgr/vm.ml: Fmt Printf Query Relational

@@ -1,0 +1,1 @@
+lib/viewmgr/vm.mli: Format Query Relational

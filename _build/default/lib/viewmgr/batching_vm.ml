@@ -1,0 +1,57 @@
+open Relational
+
+type state = {
+  engine : Sim.Engine.t;
+  compute_latency : batch:int -> float;
+  max_batch : int;
+  view : Query.View.t;
+  emit : Query.Action_list.t -> unit;
+  queue : Update.Transaction.t Queue.t;
+  mutable cache : Database.t;
+  mutable busy : bool;
+}
+
+let rec pump st =
+  if (not st.busy) && not (Queue.is_empty st.queue) then begin
+    st.busy <- true;
+    let rec drain acc n =
+      if n >= st.max_batch || Queue.is_empty st.queue then List.rev acc
+      else drain (Queue.pop st.queue :: acc) (n + 1)
+    in
+    let batch = drain [] 0 in
+    let changes = Query.Delta.of_transactions batch in
+    let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+    st.cache <-
+      List.fold_left Database.apply_relevant st.cache batch;
+    let last =
+      match List.rev batch with
+      | txn :: _ -> txn.Update.Transaction.id
+      | [] -> assert false
+    in
+    let al =
+      Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last
+        delta
+    in
+    Sim.Engine.schedule_after st.engine
+      (st.compute_latency ~batch:(List.length batch))
+      (fun () ->
+        st.emit al;
+        st.busy <- false;
+        pump st)
+  end
+
+let create ~engine ~compute_latency ?(max_batch = max_int) ~initial ~view
+    ~emit () =
+  let st =
+    { engine; compute_latency; max_batch; view; emit; queue = Queue.create ();
+      cache = Database.restrict initial (Query.View.base_relations view);
+      busy = false }
+  in
+  { Vm.view; level = Vm.Strongly_consistent;
+    receive =
+      (fun txn ->
+        Queue.push txn st.queue;
+        pump st);
+    flush = (fun () -> ());
+    needs_ticks = false;
+    pending = (fun () -> Queue.length st.queue + if st.busy then 1 else 0) }

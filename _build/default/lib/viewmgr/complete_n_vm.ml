@@ -1,0 +1,61 @@
+open Relational
+
+type state = {
+  engine : Sim.Engine.t;
+  compute_latency : batch:int -> float;
+  n : int;
+  view : Query.View.t;
+  emit : Query.Action_list.t -> unit;
+  queue : Update.Transaction.t Queue.t;
+  mutable cache : Database.t;
+  mutable busy : bool;
+}
+
+let process st batch k =
+  st.busy <- true;
+  let changes = Query.Delta.of_transactions batch in
+  let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+  st.cache <- List.fold_left Database.apply_relevant st.cache batch;
+  let last =
+    match List.rev batch with
+    | txn :: _ -> txn.Update.Transaction.id
+    | [] -> assert false
+  in
+  let al =
+    Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last delta
+  in
+  Sim.Engine.schedule_after st.engine (st.compute_latency ~batch:(List.length batch))
+    (fun () ->
+      st.emit al;
+      st.busy <- false;
+      k ())
+
+let rec pump st =
+  if (not st.busy) && Queue.length st.queue >= st.n then begin
+    let batch = List.init st.n (fun _ -> Queue.pop st.queue) in
+    process st batch (fun () -> pump st)
+  end
+
+let flush st =
+  if (not st.busy) && not (Queue.is_empty st.queue) then begin
+    let batch =
+      List.init (Queue.length st.queue) (fun _ -> Queue.pop st.queue)
+    in
+    process st batch (fun () -> pump st)
+  end
+
+let create ~engine ~compute_latency ~n ~initial ~view ~emit () =
+  if n < 1 then invalid_arg "Complete_n_vm.create: n < 1";
+  let st =
+    { engine; compute_latency; n; view; emit; queue = Queue.create ();
+      cache = Database.restrict initial (Query.View.base_relations view);
+      busy = false }
+  in
+  { Vm.view; level = Vm.Complete_n n;
+    receive =
+      (fun txn ->
+        Queue.push txn st.queue;
+        pump st);
+    flush = (fun () -> flush st);
+    needs_ticks = false;
+    pending = (fun () -> Queue.length st.queue + if st.busy then 1 else 0) }

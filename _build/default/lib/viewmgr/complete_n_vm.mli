@@ -1,0 +1,22 @@
+(** The complete-N view manager (Section 6.3).
+
+    "A view manager may be complete-N: it may process N source updates at
+    a time and maintain the view consistently after every N updates." The
+    manager accumulates exactly [n] relevant transactions, then computes
+    one combined delta and emits one action list (state = id of the N-th).
+    A trailing partial batch is only emitted on {!Vm.t.flush}.
+
+    Because one action list covers N VUT rows, SPA cannot merge this
+    manager's output; the system must run PA (the weakest-level rule of
+    Section 6.3). *)
+
+val create :
+  engine:Sim.Engine.t ->
+  compute_latency:(batch:int -> float) ->
+  n:int ->
+  initial:Relational.Database.t ->
+  view:Query.View.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Vm.t
+(** @raise Invalid_argument if [n < 1]. *)

@@ -1,0 +1,44 @@
+open Relational
+
+type state = {
+  engine : Sim.Engine.t;
+  compute_latency : batch:int -> float;
+  view : Query.View.t;
+  emit : Query.Action_list.t -> unit;
+  queue : Update.Transaction.t Queue.t;
+  mutable cache : Database.t;
+  mutable busy : bool;
+}
+
+let rec pump st =
+  if (not st.busy) && not (Queue.is_empty st.queue) then begin
+    st.busy <- true;
+    let txn = Queue.pop st.queue in
+    let changes = Query.Delta.of_transaction txn in
+    let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+    st.cache <- Database.apply_relevant st.cache txn;
+    let al =
+      Query.Action_list.delta ~view:(Query.View.name st.view)
+        ~state:txn.Update.Transaction.id delta
+    in
+    Sim.Engine.schedule_after st.engine (st.compute_latency ~batch:1)
+      (fun () ->
+        st.emit al;
+        st.busy <- false;
+        pump st)
+  end
+
+let create ~engine ~compute_latency ~initial ~view ~emit () =
+  let st =
+    { engine; compute_latency; view; emit; queue = Queue.create ();
+      cache = Database.restrict initial (Query.View.base_relations view);
+      busy = false }
+  in
+  { Vm.view; level = Vm.Complete;
+    receive =
+      (fun txn ->
+        Queue.push txn st.queue;
+        pump st);
+    flush = (fun () -> ());
+    needs_ticks = false;
+    pending = (fun () -> Queue.length st.queue + if st.busy then 1 else 0) }

@@ -1,0 +1,24 @@
+(** The complete view manager.
+
+    Processes one update at a time: for each relevant transaction [U_j] it
+    computes the exact incremental delta of its view against a local cache
+    of the base relations (maintained in update order), applies the
+    transaction to the cache, and emits [AL^x_j] after a simulated
+    computation latency. The emitted warehouse states pass through every
+    source state — the manager is complete (Section 2.2), which is what the
+    Simple Painting Algorithm requires.
+
+    The manager is a single-server queue: transactions arriving while one
+    is being processed wait, preserving order. Under high update rates the
+    queue grows — the effect benchmark P2 measures. *)
+
+val create :
+  engine:Sim.Engine.t ->
+  compute_latency:(batch:int -> float) ->
+  initial:Relational.Database.t ->
+  view:Query.View.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Vm.t
+(** [initial] must contain (at least) the view's base relations at source
+    state [ss_0]. [compute_latency ~batch:1] is sampled per update. *)

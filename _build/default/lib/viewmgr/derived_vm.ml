@@ -1,0 +1,86 @@
+open Relational
+
+type state = {
+  engine : Sim.Engine.t;
+  compute_latency : batch:int -> float;
+  aux : Query.View.t list;
+  view : Query.View.t;
+  over_aux : Query.Algebra.t;
+  emit : Query.Action_list.t -> unit;
+  queue : Update.Transaction.t Queue.t;
+  mutable base_cache : Database.t; (* base relations the aux views need *)
+  mutable aux_cache : Database.t; (* materialized auxiliary views *)
+  mutable busy : bool;
+}
+
+let rec pump st =
+  if (not st.busy) && not (Queue.is_empty st.queue) then begin
+    st.busy <- true;
+    let txn = Queue.pop st.queue in
+    let base_changes = Query.Delta.of_transaction txn in
+    (* Level 1: deltas of each auxiliary view from the base cache. *)
+    let aux_changes =
+      Query.Delta.changes_of_list
+        (List.map
+           (fun aux ->
+             ( Query.View.name aux,
+               Query.Delta.eval ~pre:st.base_cache base_changes
+                 aux.Query.View.def ))
+           st.aux)
+    in
+    (* Level 2: the primary view's delta over the materialized
+       auxiliaries. *)
+    let delta = Query.Delta.eval ~pre:st.aux_cache aux_changes st.over_aux in
+    st.base_cache <- Database.apply_relevant st.base_cache txn;
+    st.aux_cache <-
+      List.fold_left
+        (fun db aux ->
+          let name = Query.View.name aux in
+          let rel = Database.find db name in
+          Database.add name
+            (Relation.apply_delta (Query.Delta.change_for aux_changes name) rel)
+            db)
+        st.aux_cache st.aux;
+    let al =
+      Query.Action_list.delta ~view:(Query.View.name st.view)
+        ~state:txn.Update.Transaction.id delta
+    in
+    Sim.Engine.schedule_after st.engine (st.compute_latency ~batch:1)
+      (fun () ->
+        st.emit al;
+        st.busy <- false;
+        pump st)
+  end
+
+let create ~engine ~compute_latency ~initial ~aux ~view ~over_aux ~emit () =
+  let aux_names = List.map Query.View.name aux in
+  List.iter
+    (fun r ->
+      if not (List.mem r aux_names) then
+        invalid_arg
+          (Printf.sprintf
+             "Derived_vm: %s is not an auxiliary view of %s" r
+             (Query.View.name view)))
+    (Query.Algebra.base_relations over_aux);
+  let base_relations =
+    List.sort_uniq compare (List.concat_map Query.View.base_relations aux)
+  in
+  let base_cache = Database.restrict initial base_relations in
+  let aux_cache =
+    Database.of_list
+      (List.map
+         (fun a -> (Query.View.name a, Query.View.materialize base_cache a))
+         aux)
+  in
+  let st =
+    { engine; compute_latency; aux; view; over_aux; emit;
+      queue = Queue.create (); base_cache; aux_cache; busy = false }
+  in
+  { Vm.view; level = Vm.Complete;
+    receive =
+      (fun txn ->
+        Queue.push txn st.queue;
+        pump st);
+    flush = (fun () -> ());
+    needs_ticks = false;
+    pending = (fun () -> Queue.length st.queue + if st.busy then 1 else 0) }

@@ -1,0 +1,36 @@
+(** Maintenance through auxiliary views (references [12] and [8] of the
+    paper — Ross/Srivastava/Sudarshan's space-for-time trade and
+    Labio/Quass/Adelberg's physical design).
+
+    "In order to maintain [V = R |><| S |><| T], the algorithm might
+    choose to materialize relations [R |><| S] and [S |><| T] and compute
+    V from them. The two sub-views must be consistent with each other
+    whenever V is computed" (Section 1.1) — the paper's flagship example
+    of an application {e requiring} MVC.
+
+    This manager maintains a primary view defined {e over auxiliary
+    views}: on each source transaction it first computes the auxiliary
+    views' deltas from its base-relation cache, then feeds those deltas
+    into the primary definition's delta — two cheap delta evaluations over
+    pre-joined materializations instead of one expensive evaluation over
+    the full base join (the ablation in the micro-benchmarks quantifies
+    the gap). The emitted action lists are exactly those of a complete
+    manager, so the merge algorithms are unaffected. *)
+
+val create :
+  engine:Sim.Engine.t ->
+  compute_latency:(batch:int -> float) ->
+  initial:Relational.Database.t ->
+  aux:Query.View.t list ->
+  view:Query.View.t ->
+  over_aux:Query.Algebra.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Vm.t
+(** [aux] are the auxiliary view definitions (over base relations);
+    [over_aux] defines the primary view with the auxiliary view {e names}
+    as its base relations. [view] is the primary view as known to the rest
+    of the system (its definition over base relations is used for
+    relevance only; maintenance goes through [over_aux]).
+    @raise Invalid_argument if [over_aux] mentions a name that is not an
+    auxiliary view. *)

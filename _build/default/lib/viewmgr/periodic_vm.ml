@@ -1,0 +1,64 @@
+open Relational
+
+type state = {
+  engine : Sim.Engine.t;
+  period : float;
+  compute_latency : batch:int -> float;
+  view : Query.View.t;
+  emit : Query.Action_list.t -> unit;
+  mutable cache : Database.t;
+  mutable last_received : int;
+  mutable covered : int; (* last update id reflected in an emitted refresh *)
+  mutable uncovered_count : int;
+  mutable timer_armed : bool;
+  mutable busy : bool;
+}
+
+let refresh st k =
+  st.busy <- true;
+  let state = st.last_received in
+  let batch = st.uncovered_count in
+  let contents =
+    Relation.contents (Query.View.materialize st.cache st.view)
+  in
+  let al =
+    Query.Action_list.refresh ~view:(Query.View.name st.view) ~state contents
+  in
+  Sim.Engine.schedule_after st.engine (st.compute_latency ~batch) (fun () ->
+      st.emit al;
+      st.covered <- state;
+      st.uncovered_count <- 0;
+      st.busy <- false;
+      k ())
+
+let rec arm_timer st =
+  if (not st.timer_armed) && (not st.busy) && st.last_received > st.covered
+  then begin
+    st.timer_armed <- true;
+    Sim.Engine.schedule_after st.engine st.period (fun () ->
+        st.timer_armed <- false;
+        if (not st.busy) && st.last_received > st.covered then
+          refresh st (fun () -> arm_timer st))
+  end
+
+let create ~engine ~period ~compute_latency ~initial ~view ~emit () =
+  if period <= 0.0 then invalid_arg "Periodic_vm.create: period <= 0";
+  let st =
+    { engine; period; compute_latency; view; emit;
+      cache = Database.restrict initial (Query.View.base_relations view);
+      last_received = 0; covered = 0; uncovered_count = 0;
+      timer_armed = false; busy = false }
+  in
+  { Vm.view; level = Vm.Strongly_consistent;
+    receive =
+      (fun txn ->
+        st.cache <- Database.apply_relevant st.cache txn;
+        st.last_received <- txn.Update.Transaction.id;
+        st.uncovered_count <- st.uncovered_count + 1;
+        arm_timer st);
+    flush =
+      (fun () ->
+        if (not st.busy) && st.last_received > st.covered then
+          refresh st (fun () -> ()));
+    needs_ticks = false;
+    pending = (fun () -> st.uncovered_count) }

@@ -1,0 +1,25 @@
+(** The periodic-refresh view manager (Section 6.3).
+
+    "A view manager may do periodical refreshing instead of incremental
+    maintenance. Such a view manager will appear to the merge process as
+    if it were an ordinary strongly consistent view manager. The action
+    lists from this view manager will tell the warehouse to delete the
+    entire old view and insert tuples of the new view."
+
+    The manager keeps a base-relation cache (updated immediately as
+    transactions arrive) and, on a period boundary after uncovered updates
+    exist, emits a [Refresh] action list carrying the full recomputed view,
+    with [state] = the id of the last received transaction. Refresh timers
+    are armed lazily (only while uncovered updates exist), so an idle
+    system drains. *)
+
+val create :
+  engine:Sim.Engine.t ->
+  period:float ->
+  compute_latency:(batch:int -> float) ->
+  initial:Relational.Database.t ->
+  view:Query.View.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Vm.t
+(** @raise Invalid_argument if [period <= 0]. *)

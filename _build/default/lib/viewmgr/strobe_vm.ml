@@ -1,0 +1,74 @@
+open Relational
+
+type state = {
+  view : Query.View.t;
+  query : Query.Algebra.t -> ((Bag.t * int) -> unit) -> unit;
+  emit : Query.Action_list.t -> unit;
+  mutable high : int; (* last transaction id seen (ticks included) *)
+  mutable covered : int; (* last id reflected in an emitted refresh *)
+  mutable last_relevant : int; (* last relevant id received *)
+  mutable uncovered : int list; (* relevant ids > covered, descending *)
+  mutable outstanding : bool;
+  mutable held_answer : (Bag.t * int) option;
+}
+
+(* Emit the held answer once the update stream has caught up with the
+   version the sources reported; otherwise keep holding. *)
+let rec settle st =
+  match st.held_answer with
+  | Some (contents, version) when st.high >= version ->
+    st.held_answer <- None;
+    let state =
+      (* The view is unchanged between the last relevant update <= version
+         and [version] itself, so the refresh names a row the merge
+         actually has. *)
+      List.fold_left
+        (fun acc id -> if id <= version then max acc id else acc)
+        st.covered st.uncovered
+    in
+    if state > st.covered then
+      st.emit
+        (Query.Action_list.refresh ~view:(Query.View.name st.view) ~state
+           contents);
+    st.covered <- max st.covered version;
+    st.uncovered <- List.filter (fun id -> id > version) st.uncovered;
+    maybe_query st
+  | Some _ | None -> ()
+
+and maybe_query st =
+  if (not st.outstanding) && st.held_answer = None && st.uncovered <> []
+  then begin
+    st.outstanding <- true;
+    st.query st.view.Query.View.def (fun (contents, version) ->
+        st.outstanding <- false;
+        st.held_answer <- Some (contents, version);
+        settle st)
+  end
+
+let create ~engine:_ ~query ~view ~emit () =
+  let st =
+    { view; query; emit; high = 0; covered = 0; last_relevant = 0;
+      uncovered = []; outstanding = false; held_answer = None }
+  in
+  { Vm.view; level = Vm.Strongly_consistent;
+    receive =
+      (fun txn ->
+        let id = txn.Update.Transaction.id in
+        st.high <- max st.high id;
+        let relevant =
+          List.exists
+            (fun r -> Query.View.uses st.view r)
+            (Update.Transaction.relations txn)
+        in
+        if relevant && id > st.covered then begin
+          st.last_relevant <- max st.last_relevant id;
+          st.uncovered <- id :: st.uncovered
+        end;
+        settle st;
+        maybe_query st);
+    flush = (fun () -> ());
+    needs_ticks = true;
+    pending =
+      (fun () ->
+        List.length st.uncovered + (if st.outstanding then 1 else 0)
+        + match st.held_answer with Some _ -> 1 | None -> 0) }

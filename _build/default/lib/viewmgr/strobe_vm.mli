@@ -1,0 +1,38 @@
+(** A Strobe-style source-querying view manager.
+
+    The paper's strongly consistent managers are the Strobe algorithms of
+    Zhuge et al. [17]: they keep no local copy of base data and instead
+    send queries back to the autonomous sources; because sources answer
+    with their {e current} state, answers can reflect updates the manager
+    has not yet processed, and the manager must account for this
+    intertwining before telling the warehouse anything.
+
+    This implementation captures that behaviour with version-tagged
+    answers: when uncovered updates exist (and no query is outstanding),
+    the manager asks the sources to evaluate the whole view; the answer
+    arrives after a round-trip latency tagged with the global transaction
+    id [q] it reflects. The manager holds the answer until its own update
+    stream has caught up to [q] (it watches every transaction id — hence
+    [needs_ticks]), then emits a [Refresh] action list with
+    [state =] the last {e relevant} id [<= q]. Every uncovered update with
+    id [<= q] is thereby covered by one action list — the batching of
+    intertwined updates the Painting Algorithm handles. Updates that
+    arrived after [q] trigger the next query.
+
+    Compared to real Strobe this substitutes a full recompute plus version
+    tag for per-update compensating queries; the message pattern, the
+    consistency level (strongly consistent, not complete), and the
+    batching behaviour under load are the same (see DESIGN.md). *)
+
+val create :
+  engine:Sim.Engine.t ->
+  query:(Query.Algebra.t -> ((Relational.Bag.t * int) -> unit) -> unit) ->
+  view:Query.View.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Vm.t
+(** [query expr k] must evaluate [expr] against the current source state
+    (after a simulated round trip) and call [k (contents, version)] where
+    [version] is the id of the last source transaction reflected in
+    [contents]. The system assembly provides this wired to
+    {!Source.Sources} with channel latencies. *)

@@ -1,0 +1,20 @@
+type level = Complete | Strongly_consistent | Convergent | Complete_n of int
+
+type t = {
+  view : Query.View.t;
+  level : level;
+  receive : Relational.Update.Transaction.t -> unit;
+  flush : unit -> unit;
+  needs_ticks : bool;
+  pending : unit -> int;
+}
+
+let name t = Query.View.name t.view
+
+let level_name = function
+  | Complete -> "complete"
+  | Strongly_consistent -> "strongly-consistent"
+  | Convergent -> "convergent"
+  | Complete_n n -> Printf.sprintf "complete-%d" n
+
+let pp_level ppf l = Fmt.string ppf (level_name l)

@@ -1,0 +1,1 @@
+lib/warehouse/reader.ml: Query Store

@@ -1,0 +1,1 @@
+lib/warehouse/reader.mli: Query Relational Store

@@ -1,0 +1,1 @@
+lib/warehouse/store.ml: Database List Query Relation Relational Wt

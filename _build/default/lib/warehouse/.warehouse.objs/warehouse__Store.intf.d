@@ -1,0 +1,1 @@
+lib/warehouse/store.mli: Database Relation Relational Wt

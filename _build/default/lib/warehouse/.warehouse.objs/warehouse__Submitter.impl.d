@@ -1,0 +1,1 @@
+lib/warehouse/submitter.ml: List Printf Sim Store Wt

@@ -1,0 +1,1 @@
+lib/warehouse/submitter.mli: Sim Store Wt

@@ -1,0 +1,1 @@
+lib/warehouse/wt.ml: Action_list Fmt Int List Query

@@ -1,0 +1,1 @@
+lib/warehouse/wt.mli: Action_list Format Query

@@ -1,0 +1,6 @@
+
+let snapshot_db store = Store.snapshot store
+
+let query store expr = Query.Eval.eval (Store.snapshot store) expr
+
+let query_as_of store ~time expr = Query.Eval.eval (Store.as_of store time) expr

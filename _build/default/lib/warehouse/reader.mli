@@ -1,0 +1,24 @@
+(** Reading the warehouse: consistent queries over the materialized views.
+
+    The paper's motivation for MVC is precisely this interface: "when the
+    customer calls with a question, we would like to be able to read her
+    data consistently" (Section 1.1). A reader query is an algebra
+    expression whose base relations are the *view names*; it is evaluated
+    against one warehouse state vector, so under SPA/PA it always observes
+    a mutually consistent snapshot. [query_as_of] evaluates against the
+    state visible at an earlier instant — the warehouse as a store of
+    historical data (Section 1's "storing historical data or backup
+    data"). *)
+
+
+
+val snapshot_db : Store.t -> Relational.Database.t
+(** The current warehouse state, views as base relations. *)
+
+val query : Store.t -> Query.Algebra.t -> Relational.Relation.t
+(** Evaluate against the current warehouse state.
+    @raise Database.Unknown_relation if the expression names something
+    that is not a view. *)
+
+val query_as_of : Store.t -> time:float -> Query.Algebra.t -> Relational.Relation.t
+(** Evaluate against the state visible at [time]. *)

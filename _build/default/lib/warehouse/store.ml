@@ -1,0 +1,54 @@
+open Relational
+
+type commit = { time : float; transaction : Wt.t; state : Database.t }
+
+type t = {
+  initial : Database.t;
+  mutable current : Database.t;
+  mutable rev_commits : commit list;
+  mutable commit_count : int;
+}
+
+exception Unknown_view of string
+
+let create bindings =
+  let db = Database.of_list bindings in
+  { initial = db; current = db; rev_commits = []; commit_count = 0 }
+
+let views t = Database.names t.current
+
+let view t name =
+  match Database.find_opt t.current name with
+  | Some rel -> rel
+  | None -> raise (Unknown_view name)
+
+let snapshot t = t.current
+
+let initial t = t.initial
+
+let apply_action db (al : Query.Action_list.t) =
+  match Database.find_opt db al.view with
+  | None -> raise (Unknown_view al.view)
+  | Some rel ->
+    let contents = Query.Action_list.apply al (Relation.contents rel) in
+    Database.add al.view (Relation.with_contents rel contents) db
+
+let apply t ?(time = 0.0) (wt : Wt.t) =
+  let db = List.fold_left apply_action t.current wt.actions in
+  t.current <- db;
+  t.rev_commits <- { time; transaction = wt; state = db } :: t.rev_commits;
+  t.commit_count <- t.commit_count + 1
+
+let commits t = List.rev t.rev_commits
+
+let commit_count t = t.commit_count
+
+let states t = t.initial :: List.rev_map (fun c -> c.state) t.rev_commits
+
+let as_of t time =
+  (* rev_commits is newest first. *)
+  let rec find = function
+    | [] -> t.initial
+    | c :: older -> if c.time <= time then c.state else find older
+  in
+  find t.rev_commits

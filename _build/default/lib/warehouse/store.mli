@@ -1,0 +1,53 @@
+(** The warehouse view store.
+
+    Holds the materialized views and applies warehouse transactions
+    atomically, recording the full warehouse state sequence
+    [ws_0, ws_1, ..., ws_q] (Section 2.3: a warehouse state is a vector
+    with one element per view). The recorded history is what the
+    consistency oracle inspects. *)
+
+open Relational
+
+type commit = {
+  time : float;  (** Simulated commit time (0 outside a simulation). *)
+  transaction : Wt.t;
+  state : Database.t;  (** The warehouse state vector after the commit. *)
+}
+
+type t
+
+exception Unknown_view of string
+
+val create : (string * Relation.t) list -> t
+(** Initial materializations, one per view. *)
+
+val views : t -> string list
+
+val view : t -> string -> Relation.t
+(** @raise Unknown_view if absent. *)
+
+val snapshot : t -> Database.t
+(** Current warehouse state vector (views as a database). *)
+
+val initial : t -> Database.t
+(** [ws_0]. *)
+
+val apply : t -> ?time:float -> Wt.t -> unit
+(** Apply a warehouse transaction atomically: every action list in order,
+    then record the new state.
+    @raise Unknown_view if an action list targets an unknown view. *)
+
+val commits : t -> commit list
+(** Committed transactions, oldest first. *)
+
+val commit_count : t -> int
+
+val states : t -> Database.t list
+(** [ws_0 ... ws_q]: initial state followed by the state after each
+    commit. *)
+
+val as_of : t -> float -> Database.t
+(** The warehouse state visible at a given (simulated) time: the state
+    produced by the last commit at or before that instant ([ws_0] before
+    any commit). Because states are persistent snapshots this is O(log n)
+    bookkeeping and O(1) data. *)

@@ -1,0 +1,102 @@
+type policy = Serial | Dependency | Batched of int
+
+type entry = { wt : Wt.t; mutable committing : bool }
+
+type t = {
+  engine : Sim.Engine.t;
+  policy : policy;
+  commit_latency : unit -> float;
+  batch_timeout : float;
+  store : Store.t;
+  on_commit : Wt.t -> unit;
+  mutable queue : entry list; (* submission order: oldest first *)
+  mutable batch : Wt.t list; (* reversed accumulation, Batched only *)
+  mutable batch_flush_scheduled : bool;
+  mutable busy : bool; (* Serial / Batched: a commit in progress *)
+  mutable committed : int;
+}
+
+let create engine ~policy ~commit_latency ?(batch_timeout = 0.05) ~store
+    ?(on_commit = fun _ -> ()) () =
+  { engine; policy; commit_latency; batch_timeout; store; on_commit;
+    queue = []; batch = []; batch_flush_scheduled = false; busy = false;
+    committed = 0 }
+
+let finish_commit t entry =
+  t.queue <- List.filter (fun e -> e != entry) t.queue;
+  Store.apply t.store ~time:(Sim.Engine.now t.engine) entry.wt;
+  t.committed <- t.committed + 1;
+  t.on_commit entry.wt
+
+let start_commit t entry ~after =
+  entry.committing <- true;
+  Sim.Engine.schedule_after t.engine (t.commit_latency ()) (fun () ->
+      finish_commit t entry;
+      after ())
+
+(* Serial: commit the head of the queue, one at a time. *)
+let rec pump_serial t =
+  if not t.busy then
+    match t.queue with
+    | [] -> ()
+    | entry :: _ ->
+      t.busy <- true;
+      start_commit t entry ~after:(fun () ->
+          t.busy <- false;
+          pump_serial t)
+
+(* Dependency: an entry may commit when no earlier outstanding entry shares
+   a view with it. *)
+let rec pump_dependency t =
+  let rec eligible earlier = function
+    | [] -> None
+    | entry :: rest ->
+      if
+        (not entry.committing)
+        && not (List.exists (fun e -> Wt.depends_on entry.wt e.wt) earlier)
+      then Some entry
+      else eligible (entry :: earlier) rest
+  in
+  match eligible [] t.queue with
+  | None -> ()
+  | Some entry ->
+    start_commit t entry ~after:(fun () -> pump_dependency t);
+    (* Several independent entries may be eligible at once. *)
+    pump_dependency t
+
+let flush_batch t =
+  match List.rev t.batch with
+  | [] -> ()
+  | wts ->
+    t.batch <- [];
+    let bwt = Wt.batch wts in
+    let entry = { wt = bwt; committing = false } in
+    t.queue <- t.queue @ [ entry ];
+    pump_serial t
+
+let submit t wt =
+  match t.policy with
+  | Serial ->
+    t.queue <- t.queue @ [ { wt; committing = false } ];
+    pump_serial t
+  | Dependency ->
+    t.queue <- t.queue @ [ { wt; committing = false } ];
+    pump_dependency t
+  | Batched size ->
+    t.batch <- wt :: t.batch;
+    if List.length t.batch >= size then flush_batch t
+    else if not t.batch_flush_scheduled then begin
+      t.batch_flush_scheduled <- true;
+      Sim.Engine.schedule_after t.engine t.batch_timeout (fun () ->
+          t.batch_flush_scheduled <- false;
+          flush_batch t)
+    end
+
+let outstanding t = List.length t.queue + List.length t.batch
+
+let committed t = t.committed
+
+let policy_name = function
+  | Serial -> "serial"
+  | Dependency -> "dependency"
+  | Batched n -> Printf.sprintf "batched-%d" n

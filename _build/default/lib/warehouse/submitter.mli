@@ -1,0 +1,49 @@
+(** Commit sequencing of warehouse transactions (Section 4.3).
+
+    The merge process emits warehouse transactions in a correct order, but
+    the warehouse DBMS could still commit independent submissions out of
+    order; dependent transactions (intersecting view sets) must commit in
+    submission order or MVC is violated. The paper sketches three
+    solutions, all implemented here as policies:
+
+    - [Serial]: submit one transaction at a time, waiting for the commit —
+      simplest, no intra-warehouse concurrency.
+    - [Dependency]: only sequence *dependent* transactions; independent
+      ones commit concurrently.
+    - [Batched n]: combine up to [n] pending transactions into one batched
+      warehouse transaction (BWT), preserving order. Batching eliminates
+      intra-batch dependencies but downgrades completeness to strong
+      consistency, since one BWT advances the warehouse by several states.
+
+    The submitter runs on the simulation engine: each commit occupies the
+    warehouse for a sampled latency. *)
+
+type policy = Serial | Dependency | Batched of int
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  policy:policy ->
+  commit_latency:(unit -> float) ->
+  ?batch_timeout:float ->
+  store:Store.t ->
+  ?on_commit:(Wt.t -> unit) ->
+  unit ->
+  t
+(** [batch_timeout] (default 0.05 simulated seconds) bounds how long a
+    partially filled batch may wait before being flushed; only meaningful
+    for [Batched]. [on_commit] fires after the store has applied the
+    transaction. *)
+
+val submit : t -> Wt.t -> unit
+(** Hand a warehouse transaction to the warehouse. Returns immediately;
+    the commit happens later in simulated time per the policy. *)
+
+val outstanding : t -> int
+(** Transactions submitted but not yet committed (including batched ones
+    waiting for their batch). *)
+
+val committed : t -> int
+
+val policy_name : policy -> string

@@ -1,0 +1,1 @@
+lib/whips/metrics.ml: Fmt Sim

@@ -1,0 +1,1 @@
+lib/whips/metrics.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/whips/system.ml: Array Consistency Database Fmt Hashtbl Integrator List Metrics Mvc Query Queue Relation Relational Sim Source String Update Viewmgr Warehouse Workload

@@ -1,0 +1,1 @@
+lib/whips/system.mli: Consistency Metrics Query Relational Source Warehouse Workload

@@ -1,0 +1,29 @@
+type t = {
+  staleness : Sim.Stats.Summary.t;
+  merge_held : Sim.Stats.Summary.t;
+  merge_live_rows : Sim.Stats.Summary.t;
+  vm_queue : Sim.Stats.Summary.t;
+  mutable transactions : int;
+  mutable commits : int;
+  mutable actions_applied : int;
+  mutable completed_at : float;
+}
+
+let create () =
+  { staleness = Sim.Stats.Summary.create ();
+    merge_held = Sim.Stats.Summary.create ();
+    merge_live_rows = Sim.Stats.Summary.create ();
+    vm_queue = Sim.Stats.Summary.create ();
+    transactions = 0; commits = 0; actions_applied = 0; completed_at = 0.0 }
+
+let throughput t =
+  if t.completed_at <= 0.0 then 0.0
+  else float_of_int t.transactions /. t.completed_at
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>txns=%d commits=%d actions=%d completed=%.3fs tput=%.2f/s@ \
+     staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@]"
+    t.transactions t.commits t.actions_applied t.completed_at (throughput t)
+    Sim.Stats.Summary.pp t.staleness Sim.Stats.Summary.pp t.merge_held
+    Sim.Stats.Summary.pp t.merge_live_rows Sim.Stats.Summary.pp t.vm_queue

@@ -1,0 +1,28 @@
+(** Run metrics collected by the system assembly — the quantities the
+    paper's Section 7 proposes to study: the effect of merging on view
+    freshness, and the load at which the merge process becomes a
+    bottleneck. *)
+
+type t = {
+  staleness : Sim.Stats.Summary.t;
+      (** Per covered update: warehouse commit time minus source commit
+          time — how long the update's effect took to become visible. *)
+  merge_held : Sim.Stats.Summary.t;
+      (** Action lists held at the merge, sampled after each merge event. *)
+  merge_live_rows : Sim.Stats.Summary.t;
+      (** Live VUT rows, sampled after each merge event. *)
+  vm_queue : Sim.Stats.Summary.t;
+      (** Pending work across view managers, sampled on update routing. *)
+  mutable transactions : int;  (** Source transactions executed. *)
+  mutable commits : int;  (** Warehouse transactions committed. *)
+  mutable actions_applied : int;  (** Elementary view operations applied. *)
+  mutable completed_at : float;  (** Simulated time when the run drained. *)
+}
+
+val create : unit -> t
+
+val throughput : t -> float
+(** Source transactions per simulated second (0 for an instantaneous
+    run). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,614 @@
+open Relational
+
+type vm_kind =
+  | Complete_vm
+  | Batching_vm
+  | Strobe_vm
+  | Periodic_vm of float
+  | Convergent_vm
+  | Complete_n_vm of int
+  | Derived_vm of {
+      aux : Query.View.t list;
+      over_aux : Query.Algebra.t;
+    }
+
+type merge_kind =
+  | Auto
+  | Force_spa
+  | Force_pa
+  | Force_passthrough
+  | Force_holdall
+  | Sequential
+
+type rel_routing = Direct | Via_manager
+
+type arrival = All_at_once | Uniform of float | Poisson of float
+
+type fault = Drop_action_list of { view : string; nth : int }
+
+type latencies = {
+  message : float;
+  compute : float;
+  commit : float;
+  query_roundtrip : float;
+  merge : float;
+}
+
+let default_latencies =
+  { message = 0.002; compute = 0.01; commit = 0.005; query_roundtrip = 0.02;
+    merge = 0.0005 }
+
+type config = {
+  scenario : Workload.Scenarios.t;
+  vm_kind : vm_kind;
+  vm_overrides : (string * vm_kind) list;
+  merge_kind : merge_kind;
+  submit : Warehouse.Submitter.policy;
+  arrival : arrival;
+  latencies : latencies;
+  merge_groups : int option;
+  semantic_filter : bool;
+  rel_routing : rel_routing;
+  optimize_views : bool;
+  fault : fault option;
+  record_timeline : bool;
+  seed : int;
+}
+
+let default scenario =
+  { scenario; vm_kind = Complete_vm; vm_overrides = []; merge_kind = Auto;
+    submit = Warehouse.Submitter.Serial; arrival = Uniform 0.05;
+    latencies = default_latencies; merge_groups = None;
+    semantic_filter = false; rel_routing = Direct; optimize_views = false;
+    fault = None; record_timeline = false; seed = 1 }
+
+type result = {
+  config : config;
+  store : Warehouse.Store.t;
+  sources : Source.Sources.t;
+  transactions : Update.Transaction.t list;
+  metrics : Metrics.t;
+  merge_algorithm : string;
+  timeline : (float * string) list;
+  stuck : bool;
+}
+
+exception Stuck of string
+
+let kind_of cfg view =
+  match List.assoc_opt (Query.View.name view) cfg.vm_overrides with
+  | Some kind -> kind
+  | None -> cfg.vm_kind
+
+let level_of = function
+  | Complete_vm | Derived_vm _ -> Viewmgr.Vm.Complete
+  | Batching_vm | Strobe_vm | Periodic_vm _ -> Viewmgr.Vm.Strongly_consistent
+  | Convergent_vm -> Viewmgr.Vm.Convergent
+  | Complete_n_vm n -> Viewmgr.Vm.Complete_n n
+
+(* Section 6.3: "it is always possible to use the merge algorithm
+   corresponding to the view manager guaranteeing the weakest level of
+   consistency". *)
+let auto_algorithm levels =
+  let weakest acc level =
+    match (acc, level) with
+    | Mvc.Merge.Passthrough, _ | _, Viewmgr.Vm.Convergent ->
+      Mvc.Merge.Passthrough
+    | Mvc.Merge.Pa, _
+    | _, (Viewmgr.Vm.Strongly_consistent | Viewmgr.Vm.Complete_n _) ->
+      Mvc.Merge.Pa
+    | Mvc.Merge.Spa, Viewmgr.Vm.Complete -> Mvc.Merge.Spa
+    | Mvc.Merge.Holdall, _ ->
+      (* Never chosen automatically; present for exhaustiveness. *)
+      Mvc.Merge.Holdall
+  in
+  List.fold_left weakest Mvc.Merge.Spa levels
+
+let algorithm_for cfg levels =
+  match cfg.merge_kind with
+  | Auto -> auto_algorithm levels
+  | Force_spa -> Mvc.Merge.Spa
+  | Force_pa -> Mvc.Merge.Pa
+  | Force_passthrough -> Mvc.Merge.Passthrough
+  | Force_holdall -> Mvc.Merge.Holdall
+  | Sequential -> assert false
+
+(* Schedule the scenario script along the configured arrival process. *)
+let schedule_script engine rng cfg ~execute =
+  let clock = ref 0.0 in
+  List.iter
+    (fun updates ->
+      let at =
+        match cfg.arrival with
+        | All_at_once -> 0.0
+        | Uniform gap ->
+          clock := !clock +. gap;
+          !clock
+        | Poisson rate ->
+          clock := !clock +. Sim.Rng.exponential rng ~mean:(1.0 /. rate);
+          !clock
+      in
+      Sim.Engine.schedule_at engine at (fun () -> execute updates))
+    cfg.scenario.Workload.Scenarios.script
+
+(* Returns false when the system cannot make progress any more (the event
+   queue is empty, every manager flushed, and something is still
+   outstanding). *)
+let drain engine ~flushes ~drained =
+  let rec loop guard =
+    Sim.Engine.run engine;
+    List.iter (fun flush -> flush ()) flushes;
+    Sim.Engine.run engine;
+    if drained () then true else if guard = 0 then false else loop (guard - 1)
+  in
+  loop 1000
+
+(* The Section 1.1 baseline: one process, sequential handling of updates,
+   one warehouse transaction per update, waiting for each commit. *)
+let effective_views cfg schemas =
+  if cfg.optimize_views then
+    List.map
+      (fun v ->
+        Query.View.make (Query.View.name v)
+          (Query.Optimize.optimize ~schemas v.Query.View.def))
+      cfg.scenario.Workload.Scenarios.views
+  else cfg.scenario.views
+
+let run_sequential cfg =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create cfg.seed in
+  let arrival_rng = Sim.Rng.split rng in
+  let lat_rng = Sim.Rng.split rng in
+  let sources = Workload.Scenarios.sources cfg.scenario in
+  let views = effective_views cfg (Source.Sources.schema_lookup sources) in
+  let initial_db = Source.Sources.initial sources in
+  let store =
+    Warehouse.Store.create
+      (List.map
+         (fun v -> (Query.View.name v, Query.View.materialize initial_db v))
+         views)
+  in
+  let metrics = Metrics.create () in
+  let arrival_times = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let busy = ref false in
+  let cache = ref initial_db in
+  let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  let rec pump () =
+    if (not !busy) && not (Queue.is_empty queue) then begin
+      busy := true;
+      let txn = Queue.pop queue in
+      let changes = Query.Delta.of_transaction txn in
+      let relevant =
+        List.filter
+          (fun v ->
+            List.exists
+              (fun r -> Query.View.uses v r)
+              (Update.Transaction.relations txn))
+          views
+      in
+      let actions =
+        List.map
+          (fun v ->
+            let delta = Query.Delta.eval ~pre:!cache changes v.Query.View.def in
+            Query.Action_list.delta ~view:(Query.View.name v)
+              ~state:txn.Update.Transaction.id delta)
+          relevant
+      in
+      cache := Database.apply_transaction !cache txn;
+      (* Deltas for all views are computed one after the other by the same
+         process — the whole point of the strawman's slowness. *)
+      let compute_time =
+        List.fold_left
+          (fun acc _ -> acc +. sample cfg.latencies.compute)
+          0.0 relevant
+      in
+      Sim.Engine.schedule_after engine (compute_time +. sample cfg.latencies.commit)
+        (fun () ->
+          if actions <> [] then begin
+            let wt = Warehouse.Wt.make ~rows:[ txn.id ] actions in
+            Warehouse.Store.apply store ~time:(Sim.Engine.now engine) wt;
+            metrics.Metrics.commits <- metrics.Metrics.commits + 1;
+            metrics.Metrics.actions_applied <-
+              metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+            (match Hashtbl.find_opt arrival_times txn.id with
+            | Some t0 ->
+              Sim.Stats.Summary.add metrics.Metrics.staleness
+                (Sim.Engine.now engine -. t0)
+            | None -> ())
+          end;
+          busy := false;
+          pump ())
+    end
+  in
+  let integrator_chan =
+    Sim.Channel.create engine ~name:"sources->seq"
+      ~latency:(fun () -> sample cfg.latencies.message)
+      (fun txn ->
+        Queue.push txn queue;
+        pump ())
+  in
+  schedule_script engine arrival_rng cfg ~execute:(fun updates ->
+      let txn = Source.Sources.execute sources updates in
+      metrics.Metrics.transactions <- metrics.Metrics.transactions + 1;
+      Hashtbl.replace arrival_times txn.Update.Transaction.id
+        (Sim.Engine.now engine);
+      Sim.Channel.send integrator_chan txn);
+  let ok =
+    drain engine ~flushes:[]
+      ~drained:(fun () -> (not !busy) && Queue.is_empty queue)
+  in
+  if not ok then
+    raise (Stuck "sequential baseline failed to drain");
+  metrics.Metrics.completed_at <- Sim.Engine.now engine;
+  { config = cfg; store; sources;
+    transactions = Source.Sources.transactions sources; metrics;
+    merge_algorithm = "sequential"; timeline = []; stuck = false }
+
+(* A single-threaded service queue: the merge process handles one message
+   at a time, each costing a sampled latency. This is what lets benchmark
+   P2 observe the merge becoming a bottleneck (Section 7's question). *)
+let make_server engine ~latency =
+  let queue = Queue.create () in
+  let busy = ref false in
+  let rec pump () =
+    if (not !busy) && not (Queue.is_empty queue) then begin
+      busy := true;
+      let job = Queue.pop queue in
+      Sim.Engine.schedule_after engine (latency ()) (fun () ->
+          job ();
+          busy := false;
+          pump ())
+    end
+  in
+  let submit job =
+    Queue.push job queue;
+    pump ()
+  in
+  let pending () = Queue.length queue + if !busy then 1 else 0 in
+  (submit, pending)
+
+let run_pipelined cfg =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create cfg.seed in
+  let arrival_rng = Sim.Rng.split rng in
+  let lat_rng = Sim.Rng.split rng in
+  let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  let sources = Workload.Scenarios.sources cfg.scenario in
+  let schemas = Source.Sources.schema_lookup sources in
+  let views = effective_views cfg schemas in
+  let initial_db = Source.Sources.initial sources in
+  let store =
+    Warehouse.Store.create
+      (List.map
+         (fun v -> (Query.View.name v, Query.View.materialize initial_db v))
+         views)
+  in
+  let metrics = Metrics.create () in
+  let arrival_times = Hashtbl.create 64 in
+  let timeline = ref [] in
+  let record fmt =
+    Fmt.kstr
+      (fun msg ->
+        if cfg.record_timeline then
+          timeline := (Sim.Engine.now engine, msg) :: !timeline)
+      fmt
+  in
+  let submitter =
+    Warehouse.Submitter.create engine ~policy:cfg.submit
+      ~commit_latency:(fun () -> sample cfg.latencies.commit)
+      ~store
+      ~on_commit:(fun wt ->
+        record "warehouse commit: rows [%a] -> views {%s}"
+          (Fmt.list ~sep:Fmt.comma Fmt.int)
+          wt.Warehouse.Wt.rows
+          (String.concat ", " (Warehouse.Wt.views wt));
+        metrics.Metrics.commits <- metrics.Metrics.commits + 1;
+        metrics.Metrics.actions_applied <-
+          metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+        List.iter
+          (fun row ->
+            match Hashtbl.find_opt arrival_times row with
+            | Some t0 ->
+              Sim.Stats.Summary.add metrics.Metrics.staleness
+                (Sim.Engine.now engine -. t0)
+            | None -> ())
+          wt.Warehouse.Wt.rows)
+      ()
+  in
+  (* Merge processes: one per group (Section 6.1), or a single one. *)
+  let groups =
+    match cfg.merge_groups with
+    | None -> [ views ]
+    | Some k -> Mvc.Partition.coarsen ~max_groups:k (Mvc.Partition.groups views)
+  in
+  let levels = List.map (fun v -> level_of (kind_of cfg v)) views in
+  let algorithm = algorithm_for cfg levels in
+  let merges =
+    List.map
+      (fun group ->
+        Mvc.Merge.create algorithm
+          ~views:(List.map Query.View.name group)
+          ~emit:(fun wt -> Warehouse.Submitter.submit submitter wt))
+      groups
+  in
+  (* One service queue per merge process: messages from the REL channel and
+     every view manager's AL channel are handled one at a time. *)
+  let merge_servers =
+    List.map
+      (fun _ -> make_server engine ~latency:(fun () -> sample cfg.latencies.merge))
+      merges
+  in
+  let merge_server_of =
+    let table = Hashtbl.create 8 in
+    List.iteri (fun i m -> Hashtbl.replace table i m) merge_servers;
+    fun gi -> fst (Hashtbl.find table gi)
+  in
+  let merge_servers_pending () =
+    List.fold_left (fun acc (_, pending) -> acc + pending ()) 0 merge_servers
+  in
+  let sample_merge_metrics () =
+    let held =
+      List.fold_left (fun acc m -> acc + Mvc.Merge.held_action_lists m) 0 merges
+    in
+    let rows =
+      List.fold_left (fun acc m -> acc + Mvc.Merge.live_rows m) 0 merges
+    in
+    Sim.Stats.Summary.add metrics.Metrics.merge_held (float_of_int held);
+    Sim.Stats.Summary.add metrics.Metrics.merge_live_rows (float_of_int rows)
+  in
+  (* View managers and their AL channels to the owning merge. *)
+  let merge_of_view =
+    let table = Hashtbl.create 16 in
+    List.iteri
+      (fun gi group ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace table (Query.View.name v) (List.nth merges gi, gi))
+          group)
+      groups;
+    fun name -> Hashtbl.find table name
+  in
+  let remote_query expr k =
+    (* Request travel, evaluation at the source's then-current state,
+       answer travel. *)
+    Sim.Engine.schedule_after engine (sample (cfg.latencies.query_roundtrip /. 2.))
+      (fun () ->
+        let contents = Relation.contents (Source.Sources.query sources expr) in
+        let version = Source.Sources.last_id sources in
+        Sim.Engine.schedule_after engine
+          (sample (cfg.latencies.query_roundtrip /. 2.))
+          (fun () -> k (contents, version)))
+  in
+  (* Pending REL forwards per view manager (Section 3.2's alternative
+     scheme: the integrator hands REL_i to a relevant manager, which
+     forwards it to the merge when it delivers its action lists).
+
+     Unlike the direct scheme, forwarded RELs can reach the merge out of
+     row order (they travel on different managers' channels), while the
+     painting algorithms assume that when an action list covering row j is
+     processed, every group REL for rows <= j has been seen. Each forward
+     therefore carries the previous row routed to the same merge, and a
+     per-merge reorderer ingests RELs strictly in that chain order. *)
+  let rel_forwards : (string, (int * string list * int) Queue.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let rel_reorderers =
+    List.map
+      (fun merge ->
+        let held = Hashtbl.create 16 in
+        let last = ref 0 in
+        let rec ingest (row, rel, prev) =
+          if prev = !last then begin
+            Mvc.Merge.receive_rel merge ~row ~rel;
+            last := row;
+            match Hashtbl.find_opt held row with
+            | Some next ->
+              Hashtbl.remove held row;
+              ingest next
+            | None -> ()
+          end
+          else Hashtbl.replace held prev (row, rel, prev)
+        in
+        (ingest, fun () -> Hashtbl.length held))
+      merges
+  in
+  let reorderer_of gi = List.nth rel_reorderers gi in
+  let forwards_of name =
+    match Hashtbl.find_opt rel_forwards name with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add rel_forwards name q;
+      q
+  in
+  let make_vm view =
+    let name = Query.View.name view in
+    let merge, gi = merge_of_view name in
+    let al_chan =
+      Sim.Channel.create engine ~name:(name ^ "->merge")
+        ~latency:(fun () -> sample cfg.latencies.message)
+        (fun msg ->
+          merge_server_of gi (fun () ->
+              (match msg with
+              | `Rel ((row, _, _) as fwd) ->
+                record "merge <- forwarded REL_%d (via %s)" row name;
+                fst (reorderer_of gi) fwd
+              | `Al al ->
+                record "merge <- AL(%s, %d)" al.Query.Action_list.view
+                  al.Query.Action_list.state;
+                Mvc.Merge.receive_action_list merge al);
+              sample_merge_metrics ()))
+    in
+    let emit al =
+      (* Forward any RELs this manager owes the merge for rows the list
+         covers, ahead of the list itself (same FIFO channel). *)
+      let owed = forwards_of name in
+      let rec drain () =
+        match Queue.peek_opt owed with
+        | Some ((row, _, _) as fwd) when row <= al.Query.Action_list.state ->
+          ignore (Queue.pop owed);
+          Sim.Channel.send al_chan (`Rel fwd);
+          drain ()
+        | Some _ | None -> ()
+      in
+      drain ();
+      Sim.Channel.send al_chan (`Al al)
+    in
+    let emitted = ref 0 in
+    let emit al =
+      incr emitted;
+      match cfg.fault with
+      | Some (Drop_action_list { view; nth })
+        when String.equal view name && nth = !emitted ->
+        (* The message is lost in transit: the merge never sees it. *)
+        ()
+      | Some _ | None -> emit al
+    in
+    let compute_latency ~batch =
+      sample (cfg.latencies.compute *. float_of_int (max 1 batch))
+    in
+    match kind_of cfg view with
+    | Complete_vm ->
+      Viewmgr.Complete_vm.create ~engine ~compute_latency ~initial:initial_db
+        ~view ~emit ()
+    | Batching_vm ->
+      Viewmgr.Batching_vm.create ~engine ~compute_latency ~initial:initial_db
+        ~view ~emit ()
+    | Strobe_vm ->
+      Viewmgr.Strobe_vm.create ~engine ~query:remote_query ~view ~emit ()
+    | Periodic_vm period ->
+      Viewmgr.Periodic_vm.create ~engine ~period ~compute_latency
+        ~initial:initial_db ~view ~emit ()
+    | Convergent_vm ->
+      Viewmgr.Convergent_vm.create ~engine
+        ~emit_delay:(fun () -> sample (cfg.latencies.compute +. cfg.latencies.message))
+        ~initial:initial_db ~view ~emit ()
+    | Complete_n_vm n ->
+      Viewmgr.Complete_n_vm.create ~engine ~compute_latency ~n
+        ~initial:initial_db ~view ~emit ()
+    | Derived_vm { aux; over_aux } ->
+      Viewmgr.Derived_vm.create ~engine ~compute_latency ~initial:initial_db
+        ~aux ~view ~over_aux ~emit ()
+  in
+  let vms = List.map make_vm views in
+  let vm_chans =
+    List.map
+      (fun vm ->
+        ( vm,
+          Sim.Channel.create engine
+            ~name:("integ->" ^ Viewmgr.Vm.name vm)
+            ~latency:(fun () -> sample cfg.latencies.message)
+            (fun txn -> vm.Viewmgr.Vm.receive txn) ))
+      vms
+  in
+  let integ =
+    Integrator.create ~semantic_filter:cfg.semantic_filter ~schemas views
+  in
+  let rel_chans =
+    List.mapi
+      (fun gi merge ->
+        Sim.Channel.create engine ~name:"integ->merge"
+          ~latency:(fun () -> sample cfg.latencies.message)
+          (fun (row, rel) ->
+            merge_server_of gi (fun () ->
+                record "merge <- REL_%d = {%s}" row (String.concat ", " rel);
+                Mvc.Merge.receive_rel merge ~row ~rel;
+                sample_merge_metrics ())))
+      merges
+  in
+  let group_names =
+    List.map (fun group -> List.map Query.View.name group) groups
+  in
+  let group_last_routed = Array.make (List.length groups) 0 in
+  let integrator_chan =
+    Sim.Channel.create engine ~name:"sources->integ"
+      ~latency:(fun () -> sample cfg.latencies.message)
+      (fun txn ->
+        let stamped, rel = Integrator.ingest integ txn in
+        assert (stamped.Update.Transaction.id = txn.Update.Transaction.id);
+        record "integrator: U%d (%a) REL = {%s}" stamped.Update.Transaction.id
+          Update.Transaction.pp stamped
+          (String.concat ", " rel);
+        (* REL_i to the merge(s) owning affected views: either directly
+           (Figure 1) or carried by a relevant view manager (the
+           Section 3.2 alternative, which saves messages but lets RELs
+           trail other managers' action lists). *)
+        List.iteri
+          (fun gi names ->
+            let rel_group = List.filter (fun v -> List.mem v names) rel in
+            if rel_group <> [] then
+              match cfg.rel_routing with
+              | Direct ->
+                Sim.Channel.send (List.nth rel_chans gi)
+                  (stamped.Update.Transaction.id, rel_group)
+              | Via_manager ->
+                let carrier = List.hd rel_group in
+                Queue.push
+                  ( stamped.Update.Transaction.id,
+                    rel_group,
+                    group_last_routed.(gi) )
+                  (forwards_of carrier);
+                group_last_routed.(gi) <- stamped.Update.Transaction.id)
+          group_names;
+        (* U_i to the relevant view managers (and tick-hungry ones). *)
+        List.iter
+          (fun (vm, chan) ->
+            if
+              vm.Viewmgr.Vm.needs_ticks
+              || List.mem (Viewmgr.Vm.name vm) rel
+            then Sim.Channel.send chan stamped)
+          vm_chans;
+        let pending =
+          List.fold_left
+            (fun acc vm -> acc + vm.Viewmgr.Vm.pending ())
+            0 vms
+        in
+        Sim.Stats.Summary.add metrics.Metrics.vm_queue (float_of_int pending))
+  in
+  schedule_script engine arrival_rng cfg ~execute:(fun updates ->
+      let txn = Source.Sources.execute sources updates in
+      record "source commit: U%d at %s" txn.Update.Transaction.id
+        txn.Update.Transaction.source;
+      metrics.Metrics.transactions <- metrics.Metrics.transactions + 1;
+      Hashtbl.replace arrival_times txn.Update.Transaction.id
+        (Sim.Engine.now engine);
+      Sim.Channel.send integrator_chan txn);
+  let drained () =
+    List.for_all (fun vm -> vm.Viewmgr.Vm.pending () = 0) vms
+    && merge_servers_pending () = 0
+    && List.for_all (fun (_, held) -> held () = 0) rel_reorderers
+    && List.for_all Mvc.Merge.quiescent merges
+    && Warehouse.Submitter.outstanding submitter = 0
+  in
+  let ok =
+    drain engine
+      ~flushes:
+        (List.map (fun vm -> vm.Viewmgr.Vm.flush) vms
+        @ List.map (fun m () -> Mvc.Merge.flush m) merges)
+      ~drained
+  in
+  if (not ok) && cfg.fault = None then
+    raise (Stuck "system failed to drain after flushing view managers");
+  metrics.Metrics.completed_at <- Sim.Engine.now engine;
+  { config = cfg; store; sources;
+    transactions = Source.Sources.transactions sources; metrics;
+    merge_algorithm = Mvc.Merge.algorithm_name algorithm;
+    timeline = List.rev !timeline; stuck = not ok }
+
+let run cfg =
+  match cfg.merge_kind with
+  | Sequential -> run_sequential cfg
+  | Auto | Force_spa | Force_pa | Force_passthrough | Force_holdall ->
+    run_pipelined cfg
+
+let verdict_with_witness result =
+  Consistency.Checker.check_with_witness
+    ~views:result.config.scenario.views ~transactions:result.transactions
+    ~source_states:(Source.Sources.states result.sources)
+    ~warehouse_states:(Warehouse.Store.states result.store)
+
+let verdict result = fst (verdict_with_witness result)
+
+let view_contents result name =
+  Relation.contents (Warehouse.Store.view result.store name)

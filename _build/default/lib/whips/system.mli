@@ -1,0 +1,138 @@
+(** Full-system assembly: the WHIPS-style warehouse of Figure 1 on the
+    discrete-event simulator.
+
+    [run] wires the pipeline — sources report committed transactions to the
+    integrator over a FIFO channel; the integrator numbers them, sends
+    [REL_i] to the merge process(es) and copies of [U_i] to the relevant
+    view managers; view managers emit action lists to their merge over
+    per-manager FIFO channels; merges emit warehouse transactions to the
+    commit submitter — executes the scenario's script with the configured
+    arrival process, drains the system, and returns everything the
+    consistency oracle and the benchmarks need.
+
+    Committed transactions are reported to the integrator in commit order
+    (one shared FIFO), matching the paper's Section 2.1 assumption that the
+    serializable source schedule coincides with the integrator's update
+    numbering. *)
+
+type vm_kind =
+  | Complete_vm
+  | Batching_vm  (** Strongly consistent, greedy batching. *)
+  | Strobe_vm  (** Strongly consistent, source-querying. *)
+  | Periodic_vm of float  (** Refresh period (simulated seconds). *)
+  | Convergent_vm
+  | Complete_n_vm of int
+  | Derived_vm of {
+      aux : Query.View.t list;
+      over_aux : Query.Algebra.t;
+    }
+      (** Maintain the view through materialized auxiliary views
+          (references [12]/[8]; see {!Viewmgr.Derived_vm}). Complete. *)
+
+type merge_kind =
+  | Auto
+      (** Choose per Section 6.3 from the weakest view-manager level:
+          all complete -> SPA; any strongly-consistent/complete-N -> PA;
+          any convergent -> pass-through. *)
+  | Force_spa
+  | Force_pa
+  | Force_passthrough
+      (** The MVC-violating baseline / convergent merge. *)
+  | Force_holdall
+      (** Section 4.4's non-prompt strawman: hold every action list until
+          the end of the stream, then release row by row. Complete, but
+          the promptness baseline for the freshness benchmarks. *)
+  | Sequential
+      (** The Section 1.1 strawman: one process computes every view's
+          delta for an update, one update at a time, bypassing view
+          managers and merge entirely. Complete, but with no
+          concurrency. *)
+
+(** How [REL_i] reaches the merge (Section 3.2): directly from the
+    integrator, or carried by a relevant view manager and forwarded with
+    its action lists — fewer messages, but RELs can trail other managers'
+    lists, exercising the merge's buffering. *)
+type rel_routing = Direct | Via_manager
+
+type arrival =
+  | All_at_once  (** Execute the whole script at time 0 (drain test). *)
+  | Uniform of float  (** Fixed inter-arrival gap. *)
+  | Poisson of float  (** Rate (transactions per simulated second). *)
+
+type latencies = {
+  message : float;  (** Mean channel latency (exponential). *)
+  compute : float;  (** Mean per-update view-manager delta computation. *)
+  commit : float;  (** Mean warehouse commit latency. *)
+  query_roundtrip : float;  (** Mean source query round trip (Strobe). *)
+  merge : float;  (** Mean merge-process handling cost per message; the
+                      merge is a single-threaded server, so this is what
+                      eventually saturates it (benchmark P2). *)
+}
+
+val default_latencies : latencies
+
+(** Fault injection for the resilience tests: drop one message on a view
+    manager's action-list channel. The painting algorithms then hold every
+    dependent row forever — progress stops (the run raises {!Stuck}) but no
+    inconsistent state is ever exposed. *)
+type fault = Drop_action_list of { view : string; nth : int }
+
+type config = {
+  scenario : Workload.Scenarios.t;
+  vm_kind : vm_kind;
+  vm_overrides : (string * vm_kind) list;
+      (** Per-view exceptions to [vm_kind] (mixed systems, Section 6.3). *)
+  merge_kind : merge_kind;
+  submit : Warehouse.Submitter.policy;
+  arrival : arrival;
+  latencies : latencies;
+  merge_groups : int option;
+      (** [Some k]: distribute the merge over up to [k] processes along
+          the disjoint-base-relation partition (Section 6.1). [None]: one
+          merge process. *)
+  semantic_filter : bool;  (** Integrator irrelevance filtering. *)
+  rel_routing : rel_routing;
+  optimize_views : bool;
+      (** Rewrite view definitions with {!Query.Optimize.optimize} before
+          handing them to the view managers (semantics-preserving;
+          micro-benchmarked in the ablation). *)
+  fault : fault option;
+  record_timeline : bool;
+      (** Record a human-readable event log (source commits, REL routing,
+          action-list deliveries, warehouse commits) in the result; used
+          by the CLI's [--timeline] and by debugging sessions. *)
+  seed : int;
+}
+
+val default : Workload.Scenarios.t -> config
+
+type result = {
+  config : config;
+  store : Warehouse.Store.t;
+  sources : Source.Sources.t;
+  transactions : Relational.Update.Transaction.t list;
+  metrics : Metrics.t;
+  merge_algorithm : string;
+  timeline : (float * string) list;
+      (** Chronological event log (empty unless [record_timeline]). *)
+  stuck : bool;
+      (** True when an injected fault prevented the run from draining
+          (only possible with [fault] set; otherwise {!Stuck} raises). *)
+}
+
+exception Stuck of string
+(** The system failed to drain without an injected fault — always a bug. *)
+
+val run : config -> result
+
+val verdict : result -> Consistency.Checker.verdict
+(** Run the consistency oracle on the recorded source and warehouse state
+    sequences. *)
+
+val verdict_with_witness :
+  result -> Consistency.Checker.verdict * Consistency.Checker.witness option
+(** The oracle verdict together with the per-state mapping to source
+    states it found (see {!Consistency.Checker.witness}). *)
+
+val view_contents : result -> string -> Relational.Bag.t
+(** Final contents of a view at the warehouse. *)

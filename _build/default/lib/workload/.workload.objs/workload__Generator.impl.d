@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Bag Hashtbl List Printf Query Relation Relational Scenarios Schema Signed_bag Sim Source Tuple Update Value

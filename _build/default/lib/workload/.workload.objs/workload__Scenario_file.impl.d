@@ -1,0 +1,1 @@
+lib/workload/scenario_file.ml: Fmt List Printf Query Relation Relational Scenarios Schema Sexp Source String Tuple Update Value

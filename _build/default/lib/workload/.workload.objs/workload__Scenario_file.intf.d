@@ -1,0 +1,1 @@
+lib/workload/scenario_file.mli: Scenarios

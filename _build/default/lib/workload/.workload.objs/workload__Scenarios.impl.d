@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: List Query Relation Relational Schema Source Tuple Update Value

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Query Relational Source Update

@@ -1,0 +1,1 @@
+lib/workload/sexp.ml: Buffer Fmt List String

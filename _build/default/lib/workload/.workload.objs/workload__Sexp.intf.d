@@ -1,0 +1,1 @@
+lib/workload/sexp.mli: Format

@@ -1,0 +1,133 @@
+open Relational
+
+type config = {
+  seed : int;
+  n_sources : int;
+  n_relations : int;
+  n_views : int;
+  max_join_width : int;
+  initial_tuples : int;
+  n_transactions : int;
+  multi_update_prob : float;
+  value_range : int;
+  aggregate_views : bool;
+}
+
+let default =
+  { seed = 42; n_sources = 2; n_relations = 4; n_views = 3; max_join_width = 3;
+    initial_tuples = 8; n_transactions = 20; multi_update_prob = 0.0;
+    value_range = 6; aggregate_views = false }
+
+let relation_name k = Printf.sprintf "R%d" k
+
+let attr_name k = Printf.sprintf "a%d" k
+
+let schema_of_relation k =
+  Schema.make [ (attr_name k, Value.Int_ty); (attr_name (k + 1), Value.Int_ty) ]
+
+let random_tuple rng cfg =
+  Tuple.ints [ Sim.Rng.int rng cfg.value_range; Sim.Rng.int rng cfg.value_range ]
+
+let gen_specs rng cfg =
+  List.init cfg.n_relations (fun k ->
+      let schema = schema_of_relation k in
+      let tuples = List.init cfg.initial_tuples (fun _ -> random_tuple rng cfg) in
+      { Source.Sources.source =
+          Printf.sprintf "src%d" (Sim.Rng.int rng cfg.n_sources);
+        relation = relation_name k;
+        init = Relation.of_tuples schema tuples })
+
+let gen_view rng cfg index =
+  let name = Printf.sprintf "V%d" index in
+  let start = Sim.Rng.int rng cfg.n_relations in
+  let width =
+    min (Sim.Rng.int_range rng 1 cfg.max_join_width) (cfg.n_relations - start)
+  in
+  let chain =
+    Query.Algebra.join_all
+      (List.init width (fun i -> Query.Algebra.base (relation_name (start + i))))
+  in
+  let with_select expr =
+    let attr = attr_name (Sim.Rng.int_range rng start (start + width)) in
+    let bound = Value.Int (Sim.Rng.int rng cfg.value_range) in
+    let pred =
+      if Sim.Rng.bool rng then Query.Pred.le attr bound
+      else Query.Pred.ge attr bound
+    in
+    Query.Algebra.select pred expr
+  in
+  let with_project expr =
+    (* Keep a nonempty prefix of the chain's attribute list. *)
+    let attrs = List.init (width + 1) (fun i -> attr_name (start + i)) in
+    let keep = Sim.Rng.int_range rng 1 (List.length attrs) in
+    Query.Algebra.project (List.filteri (fun i _ -> i < keep) attrs) expr
+  in
+  let with_aggregate expr =
+    (* Group on the chain's first attribute, summing the last. *)
+    Query.Algebra.group_by
+      ~keys:[ attr_name start ]
+      ~aggregates:
+        [ ("total", Query.Algebra.Sum (attr_name (start + width)));
+          ("rows", Query.Algebra.Count) ]
+      expr
+  in
+  let def =
+    match Sim.Rng.int rng (if cfg.aggregate_views then 5 else 4) with
+    | 0 -> chain
+    | 1 -> with_select chain
+    | 2 -> with_project chain
+    | 3 -> with_project (with_select chain)
+    | _ -> with_aggregate chain
+  in
+  Query.View.make name def
+
+(* Generate a script, tracking relation contents so deletes and modifies
+   always target live tuples. *)
+let gen_script rng cfg specs =
+  let state = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Source.Sources.spec) ->
+      Hashtbl.replace state s.relation (Relation.contents s.init))
+    specs;
+  let relations = List.map (fun (s : Source.Sources.spec) -> s.relation) specs in
+  let live_tuples rel =
+    Bag.to_list (Hashtbl.find state rel)
+  in
+  let apply rel (u : Update.t) =
+    let bag = Hashtbl.find state rel in
+    Hashtbl.replace state rel (Signed_bag.apply (Update.to_delta u) bag)
+  in
+  let gen_update () =
+    let rel = Sim.Rng.pick rng relations in
+    let existing = live_tuples rel in
+    let u =
+      match (Sim.Rng.int rng 4, existing) with
+      | (0 | 1), _ | _, [] -> Update.insert rel (random_tuple rng cfg)
+      | 2, _ -> Update.delete rel (Sim.Rng.pick rng existing)
+      | _, _ ->
+        Update.modify rel
+          ~before:(Sim.Rng.pick rng existing)
+          ~after:(random_tuple rng cfg)
+    in
+    apply rel u;
+    u
+  in
+  List.init cfg.n_transactions (fun _ ->
+      let n_updates =
+        if Sim.Rng.float rng 1.0 < cfg.multi_update_prob then
+          Sim.Rng.int_range rng 2 3
+        else 1
+      in
+      List.init n_updates (fun _ -> gen_update ()))
+
+let generate cfg =
+  if cfg.n_relations < 1 then invalid_arg "Generator: n_relations < 1";
+  if cfg.n_views < 1 then invalid_arg "Generator: n_views < 1";
+  if cfg.n_sources < 1 then invalid_arg "Generator: n_sources < 1";
+  if cfg.value_range < 1 then invalid_arg "Generator: value_range < 1";
+  if cfg.max_join_width < 1 then invalid_arg "Generator: max_join_width < 1";
+  let rng = Sim.Rng.create cfg.seed in
+  let specs = gen_specs rng cfg in
+  let views = List.init cfg.n_views (fun i -> gen_view rng cfg i) in
+  let script = gen_script rng cfg specs in
+  { Scenarios.name = Printf.sprintf "random-%d" cfg.seed; specs; views; script }

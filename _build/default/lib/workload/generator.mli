@@ -1,0 +1,32 @@
+(** Seeded random workload generation for property tests and benchmark
+    sweeps.
+
+    Generates a chain-schema source population (relation [R_k] has
+    attributes [(a_k, a_{k+1})], so contiguous relations natural-join), a
+    mix of view shapes (copies, selections, join chains, projected joins)
+    with a controllable degree of base-relation sharing, and a transaction
+    script that keeps relations populated (deletes and modifies target
+    tuples known to exist). Everything is a pure function of
+    [config.seed]. *)
+
+type config = {
+  seed : int;
+  n_sources : int;  (** Sources the relations are spread over. *)
+  n_relations : int;
+  n_views : int;
+  max_join_width : int;  (** 1 = copies/selects only. *)
+  initial_tuples : int;  (** Per relation. *)
+  n_transactions : int;
+  multi_update_prob : float;
+      (** Probability a transaction carries 2-3 updates (Section 6.2);
+          0 reproduces the paper's base single-update model. *)
+  value_range : int;  (** Attribute values drawn from [0, value_range). *)
+  aggregate_views : bool;
+      (** Also generate SUM/COUNT group-by views over the chains. *)
+}
+
+val default : config
+
+val generate : config -> Scenarios.t
+(** @raise Invalid_argument on nonsensical configs (no relations, no
+    views, empty value range...). *)

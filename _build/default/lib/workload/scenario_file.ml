@@ -1,0 +1,268 @@
+open Relational
+
+exception Invalid_scenario of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Invalid_scenario s)) fmt
+
+let bad form what = error "%s: %s" what (Sexp.to_string form)
+
+(* ---- values and types ---- *)
+
+let parse_type = function
+  | Sexp.Atom "int" -> Value.Int_ty
+  | Sexp.Atom "float" -> Value.Float_ty
+  | Sexp.Atom "string" -> Value.String_ty
+  | Sexp.Atom "bool" -> Value.Bool_ty
+  | form -> bad form "unknown attribute type"
+
+let parse_value ty (form : Sexp.t) =
+  match (form, ty) with
+  | Sexp.Atom "null", _ -> Value.Null
+  | Sexp.Atom a, Value.Int_ty -> (
+    match int_of_string_opt a with
+    | Some i -> Value.Int i
+    | None -> error "not an integer: %s" a)
+  | Sexp.Atom a, Value.Float_ty -> (
+    match float_of_string_opt a with
+    | Some f -> Value.Float f
+    | None -> error "not a float: %s" a)
+  | Sexp.Atom "true", Value.Bool_ty -> Value.Bool true
+  | Sexp.Atom "false", Value.Bool_ty -> Value.Bool false
+  | Sexp.Atom a, Value.Bool_ty -> error "not a bool: %s" a
+  | Sexp.Atom a, Value.String_ty -> Value.String a
+  | (Sexp.List _ as form), _ -> bad form "expected a value"
+
+(* Used in predicates, where the attribute type is unknown: infer from the
+   literal's shape. *)
+let parse_literal = function
+  | Sexp.Atom "null" -> Value.Null
+  | Sexp.Atom "true" -> Value.Bool true
+  | Sexp.Atom "false" -> Value.Bool false
+  | Sexp.Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> Value.Int i
+    | None -> (
+      match float_of_string_opt a with
+      | Some f -> Value.Float f
+      | None -> Value.String a))
+  | Sexp.List _ as form -> bad form "expected a literal"
+
+let atom = function
+  | Sexp.Atom a -> a
+  | Sexp.List _ as form -> bad form "expected a name"
+
+(* ---- predicates ---- *)
+
+let rec parse_pred (form : Sexp.t) =
+  match form with
+  | Sexp.Atom "true" -> Query.Pred.True
+  | Sexp.Atom "false" -> Query.Pred.False
+  | Sexp.List [ Sexp.Atom cmp; a; v ]
+    when List.mem cmp [ "le"; "lt"; "ge"; "gt"; "eq"; "ne" ] -> (
+    let attr = atom a and lit = parse_literal v in
+    match cmp with
+    | "le" -> Query.Pred.le attr lit
+    | "lt" -> Query.Pred.lt attr lit
+    | "ge" -> Query.Pred.ge attr lit
+    | "gt" -> Query.Pred.gt attr lit
+    | "eq" -> Query.Pred.eq attr lit
+    | _ -> Query.Pred.Cmp (Query.Pred.Ne, Query.Pred.Attr attr, Query.Pred.Const lit))
+  | Sexp.List [ Sexp.Atom "attr-eq"; a; b ] -> Query.Pred.attr_eq (atom a) (atom b)
+  | Sexp.List [ Sexp.Atom "and"; p; q ] ->
+    Query.Pred.And (parse_pred p, parse_pred q)
+  | Sexp.List [ Sexp.Atom "or"; p; q ] ->
+    Query.Pred.Or (parse_pred p, parse_pred q)
+  | Sexp.List [ Sexp.Atom "not"; p ] -> Query.Pred.Not (parse_pred p)
+  | form -> bad form "unknown predicate"
+
+(* ---- expressions ---- *)
+
+let parse_aggregate = function
+  | Sexp.List [ name; Sexp.Atom "count" ] -> (atom name, Query.Algebra.Count)
+  | Sexp.List [ name; Sexp.Atom fn; attr ] -> (
+    let attr = atom attr in
+    match fn with
+    | "sum" -> (atom name, Query.Algebra.Sum attr)
+    | "avg" -> (atom name, Query.Algebra.Avg attr)
+    | "min" -> (atom name, Query.Algebra.Min attr)
+    | "max" -> (atom name, Query.Algebra.Max attr)
+    | other -> error "unknown aggregate function: %s" other)
+  | form -> bad form "malformed aggregate"
+
+let rec parse_expr (form : Sexp.t) =
+  match form with
+  | Sexp.Atom name -> Query.Algebra.base name
+  | Sexp.List (Sexp.Atom "join" :: (_ :: _ :: _ as operands)) ->
+    Query.Algebra.join_all (List.map parse_expr operands)
+  | Sexp.List [ Sexp.Atom "select"; pred; e ] ->
+    Query.Algebra.select (parse_pred pred) (parse_expr e)
+  | Sexp.List [ Sexp.Atom "project"; Sexp.List attrs; e ] ->
+    Query.Algebra.project (List.map atom attrs) (parse_expr e)
+  | Sexp.List [ Sexp.Atom "union"; a; b ] ->
+    Query.Algebra.union (parse_expr a) (parse_expr b)
+  | Sexp.List [ Sexp.Atom "rename"; Sexp.List pairs; e ] ->
+    let pair = function
+      | Sexp.List [ old_name; new_name ] -> (atom old_name, atom new_name)
+      | form -> bad form "malformed rename pair"
+    in
+    Query.Algebra.rename (List.map pair pairs) (parse_expr e)
+  | Sexp.List
+      [ Sexp.Atom "group-by"; Sexp.List (Sexp.Atom "keys" :: keys);
+        Sexp.List (Sexp.Atom "aggs" :: aggs); e ] ->
+    Query.Algebra.group_by ~keys:(List.map atom keys)
+      ~aggregates:(List.map parse_aggregate aggs)
+      (parse_expr e)
+  | form -> bad form "unknown expression"
+
+(* ---- top-level forms ---- *)
+
+type partial = {
+  mutable specs : Source.Sources.spec list;
+  mutable views : Query.View.t list;
+  mutable script : Update.t list list;
+}
+
+let find_field name fields =
+  List.find_map
+    (function
+      | Sexp.List (Sexp.Atom n :: rest) when String.equal n name -> Some rest
+      | _ -> None)
+    fields
+
+let parse_relation partial fields =
+  match fields with
+  | name :: rest ->
+    let name = atom name in
+    let source =
+      match find_field "source" rest with
+      | Some [ s ] -> atom s
+      | Some _ | None -> error "relation %s: missing (source NAME)" name
+    in
+    let schema =
+      match find_field "schema" rest with
+      | Some attrs ->
+        Schema.make
+          (List.map
+             (function
+               | Sexp.List [ a; ty ] -> (atom a, parse_type ty)
+               | form -> bad form "malformed schema attribute")
+             attrs)
+      | None -> error "relation %s: missing (schema ...)" name
+    in
+    let types = List.map (fun (a : Schema.attribute) -> a.ty) (Schema.attributes schema) in
+    let parse_row = function
+      | Sexp.List cells when List.length cells = List.length types ->
+        Tuple.of_list (List.map2 parse_value types cells)
+      | form -> bad form (Printf.sprintf "row of %s has wrong arity" name)
+    in
+    let rows =
+      match find_field "rows" rest with
+      | Some rows -> List.map parse_row rows
+      | None -> []
+    in
+    partial.specs <-
+      partial.specs
+      @ [ { Source.Sources.source; relation = name;
+            init = Relation.of_tuples schema rows } ]
+  | [] -> error "relation form needs a name"
+
+let parse_view partial fields =
+  match fields with
+  | [ name; expr ] ->
+    partial.views <- partial.views @ [ Query.View.make (atom name) (parse_expr expr) ]
+  | _ -> error "view form needs a name and one expression"
+
+let schema_of partial relation =
+  match
+    List.find_opt
+      (fun (s : Source.Sources.spec) -> String.equal s.relation relation)
+      partial.specs
+  with
+  | Some s -> Relation.schema s.init
+  | None -> error "transaction references unknown relation %s" relation
+
+let parse_update partial = function
+  | Sexp.List [ Sexp.Atom "insert"; rel; row ] ->
+    let rel = atom rel in
+    let types =
+      List.map (fun (a : Schema.attribute) -> a.ty)
+        (Schema.attributes (schema_of partial rel))
+    in
+    (match row with
+    | Sexp.List cells when List.length cells = List.length types ->
+      Update.insert rel (Tuple.of_list (List.map2 parse_value types cells))
+    | form -> bad form "insert row has wrong arity")
+  | Sexp.List [ Sexp.Atom "delete"; rel; row ] ->
+    let rel = atom rel in
+    let types =
+      List.map (fun (a : Schema.attribute) -> a.ty)
+        (Schema.attributes (schema_of partial rel))
+    in
+    (match row with
+    | Sexp.List cells when List.length cells = List.length types ->
+      Update.delete rel (Tuple.of_list (List.map2 parse_value types cells))
+    | form -> bad form "delete row has wrong arity")
+  | Sexp.List [ Sexp.Atom "modify"; rel; before; after ] ->
+    let rel = atom rel in
+    let types =
+      List.map (fun (a : Schema.attribute) -> a.ty)
+        (Schema.attributes (schema_of partial rel))
+    in
+    let row = function
+      | Sexp.List cells when List.length cells = List.length types ->
+        Tuple.of_list (List.map2 parse_value types cells)
+      | form -> bad form "modify row has wrong arity"
+    in
+    Update.modify rel ~before:(row before) ~after:(row after)
+  | form -> bad form "unknown update"
+
+let parse_txn partial fields =
+  match fields with
+  | [] -> error "empty transaction"
+  | updates -> partial.script <- partial.script @ [ List.map (parse_update partial) updates ]
+
+let of_string input =
+  match Sexp.parse_string input with
+  | [ Sexp.List (Sexp.Atom "scenario" :: name :: forms) ] ->
+    let name = atom name in
+    let partial = { specs = []; views = []; script = [] } in
+    List.iter
+      (function
+        | Sexp.List (Sexp.Atom "relation" :: fields) ->
+          parse_relation partial fields
+        | Sexp.List (Sexp.Atom "view" :: fields) -> parse_view partial fields
+        | Sexp.List (Sexp.Atom "txn" :: fields) -> parse_txn partial fields
+        | form -> bad form "unknown scenario form")
+      forms;
+    if partial.views = [] then error "scenario %s defines no views" name;
+    (* Validate the views against the declared schemas up front. *)
+    let lookup r =
+      match
+        List.find_opt
+          (fun (s : Source.Sources.spec) -> String.equal s.relation r)
+          partial.specs
+      with
+      | Some s -> Relation.schema s.init
+      | None -> error "view references unknown relation %s" r
+    in
+    List.iter
+      (fun v ->
+        match Query.Algebra.schema_of lookup v.Query.View.def with
+        | _ -> ()
+        | exception Schema.Unknown_attribute a ->
+          error "view %s references unknown attribute %s" (Query.View.name v) a
+        | exception Invalid_argument msg ->
+          error "view %s is ill-formed: %s" (Query.View.name v) msg)
+      partial.views;
+    { Scenarios.name; specs = partial.specs; views = partial.views;
+      script = partial.script }
+  | [ form ] -> bad form "expected (scenario NAME ...)"
+  | [] -> error "empty scenario file"
+  | _ :: _ :: _ -> error "expected exactly one (scenario ...) form"
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  of_string contents

@@ -1,0 +1,37 @@
+(** Textual scenario files, so workloads can be defined without
+    recompiling (used by [mvcwh run --file]).
+
+    Grammar (s-expressions; [;] comments):
+
+    {v
+    (scenario NAME
+      (relation R (source alpha)
+        (schema (A int) (B int))
+        (rows (1 2) (3 4)))
+      (view V1 (join R S))
+      (view V2 (select (le B 3) R))
+      (view V3 (project (A B) (join R S)))
+      (view V4 (group-by (keys A) (aggs (total sum B) (n count)) R))
+      (txn (insert S (2 3)))
+      (txn (delete R (1 2)) (insert S (9 9)))     ; multi-update
+      (txn (modify R (3 4) (3 5))))
+    v}
+
+    Expressions: a bare name is a base relation; [(join e e ...)] is a
+    left-deep natural join; [(select PRED e)], [(project (attrs) e)],
+    [(union e e)], [(rename ((old new) ...) e)] and [(group-by ...)] as
+    above. Predicates: [(le a v)], [(lt a v)], [(ge a v)], [(gt a v)],
+    [(eq a v)], [(ne a v)], [(attr-eq a b)], [(and p p)], [(or p p)],
+    [(not p)], [true], [false]. Attribute types: [int], [float],
+    [string], [bool]. Values: integer / float / [true] / [false] /
+    ["quoted string"] / [null] literals, checked against the schema. *)
+
+exception Invalid_scenario of string
+
+val of_string : string -> Scenarios.t
+(** @raise Invalid_scenario on grammar or type errors (with a message
+    naming the offending form).
+    @raise Sexp.Parse_error on malformed s-expressions. *)
+
+val load : string -> Scenarios.t
+(** Read and parse a file. *)

@@ -1,0 +1,211 @@
+open Relational
+
+type t = {
+  name : string;
+  specs : Source.Sources.spec list;
+  views : Query.View.t list;
+  script : Update.t list list;
+}
+
+let int_schema names = Schema.make (List.map (fun n -> (n, Value.Int_ty)) names)
+
+let rel schema tuples = Relation.of_tuples schema (List.map Tuple.ints tuples)
+
+let spec source relation init = { Source.Sources.source; relation; init }
+
+(* ---- Example 1 (Table 1) ---- *)
+
+let example1 =
+  let r = int_schema [ "A"; "B" ]
+  and s = int_schema [ "B"; "C" ]
+  and t = int_schema [ "C"; "D" ] in
+  { name = "example1";
+    specs =
+      [ spec "src1" "R" (rel r [ [ 1; 2 ] ]);
+        spec "src2" "S" (rel s []);
+        spec "src3" "T" (rel t [ [ 3; 4 ] ]) ];
+    views =
+      [ Query.View.make "V1" Query.Algebra.(join (base "R") (base "S"));
+        Query.View.make "V2" Query.Algebra.(join (base "S") (base "T")) ];
+    script = [ [ Update.insert "S" (Tuple.ints [ 2; 3 ]) ] ] }
+
+(* ---- Examples 2-5 configuration ---- *)
+
+let paper_specs () =
+  let r = int_schema [ "A"; "B" ]
+  and s = int_schema [ "B"; "C" ]
+  and t = int_schema [ "C"; "D" ]
+  and q = int_schema [ "D"; "E" ] in
+  [ spec "src1" "R" (rel r [ [ 1; 2 ]; [ 7; 2 ] ]);
+    spec "src2" "S" (rel s [ [ 2; 3 ] ]);
+    spec "src2" "T" (rel t [ [ 3; 4 ] ]);
+    spec "src3" "Q" (rel q [ [ 4; 5 ] ]) ]
+
+let paper_view_list =
+  [ Query.View.make "V1" Query.Algebra.(join (base "R") (base "S"));
+    Query.View.make "V2"
+      Query.Algebra.(join_all [ base "S"; base "T"; base "Q" ]);
+    Query.View.make "V3" Query.Algebra.(base "Q") ]
+
+let paper_views =
+  { name = "paper-views";
+    specs = paper_specs ();
+    views = paper_view_list;
+    script =
+      [ [ Update.insert "S" (Tuple.ints [ 2; 8 ]) ];
+        [ Update.insert "Q" (Tuple.ints [ 4; 6 ]) ];
+        [ Update.delete "S" (Tuple.ints [ 2; 3 ]) ] ] }
+
+let paper_views_q =
+  { name = "paper-views-q";
+    specs = paper_specs ();
+    views = paper_view_list;
+    script =
+      [ [ Update.insert "S" (Tuple.ints [ 2; 8 ]) ];
+        [ Update.insert "Q" (Tuple.ints [ 4; 6 ]) ];
+        [ Update.delete "Q" (Tuple.ints [ 4; 5 ]) ] ] }
+
+(* ---- Bank (Section 1.1 motivation + Section 6.2 transfers) ---- *)
+
+let bank =
+  let checking = int_schema [ "cust"; "cbal" ]
+  and savings = int_schema [ "cust"; "sbal" ] in
+  let customers = [ 1; 2; 3; 4; 5 ] in
+  let c_rows = List.map (fun c -> [ c; 100 * c ]) customers in
+  let s_rows = List.map (fun c -> [ c; 50 * c ]) customers in
+  let move rel cust ~from ~into =
+    Update.modify rel
+      ~before:(Tuple.ints [ cust; from ])
+      ~after:(Tuple.ints [ cust; into ])
+  in
+  { name = "bank";
+    specs =
+      [ spec "bank-checking" "checking" (rel checking c_rows);
+        spec "bank-savings" "savings" (rel savings s_rows) ];
+    views =
+      [ Query.View.make "linked"
+          Query.Algebra.(join (base "checking") (base "savings"));
+        Query.View.make "checking_copy" Query.Algebra.(base "checking");
+        Query.View.make "promo"
+          Query.Algebra.(
+            select (Query.Pred.ge "cbal" (Value.Int 300))
+              (join (base "checking") (base "savings"))) ];
+    script =
+      [ (* deposit into checking of customer 1 *)
+        [ move "checking" 1 ~from:100 ~into:400 ];
+        (* transfer 100 from checking to savings for customer 2: one
+           transaction spanning both sources *)
+        [ move "checking" 2 ~from:200 ~into:100;
+          move "savings" 2 ~from:100 ~into:200 ];
+        (* withdrawal from savings of customer 3 *)
+        [ move "savings" 3 ~from:150 ~into:50 ];
+        (* transfer for customer 4 *)
+        [ move "checking" 4 ~from:400 ~into:250;
+          move "savings" 4 ~from:200 ~into:350 ] ] }
+
+(* ---- Auxiliary views for efficient maintenance of V = R |><| S |><| T ---- *)
+
+let auxiliary =
+  let r = int_schema [ "A"; "B" ]
+  and s = int_schema [ "B"; "C" ]
+  and t = int_schema [ "C"; "D" ] in
+  { name = "auxiliary";
+    specs =
+      [ spec "src1" "R" (rel r [ [ 1; 2 ]; [ 9; 3 ] ]);
+        spec "src1" "S" (rel s [ [ 2; 3 ]; [ 3; 4 ] ]);
+        spec "src2" "T" (rel t [ [ 3; 4 ]; [ 4; 5 ] ]) ];
+    views =
+      [ Query.View.make "RS" Query.Algebra.(join (base "R") (base "S"));
+        Query.View.make "ST" Query.Algebra.(join (base "S") (base "T"));
+        Query.View.make "V"
+          Query.Algebra.(join_all [ base "R"; base "S"; base "T" ]) ];
+    script =
+      [ [ Update.insert "S" (Tuple.ints [ 2; 4 ]) ];
+        [ Update.insert "R" (Tuple.ints [ 5; 2 ]) ];
+        [ Update.delete "T" (Tuple.ints [ 3; 4 ]) ];
+        [ Update.insert "T" (Tuple.ints [ 4; 7 ]) ];
+        [ Update.delete "S" (Tuple.ints [ 3; 4 ]) ] ] }
+
+(* ---- Retail star schema ---- *)
+
+let retail_star =
+  let sales = int_schema [ "sku"; "store"; "qty" ]
+  and product = int_schema [ "sku"; "cat" ]
+  and store = int_schema [ "store"; "region" ] in
+  let sales_rows =
+    [ [ 1; 1; 5 ]; [ 1; 2; 3 ]; [ 2; 1; 7 ]; [ 3; 2; 2 ]; [ 2; 2; 4 ] ]
+  in
+  let product_rows = [ [ 1; 10 ]; [ 2; 10 ]; [ 3; 20 ] ] in
+  let store_rows = [ [ 1; 100 ]; [ 2; 200 ] ] in
+  { name = "retail-star";
+    specs =
+      [ spec "pos" "sales" (rel sales sales_rows);
+        spec "catalog" "product" (rel product product_rows);
+        spec "catalog" "store" (rel store store_rows) ];
+    views =
+      [ Query.View.make "sales_by_product"
+          Query.Algebra.(join (base "sales") (base "product"));
+        Query.View.make "sales_by_store"
+          Query.Algebra.(join (base "sales") (base "store"));
+        Query.View.make "full_rollup"
+          Query.Algebra.(
+            join_all [ base "sales"; base "product"; base "store" ]);
+        Query.View.make "west_sales"
+          Query.Algebra.(
+            project [ "sku"; "qty" ]
+              (select
+                 (Query.Pred.eq "region" (Value.Int 100))
+                 (join (base "sales") (base "store")))) ];
+    script =
+      [ [ Update.insert "sales" (Tuple.ints [ 3; 1; 9 ]) ];
+        [ Update.insert "product" (Tuple.ints [ 4; 20 ]) ];
+        [ Update.insert "sales" (Tuple.ints [ 4; 2; 1 ]) ];
+        [ Update.delete "sales" (Tuple.ints [ 1; 2; 3 ]) ];
+        [ Update.modify "store" ~before:(Tuple.ints [ 2; 200 ])
+            ~after:(Tuple.ints [ 2; 100 ]) ] ] }
+
+(* ---- Aggregate rollups (the "aggregate views" of Section 1.2) ---- *)
+
+let sales_rollup =
+  let sales = int_schema [ "sku"; "store"; "qty" ]
+  and product = int_schema [ "sku"; "cat" ] in
+  let sales_rows =
+    [ [ 1; 1; 5 ]; [ 1; 2; 3 ]; [ 2; 1; 7 ]; [ 3; 2; 2 ]; [ 2; 2; 4 ] ]
+  in
+  let product_rows = [ [ 1; 10 ]; [ 2; 10 ]; [ 3; 20 ] ] in
+  { name = "sales-rollup";
+    specs =
+      [ spec "pos" "sales" (rel sales sales_rows);
+        spec "catalog" "product" (rel product product_rows) ];
+    views =
+      [ Query.View.make "qty_by_store"
+          (Query.Algebra.group_by ~keys:[ "store" ]
+             ~aggregates:
+               [ ("total_qty", Query.Algebra.Sum "qty");
+                 ("n_sales", Query.Algebra.Count) ]
+             (Query.Algebra.base "sales"));
+        Query.View.make "qty_by_category"
+          (Query.Algebra.group_by ~keys:[ "cat" ]
+             ~aggregates:
+               [ ("total_qty", Query.Algebra.Sum "qty");
+                 ("max_qty", Query.Algebra.Max "qty") ]
+             (Query.Algebra.join (Query.Algebra.base "sales")
+                (Query.Algebra.base "product")));
+        Query.View.make "sales_detail" (Query.Algebra.base "sales") ];
+    script =
+      [ [ Update.insert "sales" (Tuple.ints [ 3; 1; 9 ]) ];
+        [ Update.delete "sales" (Tuple.ints [ 2; 1; 7 ]) ];
+        [ Update.insert "sales" (Tuple.ints [ 1; 2; 6 ]) ];
+        [ Update.modify "sales" ~before:(Tuple.ints [ 1; 1; 5 ])
+            ~after:(Tuple.ints [ 1; 1; 2 ]) ];
+        [ Update.insert "product" (Tuple.ints [ 4; 30 ]) ];
+        [ Update.insert "sales" (Tuple.ints [ 4; 2; 8 ]) ] ] }
+
+let all =
+  [ example1; paper_views; paper_views_q; bank; auxiliary; retail_star;
+    sales_rollup ]
+
+let sources t = Source.Sources.create t.specs
+
+let run_script t srcs =
+  List.map (fun updates -> Source.Sources.execute srcs updates) t.script

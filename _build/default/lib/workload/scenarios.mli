@@ -1,0 +1,62 @@
+(** Named workload scenarios.
+
+    [example1] is Table 1 of the paper verbatim; [paper_views] /
+    [paper_views_q] are the three-view configurations of Examples 2-5;
+    [bank] is the customer checking/savings scenario motivating MVC in
+    Section 1.1; [auxiliary] is the materialized sub-view setup of
+    Ross/Srivastava/Sudarshan [12] and Labio/Quass/Adelberg [8] that the
+    paper cites as {e requiring} MVC; [retail_star] is a star-schema rollup
+    workload for the benchmarks. *)
+
+open Relational
+
+type t = {
+  name : string;
+  specs : Source.Sources.spec list;  (** Base relations and placement. *)
+  views : Query.View.t list;
+  script : Update.t list list;
+      (** Source transactions to execute, in schedule order; each element
+          is one transaction's update list. *)
+}
+
+val example1 : t
+(** [V1 = R |><| S], [V2 = S |><| T]; initial data of Table 1 at time
+    [t_0]; one transaction inserting [ [2,3] ] into [S]. *)
+
+val paper_views : t
+(** Example 2/4 configuration: [V1 = R |><| S], [V2 = S |><| T |><| Q],
+    [V3 = Q], with small seed data and the three-update script
+    [U1(S), U2(Q), U3(S)]. *)
+
+val paper_views_q : t
+(** Example 5 configuration: same views, script [U1(S), U2(Q), U3(Q)]. *)
+
+val bank : t
+(** Two sources (checking, savings); views: the per-customer linked
+    statement [checking |><| savings], a copy of checking, and a promo
+    view selecting high-balance linked customers. The script contains
+    deposits, withdrawals and {e transfers} — multi-update transactions
+    spanning both sources (Section 6.2). *)
+
+val auxiliary : t
+(** Primary view [V = R |><| S |><| T] maintained from auxiliary
+    materializations [RS = R |><| S] and [ST = S |><| T]: the two
+    sub-views must be mutually consistent whenever V is computed. *)
+
+val retail_star : t
+(** Fact table [sales] with [product] and [store] dimensions; four rollup
+    views of different join widths and selectivities. *)
+
+val sales_rollup : t
+(** Aggregate views (Section 1.2's "aggregate views need different
+    maintenance algorithms"): per-store and per-category SUM/COUNT/MAX
+    rollups maintained incrementally alongside a detail copy. *)
+
+val all : t list
+
+val sources : t -> Source.Sources.t
+(** Fresh source group initialized with the scenario's base data. *)
+
+val run_script : t -> Source.Sources.t -> Update.Transaction.t list
+(** Execute the whole script serially, returning the stamped
+    transactions. *)

@@ -1,0 +1,109 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type lexer = { input : string; mutable pos : int; mutable line : int }
+
+let peek lx =
+  if lx.pos < String.length lx.input then Some lx.input.[lx.pos] else None
+
+let advance lx =
+  (match peek lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_blank lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_blank lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blank lx
+  | Some _ | None -> ()
+
+let lex_string lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | None -> error "line %d: unterminated string" lx.line
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance lx;
+        loop ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance lx;
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+      | None -> error "line %d: dangling escape" lx.line)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_atom lx =
+  let start = lx.pos in
+  let rec loop () =
+    match peek lx with
+    | Some (' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"') | None -> ()
+    | Some _ ->
+      advance lx;
+      loop ()
+  in
+  loop ();
+  String.sub lx.input start (lx.pos - start)
+
+let rec parse_one lx =
+  skip_blank lx;
+  match peek lx with
+  | None -> error "line %d: unexpected end of input" lx.line
+  | Some '(' ->
+    advance lx;
+    let rec items acc =
+      skip_blank lx;
+      match peek lx with
+      | Some ')' ->
+        advance lx;
+        List.rev acc
+      | None -> error "line %d: unclosed parenthesis" lx.line
+      | Some _ -> items (parse_one lx :: acc)
+    in
+    List (items [])
+  | Some ')' -> error "line %d: unexpected ')'" lx.line
+  | Some '"' -> Atom (lex_string lx)
+  | Some _ -> Atom (lex_atom lx)
+
+let parse_string input =
+  let lx = { input; pos = 0; line = 1 } in
+  let rec loop acc =
+    skip_blank lx;
+    if lx.pos >= String.length input then List.rev acc
+    else loop (parse_one lx :: acc)
+  in
+  loop []
+
+let rec pp ppf = function
+  | Atom a -> Fmt.string ppf a
+  | List items -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " ") pp) items
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,17 @@
+(** Minimal s-expression reader for the scenario file format (no external
+    dependencies; see {!Scenario_file} for the grammar). *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val parse_string : string -> t list
+(** Parse a whole document (a sequence of s-expressions). Comments run
+    from [;] to end of line. Atoms are bare words or ["double-quoted"]
+    strings with [\\]-escapes.
+    @raise Parse_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bag Database List Printf QCheck2 QCheck_alcotest Query Relation Relational Schema Signed_bag Tuple Update Value

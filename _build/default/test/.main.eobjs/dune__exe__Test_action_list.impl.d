@@ -1,0 +1,1 @@
+test/test_action_list.ml: Action_list Alcotest Bag Helpers Query Relational Signed_bag

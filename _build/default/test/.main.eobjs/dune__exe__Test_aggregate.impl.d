@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Algebra Bag Database Delta Eval Helpers Irrelevance List Pred QCheck2 Query Relation Relational Schema Signed_bag Source Tuple Update Value Whips Workload

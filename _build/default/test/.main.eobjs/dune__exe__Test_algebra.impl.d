@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Database Helpers Pred Query Relational Schema String Value

@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Bag Helpers List QCheck2 Relational Tuple

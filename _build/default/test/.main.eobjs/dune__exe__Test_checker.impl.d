@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Algebra Consistency Database Helpers List QCheck2 Query Relation Relational Schema Sim Source String Update View Workload

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Database Helpers Relation Relational Update

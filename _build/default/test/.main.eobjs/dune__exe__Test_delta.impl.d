@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Algebra Bag Database Delta Eval Helpers List Pred QCheck2 Query Relational Signed_bag Update Value

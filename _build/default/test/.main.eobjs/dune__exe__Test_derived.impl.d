@@ -1,0 +1,1 @@
+test/test_derived.ml: Action_list Alcotest Algebra Database Helpers List Query Relation Relational Sim Source Update Viewmgr Whips Workload

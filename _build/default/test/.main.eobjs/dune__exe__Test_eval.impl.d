@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Algebra Bag Database Eval Helpers List Pred Query Relation Relational Source Value Workload

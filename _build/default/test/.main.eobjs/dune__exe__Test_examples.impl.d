@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Bag Database Helpers List Relation Relational Tuple Value Warehouse Whips Workload

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Helpers Mvc String System Warehouse Whips Workload

@@ -1,0 +1,1 @@
+test/test_holdall.ml: Action_list Alcotest Helpers List Mvc Query Relational Sim Warehouse Whips Workload

@@ -1,0 +1,1 @@
+test/test_integrator.ml: Alcotest Algebra Database Helpers Integrator Pred Query Relational Update Value View

@@ -1,0 +1,1 @@
+test/test_irrelevance.ml: Alcotest Algebra Database Delta Helpers Irrelevance Pred QCheck2 Query Relational Signed_bag Update Value

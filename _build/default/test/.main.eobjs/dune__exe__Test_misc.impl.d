@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Bag Consistency Database Fmt Helpers List Mvc Query Relation Relational Schema Signed_bag Sim Source String Tuple Update Value Warehouse Workload

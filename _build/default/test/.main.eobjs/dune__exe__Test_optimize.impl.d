@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Algebra Bag Database Delta Eval Helpers List Optimize Pred QCheck2 Query Relational Schema Signed_bag Update Value

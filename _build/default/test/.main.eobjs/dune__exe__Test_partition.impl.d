@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Algebra Helpers List Mvc Printf Query View

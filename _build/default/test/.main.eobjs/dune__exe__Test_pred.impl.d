@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Helpers Pred Query Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_reader.ml: Action_list Alcotest Algebra Database Helpers List Pred Query Relation Relational Signed_bag Value Warehouse Whips Workload

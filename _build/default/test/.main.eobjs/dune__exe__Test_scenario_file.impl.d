@@ -1,0 +1,1 @@
+test/test_scenario_file.ml: Alcotest Helpers List Query Relation Relational Source Tuple Value Whips Workload

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Helpers Relational Schema Value

@@ -1,0 +1,1 @@
+test/test_signed_bag.ml: Alcotest Bag Helpers QCheck2 Relational Signed_bag

@@ -1,0 +1,1 @@
+test/test_sources.ml: Alcotest Database Helpers List Query Relation Relational Source Update

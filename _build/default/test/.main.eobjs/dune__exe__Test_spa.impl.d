@@ -1,0 +1,1 @@
+test/test_spa.ml: Action_list Alcotest Helpers List Mvc Printf QCheck2 Query Relational Sim Warehouse

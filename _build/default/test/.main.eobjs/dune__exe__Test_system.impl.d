@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Helpers List Metrics QCheck2 Query Relational Sim Source System Warehouse Whips Workload

@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Array Helpers QCheck2 Relational Schema Tuple Value

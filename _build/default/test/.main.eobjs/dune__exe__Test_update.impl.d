@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Helpers List Relational Signed_bag Update

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Helpers List QCheck2 Relational Value

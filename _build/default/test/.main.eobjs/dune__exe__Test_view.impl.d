@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Algebra Helpers Query Relational View

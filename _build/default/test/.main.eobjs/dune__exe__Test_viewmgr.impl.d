@@ -1,0 +1,1 @@
+test/test_viewmgr.ml: Action_list Alcotest Algebra Bag Database Eval Helpers List Query Relation Relational Sim Update View Viewmgr

@@ -1,0 +1,1 @@
+test/test_vut.ml: Alcotest Helpers Mvc

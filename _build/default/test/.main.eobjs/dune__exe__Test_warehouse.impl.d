@@ -1,0 +1,1 @@
+test/test_warehouse.ml: Action_list Alcotest Database Helpers List Printf QCheck2 Query Relation Relational Signed_bag Sim Warehouse

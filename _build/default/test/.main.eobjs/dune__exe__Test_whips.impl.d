@@ -1,0 +1,1 @@
+test/test_whips.ml: Alcotest Fmt Helpers List Metrics Printf Query Relational Source String System Warehouse Whips Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bag Database Fmt Helpers List Query Relation Relational Source Update Workload

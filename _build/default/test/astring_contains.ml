@@ -1,0 +1,10 @@
+(* Substring search helper for tests (no external string library). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec loop i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else loop (i + 1)
+  in
+  nl = 0 || loop 0

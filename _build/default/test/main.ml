@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "mvc-warehouse"
+    [ ("value", Test_value.tests);
+      ("schema", Test_schema.tests);
+      ("tuple", Test_tuple.tests);
+      ("bag", Test_bag.tests);
+      ("signed-bag", Test_signed_bag.tests);
+      ("update", Test_update.tests);
+      ("database", Test_database.tests);
+      ("pred", Test_pred.tests);
+      ("algebra", Test_algebra.tests);
+      ("eval", Test_eval.tests);
+      ("delta", Test_delta.tests);
+      ("irrelevance", Test_irrelevance.tests);
+      ("aggregate", Test_aggregate.tests);
+      ("optimize", Test_optimize.tests);
+      ("view", Test_view.tests);
+      ("action-list", Test_action_list.tests);
+      ("sim", Test_sim.tests);
+      ("sources", Test_sources.tests);
+      ("warehouse", Test_warehouse.tests);
+      ("reader", Test_reader.tests);
+      ("integrator", Test_integrator.tests);
+      ("vut", Test_vut.tests);
+      ("spa", Test_spa.tests);
+      ("pa", Test_pa.tests);
+      ("partition", Test_partition.tests);
+      ("holdall", Test_holdall.tests);
+      ("viewmgr", Test_viewmgr.tests);
+      ("derived", Test_derived.tests);
+      ("checker", Test_checker.tests);
+      ("workload", Test_workload.tests);
+      ("scenario-file", Test_scenario_file.tests);
+      ("system", Test_system.tests);
+      ("faults", Test_faults.tests);
+      ("whips", Test_whips.tests);
+      ("examples", Test_examples.tests);
+      ("misc", Test_misc.tests) ]

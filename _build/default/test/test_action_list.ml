@@ -1,0 +1,35 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let tests =
+  [ case "delta action applies a signed bag" (fun () ->
+        let al =
+          Action_list.delta ~view:"V" ~state:3
+            (Signed_bag.of_list
+               [ (Helpers.ints [ 1 ], 1); (Helpers.ints [ 2 ], -1) ])
+        in
+        Alcotest.check Helpers.bag "applied"
+          (Helpers.bag_of [ [ 1 ] ])
+          (Action_list.apply al (Helpers.bag_of [ [ 2 ] ])));
+    case "refresh action replaces contents" (fun () ->
+        let al = Action_list.refresh ~view:"V" ~state:2 (Helpers.bag_of [ [ 9 ] ]) in
+        Alcotest.check Helpers.bag "replaced"
+          (Helpers.bag_of [ [ 9 ] ])
+          (Action_list.apply al (Helpers.bag_of [ [ 1 ]; [ 2 ] ])));
+    case "is_empty: zero delta is empty" (fun () ->
+        Alcotest.(check bool) "empty" true
+          (Action_list.is_empty (Action_list.delta ~view:"V" ~state:1 Signed_bag.zero));
+        Alcotest.(check bool) "refresh never empty" false
+          (Action_list.is_empty (Action_list.refresh ~view:"V" ~state:1 Bag.empty)));
+    case "action_count" (fun () ->
+        let al =
+          Action_list.delta ~view:"V" ~state:1
+            (Signed_bag.of_list [ (Helpers.ints [ 1 ], 2); (Helpers.ints [ 2 ], -1) ])
+        in
+        Alcotest.(check int) "3 ops" 3 (Action_list.action_count al));
+    case "fields are preserved" (fun () ->
+        let al = Action_list.delta ~view:"V7" ~state:42 Signed_bag.zero in
+        Alcotest.(check string) "view" "V7" al.view;
+        Alcotest.(check int) "state" 42 al.state) ]

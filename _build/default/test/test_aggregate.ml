@@ -1,0 +1,214 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let sales = Helpers.int_schema [ "sku"; "store"; "qty" ]
+
+let db rows = Database.of_list [ ("sales", Helpers.rel sales rows) ]
+
+let base_rows = [ [ 1; 1; 5 ]; [ 1; 2; 3 ]; [ 2; 1; 7 ]; [ 2; 1; 7 ] ]
+
+let by_store aggregates =
+  Algebra.group_by ~keys:[ "store" ] ~aggregates (Algebra.base "sales")
+
+let eval rows e = Relation.contents (Eval.eval (db rows) e)
+
+let tests =
+  [ case "schema of group_by" (fun () ->
+        let e =
+          by_store [ ("total", Algebra.Sum "qty"); ("n", Algebra.Count) ]
+        in
+        let schema =
+          Algebra.schema_of (fun _ -> sales) e
+        in
+        Alcotest.(check (list string)) "attrs" [ "store"; "total"; "n" ]
+          (Schema.names schema);
+        Alcotest.(check bool) "count is int" true
+          (Schema.type_of schema "n" = Value.Int_ty));
+    case "schema of avg is float" (fun () ->
+        let e = by_store [ ("a", Algebra.Avg "qty") ] in
+        Alcotest.(check bool) "float" true
+          (Schema.type_of (Algebra.schema_of (fun _ -> sales) e) "a"
+          = Value.Float_ty));
+    case "count respects multiplicity" (fun () ->
+        let out = eval base_rows (by_store [ ("n", Algebra.Count) ]) in
+        Alcotest.(check int) "store 1 count 3" 1
+          (Bag.count out (Helpers.ints [ 1; 3 ]));
+        Alcotest.(check int) "store 2 count 1" 1
+          (Bag.count out (Helpers.ints [ 2; 1 ])));
+    case "sum / min / max" (fun () ->
+        let out =
+          eval base_rows
+            (by_store
+               [ ("s", Algebra.Sum "qty"); ("lo", Algebra.Min "qty");
+                 ("hi", Algebra.Max "qty") ])
+        in
+        Alcotest.(check int) "store 1: sum=19 min=5 max=7" 1
+          (Bag.count out (Helpers.ints [ 1; 19; 5; 7 ]));
+        Alcotest.(check int) "store 2: sum=3" 1
+          (Bag.count out (Helpers.ints [ 2; 3; 3; 3 ])));
+    case "avg" (fun () ->
+        let out = eval base_rows (by_store [ ("a", Algebra.Avg "qty") ]) in
+        let expected =
+          Tuple.of_list [ Value.Int 1; Value.Float (19.0 /. 3.0) ]
+        in
+        Alcotest.(check int) "store 1 avg" 1 (Bag.count out expected));
+    case "empty input yields no groups" (fun () ->
+        Alcotest.check Helpers.bag "empty" Bag.empty
+          (eval [] (by_store [ ("n", Algebra.Count) ])));
+    case "nulls: skipped by sum, counted by count" (fun () ->
+        let rows =
+          Bag.of_list
+            [ Tuple.of_list [ Value.Int 1; Value.Int 1; Value.Null ];
+              Tuple.of_list [ Value.Int 2; Value.Int 1; Value.Int 4 ] ]
+        in
+        let db =
+          Database.of_list
+            [ ("sales", Relation.with_contents (Relation.create sales) rows) ]
+        in
+        let out =
+          Relation.contents
+            (Eval.eval db
+               (by_store [ ("s", Algebra.Sum "qty"); ("n", Algebra.Count) ]))
+        in
+        Alcotest.(check int) "sum skips null" 1
+          (Bag.count out (Helpers.ints [ 1; 4; 2 ])));
+    case "delta: insert into existing group" (fun () ->
+        let e = by_store [ ("s", Algebra.Sum "qty") ] in
+        let pre = db base_rows in
+        let changes =
+          Delta.of_update (Update.insert "sales" (Helpers.ints [ 9; 1; 1 ]))
+        in
+        let d = Delta.eval ~pre changes e in
+        Alcotest.(check int) "old row retracted" (-1)
+          (Signed_bag.count d (Helpers.ints [ 1; 19 ]));
+        Alcotest.(check int) "new row inserted" 1
+          (Signed_bag.count d (Helpers.ints [ 1; 20 ]));
+        Alcotest.(check int) "only two entries" 2
+          (List.length (Signed_bag.to_list d)));
+    case "delta: delete emptying a group retracts it" (fun () ->
+        let e = by_store [ ("n", Algebra.Count) ] in
+        let pre = db base_rows in
+        let changes =
+          Delta.of_update (Update.delete "sales" (Helpers.ints [ 1; 2; 3 ]))
+        in
+        let d = Delta.eval ~pre changes e in
+        Alcotest.(check int) "group 2 gone" (-1)
+          (Signed_bag.count d (Helpers.ints [ 2; 1 ]));
+        Alcotest.(check int) "no replacement" 0
+          (Signed_bag.count d (Helpers.ints [ 2; 0 ])));
+    case "delta: min under deletion recomputes the group" (fun () ->
+        let e = by_store [ ("lo", Algebra.Min "qty") ] in
+        let pre = db base_rows in
+        (* Deleting the minimum of store 1 (qty 5) must surface 7. *)
+        let changes =
+          Delta.of_update (Update.delete "sales" (Helpers.ints [ 1; 1; 5 ]))
+        in
+        let d = Delta.eval ~pre changes e in
+        Alcotest.(check int) "-[1;5]" (-1)
+          (Signed_bag.count d (Helpers.ints [ 1; 5 ]));
+        Alcotest.(check int) "+[1;7]" 1 (Signed_bag.count d (Helpers.ints [ 1; 7 ])));
+    case "delta: update not changing the aggregate is empty" (fun () ->
+        let e = by_store [ ("n", Algebra.Count) ] in
+        let pre = db base_rows in
+        let changes =
+          Delta.of_update
+            (Update.modify "sales" ~before:(Helpers.ints [ 1; 1; 5 ])
+               ~after:(Helpers.ints [ 3; 1; 8 ]))
+        in
+        Alcotest.(check bool) "zero" true
+          (Signed_bag.is_zero (Delta.eval ~pre changes e)));
+    case "irrelevance: key selection pushes through group_by" (fun () ->
+        let e =
+          Algebra.select
+            (Pred.eq "store" (Value.Int 5))
+            (by_store [ ("n", Algebra.Count) ])
+        in
+        let schemas = function
+          | "sales" -> sales
+          | other -> raise (Database.Unknown_relation other)
+        in
+        let changes =
+          Delta.of_update (Update.insert "sales" (Helpers.ints [ 1; 1; 1 ]))
+        in
+        Alcotest.(check bool) "store 1 ruled out for store=5 view" true
+          (Irrelevance.provably_irrelevant ~schemas ~changes e);
+        let changes5 =
+          Delta.of_update (Update.insert "sales" (Helpers.ints [ 1; 5; 1 ]))
+        in
+        Alcotest.(check bool) "store 5 kept" false
+          (Irrelevance.provably_irrelevant ~schemas ~changes:changes5 e));
+    case "group_by over join" (fun () ->
+        let product = Helpers.int_schema [ "sku"; "cat" ] in
+        let db =
+          Database.of_list
+            [ ("sales", Helpers.rel sales base_rows);
+              ("product", Helpers.rel product [ [ 1; 10 ]; [ 2; 20 ] ]) ]
+        in
+        let e =
+          Algebra.group_by ~keys:[ "cat" ]
+            ~aggregates:[ ("s", Algebra.Sum "qty") ]
+            Algebra.(join (base "sales") (base "product"))
+        in
+        let out = Relation.contents (Eval.eval db e) in
+        Alcotest.(check int) "cat 10: 5+3" 1
+          (Bag.count out (Helpers.ints [ 10; 8 ]));
+        Alcotest.(check int) "cat 20: 7+7" 1
+          (Bag.count out (Helpers.ints [ 20; 14 ])));
+    Helpers.qcheck ~count:200 "group_by delta == recompute"
+      QCheck2.Gen.(
+        Helpers.Delta_domain.db_gen >>= fun db ->
+        Helpers.Delta_domain.changes_gen db >>= fun updates ->
+        oneofl
+          [ Algebra.group_by ~keys:[ "a1" ]
+              ~aggregates:
+                [ ("s", Algebra.Sum "a2"); ("n", Algebra.Count) ]
+              (Algebra.base "R1");
+            Algebra.group_by ~keys:[ "a0" ]
+              ~aggregates:[ ("m", Algebra.Min "a1") ]
+              (Algebra.base "R0");
+            Algebra.group_by ~keys:[ "a1" ]
+              ~aggregates:
+                [ ("mx", Algebra.Max "a2"); ("av", Algebra.Avg "a2") ]
+              Algebra.(join (base "R0") (base "R1")) ]
+        >>= fun expr -> return (db, updates, expr))
+      (fun (pre, updates, expr) ->
+        let txn = Update.Transaction.make ~id:1 ~source:"s" updates in
+        let changes = Delta.of_transaction txn in
+        let post = Database.apply_transaction pre txn in
+        let delta = Delta.eval ~pre changes expr in
+        let before = Eval.eval_bag pre expr in
+        let after = Eval.eval_bag post expr in
+        Bag.equal (Signed_bag.apply delta before) after
+        && Signed_bag.applies_exactly delta before);
+    case "sales-rollup scenario is complete end to end" (fun () ->
+        let scen = Workload.Scenarios.sales_rollup in
+        let result =
+          Whips.System.run
+            { (Whips.System.default scen) with
+              arrival = Whips.System.Poisson 50.0;
+              seed = 3 }
+        in
+        let v = Whips.System.verdict result in
+        Alcotest.(check bool) "complete" true v.complete;
+        (* Spot-check a rollup value at the end. *)
+        let expected =
+          Relation.contents
+            (Query.View.materialize
+               (Source.Sources.current result.sources)
+               (List.hd scen.views))
+        in
+        Alcotest.check Helpers.bag "qty_by_store" expected
+          (Whips.System.view_contents result "qty_by_store"));
+    case "aggregate views with batching managers stay strong" (fun () ->
+        let scen = Workload.Scenarios.sales_rollup in
+        let result =
+          Whips.System.run
+            { (Whips.System.default scen) with
+              vm_kind = Whips.System.Batching_vm;
+              arrival = Whips.System.Poisson 150.0;
+              seed = 9 }
+        in
+        let v = Whips.System.verdict result in
+        Alcotest.(check bool) "strong" true v.strongly_consistent) ]

@@ -1,0 +1,63 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let lookup name =
+  match name with
+  | "R" -> Helpers.int_schema [ "A"; "B" ]
+  | "S" -> Helpers.int_schema [ "B"; "C" ]
+  | "T" -> Helpers.int_schema [ "C"; "D" ]
+  | other -> raise (Database.Unknown_relation other)
+
+let tests =
+  [ case "base_relations dedupes in order" (fun () ->
+        let e = Algebra.(join (join (base "R") (base "S")) (base "R")) in
+        Alcotest.(check (list string)) "RS" [ "R"; "S" ] (Algebra.base_relations e));
+    case "schema_of base" (fun () ->
+        Alcotest.check Helpers.schema "R" (lookup "R")
+          (Algebra.schema_of lookup (Algebra.base "R")));
+    case "schema_of join merges shared attrs" (fun () ->
+        Alcotest.(check (list string)) "ABC" [ "A"; "B"; "C" ]
+          (Schema.names (Algebra.schema_of lookup Algebra.(join (base "R") (base "S")))));
+    case "schema_of three-way join" (fun () ->
+        Alcotest.(check (list string)) "ABCD" [ "A"; "B"; "C"; "D" ]
+          (Schema.names
+             (Algebra.schema_of lookup
+                Algebra.(join_all [ base "R"; base "S"; base "T" ]))));
+    case "schema_of project" (fun () ->
+        Alcotest.(check (list string)) "B" [ "B" ]
+          (Schema.names
+             (Algebra.schema_of lookup Algebra.(project [ "B" ] (base "R")))));
+    case "schema_of select validates predicate attrs" (fun () ->
+        Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z") (fun () ->
+            ignore
+              (Algebra.schema_of lookup
+                 Algebra.(select (Pred.eq "Z" (Value.Int 1)) (base "R")))));
+    case "schema_of union requires equal schemas" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Algebra.schema_of lookup Algebra.(union (base "R") (base "S"))
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "schema_of union of compatible renames" (fun () ->
+        let e =
+          Algebra.(
+            union (base "R") (rename [ ("B", "A"); ("C", "B") ] (base "S")))
+        in
+        Alcotest.(check (list string)) "AB" [ "A"; "B" ]
+          (Schema.names (Algebra.schema_of lookup e)));
+    case "join_all rejects empty" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Algebra.join_all [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "depth and size" (fun () ->
+        let e = Algebra.(select Pred.True (join (base "R") (base "S"))) in
+        Alcotest.(check int) "depth" 3 (Algebra.depth e);
+        Alcotest.(check int) "size" 4 (Algebra.size e));
+    case "to_string mentions operators" (fun () ->
+        let s = Algebra.to_string Algebra.(select Pred.True (base "R")) in
+        Alcotest.(check bool) "sigma" true
+          (String.length s > 0 && String.sub s 0 5 = "sigma")) ]

@@ -1,0 +1,84 @@
+open Relational
+
+let case = Helpers.case
+
+let t1 = Helpers.ints [ 1 ]
+
+let t2 = Helpers.ints [ 2 ]
+
+let gen = Helpers.Gen.small_bag ~arity:2 ~range:3
+
+let tests =
+  [ case "empty" (fun () ->
+        Alcotest.(check bool) "is_empty" true (Bag.is_empty Bag.empty);
+        Alcotest.(check int) "cardinal" 0 (Bag.cardinal Bag.empty));
+    case "add increments multiplicity" (fun () ->
+        let b = Bag.add t1 (Bag.add t1 Bag.empty) in
+        Alcotest.(check int) "count" 2 (Bag.count b t1);
+        Alcotest.(check int) "cardinal" 2 (Bag.cardinal b);
+        Alcotest.(check int) "distinct" 1 (Bag.distinct b));
+    case "add with count" (fun () ->
+        let b = Bag.add ~count:3 t1 Bag.empty in
+        Alcotest.(check int) "count" 3 (Bag.count b t1));
+    case "add rejects nonpositive count" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Bag.add ~count:0 t1 Bag.empty with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "remove decrements and drops at zero" (fun () ->
+        let b = Bag.add ~count:2 t1 Bag.empty in
+        let b = Bag.remove t1 b in
+        Alcotest.(check int) "one left" 1 (Bag.count b t1);
+        let b = Bag.remove t1 b in
+        Alcotest.(check bool) "gone" false (Bag.mem b t1));
+    case "remove of absent tuple is a no-op" (fun () ->
+        Alcotest.check Helpers.bag "same" Bag.empty (Bag.remove t1 Bag.empty));
+    case "remove floors at zero" (fun () ->
+        let b = Bag.remove ~count:5 t1 (Bag.add t1 Bag.empty) in
+        Alcotest.(check int) "zero" 0 (Bag.count b t1));
+    case "of_list counts duplicates" (fun () ->
+        let b = Bag.of_list [ t1; t2; t1 ] in
+        Alcotest.(check int) "t1 twice" 2 (Bag.count b t1);
+        Alcotest.(check int) "t2 once" 1 (Bag.count b t2));
+    case "to_list expands multiplicities" (fun () ->
+        let b = Bag.add ~count:2 t1 Bag.empty in
+        Alcotest.(check int) "len" 2 (List.length (Bag.to_list b)));
+    case "union adds multiplicities" (fun () ->
+        let a = Bag.of_list [ t1 ] and b = Bag.of_list [ t1; t2 ] in
+        let u = Bag.union a b in
+        Alcotest.(check int) "t1" 2 (Bag.count u t1);
+        Alcotest.(check int) "t2" 1 (Bag.count u t2));
+    case "diff is monus" (fun () ->
+        let a = Bag.of_list [ t1; t1; t2 ] and b = Bag.of_list [ t1; t1; t1 ] in
+        let d = Bag.diff a b in
+        Alcotest.(check int) "t1 floored" 0 (Bag.count d t1);
+        Alcotest.(check int) "t2 kept" 1 (Bag.count d t2));
+    case "map merges colliding images" (fun () ->
+        let b = Bag.of_list [ Helpers.ints [ 1; 2 ]; Helpers.ints [ 1; 3 ] ] in
+        let mapped =
+          Bag.map
+            (fun t -> Tuple.of_list [ Tuple.get t 0 ])
+            b
+        in
+        Alcotest.(check int) "merged" 2 (Bag.count mapped (Helpers.ints [ 1 ])));
+    case "filter" (fun () ->
+        let b = Bag.of_list [ t1; t2 ] in
+        let f = Bag.filter (fun t -> Tuple.equal t t1) b in
+        Alcotest.(check int) "t1" 1 (Bag.count f t1);
+        Alcotest.(check bool) "no t2" false (Bag.mem f t2));
+    Helpers.qcheck "union is commutative" QCheck2.Gen.(pair gen gen)
+      (fun (a, b) -> Bag.equal (Bag.union a b) (Bag.union b a));
+    Helpers.qcheck "union is associative"
+      QCheck2.Gen.(triple gen gen gen)
+      (fun (a, b, c) ->
+        Bag.equal (Bag.union a (Bag.union b c)) (Bag.union (Bag.union a b) c));
+    Helpers.qcheck "empty is the union identity" gen (fun b ->
+        Bag.equal (Bag.union b Bag.empty) b);
+    Helpers.qcheck "diff then union restores when disjoint-safe"
+      QCheck2.Gen.(pair gen gen)
+      (fun (a, b) ->
+        (* (a U b) - b = a *)
+        Bag.equal (Bag.diff (Bag.union a b) b) a);
+    Helpers.qcheck "cardinal is sum of counts" gen (fun b ->
+        Bag.cardinal b
+        = List.fold_left (fun acc (_, n) -> acc + n) 0 (Bag.to_counted_list b)) ]

@@ -1,0 +1,451 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+(* Hand-built ground truth: R at src1, S at src2; V1 = R |><| S, V2 = S.
+   Three transactions: U1 inserts into S, U2 inserts into R, U3 deletes
+   from S. *)
+
+let rs = Helpers.int_schema [ "A"; "B" ]
+
+let ss = Helpers.int_schema [ "B"; "C" ]
+
+let v1 = View.make "V1" Algebra.(join (base "R") (base "S"))
+
+let v2 = View.make "V2" Algebra.(base "S")
+
+let views = [ v1; v2 ]
+
+let setup () =
+  let srcs =
+    Source.Sources.create
+      [ { source = "s1"; relation = "R"; init = Helpers.rel rs [ [ 1; 2 ] ] };
+        { source = "s2"; relation = "S"; init = Helpers.rel ss [] } ]
+  in
+  let t1 = Source.Sources.execute srcs [ Update.insert "S" (Helpers.ints [ 2; 3 ]) ] in
+  let t2 = Source.Sources.execute srcs [ Update.insert "R" (Helpers.ints [ 7; 2 ]) ] in
+  let t3 = Source.Sources.execute srcs [ Update.delete "S" (Helpers.ints [ 2; 3 ]) ] in
+  (srcs, [ t1; t2; t3 ])
+
+let ws_of srcs i =
+  let db = Source.Sources.state srcs i in
+  Database.of_list
+    (List.map (fun v -> (View.name v, View.materialize db v)) views)
+
+(* A mixed warehouse state: V1 evaluated at state [i], V2 at state [j]. *)
+let mixed srcs i j =
+  Database.of_list
+    [ ("V1", View.materialize (Source.Sources.state srcs i) v1);
+      ("V2", View.materialize (Source.Sources.state srcs j) v2) ]
+
+let check srcs txns states =
+  Consistency.Checker.check ~views ~transactions:txns
+    ~source_states:(Source.Sources.states srcs) ~warehouse_states:states
+
+let tests =
+  [ case "the complete sequence is complete" (fun () ->
+        let srcs, txns = setup () in
+        let v = check srcs txns [ ws_of srcs 0; ws_of srcs 1; ws_of srcs 2; ws_of srcs 3 ] in
+        Alcotest.(check bool) "complete" true v.complete;
+        Alcotest.(check bool) "strong" true v.strongly_consistent;
+        Alcotest.(check bool) "convergent" true v.convergent;
+        Alcotest.(check bool) "conclusive" true v.conclusive);
+    case "skipping a state is strongly consistent but not complete" (fun () ->
+        let srcs, txns = setup () in
+        let v = check srcs txns [ ws_of srcs 0; ws_of srcs 1; ws_of srcs 3 ] in
+        Alcotest.(check bool) "not complete" false v.complete;
+        Alcotest.(check bool) "strong" true v.strongly_consistent)
+    (* note: ws(1) -> ws(3) applies U2 and U3 in one step *);
+    case "a single jump to the final state is strongly consistent" (fun () ->
+        let srcs, txns = setup () in
+        let v = check srcs txns [ ws_of srcs 0; ws_of srcs 3 ] in
+        Alcotest.(check bool) "strong" true v.strongly_consistent;
+        Alcotest.(check bool) "not complete" false v.complete);
+    case "torn state (views at incompatible cuts) is rejected" (fun () ->
+        let srcs, txns = setup () in
+        (* V2 reflects U1 (S insert) but V1 does not: both use S and U1
+           touches S, so no equivalent serial schedule explains it. *)
+        let torn = mixed srcs 0 1 in
+        let v = check srcs txns [ ws_of srcs 0; torn; ws_of srcs 3 ] in
+        Alcotest.(check bool) "not strong" false v.strongly_consistent;
+        Alcotest.(check bool) "still convergent" true v.convergent);
+    case "commuting reorder is accepted (SPA's Example 3 pattern)" (fun () ->
+        let srcs, txns = setup () in
+        (* U2 touches only R, which V2 does not use: V1 at state 2 with V2
+           still at state... V1 needs U1 first. Use V1 at 1, then a state
+           where V1 jumped to 2 while V2 stays at 1 — legal since U2 is
+           irrelevant to V2. *)
+        let states =
+          [ ws_of srcs 0; ws_of srcs 1; mixed srcs 2 1; ws_of srcs 3 ]
+        in
+        let v = check srcs txns states in
+        Alcotest.(check bool) "strong" true v.strongly_consistent;
+        Alcotest.(check bool) "complete" true v.complete);
+    case "wrong final state: not even convergent" (fun () ->
+        let srcs, txns = setup () in
+        let v = check srcs txns [ ws_of srcs 0; ws_of srcs 2 ] in
+        Alcotest.(check bool) "not convergent" false v.convergent;
+        Alcotest.(check bool) "not strong" false v.strongly_consistent);
+    case "backwards movement is rejected" (fun () ->
+        let srcs, txns = setup () in
+        let states = [ ws_of srcs 0; ws_of srcs 2; ws_of srcs 1; ws_of srcs 3 ] in
+        let v = check srcs txns states in
+        (* ws 1 -> ws 2 goes from state 2 back to state 1: S regains the
+           tuple, which only deleting-then-reinserting could explain; no
+           monotone chain exists. *)
+        Alcotest.(check bool) "not strong" false v.strongly_consistent);
+    case "garbage contents match no source state" (fun () ->
+        let srcs, txns = setup () in
+        let garbage =
+          Database.of_list
+            [ ("V1", Helpers.rel (Schema.join rs ss) [ [ 9; 9; 9 ] ]);
+              ("V2", Helpers.rel ss [] ) ]
+        in
+        let v = check srcs txns [ ws_of srcs 0; garbage; ws_of srcs 3 ] in
+        Alcotest.(check bool) "not strong" false v.strongly_consistent;
+        Alcotest.(check bool) "detail mentions the state" true
+          (String.length v.detail > 0));
+    case "duplicate consecutive states (empty commits) stay complete" (fun () ->
+        let srcs, txns = setup () in
+        let states =
+          [ ws_of srcs 0; ws_of srcs 1; ws_of srcs 1; ws_of srcs 2; ws_of srcs 3 ]
+        in
+        let v = check srcs txns states in
+        Alcotest.(check bool) "complete" true v.complete);
+    case "single-view check" (fun () ->
+        let srcs, txns = setup () in
+        let contents i =
+          Relation.contents (View.materialize (Source.Sources.state srcs i) v2)
+        in
+        let v =
+          Consistency.Checker.check_single_view ~view:v2 ~transactions:txns
+            ~source_states:(Source.Sources.states srcs)
+            ~contents:[ contents 0; contents 1; contents 3 ]
+        in
+        Alcotest.(check bool) "strong" true v.strongly_consistent;
+        (* U2 does not touch S, so V2 observes only two changes; skipping
+           state 2 loses nothing observable. *)
+        Alcotest.(check bool) "complete" true v.complete);
+    case "independent groups are checked independently" (fun () ->
+        (* V1 over R, VQ over Q: disjoint groups. A state advancing only
+           VQ while V1 lags is fine; a torn state inside one group still
+           fails. *)
+        let qs = Helpers.int_schema [ "Q1"; "Q2" ] in
+        let vq = View.make "VQ" Algebra.(base "Q") in
+        let views2 = [ v1; v2; vq ] in
+        let srcs =
+          Source.Sources.create
+            [ { source = "s1"; relation = "R"; init = Helpers.rel rs [ [ 1; 2 ] ] };
+              { source = "s2"; relation = "S"; init = Helpers.rel ss [] };
+              { source = "s3"; relation = "Q"; init = Helpers.rel qs [] } ]
+        in
+        let t1 = Source.Sources.execute srcs [ Update.insert "Q" (Helpers.ints [ 7; 7 ]) ] in
+        let t2 = Source.Sources.execute srcs [ Update.insert "S" (Helpers.ints [ 2; 3 ]) ] in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map (fun v -> (View.name v, View.materialize db v)) views2)
+        in
+        let mixed_groups =
+          (* VQ already at state 1, V1/V2 still at 0 — legal (groups are
+             independent). *)
+          Database.of_list
+            [ ("V1", View.materialize (Source.Sources.state srcs 0) v1);
+              ("V2", View.materialize (Source.Sources.state srcs 0) v2);
+              ("VQ", View.materialize (Source.Sources.state srcs 1) vq) ]
+        in
+        let verdict =
+          Consistency.Checker.check ~views:views2 ~transactions:[ t1; t2 ]
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:[ ws 0; mixed_groups; ws 2 ]
+        in
+        Alcotest.(check bool) "complete" true verdict.complete);
+    case "one warehouse step advancing two groups breaks completeness"
+      (fun () ->
+        let qs = Helpers.int_schema [ "Q1"; "Q2" ] in
+        let vq = View.make "VQ" Algebra.(base "Q") in
+        let views2 = [ v2; vq ] in
+        let srcs =
+          Source.Sources.create
+            [ { source = "s2"; relation = "S"; init = Helpers.rel ss [] };
+              { source = "s3"; relation = "Q"; init = Helpers.rel qs [] } ]
+        in
+        let t1 = Source.Sources.execute srcs [ Update.insert "S" (Helpers.ints [ 2; 3 ]) ] in
+        let t2 = Source.Sources.execute srcs [ Update.insert "Q" (Helpers.ints [ 7; 7 ]) ] in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map (fun v -> (View.name v, View.materialize db v)) views2)
+        in
+        (* Jump straight from ws0 to ws2: both groups advance in one
+           commit — strongly consistent, not complete. *)
+        let verdict =
+          Consistency.Checker.check ~views:views2 ~transactions:[ t1; t2 ]
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:[ ws 0; ws 2 ]
+        in
+        Alcotest.(check bool) "strong" true verdict.strongly_consistent;
+        Alcotest.(check bool) "not complete" false verdict.complete);
+    case "a multi-relation transaction may advance two groups at once"
+      (fun () ->
+        let qs = Helpers.int_schema [ "Q1"; "Q2" ] in
+        let vq = View.make "VQ" Algebra.(base "Q") in
+        let views2 = [ v2; vq ] in
+        let srcs =
+          Source.Sources.create
+            [ { source = "s2"; relation = "S"; init = Helpers.rel ss [] };
+              { source = "s3"; relation = "Q"; init = Helpers.rel qs [] } ]
+        in
+        (* One transaction touching both S and Q (Section 6.2). *)
+        let t1 =
+          Source.Sources.execute srcs
+            [ Update.insert "S" (Helpers.ints [ 2; 3 ]);
+              Update.insert "Q" (Helpers.ints [ 7; 7 ]) ]
+        in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map (fun v -> (View.name v, View.materialize db v)) views2)
+        in
+        let verdict =
+          Consistency.Checker.check ~views:views2 ~transactions:[ t1 ]
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:[ ws 0; ws 1 ]
+        in
+        Alcotest.(check bool) "complete" true verdict.complete);
+    case "a torn multi-relation transaction is rejected across disjoint views"
+      (fun () ->
+        (* V2 over S and VQ over Q share no relation, but one transaction
+           touches both: its effects must appear atomically (Section 6.2),
+           so a state reflecting the S half without the Q half has no
+           equivalent serial schedule. *)
+        let qs = Helpers.int_schema [ "Q1"; "Q2" ] in
+        let vq = View.make "VQ" Algebra.(base "Q") in
+        let views2 = [ v2; vq ] in
+        let srcs =
+          Source.Sources.create
+            [ { source = "s2"; relation = "S"; init = Helpers.rel ss [] };
+              { source = "s3"; relation = "Q"; init = Helpers.rel qs [] } ]
+        in
+        let t1 =
+          Source.Sources.execute srcs
+            [ Update.insert "S" (Helpers.ints [ 2; 3 ]);
+              Update.insert "Q" (Helpers.ints [ 7; 7 ]) ]
+        in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map (fun v -> (View.name v, View.materialize db v)) views2)
+        in
+        let torn =
+          Database.of_list
+            [ ("V2", View.materialize (Source.Sources.state srcs 1) v2);
+              ("VQ", View.materialize (Source.Sources.state srcs 0) vq) ]
+        in
+        let verdict =
+          Consistency.Checker.check ~views:views2 ~transactions:[ t1 ]
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:[ ws 0; torn; ws 1 ]
+        in
+        Alcotest.(check bool) "not strong" false verdict.strongly_consistent;
+        Alcotest.(check bool) "convergent" true verdict.convergent);
+    case "unupdated shared relations do not couple views" (fun () ->
+        (* V1 and V2 share S, but the run only updates R: the views are
+           effectively independent and mixed per-view progress on R-only
+           updates is fine. *)
+        let srcs =
+          Source.Sources.create
+            [ { source = "s1"; relation = "R"; init = Helpers.rel rs [ [ 1; 2 ] ] };
+              { source = "s2"; relation = "S"; init = Helpers.rel ss [ [ 2; 3 ] ] } ]
+        in
+        let t1 = Source.Sources.execute srcs [ Update.insert "R" (Helpers.ints [ 7; 2 ]) ] in
+        let states =
+          [ ws_of srcs 0;
+            (* V1 reflects U1, V2 trivially unchanged *) ws_of srcs 1 ]
+        in
+        let v = check srcs [ t1 ] states in
+        Alcotest.(check bool) "complete" true v.complete);
+    case "long content-stable runs stay conclusive via pruning" (fun () ->
+        (* 100 transactions on R, V2 = S never changes: its candidate set
+           is the full range at every state, exercising the candidate cap
+           without producing a false negative. *)
+        let srcs =
+          Source.Sources.create
+            [ { source = "s1"; relation = "R"; init = Helpers.rel rs [ [ 1; 2 ] ] };
+              { source = "s2"; relation = "S"; init = Helpers.rel ss [ [ 2; 3 ] ] } ]
+        in
+        let txns =
+          List.init 100 (fun i ->
+              Source.Sources.execute srcs
+                [ Update.insert "R" (Helpers.ints [ 100 + i; 2 ]) ])
+        in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map (fun v -> (View.name v, View.materialize db v)) views)
+        in
+        let states = List.init 101 ws in
+        let verdict =
+          Consistency.Checker.check ~views ~transactions:txns
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:states
+        in
+        Alcotest.(check bool) "complete" true verdict.complete;
+        Alcotest.(check bool) "conclusive" true verdict.conclusive);
+    (* Metamorphic oracle tests: build histories with a verdict known by
+       construction and require the oracle to reproduce it. *)
+    Helpers.qcheck ~count:60 "uniform monotone chains are accepted exactly"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Sim.Rng.create seed in
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 8;
+              n_views = 3 }
+        in
+        let srcs = Workload.Scenarios.sources scen in
+        let txns = Workload.Scenarios.run_script scen srcs in
+        let f = List.length txns in
+        (* Random monotone index sequence 0 = c0 <= ... <= ck = f. *)
+        let rec chain c acc =
+          if c >= f then List.rev (f :: acc)
+          else begin
+            let next = Sim.Rng.int_range rng c f in
+            if next = c then chain (c + 1) (c :: acc) else chain next (c :: acc)
+          end
+        in
+        let indices = 0 :: chain 0 [] in
+        let ws i =
+          let db = Source.Sources.state srcs i in
+          Database.of_list
+            (List.map
+               (fun v -> (View.name v, View.materialize db v))
+               scen.views)
+        in
+        let states = List.map ws indices in
+        let verdict =
+          Consistency.Checker.check ~views:scen.views ~transactions:txns
+            ~source_states:(Source.Sources.states srcs)
+            ~warehouse_states:states
+        in
+        (* Expected completeness: every consecutive index gap applies at
+           most one observable transaction (one that changes some view's
+           contents). *)
+        let observable i =
+          List.exists
+            (fun v ->
+              not
+                (Relation.equal_contents
+                   (View.materialize (Source.Sources.state srcs i) v)
+                   (View.materialize (Source.Sources.state srcs (i - 1)) v)))
+            scen.views
+        in
+        let rec gaps_ok = function
+          | a :: (b :: _ as rest) ->
+            let obs_in_gap =
+              List.length
+                (List.filter observable
+                   (List.init (b - a) (fun k -> a + k + 1)))
+            in
+            obs_in_gap <= 1 && gaps_ok rest
+          | _ -> true
+        in
+        verdict.strongly_consistent && verdict.conclusive
+        && verdict.complete = gaps_ok indices);
+    Helpers.qcheck ~count:60 "torn coupled states are rejected"
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 8;
+              n_views = 3 }
+        in
+        let srcs = Workload.Scenarios.sources scen in
+        let txns = Workload.Scenarios.run_script scen srcs in
+        let f = List.length txns in
+        (* Find a transaction observably relevant to two views. *)
+        let changed v i =
+          not
+            (Relation.equal_contents
+               (View.materialize (Source.Sources.state srcs i) v)
+               (View.materialize (Source.Sources.state srcs (i - 1)) v))
+        in
+        let candidate =
+          List.find_opt
+            (fun i ->
+              List.length (List.filter (fun v -> changed v i) scen.views) >= 2)
+            (List.init f (fun k -> k + 1))
+        in
+        match candidate with
+        | None -> true (* nothing to tear in this workload; vacuous *)
+        | Some i ->
+          let ahead, behind =
+            match List.filter (fun v -> changed v i) scen.views with
+            | a :: b :: _ -> (a, b)
+            | _ -> assert false
+          in
+          (* If the lagging view's old content recurs at a later source
+             state, a compatible cut may legitimately explain the "torn"
+             state; skip such ambiguous cases. Also skip when any OTHER
+             view (held at i-1) has recurring content. *)
+          let recurs v =
+            let old = View.materialize (Source.Sources.state srcs (i - 1)) v in
+            List.exists
+              (fun c ->
+                Relation.equal_contents old
+                  (View.materialize (Source.Sources.state srcs c) v))
+              (List.init (f - i + 1) (fun k -> i + k))
+          in
+          let ahead_new = View.materialize (Source.Sources.state srcs i) ahead in
+          let ahead_recurs_earlier =
+            List.exists
+              (fun c ->
+                Relation.equal_contents ahead_new
+                  (View.materialize (Source.Sources.state srcs c) ahead))
+              (List.init i (fun k -> k))
+          in
+          if
+            ahead_recurs_earlier
+            || List.exists recurs
+                 (List.filter (fun v -> v != ahead) scen.views)
+          then true
+          else
+          let torn =
+            Database.of_list
+              (List.map
+                 (fun v ->
+                   let at =
+                     if View.name v = View.name ahead then i
+                     else if View.name v = View.name behind then i - 1
+                     else i - 1
+                   in
+                   (View.name v, View.materialize (Source.Sources.state srcs at) v))
+                 scen.views)
+          in
+          let ws j =
+            Database.of_list
+              (List.map
+                 (fun v -> (View.name v, View.materialize (Source.Sources.state srcs j) v))
+                 scen.views)
+          in
+          let verdict =
+            Consistency.Checker.check ~views:scen.views ~transactions:txns
+              ~source_states:(Source.Sources.states srcs)
+              ~warehouse_states:[ ws 0; torn; ws f ]
+          in
+          not verdict.strongly_consistent);
+    case "input validation" (fun () ->
+        let srcs, txns = setup () in
+        Alcotest.(check bool) "length mismatch" true
+          (match
+             Consistency.Checker.check ~views ~transactions:txns
+               ~source_states:[ Source.Sources.state srcs 0 ]
+               ~warehouse_states:[ ws_of srcs 0 ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false)) ]

@@ -1,0 +1,64 @@
+open Relational
+
+let case = Helpers.case
+
+let rs = Helpers.int_schema [ "A"; "B" ]
+
+let ss = Helpers.int_schema [ "B"; "C" ]
+
+let db () =
+  Database.of_list
+    [ ("R", Helpers.rel rs [ [ 1; 2 ] ]); ("S", Helpers.rel ss [ [ 2; 3 ] ]) ]
+
+let tests =
+  [ case "find" (fun () ->
+        Alcotest.(check int) "R card" 1 (Relation.cardinal (Database.find (db ()) "R")));
+    case "find unknown raises" (fun () ->
+        Alcotest.check_raises "unknown" (Database.Unknown_relation "Z")
+          (fun () -> ignore (Database.find (db ()) "Z")));
+    case "names sorted" (fun () ->
+        Alcotest.(check (list string)) "RS" [ "R"; "S" ] (Database.names (db ())));
+    case "restrict" (fun () ->
+        let r = Database.restrict (db ()) [ "R"; "Z" ] in
+        Alcotest.(check (list string)) "only R" [ "R" ] (Database.names r));
+    case "apply_update insert" (fun () ->
+        let db' = Database.apply_update (db ()) (Update.insert "R" (Helpers.ints [ 5; 6 ])) in
+        Alcotest.(check int) "2 rows" 2 (Relation.cardinal (Database.find db' "R")));
+    case "apply_update modify" (fun () ->
+        let db' =
+          Database.apply_update (db ())
+            (Update.modify "R" ~before:(Helpers.ints [ 1; 2 ])
+               ~after:(Helpers.ints [ 1; 9 ]))
+        in
+        Alcotest.(check bool) "new present" true
+          (Relation.mem (Database.find db' "R") (Helpers.ints [ 1; 9 ]));
+        Alcotest.(check bool) "old gone" false
+          (Relation.mem (Database.find db' "R") (Helpers.ints [ 1; 2 ])));
+    case "apply_update on unknown relation raises" (fun () ->
+        Alcotest.check_raises "unknown" (Database.Unknown_relation "Z")
+          (fun () ->
+            ignore (Database.apply_update (db ()) (Update.insert "Z" (Helpers.ints [ 1 ])))));
+    case "apply_transaction is sequential within the transaction" (fun () ->
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s"
+            [ Update.insert "R" (Helpers.ints [ 7; 7 ]);
+              Update.delete "R" (Helpers.ints [ 7; 7 ]) ]
+        in
+        let db' = Database.apply_transaction (db ()) txn in
+        Alcotest.(check bool) "net zero" true
+          (Database.equal db' (db ())));
+    case "apply_relevant skips foreign relations" (fun () ->
+        let only_r = Database.restrict (db ()) [ "R" ] in
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s"
+            [ Update.insert "R" (Helpers.ints [ 4; 4 ]);
+              Update.insert "S" (Helpers.ints [ 9; 9 ]) ]
+        in
+        let db' = Database.apply_relevant only_r txn in
+        Alcotest.(check int) "R grew" 2 (Relation.cardinal (Database.find db' "R"));
+        Alcotest.(check bool) "S still absent" false (Database.mem db' "S"));
+    case "persistence: snapshots are independent" (fun () ->
+        let before = db () in
+        let _after = Database.apply_update before (Update.insert "R" (Helpers.ints [ 8; 8 ])) in
+        Alcotest.(check int) "before unchanged" 1
+          (Relation.cardinal (Database.find before "R"))) ]

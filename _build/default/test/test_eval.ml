@@ -1,0 +1,88 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let rs = Helpers.int_schema [ "A"; "B" ]
+
+let ss = Helpers.int_schema [ "B"; "C" ]
+
+let db =
+  Database.of_list
+    [ ("R", Helpers.rel rs [ [ 1; 2 ]; [ 7; 2 ]; [ 9; 9 ] ]);
+      ("S", Helpers.rel ss [ [ 2; 3 ]; [ 2; 4 ]; [ 5; 5 ] ]) ]
+
+let eval e = Relation.contents (Eval.eval db e)
+
+let tests =
+  [ case "base returns the relation" (fun () ->
+        Alcotest.check Helpers.bag "R"
+          (Helpers.bag_of [ [ 1; 2 ]; [ 7; 2 ]; [ 9; 9 ] ])
+          (eval (Algebra.base "R")));
+    case "select filters" (fun () ->
+        Alcotest.check Helpers.bag "B=2"
+          (Helpers.bag_of [ [ 1; 2 ]; [ 7; 2 ] ])
+          (eval Algebra.(select (Pred.eq "B" (Value.Int 2)) (base "R"))));
+    case "project with duplicate merging (bag semantics)" (fun () ->
+        Alcotest.check Helpers.bag "pi B"
+          (Bag.add ~count:2 (Helpers.ints [ 2 ])
+             (Bag.of_list [ Helpers.ints [ 9 ] ]))
+          (eval Algebra.(project [ "B" ] (base "R"))));
+    case "natural join on shared attribute" (fun () ->
+        Alcotest.check Helpers.bag "R|><|S"
+          (Helpers.bag_of [ [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 7; 2; 3 ]; [ 7; 2; 4 ] ])
+          (eval Algebra.(join (base "R") (base "S"))));
+    case "join multiplicities multiply" (fun () ->
+        let db =
+          Database.of_list
+            [ ("R", Relation.with_contents (Relation.create rs)
+                 (Bag.add ~count:2 (Helpers.ints [ 1; 2 ]) Bag.empty));
+              ("S", Relation.with_contents (Relation.create ss)
+                 (Bag.add ~count:3 (Helpers.ints [ 2; 3 ]) Bag.empty)) ]
+        in
+        let out = Relation.contents (Eval.eval db Algebra.(join (base "R") (base "S"))) in
+        Alcotest.(check int) "6 copies" 6 (Bag.count out (Helpers.ints [ 1; 2; 3 ])));
+    case "join with empty side is empty" (fun () ->
+        let db' = Database.add "S" (Relation.create ss) db in
+        Alcotest.check Helpers.bag "empty" Bag.empty
+          (Relation.contents (Eval.eval db' Algebra.(join (base "R") (base "S")))));
+    case "union adds" (fun () ->
+        let e = Algebra.(union (project [ "B" ] (base "R")) (project [ "B" ] (base "S"))) in
+        let out = eval e in
+        Alcotest.(check int) "B=2 thrice" 4 (Bag.count out (Helpers.ints [ 2 ])));
+    case "rename leaves contents" (fun () ->
+        Alcotest.check Helpers.bag "same tuples"
+          (eval (Algebra.base "R"))
+          (eval Algebra.(rename [ ("A", "X") ] (base "R"))));
+    case "rename enables self-join on different attrs" (fun () ->
+        (* R joined with rename(S.C->D) still joins on B *)
+        let e = Algebra.(join (base "R") (rename [ ("C", "Z") ] (base "S"))) in
+        let out = eval e in
+        Alcotest.(check int) "4 matches" 4 (Bag.cardinal out));
+    case "eval example 1 (Table 1)" (fun () ->
+        let scen = Workload.Scenarios.example1 in
+        let srcs = Workload.Scenarios.sources scen in
+        let v1 = List.nth scen.views 0 and v2 = List.nth scen.views 1 in
+        (* t0: both views empty *)
+        Alcotest.(check bool) "V1 empty" true
+          (Relation.is_empty (Query.View.materialize (Source.Sources.current srcs) v1));
+        let _ = Workload.Scenarios.run_script scen srcs in
+        (* After inserting [2,3] into S *)
+        Alcotest.check Helpers.bag "V1 = {[1,2,3]}"
+          (Helpers.bag_of [ [ 1; 2; 3 ] ])
+          (Relation.contents (Query.View.materialize (Source.Sources.current srcs) v1));
+        Alcotest.check Helpers.bag "V2 = {[2,3,4]}"
+          (Helpers.bag_of [ [ 2; 3; 4 ] ])
+          (Relation.contents (Query.View.materialize (Source.Sources.current srcs) v2)));
+    case "eval missing relation raises" (fun () ->
+        Alcotest.check_raises "unknown" (Database.Unknown_relation "Z") (fun () ->
+            ignore (eval (Algebra.base "Z"))));
+    case "join_counted with negative counts" (fun () ->
+        let out =
+          Eval.join_counted rs ss
+            [ (Helpers.ints [ 1; 2 ], -1) ]
+            [ (Helpers.ints [ 2; 3 ], 2) ]
+        in
+        Alcotest.(check (list (pair Helpers.tuple int))) "-2"
+          [ (Helpers.ints [ 1; 2; 3 ], -2) ]
+          out) ]

@@ -1,0 +1,78 @@
+(* Resilience under message loss. The painting algorithms assume reliable
+   FIFO channels; these tests pin down exactly what breaks when that
+   assumption is violated:
+
+   - losing a view's *last* pending list stops progress (the merge holds
+     dependent rows forever) but never exposes an inconsistent state;
+   - losing a list *followed by another from the same manager* is a FIFO
+     gap. SPA detects it (an earlier white entry in the same column cannot
+     happen under complete managers + FIFO) and refuses to proceed; PA
+     cannot distinguish a gap from legitimate batching, silently converges
+     to wrong contents — and the consistency oracle catches it. *)
+
+open Whips
+
+let case = Helpers.case
+
+let lossy ?(vm_kind = System.Complete_vm) ?merge_kind
+    ?(scen = Workload.Scenarios.paper_views) ~view ~nth seed =
+  let cfg =
+    { (System.default scen) with
+      vm_kind;
+      fault = Some (System.Drop_action_list { view; nth });
+      arrival = System.Poisson 60.0;
+      seed }
+  in
+  let cfg =
+    match merge_kind with None -> cfg | Some mk -> { cfg with merge_kind = mk }
+  in
+  cfg
+
+let tests =
+  [ case "dropping a view's final list leaves the run stuck but safe"
+      (fun () ->
+        (* V2 is relevant to all three updates; dropping its third list
+           blocks row 3 forever with no subsequent list to expose a gap. *)
+        let result = System.run (lossy ~view:"V2" ~nth:3 1) in
+        Alcotest.(check bool) "stuck" true result.stuck;
+        Alcotest.(check bool) "rows 1,2 committed" true
+          (Warehouse.Store.commit_count result.store >= 2);
+        let v = System.verdict result in
+        Alcotest.(check bool) "prefix consistent" true
+          (String.equal v.detail "final warehouse state differs from V(ss_f)"));
+    case "SPA detects a FIFO gap instead of corrupting the warehouse"
+      (fun () ->
+        (* Dropping V2's FIRST list while later V2 lists arrive is a gap:
+           the hardened SPA raises a protocol error. *)
+        Alcotest.(check bool) "protocol error" true
+          (match System.run (lossy ~view:"V2" ~nth:1 1) with
+          | _ -> false
+          | exception Mvc.Vut.Protocol_error msg ->
+            (* The message names the gap. *)
+            String.length msg > 0));
+    case "PA cannot detect the gap; the oracle catches the corruption"
+      (fun () ->
+        (* Same loss under PA: the later list covers the white entry as if
+           it were a legitimate batch, and the run completes with wrong
+           contents. *)
+        (* In paper-views-q, V2's second list carries the +[2;3;4;6]
+           insertion; losing it while the third list still arrives makes
+           PA treat the white entry as covered by a batch. *)
+        let result =
+          System.run
+            (lossy ~merge_kind:System.Force_pa
+               ~scen:Workload.Scenarios.paper_views_q ~view:"V2" ~nth:2 1)
+        in
+        Alcotest.(check bool) "not stuck" false result.stuck;
+        let v = System.verdict result in
+        Alcotest.(check bool) "corruption detected" false v.convergent);
+    case "updates on unaffected views still flow before the loss blocks"
+      (fun () ->
+        let result = System.run (lossy ~view:"V2" ~nth:3 3) in
+        Alcotest.(check bool) "some commits happened" true
+          (Warehouse.Store.commit_count result.store > 0));
+    case "no fault, no stuck flag" (fun () ->
+        let result =
+          System.run (System.default Workload.Scenarios.paper_views)
+        in
+        Alcotest.(check bool) "clean" false result.stuck) ]

@@ -1,0 +1,110 @@
+open Query
+
+let case = Helpers.case
+
+let al view state = Action_list.delta ~view ~state Relational.Signed_bag.zero
+
+let make () =
+  let emitted = ref [] in
+  let h =
+    Mvc.Holdall.create ~views:[ "V1"; "V2" ]
+      ~emit:(fun wt -> emitted := !emitted @ [ wt.Warehouse.Wt.rows ])
+      ()
+  in
+  (h, emitted)
+
+let unit_tests =
+  [ case "holds everything until flush" (fun () ->
+        let h, emitted = make () in
+        Mvc.Holdall.receive_rel h ~row:1 ~rel:[ "V1" ];
+        Mvc.Holdall.receive_action_list h (al "V1" 1);
+        Alcotest.(check int) "nothing emitted" 0 (List.length !emitted);
+        Alcotest.(check int) "one held" 1 (Mvc.Holdall.held_action_lists h);
+        Mvc.Holdall.flush h;
+        Alcotest.(check (list (list int))) "released" [ [ 1 ] ] !emitted;
+        Alcotest.(check bool) "quiescent" true (Mvc.Holdall.quiescent h));
+    case "flush releases rows in ascending order" (fun () ->
+        let h, emitted = make () in
+        Mvc.Holdall.receive_rel h ~row:2 ~rel:[ "V2" ];
+        Mvc.Holdall.receive_rel h ~row:1 ~rel:[ "V1" ];
+        Mvc.Holdall.receive_action_list h (al "V2" 2);
+        Mvc.Holdall.receive_action_list h (al "V1" 1);
+        Mvc.Holdall.flush h;
+        Alcotest.(check (list (list int))) "1 then 2" [ [ 1 ]; [ 2 ] ] !emitted);
+    case "incomplete rows survive the flush" (fun () ->
+        let h, emitted = make () in
+        Mvc.Holdall.receive_rel h ~row:1 ~rel:[ "V1"; "V2" ];
+        Mvc.Holdall.receive_action_list h (al "V1" 1);
+        Mvc.Holdall.flush h;
+        Alcotest.(check int) "kept" 0 (List.length !emitted);
+        Mvc.Holdall.receive_action_list h (al "V2" 1);
+        Mvc.Holdall.flush h;
+        Alcotest.(check (list (list int))) "released with both lists" [ [ 1 ] ]
+          !emitted);
+    case "action list before its REL is fine" (fun () ->
+        let h, emitted = make () in
+        Mvc.Holdall.receive_action_list h (al "V1" 1);
+        Mvc.Holdall.flush h;
+        Alcotest.(check int) "not released without REL" 0 (List.length !emitted);
+        Mvc.Holdall.receive_rel h ~row:1 ~rel:[ "V1" ];
+        Mvc.Holdall.flush h;
+        Alcotest.(check (list (list int))) "released" [ [ 1 ] ] !emitted) ]
+
+let system_tests =
+  [ case "hold-all system run is complete but much staler than SPA" (fun () ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with seed = 81; n_transactions = 30 }
+        in
+        let base =
+          { (Whips.System.default scen) with
+            arrival = Whips.System.Poisson 50.0;
+            seed = 81 }
+        in
+        let spa = Whips.System.run base in
+        let hold =
+          Whips.System.run { base with merge_kind = Whips.System.Force_holdall }
+        in
+        let v = Whips.System.verdict hold in
+        Alcotest.(check bool) "complete" true v.complete;
+        Alcotest.(check string) "algorithm" "hold-all" hold.merge_algorithm;
+        let mean r =
+          Sim.Stats.Summary.mean r.Whips.System.metrics.Whips.Metrics.staleness
+        in
+        Alcotest.(check bool) "at least 3x staler" true
+          (mean hold > 3.0 *. mean spa));
+    case "REL routed via view managers still yields complete SPA" (fun () ->
+        List.iter
+          (fun scen ->
+            let cfg =
+              { (Whips.System.default scen) with
+                rel_routing = Whips.System.Via_manager;
+                arrival = Whips.System.Poisson 60.0;
+                seed = 83 }
+            in
+            let v = Whips.System.verdict (Whips.System.run cfg) in
+            Alcotest.(check bool)
+              (scen.Workload.Scenarios.name ^ " complete")
+              true v.complete)
+          [ Workload.Scenarios.paper_views; Workload.Scenarios.retail_star ]);
+    case "REL via managers with batching managers stays strong" (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.retail_star) with
+            rel_routing = Whips.System.Via_manager;
+            vm_kind = Whips.System.Batching_vm;
+            arrival = Whips.System.Poisson 120.0;
+            seed = 87 }
+        in
+        let v = Whips.System.verdict (Whips.System.run cfg) in
+        Alcotest.(check bool) "strong" true v.strongly_consistent);
+    case "REL via managers on partitioned merges" (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.paper_views) with
+            rel_routing = Whips.System.Via_manager;
+            merge_groups = Some 2;
+            seed = 89 }
+        in
+        let v = Whips.System.verdict (Whips.System.run cfg) in
+        Alcotest.(check bool) "complete" true v.complete) ]
+
+let tests = unit_tests @ system_tests

@@ -1,0 +1,65 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let schemas name =
+  match name with
+  | "R" -> Helpers.int_schema [ "A"; "B" ]
+  | "S" -> Helpers.int_schema [ "B"; "C" ]
+  | "Q" -> Helpers.int_schema [ "D"; "E" ]
+  | other -> raise (Database.Unknown_relation other)
+
+let views =
+  [ View.make "V1" Algebra.(join (base "R") (base "S"));
+    View.make "V2" Algebra.(base "S");
+    View.make "V3" Algebra.(select (Pred.eq "D" (Value.Int 5)) (base "Q")) ]
+
+let txn ?(id = 0) rel tuple =
+  Update.Transaction.single ~id ~source:"s" (Update.insert rel (Helpers.ints tuple))
+
+let tests =
+  [ case "rel_set: views mentioning the relation" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        Alcotest.(check (list string)) "S hits V1 V2" [ "V1"; "V2" ]
+          (Integrator.rel_set integ (txn "S" [ 1; 2 ]));
+        Alcotest.(check (list string)) "R hits V1" [ "V1" ]
+          (Integrator.rel_set integ (txn "R" [ 1; 2 ])));
+    case "rel_set empty when nothing matches" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        let t =
+          Update.Transaction.single ~id:0 ~source:"s"
+            (Update.insert "Z" (Helpers.ints [ 1 ]))
+        in
+        Alcotest.(check (list string)) "none" [] (Integrator.rel_set integ t));
+    case "multi-update transactions union their views" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        let t =
+          Update.Transaction.make ~id:0 ~source:"s"
+            [ Update.insert "R" (Helpers.ints [ 1; 2 ]);
+              Update.insert "Q" (Helpers.ints [ 5; 5 ]) ]
+        in
+        Alcotest.(check (list string)) "V1 and V3" [ "V1"; "V3" ]
+          (Integrator.rel_set integ t));
+    case "ingest numbers by arrival from 1" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        let t1, _ = Integrator.ingest integ (txn ~id:99 "R" [ 1; 2 ]) in
+        let t2, _ = Integrator.ingest integ (txn ~id:98 "S" [ 1; 2 ]) in
+        Alcotest.(check int) "1" 1 t1.Update.Transaction.id;
+        Alcotest.(check int) "2" 2 t2.Update.Transaction.id;
+        Alcotest.(check int) "count" 2 (Integrator.ingested integ));
+    case "semantic filter drops provably irrelevant updates" (fun () ->
+        let integ = Integrator.create ~semantic_filter:true ~schemas views in
+        (* D=9 fails V3's selection D=5; no other view uses Q. *)
+        Alcotest.(check (list string)) "filtered" []
+          (Integrator.rel_set integ (txn "Q" [ 9; 9 ]));
+        Alcotest.(check (list string)) "kept when passing" [ "V3" ]
+          (Integrator.rel_set integ (txn "Q" [ 5; 9 ])));
+    case "without semantic filter the syntactic set is used" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        Alcotest.(check (list string)) "kept" [ "V3" ]
+          (Integrator.rel_set integ (txn "Q" [ 9; 9 ])));
+    case "view_names order preserved" (fun () ->
+        let integ = Integrator.create ~schemas views in
+        Alcotest.(check (list string)) "names" [ "V1"; "V2"; "V3" ]
+          (Integrator.view_names integ)) ]

@@ -1,0 +1,98 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let schemas name =
+  match name with
+  | "R" -> Helpers.int_schema [ "A"; "B" ]
+  | "S" -> Helpers.int_schema [ "B"; "C" ]
+  | other -> raise (Database.Unknown_relation other)
+
+let irrelevant changes expr =
+  Irrelevance.provably_irrelevant ~schemas ~changes expr
+
+let insert_r tuple = Delta.of_update (Update.insert "R" (Helpers.ints tuple))
+
+let tests =
+  [ case "update to unmentioned relation is irrelevant" (fun () ->
+        Alcotest.(check bool) "yes" true
+          (irrelevant (insert_r [ 1; 2 ]) (Algebra.base "S")));
+    case "update to mentioned relation without selection is relevant" (fun () ->
+        Alcotest.(check bool) "no" false
+          (irrelevant (insert_r [ 1; 2 ]) (Algebra.base "R")));
+    case "selection rules out failing tuple" (fun () ->
+        let e = Algebra.(select (Pred.eq "A" (Value.Int 5)) (base "R")) in
+        Alcotest.(check bool) "A=1 fails A=5" true
+          (irrelevant (insert_r [ 1; 2 ]) e);
+        Alcotest.(check bool) "A=5 passes" false
+          (irrelevant (insert_r [ 5; 2 ]) e));
+    case "selection above a join pushes to the right side" (fun () ->
+        let e =
+          Algebra.(
+            select (Pred.eq "A" (Value.Int 5)) (join (base "R") (base "S")))
+        in
+        Alcotest.(check bool) "R tuple failing pushed pred" true
+          (irrelevant (insert_r [ 1; 2 ]) e);
+        (* An S update cannot be ruled out by a predicate on A. *)
+        let s_change = Delta.of_update (Update.insert "S" (Helpers.ints [ 2; 3 ])) in
+        Alcotest.(check bool) "S update not ruled out" false
+          (irrelevant s_change e));
+    case "projection does not block pushdown" (fun () ->
+        let e =
+          Algebra.(
+            select (Pred.eq "A" (Value.Int 5)) (project [ "A" ] (base "R")))
+        in
+        Alcotest.(check bool) "ruled out" true (irrelevant (insert_r [ 1; 2 ]) e));
+    case "rename rewrites the predicate" (fun () ->
+        let e =
+          Algebra.(
+            select (Pred.eq "X" (Value.Int 5)) (rename [ ("A", "X") ] (base "R")))
+        in
+        Alcotest.(check bool) "ruled out via rename" true
+          (irrelevant (insert_r [ 1; 2 ]) e);
+        Alcotest.(check bool) "kept via rename" false
+          (irrelevant (insert_r [ 5; 2 ]) e));
+    case "union: both branches must rule out" (fun () ->
+        let guarded = Algebra.(select (Pred.eq "A" (Value.Int 5)) (base "R")) in
+        let open_branch = Algebra.base "R" in
+        Alcotest.(check bool) "one open branch keeps it" false
+          (irrelevant (insert_r [ 1; 2 ]) (Algebra.union guarded open_branch));
+        Alcotest.(check bool) "both guarded" true
+          (irrelevant (insert_r [ 1; 2 ]) (Algebra.union guarded guarded)));
+    case "modify relevant if either side passes" (fun () ->
+        let e = Algebra.(select (Pred.eq "A" (Value.Int 5)) (base "R")) in
+        let mods =
+          Delta.of_update
+            (Update.modify "R" ~before:(Helpers.ints [ 1; 2 ])
+               ~after:(Helpers.ints [ 5; 2 ]))
+        in
+        Alcotest.(check bool) "after passes" false (irrelevant mods e));
+    case "conjoined selections all apply" (fun () ->
+        let e =
+          Algebra.(
+            select (Pred.ge "A" (Value.Int 0))
+              (select (Pred.le "A" (Value.Int 0)) (base "R")))
+        in
+        Alcotest.(check bool) "A=1 fails A<=0" true
+          (irrelevant (insert_r [ 1; 2 ]) e);
+        Alcotest.(check bool) "A=0 passes both" false
+          (irrelevant (insert_r [ 0; 2 ]) e));
+    (* Soundness: whenever the test claims irrelevance, the true delta is
+       empty. *)
+    Helpers.qcheck ~count:200 "provable irrelevance is sound"
+      QCheck2.Gen.(
+        Helpers.Delta_domain.db_gen >>= fun db ->
+        Helpers.Delta_domain.changes_gen db >>= fun updates ->
+        Helpers.Delta_domain.expr_gen >>= fun expr ->
+        return (db, updates, expr))
+      (fun (pre, updates, expr) ->
+        let changes =
+          Delta.of_transaction (Update.Transaction.make ~id:1 ~source:"s" updates)
+        in
+        let claim =
+          Irrelevance.provably_irrelevant
+            ~schemas:(fun n -> Database.schema pre n)
+            ~changes expr
+        in
+        (not claim) || Signed_bag.is_zero (Delta.eval ~pre changes expr)) ]

@@ -1,0 +1,241 @@
+(* Coverage sweep over small surfaces: printers, accessors and edge cases
+   not exercised elsewhere. *)
+
+open Relational
+
+let case = Helpers.case
+
+let printers =
+  [ case "Value.pp_ty covers every type" (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "bool"; "int"; "float"; "string" ]
+          (List.map Value.ty_to_string
+             [ Value.Bool_ty; Value.Int_ty; Value.Float_ty; Value.String_ty ]));
+    case "Schema.to_string" (fun () ->
+        Alcotest.(check string) "rendered" "(A:int, B:int)"
+          (Schema.to_string (Helpers.int_schema [ "A"; "B" ])));
+    case "Tuple.to_string" (fun () ->
+        Alcotest.(check string) "rendered" "[1; 2]"
+          (Tuple.to_string (Helpers.ints [ 1; 2 ])));
+    case "Bag.to_string shows multiplicities" (fun () ->
+        let b = Bag.add ~count:2 (Helpers.ints [ 1 ]) Bag.empty in
+        Alcotest.(check string) "starred" "{[1]*2}" (Bag.to_string b));
+    case "Signed_bag.to_string shows signs" (fun () ->
+        let d =
+          Signed_bag.of_list [ (Helpers.ints [ 1 ], 1); (Helpers.ints [ 2 ], -2) ]
+        in
+        Alcotest.(check string) "signed" "{+1[1], -2[2]}"
+          (Signed_bag.to_string d));
+    case "Update.pp covers all operations" (fun () ->
+        let render u = Fmt.str "%a" Update.pp u in
+        Alcotest.(check string) "insert" "insert R [1]"
+          (render (Update.insert "R" (Helpers.ints [ 1 ])));
+        Alcotest.(check string) "delete" "delete R [1]"
+          (render (Update.delete "R" (Helpers.ints [ 1 ])));
+        Alcotest.(check string) "modify" "modify R [1] -> [2]"
+          (render
+             (Update.modify "R" ~before:(Helpers.ints [ 1 ])
+                ~after:(Helpers.ints [ 2 ]))));
+    case "Transaction.pp includes id and source" (fun () ->
+        let txn =
+          Update.Transaction.single ~id:7 ~source:"s1"
+            (Update.insert "R" (Helpers.ints [ 1 ]))
+        in
+        let s = Fmt.str "%a" Update.Transaction.pp txn in
+        Alcotest.(check bool) "mentions id" true
+          (Astring_contains.contains s "T7");
+        Alcotest.(check bool) "mentions source" true
+          (Astring_contains.contains s "s1"));
+    case "Wt.pp and Action_list.pp are total" (fun () ->
+        let al =
+          Query.Action_list.delta ~view:"V" ~state:1
+            (Signed_bag.singleton (Helpers.ints [ 1 ]) 1)
+        in
+        let wt = Warehouse.Wt.make ~rows:[ 1 ] [ al ] in
+        Alcotest.(check bool) "al" true
+          (String.length (Fmt.str "%a" Query.Action_list.pp al) > 0);
+        Alcotest.(check bool) "wt" true
+          (String.length (Fmt.str "%a" Warehouse.Wt.pp wt) > 0));
+    case "Pred.pp renders connectives" (fun () ->
+        let p =
+          Query.Pred.And
+            ( Query.Pred.le "A" (Value.Int 1),
+              Query.Pred.Or (Query.Pred.True, Query.Pred.Not Query.Pred.False) )
+        in
+        Alcotest.(check string) "rendered" "(A <= 1 and (true or (not false)))"
+          (Fmt.str "%a" Query.Pred.pp p));
+    case "Checker.pp_verdict formats flags" (fun () ->
+        let v =
+          { Consistency.Checker.convergent = true;
+            strongly_consistent = false; complete = false; conclusive = false;
+            detail = "boom" }
+        in
+        let s = Fmt.str "%a" Consistency.Checker.pp_verdict v in
+        Alcotest.(check bool) "inconclusive shown" true
+          (Astring_contains.contains s "inconclusive");
+        Alcotest.(check bool) "detail shown" true
+          (Astring_contains.contains s "boom")) ]
+
+let accessors =
+  [ case "Merge facade names and flush no-ops" (fun () ->
+        Alcotest.(check string) "spa" "SPA" (Mvc.Merge.algorithm_name Mvc.Merge.Spa);
+        Alcotest.(check string) "pa" "PA" (Mvc.Merge.algorithm_name Mvc.Merge.Pa);
+        Alcotest.(check string) "hold" "hold-all"
+          (Mvc.Merge.algorithm_name Mvc.Merge.Holdall);
+        let m = Mvc.Merge.create Mvc.Merge.Spa ~views:[ "V" ] ~emit:(fun _ -> ()) in
+        Mvc.Merge.flush m;
+        Alcotest.(check bool) "quiescent" true (Mvc.Merge.quiescent m);
+        Alcotest.(check bool) "algorithm" true (Mvc.Merge.algorithm m = Mvc.Merge.Spa));
+    case "passthrough merge counts emissions" (fun () ->
+        let n = ref 0 in
+        let m =
+          Mvc.Merge.create Mvc.Merge.Passthrough ~views:[ "V" ]
+            ~emit:(fun _ -> incr n)
+        in
+        Mvc.Merge.receive_rel m ~row:1 ~rel:[ "V" ];
+        Mvc.Merge.receive_action_list m
+          (Query.Action_list.delta ~view:"V" ~state:1 Signed_bag.zero);
+        Alcotest.(check int) "forwarded" 1 !n;
+        Alcotest.(check int) "counted" 1 (Mvc.Merge.wts_emitted m));
+    case "Vut.fold_row accumulates entries" (fun () ->
+        let vut = Mvc.Vut.create ~views:[ "A"; "B" ] in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "A" ];
+        let whites =
+          Mvc.Vut.fold_row vut ~row:1
+            (fun _ e acc -> if e.Mvc.Vut.color = Mvc.Vut.White then acc + 1 else acc)
+            0
+        in
+        Alcotest.(check int) "one white" 1 whites);
+    case "Channel.name" (fun () ->
+        let e = Sim.Engine.create () in
+        let ch = Sim.Channel.create e ~name:"x" ~latency:(fun () -> 0.0) ignore in
+        Alcotest.(check string) "x" "x" (Sim.Channel.name ch));
+    case "Time_weighted.current" (fun () ->
+        let tw = Sim.Stats.Time_weighted.create ~now:0.0 ~initial:3.0 in
+        Alcotest.(check (float 1e-9)) "3" 3.0 (Sim.Stats.Time_weighted.current tw);
+        Sim.Stats.Time_weighted.observe tw ~now:1.0 5.0;
+        Alcotest.(check (float 1e-9)) "5" 5.0 (Sim.Stats.Time_weighted.current tw));
+    case "Relation.insert type error" (fun () ->
+        let r = Relation.create (Helpers.int_schema [ "A" ]) in
+        Alcotest.(check bool) "raises" true
+          (match Relation.insert (Tuple.of_list [ Value.String "x" ]) r with
+          | exception Relation.Type_error _ -> true
+          | _ -> false));
+    case "Relation.apply_delta" (fun () ->
+        let r = Helpers.rel (Helpers.int_schema [ "A" ]) [ [ 1 ] ] in
+        let r' =
+          Relation.apply_delta
+            (Signed_bag.of_list [ (Helpers.ints [ 1 ], -1); (Helpers.ints [ 2 ], 1) ])
+            r
+        in
+        Alcotest.check Helpers.bag "swapped" (Helpers.bag_of [ [ 2 ] ])
+          (Relation.contents r'));
+    case "Sources.schema and owner" (fun () ->
+        let s =
+          Source.Sources.create
+            [ { source = "a"; relation = "R";
+                init = Relation.create (Helpers.int_schema [ "A" ]) } ]
+        in
+        Alcotest.(check bool) "schema" true
+          (Schema.equal (Source.Sources.schema s "R") (Helpers.int_schema [ "A" ]));
+        Alcotest.(check (list string)) "relations" [ "R" ]
+          (Source.Sources.relation_names s));
+    case "View.schema resolves through the definition" (fun () ->
+        let v =
+          Query.View.make "V"
+            Query.Algebra.(project [ "A" ] (base "R"))
+        in
+        let lookup = function
+          | "R" -> Helpers.int_schema [ "A"; "B" ]
+          | other -> raise (Database.Unknown_relation other)
+        in
+        Alcotest.(check (list string)) "projected" [ "A" ]
+          (Schema.names (Query.View.schema lookup v))) ]
+
+let edge_cases =
+  [ case "Bag.compare is a total order consistent with equal" (fun () ->
+        let a = Helpers.bag_of [ [ 1 ] ] and b = Helpers.bag_of [ [ 2 ] ] in
+        Alcotest.(check int) "self" 0 (Bag.compare a a);
+        Alcotest.(check bool) "antisym" true
+          (Bag.compare a b = -Bag.compare b a));
+    case "Schema.compare orders by name then type" (fun () ->
+        let a = Helpers.int_schema [ "A" ] in
+        let b = Schema.make [ ("A", Value.Float_ty) ] in
+        Alcotest.(check bool) "distinct" true (Schema.compare a b <> 0);
+        Alcotest.(check bool) "prefix shorter" true
+          (Schema.compare a (Helpers.int_schema [ "A"; "B" ]) < 0));
+    case "Spa stats fields populate" (fun () ->
+        let spa = Mvc.Spa.create ~views:[ "V" ] ~emit:(fun _ -> ()) () in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V" ];
+        Mvc.Spa.receive_action_list spa
+          (Query.Action_list.delta ~view:"V" ~state:1 Signed_bag.zero);
+        let st = Mvc.Spa.stats spa in
+        Alcotest.(check int) "rels" 1 st.rels_received;
+        Alcotest.(check int) "als" 1 st.als_received;
+        Alcotest.(check int) "wts" 1 st.wts_emitted;
+        Alcotest.(check int) "max rows" 1 st.max_live_rows);
+    case "Pa stats fields populate" (fun () ->
+        let pa = Mvc.Pa.create ~views:[ "V" ] ~emit:(fun _ -> ()) () in
+        Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V" ];
+        Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V" ];
+        Mvc.Pa.receive_action_list pa
+          (Query.Action_list.delta ~view:"V" ~state:2 Signed_bag.zero);
+        let st = Mvc.Pa.stats pa in
+        Alcotest.(check int) "wts" 1 st.wts_emitted;
+        Alcotest.(check int) "batched rows" 2 st.max_rows_per_wt);
+    case "Partition.coarsen balances by view count" (fun () ->
+        let v name rel =
+          Query.View.make name (Query.Algebra.base rel)
+        in
+        let fine =
+          [ [ v "a" "R1"; v "b" "R1"; v "c" "R1" ];
+            [ v "d" "R2" ]; [ v "e" "R3" ]; [ v "f" "R4" ] ]
+        in
+        let coarse = Mvc.Partition.coarsen ~max_groups:2 fine in
+        let sizes =
+          List.sort compare (List.map List.length coarse)
+        in
+        Alcotest.(check (list int)) "3+3" [ 3; 3 ] sizes);
+    case "Engine.run ~until leaves later events runnable" (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        Sim.Engine.schedule_at e 1.0 (fun () -> log := 1 :: !log);
+        Sim.Engine.schedule_at e 3.0 (fun () -> log := 3 :: !log);
+        Sim.Engine.run ~until:2.0 e;
+        Alcotest.(check (list int)) "only first" [ 1 ] !log;
+        Alcotest.(check int) "one pending" 1 (Sim.Engine.pending e);
+        Sim.Engine.run e;
+        Alcotest.(check (list int)) "both" [ 3; 1 ] !log);
+    case "Database.names is sorted and restrict preserves bindings" (fun () ->
+        let db =
+          Database.of_list
+            [ ("Z", Relation.create (Helpers.int_schema [ "a" ]));
+              ("A", Relation.create (Helpers.int_schema [ "b" ])) ]
+        in
+        Alcotest.(check (list string)) "sorted" [ "A"; "Z" ] (Database.names db);
+        Alcotest.(check (list string)) "restricted" [ "Z" ]
+          (Database.names (Database.restrict db [ "Z" ])));
+    case "Holdall ignores empty-REL rows" (fun () ->
+        let emitted = ref 0 in
+        let h =
+          Mvc.Holdall.create ~views:[ "V" ] ~emit:(fun _ -> incr emitted) ()
+        in
+        Mvc.Holdall.receive_rel h ~row:1 ~rel:[];
+        Mvc.Holdall.flush h;
+        Alcotest.(check int) "nothing" 0 !emitted;
+        Alcotest.(check bool) "quiescent" true (Mvc.Holdall.quiescent h));
+    case "Scenarios.all names are unique" (fun () ->
+        let names =
+          List.map (fun s -> s.Workload.Scenarios.name) Workload.Scenarios.all
+        in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    case "Generator honours n_views and n_transactions" (fun () ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with n_views = 5; n_transactions = 9 }
+        in
+        Alcotest.(check int) "views" 5 (List.length scen.views);
+        Alcotest.(check int) "txns" 9 (List.length scen.script)) ]
+
+let tests = printers @ accessors @ edge_cases

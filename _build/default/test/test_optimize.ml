@@ -1,0 +1,146 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let schemas name =
+  match name with
+  | "R0" -> Helpers.int_schema [ "a0"; "a1" ]
+  | "R1" -> Helpers.int_schema [ "a1"; "a2" ]
+  | "R2" -> Helpers.int_schema [ "a2"; "a3" ]
+  | other -> raise (Database.Unknown_relation other)
+
+let opt = Optimize.optimize ~schemas
+
+let p_a0 = Pred.le "a0" (Value.Int 2)
+
+let p_a2 = Pred.ge "a2" (Value.Int 1)
+
+(* Random expression with selections sprinkled at the top, for the
+   equivalence property. *)
+let decorated_gen =
+  let open QCheck2.Gen in
+  Helpers.Delta_domain.expr_gen >>= fun base_expr ->
+  let schema = Algebra.schema_of schemas base_expr in
+  let names = Schema.names schema in
+  let pred_gen =
+    map2
+      (fun n v ->
+        if v mod 2 = 0 then Pred.le n (Value.Int (v / 2))
+        else Pred.ge n (Value.Int (v / 2)))
+      (oneofl names) (int_range 0 7)
+  in
+  list_size (int_range 0 3) pred_gen >>= fun preds ->
+  let wrapped =
+    List.fold_left (fun e p -> Algebra.select p e) base_expr preds
+  in
+  bool >>= fun project_too ->
+  let final =
+    if project_too && List.length names > 1 then
+      Algebra.project [ List.hd names ] wrapped
+    else wrapped
+  in
+  return final
+
+let tests =
+  [ case "selection sinks to the matching join side" (fun () ->
+        let e = Algebra.(select p_a0 (join (base "R0") (base "R1"))) in
+        Alcotest.(check string) "pushed"
+          "(sigma[a0 <= 2](R0) |><| R1)"
+          (Algebra.to_string (opt e)));
+    case "selection on the shared attribute goes to both sides" (fun () ->
+        let p = Pred.eq "a1" (Value.Int 3) in
+        let e = Algebra.(select p (join (base "R0") (base "R1"))) in
+        Alcotest.(check string) "both sides"
+          "(sigma[a1 = 3](R0) |><| sigma[a1 = 3](R1))"
+          (Algebra.to_string (opt e)));
+    case "stacked selections fuse and split" (fun () ->
+        let e =
+          Algebra.(
+            select p_a0 (select p_a2 (join (base "R0") (base "R1"))))
+        in
+        Alcotest.(check string) "split"
+          "(sigma[a0 <= 2](R0) |><| sigma[a2 >= 1](R1))"
+          (Algebra.to_string (opt e)));
+    case "selection passes through projection" (fun () ->
+        let e =
+          Algebra.(select p_a0 (project [ "a0" ] (base "R0")))
+        in
+        Alcotest.(check string) "below project"
+          "pi[a0](sigma[a0 <= 2](R0))"
+          (Algebra.to_string (opt e)));
+    case "selection distributes over union" (fun () ->
+        let e =
+          Algebra.(
+            select p_a0
+              (union
+                 (rename [ ("a1", "a0"); ("a2", "a1") ] (base "R1"))
+                 (base "R0")))
+        in
+        match opt e with
+        | Algebra.Union (Algebra.Rename (_, Algebra.Select _), Algebra.Select _)
+          ->
+          ()
+        | other ->
+          Alcotest.failf "unexpected shape: %s" (Algebra.to_string other));
+    case "selection pushes through group-by keys" (fun () ->
+        let e =
+          Algebra.(
+            select
+              (Pred.eq "a1" (Value.Int 1))
+              (group_by ~keys:[ "a1" ] ~aggregates:[ ("n", Count) ] (base "R0")))
+        in
+        match opt e with
+        | Algebra.Group_by { input = Algebra.Select _; _ } -> ()
+        | other ->
+          Alcotest.failf "unexpected shape: %s" (Algebra.to_string other));
+    case "non-key selection stays above group-by" (fun () ->
+        let e =
+          Algebra.(
+            select
+              (Pred.ge "n" (Value.Int 2))
+              (group_by ~keys:[ "a1" ] ~aggregates:[ ("n", Count) ] (base "R0")))
+        in
+        match opt e with
+        | Algebra.Select (_, Algebra.Group_by _) -> ()
+        | other ->
+          Alcotest.failf "unexpected shape: %s" (Algebra.to_string other));
+    case "identity projection removed" (fun () ->
+        let e = Algebra.(project [ "a0"; "a1" ] (base "R0")) in
+        Alcotest.(check string) "gone" "R0" (Algebra.to_string (opt e)));
+    case "stacked projections collapse" (fun () ->
+        let e = Algebra.(project [ "a0" ] (project [ "a0"; "a1" ] (base "R0"))) in
+        Alcotest.(check string) "one" "pi[a0](R0)" (Algebra.to_string (opt e)));
+    case "select true removed" (fun () ->
+        let e = Algebra.(select Pred.True (base "R0")) in
+        Alcotest.(check string) "gone" "R0" (Algebra.to_string (opt e)));
+    case "optimization preserves the schema" (fun () ->
+        let e =
+          Algebra.(
+            select p_a2 (project [ "a1"; "a2" ] (join (base "R0") (base "R1"))))
+        in
+        Alcotest.check Helpers.schema "same schema"
+          (Algebra.schema_of schemas e)
+          (Algebra.schema_of schemas (opt e)));
+    Helpers.qcheck ~count:300 "optimized expression evaluates identically"
+      QCheck2.Gen.(pair Helpers.Delta_domain.db_gen decorated_gen)
+      (fun (db, expr) ->
+        Bag.equal (Eval.eval_bag db expr) (Eval.eval_bag db (opt expr)));
+    Helpers.qcheck ~count:200 "optimized expression has identical deltas"
+      QCheck2.Gen.(
+        Helpers.Delta_domain.db_gen >>= fun db ->
+        Helpers.Delta_domain.changes_gen db >>= fun updates ->
+        decorated_gen >>= fun expr -> return (db, updates, expr))
+      (fun (pre, updates, expr) ->
+        let txn = Update.Transaction.make ~id:1 ~source:"s" updates in
+        let changes = Delta.of_transaction txn in
+        let before = Eval.eval_bag pre expr in
+        Bag.equal
+          (Signed_bag.apply (Delta.eval ~pre changes expr) before)
+          (Signed_bag.apply (Delta.eval ~pre changes (opt expr)) before));
+    Helpers.qcheck ~count:200 "optimization growth bounded by replication"
+      decorated_gen
+      (fun expr ->
+        (* Selection replication across join sides may duplicate predicate
+           nodes, but never more than once per original node. *)
+        Algebra.size (opt expr) <= (2 * Algebra.size expr) + 1) ]

@@ -1,0 +1,250 @@
+open Query
+
+let case = Helpers.case
+
+let al view state = Action_list.delta ~view ~state Relational.Signed_bag.zero
+
+let make views =
+  let emitted = ref [] in
+  let pa =
+    Mvc.Pa.create ~views ~emit:(fun wt -> emitted := !emitted @ [ wt ]) ()
+  in
+  (pa, emitted)
+
+let rows wt = wt.Warehouse.Wt.rows
+
+(* Example 4: AL13 covers U1 and U3 for V1. SPA would wrongly apply rows 1
+   and 2 once the remaining U1/U2 lists arrive; PA must wait for AL23. *)
+let example4 () =
+  let pa, emitted = make [ "V1"; "V2"; "V3" ] in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V2"; "V3" ];
+  Mvc.Pa.receive_rel pa ~row:3 ~rel:[ "V1"; "V2" ];
+  (* AL13: batched list for V1 covering rows 1 and 3 *)
+  Mvc.Pa.receive_action_list pa (al "V1" 3);
+  Alcotest.(check string) "rows 1,3 marked red with state 3 in V1"
+    "U1: V1=(r,3) V2=(w,0) V3=(b,0)\n\
+     U2: V1=(b,0) V2=(w,0) V3=(w,0)\n\
+     U3: V1=(r,3) V2=(w,0) V3=(b,0)"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  (* All remaining lists for U1 and U2 arrive. *)
+  Mvc.Pa.receive_action_list pa (al "V2" 1);
+  Mvc.Pa.receive_action_list pa (al "V2" 2);
+  Mvc.Pa.receive_action_list pa (al "V3" 2);
+  Alcotest.(check int) "nothing applied: row 1 is entangled with row 3" 0
+    (List.length !emitted);
+  (* AL23 closes the gap; everything applies as one transaction. *)
+  Mvc.Pa.receive_action_list pa (al "V2" 3);
+  Alcotest.(check int) "one transaction" 1 (List.length !emitted);
+  Alcotest.(check (list int)) "all three rows" [ 1; 2; 3 ]
+    (rows (List.hd !emitted));
+  Alcotest.(check bool) "quiescent" true (Mvc.Pa.quiescent pa)
+
+(* Example 5, literal paper trace. *)
+let example5 () =
+  let pa, emitted = make [ "V1"; "V2"; "V3" ] in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V2"; "V3" ];
+  Mvc.Pa.receive_rel pa ~row:3 ~rel:[ "V2"; "V3" ];
+  (* t0 *)
+  Alcotest.(check string) "t0"
+    "U1: V1=(w,0) V2=(w,0) V3=(b,0)\n\
+     U2: V1=(b,0) V2=(w,0) V3=(w,0)\n\
+     U3: V1=(b,0) V2=(w,0) V3=(w,0)"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  Mvc.Pa.receive_action_list pa (al "V2" 1) (* t1 *);
+  Mvc.Pa.receive_action_list pa (al "V2" 3) (* t2: covers rows 2,3 *);
+  Alcotest.(check string) "t2"
+    "U1: V1=(w,0) V2=(r,1) V3=(b,0)\n\
+     U2: V1=(b,0) V2=(r,3) V3=(w,0)\n\
+     U3: V1=(b,0) V2=(r,3) V3=(w,0)"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  Mvc.Pa.receive_action_list pa (al "V3" 2) (* t3 *);
+  Alcotest.(check int) "t3: nothing applied" 0 (List.length !emitted);
+  Mvc.Pa.receive_action_list pa (al "V1" 1) (* t4 -> t5: row 1 applies *);
+  Alcotest.(check (list (list int))) "t5: WT1 alone" [ [ 1 ] ]
+    (List.map rows !emitted);
+  (* The paper's t5 table prints entry (2,V3) as (r,0); its own t3 table
+     prints the same entry as (r,2) — a self-pointer, recorded here as the
+     row's own number, which is equivalent to 0 ("no forward batch"). *)
+  Alcotest.(check string) "t5 table: row 1 purged"
+    "U2: V1=(b,0) V2=(r,3) V3=(r,2)\nU3: V1=(b,0) V2=(r,3) V3=(w,0)"
+    (Mvc.Vut.render ~show_state:true (Mvc.Pa.vut pa));
+  Mvc.Pa.receive_action_list pa (al "V3" 3) (* t6 -> t7: rows 2,3 together *);
+  Alcotest.(check (list (list int))) "t7: rows 2,3 in one transaction"
+    [ [ 1 ]; [ 2; 3 ] ]
+    (List.map rows !emitted);
+  Alcotest.(check bool) "quiescent" true (Mvc.Pa.quiescent pa)
+
+(* Regression for the collect-then-apply fix: a forward pointer of an
+   *outer* row in the closure must be chased before anything applies. With
+   the paper's literal innermost-apply reading, the recursive call for row
+   1 (triggered from row 2's Line 4) would apply rows {1,2} even though row
+   2's own Line-5 pointer to row 4 has not been checked. *)
+let closure_regression () =
+  let pa, emitted = make [ "VA"; "VB" ] in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "VA" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "VA"; "VB" ];
+  Mvc.Pa.receive_rel pa ~row:4 ~rel:[ "VB" ];
+  (* VB's manager batches rows 2 and 4 into AL^VB_4: entry (2,VB) gets
+     state 4. Nothing can apply: (2,VA) is still white. *)
+  Mvc.Pa.receive_action_list pa (al "VB" 4);
+  Alcotest.(check int) "held" 0 (List.length !emitted);
+  (* VA's manager batches rows 1 and 2 into AL^VA_2. Under the literal
+     innermost-apply reading, ProcessRow(2)'s Line 4 recursion into row 1
+     would complete and apply {1,2} before row 2's forward pointer to row
+     4 was chased, tearing AL^VB_4. The correct closure is {1,2,4} in one
+     transaction. *)
+  Mvc.Pa.receive_action_list pa (al "VA" 2);
+  Alcotest.(check int) "single transaction" 1 (List.length !emitted);
+  Alcotest.(check (list int)) "closure {1,2,4}" [ 1; 2; 4 ]
+    (rows (List.hd !emitted))
+
+(* A batched AL whose forward target is still incomplete must hold
+   everything. *)
+let forward_hold () =
+  let pa, emitted = make [ "VA"; "VB" ] in
+  Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "VA"; "VB" ];
+  Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "VA"; "VB" ];
+  Mvc.Pa.receive_action_list pa (al "VA" 2);
+  (* Rows 1,2 red in VA with state 2; VB white everywhere. *)
+  Mvc.Pa.receive_action_list pa (al "VB" 1);
+  (* Row 1 has all lists, but its VA entry points to row 2 which is
+     missing VB's list. *)
+  Alcotest.(check int) "held" 0 (List.length !emitted);
+  Mvc.Pa.receive_action_list pa (al "VB" 2);
+  Alcotest.(check int) "released together" 1 (List.length !emitted);
+  Alcotest.(check (list int)) "both rows" [ 1; 2 ] (rows (List.hd !emitted))
+
+(* Randomized batching property: generate per-view batched AL streams and a
+   random legal interleaving; PA must apply every row exactly once, keep
+   batches atomic, and preserve per-view batch order. *)
+let random_run seed =
+  let rng = Sim.Rng.create seed in
+  let n_views = Sim.Rng.int_range rng 1 4 in
+  let views = List.init n_views (fun i -> Printf.sprintf "V%d" (i + 1)) in
+  let n_rows = Sim.Rng.int_range rng 1 12 in
+  let rels =
+    List.init n_rows (fun i ->
+        let row = i + 1 in
+        let subset = List.filter (fun _ -> Sim.Rng.bool rng) views in
+        let subset = if subset = [] then [ Sim.Rng.pick rng views ] else subset in
+        (row, subset))
+  in
+  (* Partition each view's relevant rows into consecutive batches. *)
+  let batches_of v =
+    let relevant =
+      List.filter_map
+        (fun (row, rel) -> if List.mem v rel then Some row else None)
+        rels
+    in
+    let rec cut acc current = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | row :: rest ->
+        let current = row :: current in
+        if Sim.Rng.bool rng then cut (List.rev current :: acc) [] rest
+        else cut acc current rest
+    in
+    cut [] [] relevant
+  in
+  let al_streams = List.map (fun v -> (v, ref (batches_of v))) views in
+  let pa, emitted = make views in
+  let rel_stream = ref rels in
+  let live () =
+    (if !rel_stream <> [] then [ `Rel ] else [])
+    @ List.filter_map
+        (fun (v, r) -> if !r <> [] then Some (`Al (v, r)) else None)
+        al_streams
+  in
+  let rec drive () =
+    match live () with
+    | [] -> ()
+    | choices ->
+      (match List.nth choices (Sim.Rng.int rng (List.length choices)) with
+      | `Rel ->
+        let (row, rel), rest = (List.hd !rel_stream, List.tl !rel_stream) in
+        rel_stream := rest;
+        Mvc.Pa.receive_rel pa ~row ~rel
+      | `Al (v, r) ->
+        let batch, rest = (List.hd !r, List.tl !r) in
+        r := rest;
+        let last = List.nth batch (List.length batch - 1) in
+        Mvc.Pa.receive_action_list pa (al v last));
+      drive ()
+  in
+  drive ();
+  (pa, rels, views, List.map (fun v -> batches_of v) views, !emitted)
+
+let prop_applied_once seed =
+  let pa, rels, _, _, emitted = random_run seed in
+  let applied = List.concat_map rows emitted in
+  Mvc.Pa.quiescent pa && List.sort compare applied = List.map fst rels
+
+let prop_batches_atomic seed =
+  let _, rels, views, _, emitted = random_run seed in
+  (* For every pair of rows sharing a view, application order must follow
+     row order; and rows in the same WT are trivially consistent. *)
+  let wt_index row =
+    let rec find i = function
+      | [] -> -1
+      | wt :: rest -> if List.mem row (rows wt) then i else find (i + 1) rest
+    in
+    find 0 emitted
+  in
+  ignore views;
+  List.for_all
+    (fun (i, rel_i) ->
+      List.for_all
+        (fun (j, rel_j) ->
+          i >= j
+          || (not (List.exists (fun v -> List.mem v rel_j) rel_i))
+          || wt_index i <= wt_index j)
+        rels)
+    rels
+
+let tests =
+  [ case "example 4 (intertwined lists: SPA's breakdown case)" example4;
+    case "example 5 (paper trace with states)" example5;
+    case "closure regression: forward pointers of outer rows" closure_regression;
+    case "batched list holds until its whole range is ready" forward_hold;
+    case "pre-REL buffering" (fun () ->
+        let pa, emitted = make [ "V1" ] in
+        Mvc.Pa.receive_action_list pa (al "V1" 2);
+        Alcotest.(check int) "held" 1 (Mvc.Pa.held_action_lists pa);
+        Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check int) "still held: state 2's REL missing" 0
+          (List.length !emitted);
+        Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V1" ];
+        Alcotest.(check int) "released, one WT covering both rows" 1
+          (List.length !emitted);
+        Alcotest.(check (list int)) "rows 1,2" [ 1; 2 ] (rows (List.hd !emitted)));
+    case "duplicate batched list raises" (fun () ->
+        let pa, _ = make [ "V1" ] in
+        Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1" ];
+        Mvc.Pa.receive_action_list pa (al "V1" 1);
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Pa.receive_action_list pa (al "V1" 1) with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "max_rows_per_wt statistic" (fun () ->
+        let pa, _ = make [ "V1" ] in
+        Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1" ];
+        Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V1" ];
+        Mvc.Pa.receive_action_list pa (al "V1" 2);
+        Alcotest.(check int) "batch of 2" 2 (Mvc.Pa.stats pa).max_rows_per_wt);
+    case "complete managers degrade PA to SPA behaviour" (fun () ->
+        (* One AL per row: PA applies row by row like SPA. *)
+        let pa, emitted = make [ "V1"; "V2" ] in
+        Mvc.Pa.receive_rel pa ~row:1 ~rel:[ "V1"; "V2" ];
+        Mvc.Pa.receive_rel pa ~row:2 ~rel:[ "V1" ];
+        Mvc.Pa.receive_action_list pa (al "V1" 1);
+        Mvc.Pa.receive_action_list pa (al "V2" 1);
+        Mvc.Pa.receive_action_list pa (al "V1" 2);
+        Alcotest.(check (list (list int))) "row at a time" [ [ 1 ]; [ 2 ] ]
+          (List.map rows !emitted));
+    Helpers.qcheck ~count:200 "random batching: applied exactly once"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      prop_applied_once;
+    Helpers.qcheck ~count:200 "random batching: shared-view order kept"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      prop_batches_atomic ]

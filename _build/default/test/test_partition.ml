@@ -1,0 +1,81 @@
+open Query
+
+let case = Helpers.case
+
+let v name rels = View.make name (Algebra.join_all (List.map Algebra.base rels))
+
+let names groups = List.map (List.map View.name) groups
+
+let tests =
+  [ case "disjoint views split into singleton groups" (fun () ->
+        let groups = Mvc.Partition.groups [ v "A" [ "R" ]; v "B" [ "S" ] ] in
+        Alcotest.(check (list (list string))) "two groups" [ [ "A" ]; [ "B" ] ]
+          (names groups));
+    case "shared relation merges groups" (fun () ->
+        let groups =
+          Mvc.Partition.groups [ v "A" [ "R"; "S" ]; v "B" [ "S"; "T" ] ]
+        in
+        Alcotest.(check (list (list string))) "one group" [ [ "A"; "B" ] ]
+          (names groups));
+    case "transitive sharing" (fun () ->
+        let groups =
+          Mvc.Partition.groups
+            [ v "A" [ "R" ]; v "B" [ "R"; "S" ]; v "C" [ "S" ]; v "D" [ "Z" ] ]
+        in
+        Alcotest.(check (list (list string))) "ABC together, D alone"
+          [ [ "A"; "B"; "C" ]; [ "D" ] ]
+          (names groups));
+    case "figure 3 partitioning" (fun () ->
+        (* VM1: V1 = R |><| S, VM2: V2 = S |><| T, VM3: V3 = Q *)
+        let groups =
+          Mvc.Partition.groups
+            [ v "V1" [ "R"; "S" ]; v "V2" [ "S"; "T" ]; v "V3" [ "Q" ] ]
+        in
+        Alcotest.(check (list (list string))) "MP1 {V1,V2}, MP2 {V3}"
+          [ [ "V1"; "V2" ]; [ "V3" ] ]
+          (names groups));
+    case "groups never share a base relation" (fun () ->
+        let views =
+          [ v "A" [ "R"; "S" ]; v "B" [ "T" ]; v "C" [ "S" ]; v "D" [ "U"; "T" ] ]
+        in
+        let groups = Mvc.Partition.groups views in
+        let rels_of_group g =
+          List.concat_map View.base_relations g |> List.sort_uniq compare
+        in
+        List.iteri
+          (fun i gi ->
+            List.iteri
+              (fun j gj ->
+                if i < j then
+                  List.iter
+                    (fun r ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "relation %s not shared" r)
+                        false
+                        (List.mem r (rels_of_group gj)))
+                    (rels_of_group gi))
+              groups)
+          groups);
+    case "coarsen respects max_groups" (fun () ->
+        let fine = [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ] ]; [ v "C" [ "T" ] ] ] in
+        let coarse = Mvc.Partition.coarsen ~max_groups:2 fine in
+        Alcotest.(check int) "2 groups" 2 (List.length coarse);
+        let total = List.length (List.concat coarse) in
+        Alcotest.(check int) "all views kept" 3 total);
+    case "coarsen below 1 rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Partition.coarsen ~max_groups:0 [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "coarsen is identity when within the budget" (fun () ->
+        let fine = [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ] ] ] in
+        Alcotest.(check int) "unchanged" 2
+          (List.length (Mvc.Partition.coarsen ~max_groups:5 fine)));
+    case "route finds owning groups" (fun () ->
+        let groups = [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ]; v "C" [ "S" ] ] ] in
+        Alcotest.(check (list int)) "B in group 1" [ 1 ]
+          (Mvc.Partition.route groups [ "B" ]);
+        Alcotest.(check (list int)) "A and C span both" [ 0; 1 ]
+          (Mvc.Partition.route groups [ "A"; "C" ]);
+        Alcotest.(check (list int)) "unknown nowhere" []
+          (Mvc.Partition.route groups [ "Z" ])) ]

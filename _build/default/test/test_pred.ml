@@ -1,0 +1,60 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let s = Helpers.int_schema [ "A"; "B" ]
+
+let t = Helpers.ints [ 3; 7 ]
+
+let ev p = Pred.eval s p t
+
+let tests =
+  [ case "true / false" (fun () ->
+        Alcotest.(check bool) "true" true (ev Pred.True);
+        Alcotest.(check bool) "false" false (ev Pred.False));
+    case "eq on attribute" (fun () ->
+        Alcotest.(check bool) "eq" true (ev (Pred.eq "A" (Value.Int 3)));
+        Alcotest.(check bool) "ne" false (ev (Pred.eq "A" (Value.Int 4))));
+    case "orderings" (fun () ->
+        Alcotest.(check bool) "lt" true (ev (Pred.lt "A" (Value.Int 4)));
+        Alcotest.(check bool) "le" true (ev (Pred.le "A" (Value.Int 3)));
+        Alcotest.(check bool) "gt" true (ev (Pred.gt "B" (Value.Int 3)));
+        Alcotest.(check bool) "ge" false (ev (Pred.ge "A" (Value.Int 4))));
+    case "attr_eq compares two attributes" (fun () ->
+        Alcotest.(check bool) "ne" false (ev (Pred.attr_eq "A" "B"));
+        Alcotest.(check bool) "eq self" true (ev (Pred.attr_eq "A" "A")));
+    case "connectives" (fun () ->
+        let p = Pred.eq "A" (Value.Int 3) and q = Pred.eq "B" (Value.Int 0) in
+        Alcotest.(check bool) "and" false (ev (Pred.And (p, q)));
+        Alcotest.(check bool) "or" true (ev (Pred.Or (p, q)));
+        Alcotest.(check bool) "not" true (ev (Pred.Not q)));
+    case "conj/disj of empty lists" (fun () ->
+        Alcotest.(check bool) "conj [] = true" true (ev (Pred.conj []));
+        Alcotest.(check bool) "disj [] = false" false (ev (Pred.disj [])));
+    case "conj/disj combine" (fun () ->
+        Alcotest.(check bool) "conj" true
+          (ev (Pred.conj [ Pred.gt "A" (Value.Int 0); Pred.gt "B" (Value.Int 0) ]));
+        Alcotest.(check bool) "disj" true
+          (ev (Pred.disj [ Pred.False; Pred.eq "A" (Value.Int 3) ])));
+    case "null comparisons are false except <>" (fun () ->
+        let tn = Tuple.of_list [ Value.Null; Value.Int 7 ] in
+        Alcotest.(check bool) "eq null" false
+          (Pred.eval s (Pred.eq "A" (Value.Int 3)) tn);
+        Alcotest.(check bool) "lt null" false
+          (Pred.eval s (Pred.lt "A" (Value.Int 3)) tn);
+        Alcotest.(check bool) "ne null" true
+          (Pred.eval s (Pred.Cmp (Pred.Ne, Pred.Attr "A", Pred.Const (Value.Int 3))) tn));
+    case "unknown attribute raises" (fun () ->
+        Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z") (fun () ->
+            ignore (ev (Pred.eq "Z" (Value.Int 0)))));
+    case "attrs lists in first-mention order without dups" (fun () ->
+        let p =
+          Pred.And
+            ( Pred.Or (Pred.eq "B" (Value.Int 1), Pred.eq "A" (Value.Int 2)),
+              Pred.eq "B" (Value.Int 3) )
+        in
+        Alcotest.(check (list string)) "BA" [ "B"; "A" ] (Pred.attrs p));
+    case "const-const comparison" (fun () ->
+        Alcotest.(check bool) "1<2" true
+          (ev (Pred.Cmp (Pred.Lt, Pred.Const (Value.Int 1), Pred.Const (Value.Int 2))))) ]

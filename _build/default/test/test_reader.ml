@@ -1,0 +1,98 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+(* Build a store with a commit history at known times. *)
+let store_with_history () =
+  let s =
+    Warehouse.Store.create
+      [ ("V", Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ] ]) ]
+  in
+  let wt time tuple =
+    Warehouse.Store.apply s ~time
+      (Warehouse.Wt.make ~rows:[ 1 ]
+         [ Action_list.delta ~view:"V" ~state:1
+             (Signed_bag.singleton (Helpers.ints [ tuple ]) 1) ])
+  in
+  wt 1.0 2;
+  wt 3.0 3;
+  s
+
+let reader_tests =
+  [ case "as_of before any commit is ws_0" (fun () ->
+        let s = store_with_history () in
+        Alcotest.(check int) "initial" 1
+          (Relation.cardinal (Database.find (Warehouse.Store.as_of s 0.5) "V")));
+    case "as_of between commits picks the earlier" (fun () ->
+        let s = store_with_history () in
+        Alcotest.(check int) "after first" 2
+          (Relation.cardinal (Database.find (Warehouse.Store.as_of s 2.0) "V")));
+    case "as_of at exactly a commit time includes it" (fun () ->
+        let s = store_with_history () in
+        Alcotest.(check int) "inclusive" 2
+          (Relation.cardinal (Database.find (Warehouse.Store.as_of s 1.0) "V")));
+    case "as_of after the last commit is current" (fun () ->
+        let s = store_with_history () in
+        Alcotest.(check int) "current" 3
+          (Relation.cardinal (Database.find (Warehouse.Store.as_of s 99.0) "V")));
+    case "reader queries views as relations" (fun () ->
+        let s = store_with_history () in
+        let out =
+          Warehouse.Reader.query s
+            Algebra.(select (Pred.ge "x" (Value.Int 2)) (base "V"))
+        in
+        Alcotest.check Helpers.bag "filtered"
+          (Helpers.bag_of [ [ 2 ]; [ 3 ] ])
+          (Relation.contents out));
+    case "reader query_as_of sees the historical state" (fun () ->
+        let s = store_with_history () in
+        let out = Warehouse.Reader.query_as_of s ~time:1.5 Algebra.(base "V") in
+        Alcotest.check Helpers.bag "two tuples"
+          (Helpers.bag_of [ [ 1 ]; [ 2 ] ])
+          (Relation.contents out));
+    case "reader can join two views" (fun () ->
+        let s =
+          Warehouse.Store.create
+            [ ("A", Helpers.rel (Helpers.int_schema [ "k"; "v" ]) [ [ 1; 10 ] ]);
+              ("B", Helpers.rel (Helpers.int_schema [ "k"; "w" ]) [ [ 1; 20 ] ]) ]
+        in
+        let out = Warehouse.Reader.query s Algebra.(join (base "A") (base "B")) in
+        Alcotest.check Helpers.bag "joined"
+          (Helpers.bag_of [ [ 1; 10; 20 ] ])
+          (Relation.contents out));
+    case "unknown view raises" (fun () ->
+        let s = store_with_history () in
+        Alcotest.check_raises "unknown" (Database.Unknown_relation "Z")
+          (fun () -> ignore (Warehouse.Reader.query s (Algebra.base "Z")))) ]
+
+let system_tests =
+  [ case "customer inquiry over a live run reads consistent data" (fun () ->
+        let result =
+          Whips.System.run
+            { (Whips.System.default Workload.Scenarios.bank) with seed = 5 }
+        in
+        (* Join the two warehouse views like an inquiry application. *)
+        let out =
+          Warehouse.Reader.query result.store
+            Algebra.(join (base "checking_copy") (base "linked"))
+        in
+        (* Every checking_copy row joins its linked row: cardinalities
+           match when the views agree. *)
+        Alcotest.(check int) "all customers join" 5 (Relation.cardinal out));
+    case "optimized view definitions yield the same run" (fun () ->
+        let scen = Workload.Scenarios.retail_star in
+        let base = { (Whips.System.default scen) with seed = 21 } in
+        let plain = Whips.System.run base in
+        let optimized = Whips.System.run { base with optimize_views = true } in
+        let v = Whips.System.verdict optimized in
+        Alcotest.(check bool) "complete" true v.complete;
+        List.iter
+          (fun view ->
+            let name = Query.View.name view in
+            Alcotest.check Helpers.bag (name ^ " equal")
+              (Whips.System.view_contents plain name)
+              (Whips.System.view_contents optimized name))
+          scen.views) ]
+
+let tests = reader_tests @ system_tests

@@ -1,0 +1,140 @@
+open Relational
+
+let case = Helpers.case
+
+let demo =
+  {|
+; Example 1 of the paper, as a scenario file.
+(scenario demo
+  (relation R (source alpha) (schema (A int) (B int)) (rows (1 2)))
+  (relation S (source beta)  (schema (B int) (C int)) (rows))
+  (relation T (source beta)  (schema (C int) (D int)) (rows (3 4)))
+  (view V1 (join R S))
+  (view V2 (join S T))
+  (view V3 (select (and (ge B 0) (not (eq B 9))) R))
+  (view V4 (project (A) R))
+  (view V5 (group-by (keys B) (aggs (n count) (total sum A)) R))
+  (txn (insert S (2 3)))
+  (txn (modify R (1 2) (1 3)) (insert T (9 9)))
+  (txn (delete S (2 3))))
+|}
+
+let sexp_tests =
+  [ case "sexp: atoms, lists, comments, strings" (fun () ->
+        let forms =
+          Workload.Sexp.parse_string
+            "; comment\n(a (b \"c d\") 12) atom ; trailing\n()"
+        in
+        Alcotest.(check int) "three forms" 3 (List.length forms);
+        match forms with
+        | [ Workload.Sexp.List [ _; Workload.Sexp.List [ _; Workload.Sexp.Atom s ]; _ ];
+            Workload.Sexp.Atom "atom"; Workload.Sexp.List [] ] ->
+          Alcotest.(check string) "quoted" "c d" s
+        | _ -> Alcotest.fail "unexpected shapes");
+    case "sexp: escapes in strings" (fun () ->
+        match Workload.Sexp.parse_string {|("a\nb\"c")|} with
+        | [ Workload.Sexp.List [ Workload.Sexp.Atom s ] ] ->
+          Alcotest.(check string) "escaped" "a\nb\"c" s
+        | _ -> Alcotest.fail "parse");
+    case "sexp: unclosed paren raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Workload.Sexp.parse_string "(a (b)" with
+          | exception Workload.Sexp.Parse_error _ -> true
+          | _ -> false));
+    case "sexp: stray close raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Workload.Sexp.parse_string "a)" with
+          | exception Workload.Sexp.Parse_error _ -> true
+          | _ -> false));
+    case "sexp: roundtrip printing" (fun () ->
+        let s = "(a (b c) d)" in
+        match Workload.Sexp.parse_string s with
+        | [ form ] -> Alcotest.(check string) "same" s (Workload.Sexp.to_string form)
+        | _ -> Alcotest.fail "parse") ]
+
+let file_tests =
+  [ case "demo scenario parses with all constructs" (fun () ->
+        let scen = Workload.Scenario_file.of_string demo in
+        Alcotest.(check string) "name" "demo" scen.name;
+        Alcotest.(check int) "3 relations" 3 (List.length scen.specs);
+        Alcotest.(check int) "5 views" 5 (List.length scen.views);
+        Alcotest.(check int) "3 txns" 3 (List.length scen.script);
+        Alcotest.(check int) "multi-update txn" 2
+          (List.length (List.nth scen.script 1)));
+    case "parsed scenario runs to a complete verdict" (fun () ->
+        let scen = Workload.Scenario_file.of_string demo in
+        let result =
+          Whips.System.run { (Whips.System.default scen) with seed = 5 }
+        in
+        let v = Whips.System.verdict result in
+        Alcotest.(check bool) "complete" true v.complete);
+    case "table-1 semantics survive the file format" (fun () ->
+        let scen = Workload.Scenario_file.of_string demo in
+        let srcs = Workload.Scenarios.sources scen in
+        let _ = Workload.Scenarios.run_script scen srcs in
+        let v2 = List.nth scen.views 1 in
+        Alcotest.check Helpers.bag "V2 after txn 1"
+          (Helpers.bag_of [ [ 2; 3; 4 ] ])
+          (Relation.contents
+             (Query.View.materialize (Source.Sources.state srcs 1) v2)));
+    case "unknown relation in a view is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Scenario_file.of_string
+               {|(scenario x (relation R (source a) (schema (A int)) (rows))
+                 (view V (join R Z)) )|}
+           with
+          | exception Workload.Scenario_file.Invalid_scenario _ -> true
+          | _ -> false));
+    case "unknown attribute in a view is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Scenario_file.of_string
+               {|(scenario x (relation R (source a) (schema (A int)) (rows))
+                 (view V (select (le ZZ 1) R)))|}
+           with
+          | exception Workload.Scenario_file.Invalid_scenario _ -> true
+          | _ -> false));
+    case "arity mismatch in a row is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Scenario_file.of_string
+               {|(scenario x (relation R (source a) (schema (A int) (B int))
+                  (rows (1))) (view V R))|}
+           with
+          | exception Workload.Scenario_file.Invalid_scenario _ -> true
+          | _ -> false));
+    case "type mismatch in a value is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Scenario_file.of_string
+               {|(scenario x (relation R (source a) (schema (A int))
+                  (rows (hello))) (view V R))|}
+           with
+          | exception Workload.Scenario_file.Invalid_scenario _ -> true
+          | _ -> false));
+    case "transaction on unknown relation is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Scenario_file.of_string
+               {|(scenario x (relation R (source a) (schema (A int)) (rows))
+                 (view V R) (txn (insert Z (1))))|}
+           with
+          | exception Workload.Scenario_file.Invalid_scenario _ -> true
+          | _ -> false));
+    case "string and float and null values parse" (fun () ->
+        let scen =
+          Workload.Scenario_file.of_string
+            {|(scenario x
+               (relation R (source a)
+                 (schema (name string) (price float) (flag bool))
+                 (rows ("widget" 1.5 true) (gadget null false)))
+               (view V R))|}
+        in
+        let rel = (List.hd scen.specs).init in
+        Alcotest.(check int) "2 rows" 2 (Relation.cardinal rel);
+        Alcotest.(check bool) "null present" true
+          (Relation.mem rel
+             (Tuple.of_list [ Value.String "gadget"; Value.Null; Value.Bool false ]))) ]
+
+let tests = sexp_tests @ file_tests

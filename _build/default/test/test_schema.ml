@@ -1,0 +1,63 @@
+open Relational
+
+let case = Helpers.case
+
+let rs = Helpers.int_schema [ "A"; "B" ]
+
+let ss = Helpers.int_schema [ "B"; "C" ]
+
+let tests =
+  [ case "make and names" (fun () ->
+        Alcotest.(check (list string)) "names" [ "A"; "B" ] (Schema.names rs));
+    case "make rejects duplicates" (fun () ->
+        Alcotest.check_raises "dup" (Schema.Duplicate_attribute "A") (fun () ->
+            ignore (Helpers.int_schema [ "A"; "A" ])));
+    case "arity" (fun () -> Alcotest.(check int) "2" 2 (Schema.arity rs));
+    case "mem" (fun () ->
+        Alcotest.(check bool) "has A" true (Schema.mem rs "A");
+        Alcotest.(check bool) "no C" false (Schema.mem rs "C"));
+    case "index_of" (fun () ->
+        Alcotest.(check int) "B at 1" 1 (Schema.index_of rs "B"));
+    case "index_of unknown raises" (fun () ->
+        Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z")
+          (fun () -> ignore (Schema.index_of rs "Z")));
+    case "type_of" (fun () ->
+        Alcotest.(check bool) "int" true (Schema.type_of rs "A" = Value.Int_ty));
+    case "equal" (fun () ->
+        Alcotest.(check bool) "same" true
+          (Schema.equal rs (Helpers.int_schema [ "A"; "B" ]));
+        Alcotest.(check bool) "order matters" false
+          (Schema.equal rs (Helpers.int_schema [ "B"; "A" ])));
+    case "project keeps given order" (fun () ->
+        Alcotest.(check (list string)) "proj" [ "B"; "A" ]
+          (Schema.names (Schema.project rs [ "B"; "A" ])));
+    case "project unknown raises" (fun () ->
+        Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z")
+          (fun () -> ignore (Schema.project rs [ "Z" ])));
+    case "common" (fun () ->
+        Alcotest.(check (list string)) "B" [ "B" ] (Schema.common rs ss);
+        Alcotest.(check (list string)) "none" []
+          (Schema.common rs (Helpers.int_schema [ "X" ])));
+    case "join: shared attrs appear once" (fun () ->
+        Alcotest.(check (list string)) "ABС" [ "A"; "B"; "C" ]
+          (Schema.names (Schema.join rs ss)));
+    case "join: conflicting types rejected" (fun () ->
+        let other = Schema.make [ ("B", Value.String_ty) ] in
+        Alcotest.(check bool) "raises" true
+          (match Schema.join rs other with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "rename" (fun () ->
+        let renamed = Schema.rename rs [ ("A", "X") ] in
+        Alcotest.(check (list string)) "renamed" [ "X"; "B" ]
+          (Schema.names renamed));
+    case "rename unknown source raises" (fun () ->
+        Alcotest.check_raises "unknown" (Schema.Unknown_attribute "Z")
+          (fun () -> ignore (Schema.rename rs [ ("Z", "Y") ])));
+    case "rename clash raises" (fun () ->
+        Alcotest.check_raises "clash" (Schema.Duplicate_attribute "B")
+          (fun () -> ignore (Schema.rename rs [ ("A", "B") ])));
+    case "compare is a total order consistent with equal" (fun () ->
+        Alcotest.(check int) "eq" 0
+          (Schema.compare rs (Helpers.int_schema [ "A"; "B" ]));
+        Alcotest.(check bool) "ne" true (Schema.compare rs ss <> 0)) ]

@@ -1,0 +1,72 @@
+open Relational
+
+let case = Helpers.case
+
+let t1 = Helpers.ints [ 1 ]
+
+let gen = Helpers.Gen.small_signed ~arity:2 ~range:3
+
+let bag_gen = Helpers.Gen.small_bag ~arity:2 ~range:3
+
+let tests =
+  [ case "zero" (fun () ->
+        Alcotest.(check bool) "is_zero" true (Signed_bag.is_zero Signed_bag.zero));
+    case "add drops zero entries" (fun () ->
+        let d = Signed_bag.add t1 (-2) (Signed_bag.singleton t1 2) in
+        Alcotest.(check bool) "zero" true (Signed_bag.is_zero d));
+    case "add of zero count is a no-op" (fun () ->
+        Alcotest.check Helpers.signed_bag "same" Signed_bag.zero
+          (Signed_bag.add t1 0 Signed_bag.zero));
+    case "insertions and deletions split the sign" (fun () ->
+        let d = Signed_bag.of_list [ (t1, 2); (Helpers.ints [ 2 ], -3) ] in
+        Alcotest.(check int) "ins" 2 (Bag.count (Signed_bag.insertions d) t1);
+        Alcotest.(check int) "del" 3
+          (Bag.count (Signed_bag.deletions d) (Helpers.ints [ 2 ])));
+    case "of_parts" (fun () ->
+        let d =
+          Signed_bag.of_parts
+            ~insert:(Helpers.bag_of [ [ 1 ] ])
+            ~delete:(Helpers.bag_of [ [ 2 ]; [ 2 ] ])
+        in
+        Alcotest.(check int) "+1" 1 (Signed_bag.count d t1);
+        Alcotest.(check int) "-2" (-2) (Signed_bag.count d (Helpers.ints [ 2 ])));
+    case "apply inserts and deletes" (fun () ->
+        let d = Signed_bag.of_list [ (t1, 1); (Helpers.ints [ 2 ], -1) ] in
+        let b = Signed_bag.apply d (Helpers.bag_of [ [ 2 ]; [ 3 ] ]) in
+        Alcotest.check Helpers.bag "result" (Helpers.bag_of [ [ 1 ]; [ 3 ] ]) b);
+    case "apply floors deletions of absent tuples" (fun () ->
+        let d = Signed_bag.singleton t1 (-5) in
+        Alcotest.check Helpers.bag "empty" Bag.empty
+          (Signed_bag.apply d Bag.empty));
+    case "applies_exactly detects flooring" (fun () ->
+        let d = Signed_bag.singleton t1 (-1) in
+        Alcotest.(check bool) "no" false (Signed_bag.applies_exactly d Bag.empty);
+        Alcotest.(check bool) "yes" true
+          (Signed_bag.applies_exactly d (Helpers.bag_of [ [ 1 ] ])));
+    case "size sums absolute counts" (fun () ->
+        let d = Signed_bag.of_list [ (t1, 2); (Helpers.ints [ 2 ], -3) ] in
+        Alcotest.(check int) "5" 5 (Signed_bag.size d));
+    Helpers.qcheck "sum is commutative" QCheck2.Gen.(pair gen gen)
+      (fun (a, b) -> Signed_bag.equal (Signed_bag.sum a b) (Signed_bag.sum b a));
+    Helpers.qcheck "sum with negation cancels" gen (fun d ->
+        Signed_bag.is_zero (Signed_bag.sum d (Signed_bag.negate d)));
+    Helpers.qcheck "diff_of_bags applied to before gives after"
+      QCheck2.Gen.(pair bag_gen bag_gen)
+      (fun (before, after) ->
+        let d = Signed_bag.diff_of_bags ~before ~after in
+        Bag.equal (Signed_bag.apply d before) after);
+    Helpers.qcheck "diff_of_bags never floors on its before"
+      QCheck2.Gen.(pair bag_gen bag_gen)
+      (fun (before, after) ->
+        Signed_bag.applies_exactly
+          (Signed_bag.diff_of_bags ~before ~after)
+          before);
+    Helpers.qcheck "apply distributes over sum when exact"
+      QCheck2.Gen.(pair bag_gen (pair bag_gen bag_gen))
+      (fun (start, (mid, final)) ->
+        (* start -> mid -> final as two deltas vs one combined *)
+        let d1 = Signed_bag.diff_of_bags ~before:start ~after:mid in
+        let d2 = Signed_bag.diff_of_bags ~before:mid ~after:final in
+        Bag.equal
+          (Signed_bag.apply (Signed_bag.sum d1 d2) start)
+          final) ]

@@ -1,0 +1,244 @@
+let case = Helpers.case
+
+let rng_tests =
+  [ case "same seed, same stream" (fun () ->
+        let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+        let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000) in
+        let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000) in
+        Alcotest.(check (list int)) "equal" xs ys);
+    case "different seeds differ" (fun () ->
+        let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+        let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000000) in
+        let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000000) in
+        Alcotest.(check bool) "differ" true (xs <> ys));
+    case "int respects bound" (fun () ->
+        let r = Sim.Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Sim.Rng.int r 17 in
+          Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+        done);
+    case "int rejects nonpositive bound" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Sim.Rng.int (Sim.Rng.create 1) 0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "int_range inclusive" (fun () ->
+        let r = Sim.Rng.create 5 in
+        let seen = Hashtbl.create 8 in
+        for _ = 1 to 500 do
+          let x = Sim.Rng.int_range r 2 4 in
+          Hashtbl.replace seen x ();
+          Alcotest.(check bool) "in [2,4]" true (x >= 2 && x <= 4)
+        done;
+        Alcotest.(check int) "all three hit" 3 (Hashtbl.length seen));
+    case "float in [0,bound)" (fun () ->
+        let r = Sim.Rng.create 5 in
+        for _ = 1 to 1000 do
+          let x = Sim.Rng.float r 2.5 in
+          Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+        done);
+    case "exponential is positive with roughly the right mean" (fun () ->
+        let r = Sim.Rng.create 11 in
+        let n = 5000 in
+        let total = ref 0.0 in
+        for _ = 1 to n do
+          let x = Sim.Rng.exponential r ~mean:2.0 in
+          Alcotest.(check bool) "positive" true (x > 0.0);
+          total := !total +. x
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool) "mean near 2" true (mean > 1.8 && mean < 2.2));
+    case "split decouples streams" (fun () ->
+        let a = Sim.Rng.create 9 in
+        let child = Sim.Rng.split a in
+        (* Drawing from the child must not change the parent's future. *)
+        let b = Sim.Rng.create 9 in
+        let _child_b = Sim.Rng.split b in
+        let _ = List.init 10 (fun _ -> Sim.Rng.int child 100) in
+        Alcotest.(check int) "parent unaffected" (Sim.Rng.int b 1000000)
+          (Sim.Rng.int a 1000000));
+    case "shuffle is a permutation" (fun () ->
+        let r = Sim.Rng.create 13 in
+        let l = [ 1; 2; 3; 4; 5; 6 ] in
+        let s = Sim.Rng.shuffle r l in
+        Alcotest.(check (list int)) "same elements" l (List.sort compare s));
+    case "pick returns a member" (fun () ->
+        let r = Sim.Rng.create 17 in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "member" true
+            (List.mem (Sim.Rng.pick r [ "a"; "b"; "c" ]) [ "a"; "b"; "c" ])
+        done) ]
+
+let engine_tests =
+  [ case "events run in time order" (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        Sim.Engine.schedule_at e 2.0 (fun () -> log := 2 :: !log);
+        Sim.Engine.schedule_at e 1.0 (fun () -> log := 1 :: !log);
+        Sim.Engine.schedule_at e 3.0 (fun () -> log := 3 :: !log);
+        Sim.Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log));
+    case "ties break by insertion order" (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        Sim.Engine.schedule_at e 1.0 (fun () -> log := "a" :: !log);
+        Sim.Engine.schedule_at e 1.0 (fun () -> log := "b" :: !log);
+        Sim.Engine.run e;
+        Alcotest.(check (list string)) "fifo" [ "a"; "b" ] (List.rev !log));
+    case "clock advances to event time" (fun () ->
+        let e = Sim.Engine.create () in
+        Sim.Engine.schedule_at e 5.0 (fun () -> ());
+        Sim.Engine.run e;
+        Alcotest.(check (float 1e-9)) "now" 5.0 (Sim.Engine.now e));
+    case "scheduling in the past raises" (fun () ->
+        let e = Sim.Engine.create () in
+        Sim.Engine.schedule_at e 5.0 (fun () -> ());
+        Sim.Engine.run e;
+        Alcotest.(check bool) "raises" true
+          (match Sim.Engine.schedule_at e 1.0 (fun () -> ()) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "schedule_after clamps negative delay" (fun () ->
+        let e = Sim.Engine.create () in
+        let ran = ref false in
+        Sim.Engine.schedule_after e (-1.0) (fun () -> ran := true);
+        Sim.Engine.run e;
+        Alcotest.(check bool) "ran" true !ran);
+    case "handlers can schedule more events" (fun () ->
+        let e = Sim.Engine.create () in
+        let count = ref 0 in
+        let rec tick n =
+          if n > 0 then begin
+            incr count;
+            Sim.Engine.schedule_after e 1.0 (fun () -> tick (n - 1))
+          end
+        in
+        Sim.Engine.schedule_after e 0.0 (fun () -> tick 5);
+        Sim.Engine.run e;
+        Alcotest.(check int) "5 ticks" 5 !count;
+        Alcotest.(check (float 1e-9)) "time" 5.0 (Sim.Engine.now e));
+    case "run ~until stops before later events" (fun () ->
+        let e = Sim.Engine.create () in
+        let ran = ref false in
+        Sim.Engine.schedule_at e 10.0 (fun () -> ran := true);
+        Sim.Engine.run ~until:5.0 e;
+        Alcotest.(check bool) "not yet" false !ran;
+        Alcotest.(check (float 1e-9)) "clock at until" 5.0 (Sim.Engine.now e);
+        Sim.Engine.run e;
+        Alcotest.(check bool) "eventually" true !ran);
+    case "pending and processed counters" (fun () ->
+        let e = Sim.Engine.create () in
+        Sim.Engine.schedule_at e 1.0 (fun () -> ());
+        Sim.Engine.schedule_at e 2.0 (fun () -> ());
+        Alcotest.(check int) "pending 2" 2 (Sim.Engine.pending e);
+        Sim.Engine.run e;
+        Alcotest.(check int) "pending 0" 0 (Sim.Engine.pending e);
+        Alcotest.(check int) "processed 2" 2 (Sim.Engine.processed e));
+    case "step returns false on empty queue" (fun () ->
+        Alcotest.(check bool) "empty" false (Sim.Engine.step (Sim.Engine.create ()))) ]
+
+let channel_tests =
+  [ case "FIFO even with shrinking latencies" (fun () ->
+        let e = Sim.Engine.create () in
+        let log = ref [] in
+        let latencies = ref [ 1.0; 0.1 ] in
+        let next_latency () =
+          match !latencies with
+          | l :: rest ->
+            latencies := rest;
+            l
+          | [] -> 0.0
+        in
+        let ch =
+          Sim.Channel.create e ~latency:next_latency (fun m -> log := m :: !log)
+        in
+        Sim.Channel.send ch "first";
+        Sim.Channel.send ch "second";
+        Sim.Engine.run e;
+        Alcotest.(check (list string)) "order preserved" [ "first"; "second" ]
+          (List.rev !log));
+    case "latency delays delivery" (fun () ->
+        let e = Sim.Engine.create () in
+        let arrival = ref 0.0 in
+        let ch =
+          Sim.Channel.create e ~latency:(fun () -> 2.5) (fun () ->
+              arrival := Sim.Engine.now e)
+        in
+        Sim.Channel.send ch ();
+        Sim.Engine.run e;
+        Alcotest.(check (float 1e-9)) "at 2.5" 2.5 !arrival);
+    case "counters" (fun () ->
+        let e = Sim.Engine.create () in
+        let ch = Sim.Channel.create e ~latency:(fun () -> 1.0) (fun () -> ()) in
+        Sim.Channel.send ch ();
+        Sim.Channel.send ch ();
+        Alcotest.(check int) "sent" 2 (Sim.Channel.sent ch);
+        Alcotest.(check int) "in flight" 2 (Sim.Channel.in_flight ch);
+        Sim.Engine.run e;
+        Alcotest.(check int) "delivered" 2 (Sim.Channel.delivered ch);
+        Alcotest.(check int) "drained" 0 (Sim.Channel.in_flight ch));
+    case "negative latency clamped" (fun () ->
+        let e = Sim.Engine.create () in
+        let delivered = ref false in
+        let ch =
+          Sim.Channel.create e ~latency:(fun () -> -5.0) (fun () ->
+              delivered := true)
+        in
+        Sim.Channel.send ch ();
+        Sim.Engine.run e;
+        Alcotest.(check bool) "ok" true !delivered) ]
+
+let stats_tests =
+  [ case "summary mean/min/max" (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+        Alcotest.(check (float 1e-9)) "mean" 2.5 (Sim.Stats.Summary.mean s);
+        Alcotest.(check (float 1e-9)) "min" 1.0 (Sim.Stats.Summary.min s);
+        Alcotest.(check (float 1e-9)) "max" 4.0 (Sim.Stats.Summary.max s);
+        Alcotest.(check int) "count" 4 (Sim.Stats.Summary.count s));
+    case "summary stddev" (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        List.iter (Sim.Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        Alcotest.(check bool) "sample sd ~ 2.138" true
+          (abs_float (Sim.Stats.Summary.stddev s -. 2.13808993) < 1e-6));
+    case "empty summary" (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Sim.Stats.Summary.mean s);
+        Alcotest.(check bool) "nan percentile" true
+          (Float.is_nan (Sim.Stats.Summary.percentile s 50.0)));
+    case "percentiles nearest-rank" (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        List.iter (Sim.Stats.Summary.add s) (List.init 100 (fun i -> float_of_int (i + 1)));
+        Alcotest.(check (float 1e-9)) "p50" 50.0 (Sim.Stats.Summary.percentile s 50.0);
+        Alcotest.(check (float 1e-9)) "p95" 95.0 (Sim.Stats.Summary.percentile s 95.0);
+        Alcotest.(check (float 1e-9)) "p100" 100.0 (Sim.Stats.Summary.percentile s 100.0));
+    case "percentile after incremental adds" (fun () ->
+        let s = Sim.Stats.Summary.create () in
+        Sim.Stats.Summary.add s 10.0;
+        Alcotest.(check (float 1e-9)) "p50 one sample" 10.0
+          (Sim.Stats.Summary.percentile s 50.0);
+        Sim.Stats.Summary.add s 20.0;
+        Alcotest.(check (float 1e-9)) "cache invalidated" 20.0
+          (Sim.Stats.Summary.percentile s 100.0));
+    case "counter" (fun () ->
+        let c = Sim.Stats.Counter.create () in
+        Sim.Stats.Counter.incr c;
+        Sim.Stats.Counter.incr ~by:4 c;
+        Alcotest.(check int) "5" 5 (Sim.Stats.Counter.value c));
+    case "time-weighted average" (fun () ->
+        let tw = Sim.Stats.Time_weighted.create ~now:0.0 ~initial:0.0 in
+        Sim.Stats.Time_weighted.observe tw ~now:1.0 10.0;
+        Sim.Stats.Time_weighted.observe tw ~now:3.0 0.0;
+        (* 0 for 1s, 10 for 2s, 0 for 1s = 20/4 *)
+        Alcotest.(check (float 1e-9)) "avg" 5.0
+          (Sim.Stats.Time_weighted.average tw ~now:4.0);
+        Alcotest.(check (float 1e-9)) "max" 10.0 (Sim.Stats.Time_weighted.maximum tw));
+    case "trace records in order" (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.record tr "a";
+        Sim.Trace.recordf tr "b%d" 2;
+        Alcotest.(check (list string)) "events" [ "a"; "b2" ] (Sim.Trace.events tr);
+        Sim.Trace.clear tr;
+        Alcotest.(check int) "cleared" 0 (Sim.Trace.length tr)) ]
+
+let tests = rng_tests @ engine_tests @ channel_tests @ stats_tests

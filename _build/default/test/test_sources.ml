@@ -1,0 +1,101 @@
+open Relational
+
+let case = Helpers.case
+
+let make () =
+  Source.Sources.create
+    [ { source = "s1"; relation = "R";
+        init = Helpers.rel (Helpers.int_schema [ "A"; "B" ]) [ [ 1; 2 ] ] };
+      { source = "s2"; relation = "S";
+        init = Helpers.rel (Helpers.int_schema [ "B"; "C" ]) [] } ]
+
+let tests =
+  [ case "create exposes names and ownership" (fun () ->
+        let s = make () in
+        Alcotest.(check (list string)) "sources" [ "s1"; "s2" ]
+          (Source.Sources.source_names s);
+        Alcotest.(check string) "owner R" "s1" (Source.Sources.owner s "R");
+        Alcotest.(check (list string)) "relations of s1" [ "R" ]
+          (Source.Sources.relations_of s "s1"));
+    case "duplicate relation declaration rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Source.Sources.create
+               [ { source = "a"; relation = "R";
+                   init = Relation.create (Helpers.int_schema [ "A" ]) };
+                 { source = "b"; relation = "R";
+                   init = Relation.create (Helpers.int_schema [ "A" ]) } ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "unknown source raises" (fun () ->
+        Alcotest.check_raises "unknown" (Source.Sources.Unknown_source "zz")
+          (fun () -> ignore (Source.Sources.relations_of (make ()) "zz")));
+    case "execute assigns increasing ids from 1" (fun () ->
+        let s = make () in
+        let t1 = Source.Sources.execute s [ Update.insert "R" (Helpers.ints [ 3; 4 ]) ] in
+        let t2 = Source.Sources.execute s [ Update.insert "S" (Helpers.ints [ 4; 5 ]) ] in
+        Alcotest.(check int) "id1" 1 t1.Update.Transaction.id;
+        Alcotest.(check int) "id2" 2 t2.Update.Transaction.id;
+        Alcotest.(check int) "last" 2 (Source.Sources.last_id s));
+    case "execute applies atomically and records states" (fun () ->
+        let s = make () in
+        let _ = Source.Sources.execute s [ Update.insert "R" (Helpers.ints [ 3; 4 ]) ] in
+        Alcotest.(check int) "2 states" 2 (List.length (Source.Sources.states s));
+        let ss0 = Source.Sources.state s 0 and ss1 = Source.Sources.state s 1 in
+        Alcotest.(check int) "ss0 R has 1" 1
+          (Relation.cardinal (Database.find ss0 "R"));
+        Alcotest.(check int) "ss1 R has 2" 2
+          (Relation.cardinal (Database.find ss1 "R")));
+    case "state out of range raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Source.Sources.state (make ()) 1 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "empty transaction rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Source.Sources.execute (make ()) [] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "single-source ownership enforced" (fun () ->
+        let s = make () in
+        Alcotest.(check bool) "violation" true
+          (match
+             Source.Sources.execute s ~source:"s1"
+               [ Update.insert "S" (Helpers.ints [ 1; 1 ]) ]
+           with
+          | exception Source.Sources.Ownership_violation _ -> true
+          | _ -> false));
+    case "multi-source transaction allowed without ~source" (fun () ->
+        let s = make () in
+        let txn =
+          Source.Sources.execute s
+            [ Update.insert "R" (Helpers.ints [ 9; 9 ]);
+              Update.insert "S" (Helpers.ints [ 9; 9 ]) ]
+        in
+        Alcotest.(check string) "attributed to first owner" "s1"
+          txn.Update.Transaction.source;
+        Alcotest.(check int) "both applied" 1
+          (Relation.cardinal (Database.find (Source.Sources.current s) "S")));
+    case "transactions returned oldest first" (fun () ->
+        let s = make () in
+        let _ = Source.Sources.execute s [ Update.insert "R" (Helpers.ints [ 1; 1 ]) ] in
+        let _ = Source.Sources.execute s [ Update.insert "R" (Helpers.ints [ 2; 2 ]) ] in
+        Alcotest.(check (list int)) "ids" [ 1; 2 ]
+          (List.map
+             (fun (t : Update.Transaction.t) -> t.id)
+             (Source.Sources.transactions s)));
+    case "query evaluates against current state" (fun () ->
+        let s = make () in
+        let _ = Source.Sources.execute s [ Update.insert "S" (Helpers.ints [ 2; 3 ]) ] in
+        let out =
+          Source.Sources.query s Query.Algebra.(join (base "R") (base "S"))
+        in
+        Alcotest.check Helpers.bag "joined"
+          (Helpers.bag_of [ [ 1; 2; 3 ] ])
+          (Relation.contents out));
+    case "initial is ss_0 regardless of later updates" (fun () ->
+        let s = make () in
+        let _ = Source.Sources.execute s [ Update.insert "R" (Helpers.ints [ 5; 5 ]) ] in
+        Alcotest.(check int) "initial untouched" 1
+          (Relation.cardinal (Database.find (Source.Sources.initial s) "R"))) ]

@@ -1,0 +1,273 @@
+open Query
+
+let case = Helpers.case
+
+let al view state = Action_list.delta ~view ~state Relational.Signed_bag.zero
+
+let make views =
+  let emitted = ref [] in
+  let spa =
+    Mvc.Spa.create ~views ~emit:(fun wt -> emitted := !emitted @ [ wt ]) ()
+  in
+  (spa, emitted)
+
+let rows wt = wt.Warehouse.Wt.rows
+
+(* Example 2 (Section 4.1): AL21 arrives first and must be held until AL11
+   completes row 1. *)
+let example2 () =
+  let spa, emitted = make [ "V1"; "V2"; "V3" ] in
+  Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Spa.receive_rel spa ~row:2 ~rel:[ "V3" ];
+  Mvc.Spa.receive_action_list spa (al "V2" 1);
+  Alcotest.(check string) "row 1 after AL21" "U1: V1=w V2=r V3=b"
+    (Mvc.Vut.render_row (Mvc.Spa.vut spa) 1);
+  Alcotest.(check int) "nothing applied yet" 0 (List.length !emitted);
+  Alcotest.(check int) "one list held" 1 (Mvc.Spa.held_action_lists spa);
+  Mvc.Spa.receive_action_list spa (al "V1" 1);
+  Alcotest.(check int) "row 1 applied" 1 (List.length !emitted);
+  Alcotest.(check (list int)) "rows [1]" [ 1 ] (rows (List.hd !emitted));
+  Mvc.Spa.receive_action_list spa (al "V3" 2);
+  Alcotest.(check int) "row 2 applied" 2 (List.length !emitted);
+  Alcotest.(check bool) "quiescent" true (Mvc.Spa.quiescent spa)
+
+(* Example 3: full arrival order REL1, AL21, REL2, REL3, AL32, AL23, AL11.
+   WT2 applies at t5 (before rows 1, 3); then WT1; then WT3. *)
+let example3 () =
+  let spa, emitted = make [ "V1"; "V2"; "V3" ] in
+  Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+  Mvc.Spa.receive_action_list spa (al "V2" 1);
+  Mvc.Spa.receive_rel spa ~row:2 ~rel:[ "V3" ];
+  Mvc.Spa.receive_rel spa ~row:3 ~rel:[ "V2" ];
+  (* t4 state of the VUT, before AL32 arrives: *)
+  Alcotest.(check string) "t4 table"
+    "U1: V1=w V2=r V3=b\nU2: V1=b V2=b V3=w\nU3: V1=b V2=w V3=b"
+    (Mvc.Vut.render (Mvc.Spa.vut spa));
+  Mvc.Spa.receive_action_list spa (al "V3" 2);
+  (* t5: WT2 applied out of row order; t6: row 2 purged *)
+  Alcotest.(check int) "WT2 applied first" 1 (List.length !emitted);
+  Alcotest.(check (list int)) "rows [2]" [ 2 ] (rows (List.hd !emitted));
+  Alcotest.(check string) "row 2 gone"
+    "U1: V1=w V2=r V3=b\nU3: V1=b V2=w V3=b"
+    (Mvc.Vut.render (Mvc.Spa.vut spa));
+  Mvc.Spa.receive_action_list spa (al "V2" 3);
+  (* t7: AL23 held; row 1 blocks row 3 via column V2 *)
+  Alcotest.(check int) "row 3 waits for row 1" 1 (List.length !emitted);
+  Mvc.Spa.receive_action_list spa (al "V1" 1);
+  (* t9: WT1; t10-11: WT3 *)
+  Alcotest.(check (list (list int))) "order 2,1,3" [ [ 2 ]; [ 1 ]; [ 3 ] ]
+    (List.map rows !emitted);
+  Alcotest.(check bool) "table empty" true (Mvc.Vut.row_count (Mvc.Spa.vut spa) = 0)
+
+(* Random legal interleavings: SPA must apply every row exactly once,
+   respecting per-view order, and end quiescent. *)
+let random_run seed =
+  let rng = Sim.Rng.create seed in
+  let n_views = Sim.Rng.int_range rng 1 4 in
+  let views = List.init n_views (fun i -> Printf.sprintf "V%d" (i + 1)) in
+  let n_rows = Sim.Rng.int_range rng 1 12 in
+  let rels =
+    List.init n_rows (fun i ->
+        let row = i + 1 in
+        let subset = List.filter (fun _ -> Sim.Rng.bool rng) views in
+        let subset = if subset = [] then [ Sim.Rng.pick rng views ] else subset in
+        (row, subset))
+  in
+  (* Streams: the REL stream and one AL stream per view, each internally
+     ordered; merge them randomly. *)
+  let streams =
+    `Rel (ref rels)
+    :: List.map
+         (fun v ->
+           `Al
+             ( v,
+               ref
+                 (List.filter_map
+                    (fun (row, rel) -> if List.mem v rel then Some row else None)
+                    rels) ))
+         views
+  in
+  let spa, emitted = make views in
+  let nonempty () =
+    List.filter
+      (function `Rel r -> !r <> [] | `Al (_, r) -> !r <> [])
+      streams
+  in
+  let rec drive () =
+    match nonempty () with
+    | [] -> ()
+    | live ->
+      (match List.nth live (Sim.Rng.int rng (List.length live)) with
+      | `Rel r ->
+        let (row, rel), rest = (List.hd !r, List.tl !r) in
+        r := rest;
+        Mvc.Spa.receive_rel spa ~row ~rel
+      | `Al (v, r) ->
+        let row, rest = (List.hd !r, List.tl !r) in
+        r := rest;
+        Mvc.Spa.receive_action_list spa (al v row));
+      drive ()
+  in
+  drive ();
+  (spa, rels, !emitted)
+
+let prop_all_applied seed =
+  let spa, rels, emitted = random_run seed in
+  let applied = List.concat_map rows emitted in
+  Mvc.Spa.quiescent spa
+  && List.sort compare applied = List.map fst rels
+  && List.for_all (fun wt -> List.length (rows wt) = 1) emitted
+
+let prop_per_view_order seed =
+  let _, rels, emitted = random_run seed in
+  let order = List.concat_map rows emitted in
+  let position row =
+    let rec find i = function
+      | [] -> assert false
+      | r :: rest -> if r = row then i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  (* Any two rows sharing a view must be applied in row order. *)
+  List.for_all
+    (fun (i, rel_i) ->
+      List.for_all
+        (fun (j, rel_j) ->
+          i >= j
+          || (not (List.exists (fun v -> List.mem v rel_j) rel_i))
+          || position i < position j)
+        rels)
+    rels
+
+(* Promptness: after every delivered message, no live row is enabled but
+   unapplied (all its lists arrived and nothing earlier blocks it). *)
+let prop_prompt seed =
+  let rng = Sim.Rng.create seed in
+  let n_views = Sim.Rng.int_range rng 1 3 in
+  let views = List.init n_views (fun i -> Printf.sprintf "V%d" (i + 1)) in
+  let n_rows = Sim.Rng.int_range rng 1 10 in
+  let rels =
+    List.init n_rows (fun i ->
+        let row = i + 1 in
+        let subset = List.filter (fun _ -> Sim.Rng.bool rng) views in
+        let subset = if subset = [] then [ Sim.Rng.pick rng views ] else subset in
+        (row, subset))
+  in
+  let spa, _ = make views in
+  let enabled_unapplied () =
+    let vut = Mvc.Spa.vut spa in
+    List.exists
+      (fun row ->
+        let blocked =
+          Mvc.Vut.exists_in_row vut ~row (fun view e ->
+              e.color = Mvc.Vut.White
+              || (e.color = Mvc.Vut.Red
+                 && Mvc.Vut.earlier_with vut ~row ~view (fun e' ->
+                        e'.color = Mvc.Vut.Red)
+                    <> []))
+        in
+        let has_red =
+          Mvc.Vut.exists_in_row vut ~row (fun _ e -> e.color = Mvc.Vut.Red)
+        in
+        has_red && not blocked)
+      (Mvc.Vut.rows vut)
+  in
+  let streams =
+    `Rel (ref rels)
+    :: List.map
+         (fun v ->
+           `Al
+             ( v,
+               ref
+                 (List.filter_map
+                    (fun (row, rel) -> if List.mem v rel then Some row else None)
+                    rels) ))
+         views
+  in
+  let nonempty () =
+    List.filter
+      (function `Rel r -> !r <> [] | `Al (_, r) -> !r <> [])
+      streams
+  in
+  let ok = ref true in
+  let rec drive () =
+    match nonempty () with
+    | [] -> ()
+    | live ->
+      (match List.nth live (Sim.Rng.int rng (List.length live)) with
+      | `Rel r ->
+        let (row, rel), rest = (List.hd !r, List.tl !r) in
+        r := rest;
+        Mvc.Spa.receive_rel spa ~row ~rel
+      | `Al (v, r) ->
+        let row, rest = (List.hd !r, List.tl !r) in
+        r := rest;
+        Mvc.Spa.receive_action_list spa (al v row));
+      if enabled_unapplied () then ok := false;
+      drive ()
+  in
+  drive ();
+  !ok
+
+let tests =
+  [ case "example 2 (hold until row complete)" example2;
+    case "example 3 (paper trace, out-of-order independent rows)" example3;
+    case "action list arriving before its REL is buffered" (fun () ->
+        let spa, emitted = make [ "V1" ] in
+        Mvc.Spa.receive_action_list spa (al "V1" 1);
+        Alcotest.(check int) "held" 1 (Mvc.Spa.held_action_lists spa);
+        Alcotest.(check int) "nothing yet" 0 (List.length !emitted);
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check int) "released" 1 (List.length !emitted);
+        Alcotest.(check bool) "quiescent" true (Mvc.Spa.quiescent spa));
+    case "empty REL needs no warehouse transaction" (fun () ->
+        let spa, emitted = make [ "V1" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[];
+        Alcotest.(check int) "no WT" 0 (List.length !emitted);
+        Alcotest.(check bool) "quiescent" true (Mvc.Spa.quiescent spa);
+        Alcotest.(check int) "counted" 1 (Mvc.Spa.stats spa).empty_rels);
+    case "empty action lists still flow through" (fun () ->
+        let spa, emitted = make [ "V1"; "V2" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+        Mvc.Spa.receive_action_list spa (al "V1" 1);
+        Mvc.Spa.receive_action_list spa (al "V2" 1);
+        Alcotest.(check int) "one WT with both lists" 1 (List.length !emitted);
+        Alcotest.(check int) "two lists" 2
+          (List.length (List.hd !emitted).Warehouse.Wt.actions));
+    case "duplicate action list raises protocol error" (fun () ->
+        let spa, _ = make [ "V1"; "V2" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1"; "V2" ];
+        Mvc.Spa.receive_action_list spa (al "V1" 1);
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Spa.receive_action_list spa (al "V1" 1) with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "action list for an irrelevant view raises" (fun () ->
+        let spa, _ = make [ "V1"; "V2" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Spa.receive_action_list spa (al "V2" 1) with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "promptness: emission happens inside the enabling call" (fun () ->
+        let spa, emitted = make [ "V1" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check int) "not before" 0 (List.length !emitted);
+        Mvc.Spa.receive_action_list spa (al "V1" 1);
+        (* The emit callback has already fired, synchronously. *)
+        Alcotest.(check int) "immediately after" 1 (List.length !emitted));
+    case "stats track table high-water mark" (fun () ->
+        let spa, _ = make [ "V1" ] in
+        Mvc.Spa.receive_rel spa ~row:1 ~rel:[ "V1" ];
+        Mvc.Spa.receive_rel spa ~row:2 ~rel:[ "V1" ];
+        Alcotest.(check int) "2 live" 2 (Mvc.Spa.stats spa).max_live_rows);
+    Helpers.qcheck ~count:200 "random interleavings: applied exactly once"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      prop_all_applied;
+    Helpers.qcheck ~count:200 "random interleavings: per-view order preserved"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      prop_per_view_order;
+    Helpers.qcheck ~count:200
+      "promptness: enabled rows are applied within the same event"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      prop_prompt ]

@@ -1,0 +1,313 @@
+open Whips
+
+let case = Helpers.case
+
+let check_verdict name ~complete ~strong result =
+  let v = System.verdict result in
+  Alcotest.(check bool) (name ^ " conclusive") true v.conclusive;
+  Alcotest.(check bool) (name ^ " convergent") true v.convergent;
+  Alcotest.(check bool)
+    (name ^ " strongly consistent")
+    strong v.strongly_consistent;
+  if complete then Alcotest.(check bool) (name ^ " complete") true v.complete
+
+let scenario_tests =
+  List.concat_map
+    (fun scen ->
+      let name = scen.Workload.Scenarios.name in
+      [ case (name ^ ": SPA over complete managers is complete") (fun () ->
+            let result = System.run (System.default scen) in
+            Alcotest.(check string) "algorithm" "SPA" result.merge_algorithm;
+            check_verdict name ~complete:true ~strong:true result);
+        case (name ^ ": PA over batching managers is strongly consistent")
+          (fun () ->
+            let cfg =
+              { (System.default scen) with
+                vm_kind = System.Batching_vm;
+                arrival = System.Poisson 60.0;
+                seed = 17 }
+            in
+            let result = System.run cfg in
+            Alcotest.(check string) "algorithm" "PA" result.merge_algorithm;
+            check_verdict name ~complete:false ~strong:true result);
+        case (name ^ ": strobe managers are strongly consistent") (fun () ->
+            let cfg =
+              { (System.default scen) with
+                vm_kind = System.Strobe_vm;
+                arrival = System.Poisson 50.0;
+                seed = 23 }
+            in
+            check_verdict name ~complete:false ~strong:true (System.run cfg));
+        case (name ^ ": sequential baseline is complete") (fun () ->
+            let cfg = { (System.default scen) with merge_kind = System.Sequential } in
+            check_verdict name ~complete:true ~strong:true (System.run cfg)) ])
+    Workload.Scenarios.all
+
+let violation_tests =
+  [ case "passthrough merge violates MVC but converges" (fun () ->
+        (* Failure injection: the oracle must catch the broken merge. *)
+        let failures = ref 0 in
+        List.iter
+          (fun seed ->
+            let cfg =
+              { (System.default Workload.Scenarios.paper_views) with
+                merge_kind = System.Force_passthrough;
+                arrival = System.Poisson 200.0;
+                seed }
+            in
+            let v = System.verdict (System.run cfg) in
+            Alcotest.(check bool) "convergent" true v.convergent;
+            if not v.strongly_consistent then incr failures)
+          [ 1; 2; 3; 4; 5; 6 ];
+        Alcotest.(check bool) "oracle caught at least one violation" true
+          (!failures > 0));
+    case "convergent managers downgrade the system to convergence" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.paper_views) with
+            vm_kind = System.Convergent_vm;
+            arrival = System.Poisson 100.0;
+            seed = 5 }
+        in
+        let result = System.run cfg in
+        Alcotest.(check string) "passthrough chosen" "passthrough"
+          result.merge_algorithm;
+        let v = System.verdict result in
+        Alcotest.(check bool) "convergent" true v.convergent) ]
+
+let policy_tests =
+  [ case "dependency submitter preserves MVC" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.retail_star) with
+            submit = Warehouse.Submitter.Dependency;
+            arrival = System.Poisson 80.0;
+            seed = 31 }
+        in
+        check_verdict "dependency" ~complete:true ~strong:true (System.run cfg));
+    case "batched submitter keeps strong consistency, loses completeness"
+      (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.retail_star) with
+            submit = Warehouse.Submitter.Batched 2;
+            seed = 37 }
+        in
+        let result = System.run cfg in
+        let v = System.verdict result in
+        Alcotest.(check bool) "strong" true v.strongly_consistent;
+        Alcotest.(check bool) "fewer commits than transactions" true
+          (Warehouse.Store.commit_count result.store
+          < List.length result.transactions + 1));
+    case "complete-N managers run under PA" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.retail_star) with
+            vm_kind = System.Complete_n_vm 2;
+            seed = 41 }
+        in
+        let result = System.run cfg in
+        Alcotest.(check string) "PA" "PA" result.merge_algorithm;
+        check_verdict "complete-n" ~complete:false ~strong:true result);
+    case "periodic managers refresh consistently" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.bank) with
+            vm_kind = System.Periodic_vm 0.2;
+            arrival = System.Uniform 0.05;
+            seed = 43 }
+        in
+        check_verdict "periodic" ~complete:false ~strong:true (System.run cfg));
+    case "mixed manager kinds follow the weakest level" (fun () ->
+        let scen = Workload.Scenarios.paper_views in
+        let cfg =
+          { (System.default scen) with
+            vm_kind = System.Complete_vm;
+            vm_overrides = [ ("V2", System.Batching_vm) ];
+            arrival = System.Poisson 60.0;
+            seed = 47 }
+        in
+        let result = System.run cfg in
+        Alcotest.(check string) "PA for the mix" "PA" result.merge_algorithm;
+        check_verdict "mixed" ~complete:false ~strong:true result) ]
+
+let partition_tests =
+  [ case "distributed merge preserves completeness" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.paper_views) with
+            merge_groups = Some 2;
+            seed = 53 }
+        in
+        check_verdict "partitioned" ~complete:true ~strong:true (System.run cfg));
+    case "distributed merge with batching managers" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.paper_views) with
+            merge_groups = Some 2;
+            vm_kind = System.Batching_vm;
+            arrival = System.Poisson 80.0;
+            seed = 59 }
+        in
+        check_verdict "partitioned-pa" ~complete:false ~strong:true
+          (System.run cfg)) ]
+
+let spanning_partition_tests =
+  (* Section 6.1's partitioning assumes updates never span groups. A
+     multi-relation transaction crossing two merge processes is torn into
+     two warehouse commits; the oracle must flag it, and the single-merge
+     configuration must keep it atomic. *)
+  let scen =
+    let int_schema names =
+      Relational.Schema.make
+        (List.map (fun n -> (n, Relational.Value.Int_ty)) names)
+    in
+    { Workload.Scenarios.name = "spanning";
+      specs =
+        [ { Source.Sources.source = "a"; relation = "Rx";
+            init =
+              Relational.Relation.of_tuples (int_schema [ "x" ])
+                [ Relational.Tuple.ints [ 1 ] ] };
+          { source = "b"; relation = "Qx";
+            init =
+              Relational.Relation.of_tuples (int_schema [ "y" ])
+                [ Relational.Tuple.ints [ 2 ] ] } ];
+      views =
+        [ Query.View.make "VR" (Query.Algebra.base "Rx");
+          Query.View.make "VQ" (Query.Algebra.base "Qx") ];
+      script =
+        [ [ Relational.Update.insert "Rx" (Relational.Tuple.ints [ 10 ]);
+            Relational.Update.insert "Qx" (Relational.Tuple.ints [ 20 ]) ];
+          [ Relational.Update.insert "Rx" (Relational.Tuple.ints [ 11 ]) ] ] }
+  in
+  [ case "single merge keeps a group-spanning transaction atomic" (fun () ->
+        let r = System.run { (System.default scen) with seed = 3 } in
+        check_verdict "atomic" ~complete:true ~strong:true r);
+    case "partitioned merges tear a group-spanning transaction" (fun () ->
+        let r =
+          System.run
+            { (System.default scen) with merge_groups = Some 2; seed = 3 }
+        in
+        let v = System.verdict r in
+        Alcotest.(check bool) "violation flagged" false v.strongly_consistent;
+        Alcotest.(check bool) "still convergent" true v.convergent) ]
+
+let misc_tests =
+  [ case "semantic filtering drops irrelevant work" (fun () ->
+        let scen = Workload.Scenarios.retail_star in
+        let base = { (System.default scen) with seed = 61 } in
+        let plain = System.run base in
+        let filtered = System.run { base with semantic_filter = true } in
+        check_verdict "filtered" ~complete:true ~strong:true filtered;
+        Alcotest.(check bool) "no more commits than unfiltered" true
+          (Warehouse.Store.commit_count filtered.store
+          <= Warehouse.Store.commit_count plain.store));
+    case "same seed gives identical histories (determinism)" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.bank) with
+            arrival = System.Poisson 50.0;
+            seed = 67 }
+        in
+        let a = System.run cfg and b = System.run cfg in
+        Alcotest.(check int) "commit counts equal"
+          (Warehouse.Store.commit_count a.store)
+          (Warehouse.Store.commit_count b.store);
+        Alcotest.(check (float 1e-12)) "completion times equal"
+          a.metrics.Metrics.completed_at b.metrics.Metrics.completed_at);
+    case "final view contents match direct evaluation" (fun () ->
+        let scen = Workload.Scenarios.retail_star in
+        let result = System.run { (System.default scen) with seed = 71 } in
+        List.iter
+          (fun v ->
+            let expected =
+              Relational.Relation.contents
+                (Query.View.materialize
+                   (Source.Sources.current result.sources)
+                   v)
+            in
+            Alcotest.check Helpers.bag
+              (Query.View.name v ^ " final contents")
+              expected
+              (System.view_contents result (Query.View.name v)))
+          scen.views);
+    case "metrics populated" (fun () ->
+        let result =
+          System.run { (System.default Workload.Scenarios.bank) with seed = 73 }
+        in
+        let m = result.metrics in
+        Alcotest.(check int) "transactions" 4 m.Metrics.transactions;
+        Alcotest.(check bool) "staleness sampled" true
+          (Sim.Stats.Summary.count m.Metrics.staleness > 0);
+        Alcotest.(check bool) "completed" true (m.Metrics.completed_at > 0.0));
+    case "All_at_once arrival drains" (fun () ->
+        let cfg =
+          { (System.default Workload.Scenarios.paper_views) with
+            arrival = System.All_at_once;
+            vm_kind = System.Batching_vm;
+            seed = 79 }
+        in
+        check_verdict "burst" ~complete:false ~strong:true (System.run cfg)) ]
+
+let random_workload_tests =
+  [ Helpers.qcheck ~count:15 "random workloads: SPA complete"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 12;
+              n_views = 3 }
+        in
+        let cfg =
+          { (System.default scen) with arrival = System.Poisson 100.0; seed }
+        in
+        let v = System.verdict (System.run cfg) in
+        v.conclusive && v.complete);
+    Helpers.qcheck ~count:15 "random workloads: PA strongly consistent"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 12;
+              n_views = 3 }
+        in
+        let cfg =
+          { (System.default scen) with
+            vm_kind = System.Batching_vm;
+            arrival = System.Poisson 150.0;
+            seed }
+        in
+        let v = System.verdict (System.run cfg) in
+        v.conclusive && v.strongly_consistent);
+    Helpers.qcheck ~count:10 "random workloads with aggregate views: SPA complete"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 10;
+              n_views = 3;
+              aggregate_views = true }
+        in
+        let cfg =
+          { (System.default scen) with arrival = System.Poisson 100.0; seed }
+        in
+        let v = System.verdict (System.run cfg) in
+        v.conclusive && v.complete);
+    Helpers.qcheck ~count:10 "random multi-source workloads stay consistent"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with
+              seed;
+              n_transactions = 10;
+              multi_update_prob = 0.4;
+              n_sources = 3 }
+        in
+        let cfg =
+          { (System.default scen) with arrival = System.Poisson 100.0; seed }
+        in
+        let v = System.verdict (System.run cfg) in
+        v.conclusive && v.complete) ]
+
+let tests =
+  scenario_tests @ violation_tests @ policy_tests @ partition_tests
+  @ spanning_partition_tests @ misc_tests @ random_workload_tests

@@ -1,0 +1,71 @@
+open Relational
+
+let case = Helpers.case
+
+let rs = Helpers.int_schema [ "A"; "B" ]
+
+let ss = Helpers.int_schema [ "B"; "C" ]
+
+let tests =
+  [ case "of_list / to_list roundtrip" (fun () ->
+        let t = Tuple.of_list [ Value.Int 1; Value.String "x" ] in
+        Alcotest.(check int) "arity" 2 (Tuple.arity t);
+        Alcotest.check Helpers.value "first" (Value.Int 1) (Tuple.get t 0));
+    case "of_array copies" (fun () ->
+        let arr = [| Value.Int 1 |] in
+        let t = Tuple.of_array arr in
+        arr.(0) <- Value.Int 9;
+        Alcotest.check Helpers.value "unchanged" (Value.Int 1) (Tuple.get t 0));
+    case "field by name" (fun () ->
+        let t = Helpers.ints [ 1; 2 ] in
+        Alcotest.check Helpers.value "B" (Value.Int 2) (Tuple.field rs t "B"));
+    case "field arity mismatch raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Tuple.field rs (Helpers.ints [ 1 ]) "A" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "conforms" (fun () ->
+        Alcotest.(check bool) "yes" true (Tuple.conforms rs (Helpers.ints [ 1; 2 ]));
+        Alcotest.(check bool) "wrong arity" false
+          (Tuple.conforms rs (Helpers.ints [ 1 ]));
+        Alcotest.(check bool) "wrong type" false
+          (Tuple.conforms rs (Tuple.of_list [ Value.Int 1; Value.String "x" ]));
+        Alcotest.(check bool) "null ok" true
+          (Tuple.conforms rs (Tuple.of_list [ Value.Int 1; Value.Null ])));
+    case "project reorders" (fun () ->
+        Alcotest.check Helpers.tuple "BA" (Helpers.ints [ 2; 1 ])
+          (Tuple.project rs [ "B"; "A" ] (Helpers.ints [ 1; 2 ])));
+    case "concat" (fun () ->
+        Alcotest.check Helpers.tuple "cat" (Helpers.ints [ 1; 2; 3 ])
+          (Tuple.concat (Helpers.ints [ 1 ]) (Helpers.ints [ 2; 3 ])));
+    case "join on matching shared attr" (fun () ->
+        match Tuple.join rs ss (Helpers.ints [ 1; 2 ]) (Helpers.ints [ 2; 3 ]) with
+        | Some j -> Alcotest.check Helpers.tuple "joined" (Helpers.ints [ 1; 2; 3 ]) j
+        | None -> Alcotest.fail "expected join");
+    case "join mismatch yields None" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Tuple.join rs ss (Helpers.ints [ 1; 2 ]) (Helpers.ints [ 9; 3 ]) = None));
+    case "join with no shared attrs is cross product" (fun () ->
+        let ts = Helpers.int_schema [ "C"; "D" ] in
+        match Tuple.join rs ts (Helpers.ints [ 1; 2 ]) (Helpers.ints [ 3; 4 ]) with
+        | Some j ->
+          Alcotest.check Helpers.tuple "cross" (Helpers.ints [ 1; 2; 3; 4 ]) j
+        | None -> Alcotest.fail "expected cross product");
+    case "compare: lexicographic then length" (fun () ->
+        Alcotest.(check bool) "lt" true
+          (Tuple.compare (Helpers.ints [ 1; 2 ]) (Helpers.ints [ 1; 3 ]) < 0);
+        Alcotest.(check bool) "prefix shorter" true
+          (Tuple.compare (Helpers.ints [ 1 ]) (Helpers.ints [ 1; 0 ]) < 0));
+    Helpers.qcheck "join agrees with schema join arity"
+      QCheck2.Gen.(
+        pair (Helpers.Gen.int_tuple ~arity:2 ~range:3)
+          (Helpers.Gen.int_tuple ~arity:2 ~range:3))
+      (fun (a, b) ->
+        match Tuple.join rs ss a b with
+        | Some j -> Tuple.arity j = Schema.arity (Schema.join rs ss)
+        | None -> not (Value.equal (Tuple.get a 1) (Tuple.get b 0)));
+    Helpers.qcheck "equal tuples hash equally"
+      QCheck2.Gen.(
+        pair (Helpers.Gen.int_tuple ~arity:3 ~range:2)
+          (Helpers.Gen.int_tuple ~arity:3 ~range:2))
+      (fun (a, b) -> (not (Tuple.equal a b)) || Tuple.hash a = Tuple.hash b) ]

@@ -1,0 +1,55 @@
+open Relational
+
+let case = Helpers.case
+
+let t1 = Helpers.ints [ 1; 2 ]
+
+let t2 = Helpers.ints [ 3; 4 ]
+
+let tests =
+  [ case "insert delta" (fun () ->
+        Alcotest.check Helpers.signed_bag "+1"
+          (Signed_bag.singleton t1 1)
+          (Update.to_delta (Update.insert "R" t1)));
+    case "delete delta" (fun () ->
+        Alcotest.check Helpers.signed_bag "-1"
+          (Signed_bag.singleton t1 (-1))
+          (Update.to_delta (Update.delete "R" t1)));
+    case "modify delta" (fun () ->
+        let d = Update.to_delta (Update.modify "R" ~before:t1 ~after:t2) in
+        Alcotest.(check int) "-1 before" (-1) (Signed_bag.count d t1);
+        Alcotest.(check int) "+1 after" 1 (Signed_bag.count d t2));
+    case "modify to same tuple is a zero delta" (fun () ->
+        Alcotest.(check bool) "zero" true
+          (Signed_bag.is_zero
+             (Update.to_delta (Update.modify "R" ~before:t1 ~after:t1))));
+    case "transaction relations dedupe in order" (fun () ->
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s"
+            [ Update.insert "R" t1; Update.insert "S" t2; Update.delete "R" t1 ]
+        in
+        Alcotest.(check (list string)) "RS" [ "R"; "S" ]
+          (Update.Transaction.relations txn));
+    case "delta_for combines per relation" (fun () ->
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s"
+            [ Update.insert "R" t1; Update.insert "R" t1; Update.delete "S" t2 ]
+        in
+        Alcotest.(check int) "+2 on R" 2
+          (Signed_bag.count (Update.Transaction.delta_for txn "R") t1);
+        Alcotest.(check int) "-1 on S" (-1)
+          (Signed_bag.count (Update.Transaction.delta_for txn "S") t2);
+        Alcotest.(check bool) "zero on T" true
+          (Signed_bag.is_zero (Update.Transaction.delta_for txn "T")));
+    case "single builds a one-update transaction" (fun () ->
+        let txn = Update.Transaction.single ~id:5 ~source:"s" (Update.insert "R" t1) in
+        Alcotest.(check int) "id" 5 txn.Update.Transaction.id;
+        Alcotest.(check int) "one update" 1
+          (List.length txn.Update.Transaction.updates));
+    case "insert then delete in one transaction cancels" (fun () ->
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s"
+            [ Update.insert "R" t1; Update.delete "R" t1 ]
+        in
+        Alcotest.(check bool) "zero" true
+          (Signed_bag.is_zero (Update.Transaction.delta_for txn "R"))) ]

@@ -1,0 +1,61 @@
+open Relational
+
+let case = Helpers.case
+
+let tests =
+  [ case "compare: equal ints" (fun () ->
+        Alcotest.(check int) "eq" 0 (Value.compare (Int 3) (Int 3)));
+    case "compare: int ordering" (fun () ->
+        Alcotest.(check bool) "lt" true (Value.compare (Int 1) (Int 2) < 0));
+    case "compare: strings" (fun () ->
+        Alcotest.(check bool) "lt" true
+          (Value.compare (String "a") (String "b") < 0));
+    case "compare: floats" (fun () ->
+        Alcotest.(check bool) "gt" true
+          (Value.compare (Float 2.5) (Float 1.5) > 0));
+    case "compare: cross-type uses constructor rank" (fun () ->
+        Alcotest.(check bool) "null < bool" true
+          (Value.compare Null (Bool false) < 0);
+        Alcotest.(check bool) "bool < int" true
+          (Value.compare (Bool true) (Int 0) < 0);
+        Alcotest.(check bool) "int < float" true
+          (Value.compare (Int 100) (Float 0.0) < 0);
+        Alcotest.(check bool) "float < string" true
+          (Value.compare (Float 9.9) (String "") < 0));
+    case "equal agrees with compare" (fun () ->
+        Alcotest.(check bool) "eq" true (Value.equal (String "x") (String "x"));
+        Alcotest.(check bool) "ne" false (Value.equal (Int 1) (Float 1.0)));
+    case "type_of" (fun () ->
+        Alcotest.(check bool) "null" true (Value.type_of Null = None);
+        Alcotest.(check bool) "int" true (Value.type_of (Int 1) = Some Int_ty));
+    case "conforms: null conforms to everything" (fun () ->
+        List.iter
+          (fun ty -> Alcotest.(check bool) "null" true (Value.conforms Null ty))
+          [ Value.Bool_ty; Value.Int_ty; Value.Float_ty; Value.String_ty ]);
+    case "conforms: mismatch rejected" (fun () ->
+        Alcotest.(check bool) "int/string" false
+          (Value.conforms (Int 1) Value.String_ty));
+    case "to_string formats" (fun () ->
+        Alcotest.(check string) "int" "7" (Value.to_string (Int 7));
+        Alcotest.(check string) "null" "null" (Value.to_string Null);
+        Alcotest.(check string) "string quoted" "\"hi\""
+          (Value.to_string (String "hi")));
+    Helpers.qcheck "compare is reflexive"
+      Helpers.Gen.small_value
+      (fun v -> Value.compare v v = 0);
+    Helpers.qcheck "compare is antisymmetric"
+      QCheck2.Gen.(pair Helpers.Gen.small_value Helpers.Gen.small_value)
+      (fun (a, b) ->
+        let c = Value.compare a b and c' = Value.compare b a in
+        (c = 0 && c' = 0) || (c > 0 && c' < 0) || (c < 0 && c' > 0));
+    Helpers.qcheck "compare is transitive"
+      QCheck2.Gen.(
+        triple Helpers.Gen.small_value Helpers.Gen.small_value
+          Helpers.Gen.small_value)
+      (fun (a, b, c) ->
+        if Value.compare a b <= 0 && Value.compare b c <= 0 then
+          Value.compare a c <= 0
+        else true);
+    Helpers.qcheck "equal values hash equally"
+      QCheck2.Gen.(pair Helpers.Gen.small_value Helpers.Gen.small_value)
+      (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b) ]

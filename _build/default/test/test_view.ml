@@ -1,0 +1,31 @@
+open Query
+
+let case = Helpers.case
+
+let v1 = View.make "V1" Algebra.(join (base "R") (base "S"))
+
+let v2 = View.make "V2" Algebra.(join (base "S") (base "T"))
+
+let v3 = View.make "V3" Algebra.(base "Q")
+
+let tests =
+  [ case "name" (fun () -> Alcotest.(check string) "V1" "V1" (View.name v1));
+    case "base_relations" (fun () ->
+        Alcotest.(check (list string)) "RS" [ "R"; "S" ] (View.base_relations v1));
+    case "uses" (fun () ->
+        Alcotest.(check bool) "R" true (View.uses v1 "R");
+        Alcotest.(check bool) "Q" false (View.uses v1 "Q"));
+    case "overlaps when sharing a relation" (fun () ->
+        Alcotest.(check bool) "V1/V2 share S" true (View.overlaps v1 v2);
+        Alcotest.(check bool) "V1/V3 disjoint" false (View.overlaps v1 v3));
+    case "overlaps is symmetric" (fun () ->
+        Alcotest.(check bool) "sym" (View.overlaps v1 v2) (View.overlaps v2 v1));
+    case "materialize evaluates the definition" (fun () ->
+        let db =
+          Relational.Database.of_list
+            [ ("R", Helpers.rel (Helpers.int_schema [ "A"; "B" ]) [ [ 1; 2 ] ]);
+              ("S", Helpers.rel (Helpers.int_schema [ "B"; "C" ]) [ [ 2; 3 ] ]) ]
+        in
+        Alcotest.check Helpers.bag "joined"
+          (Helpers.bag_of [ [ 1; 2; 3 ] ])
+          (Relational.Relation.contents (View.materialize db v1))) ]

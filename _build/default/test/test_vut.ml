@@ -1,0 +1,94 @@
+let case = Helpers.case
+
+let make () = Mvc.Vut.create ~views:[ "V1"; "V2"; "V3" ]
+
+let tests =
+  [ case "create rejects duplicate views" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Vut.create ~views:[ "V"; "V" ] with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "add_row colors REL white, rest black" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1"; "V3" ];
+        Alcotest.(check bool) "V1 white" true
+          ((Mvc.Vut.entry vut ~row:1 ~view:"V1").color = Mvc.Vut.White);
+        Alcotest.(check bool) "V2 black" true
+          ((Mvc.Vut.entry vut ~row:1 ~view:"V2").color = Mvc.Vut.Black);
+        Alcotest.(check int) "state 0" 0 (Mvc.Vut.entry vut ~row:1 ~view:"V1").state);
+    case "duplicate row raises" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[];
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Vut.add_row vut ~row:1 ~rel:[] with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "unknown view raises" (fun () ->
+        let vut = make () in
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Vut.add_row vut ~row:1 ~rel:[ "Z" ] with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "rows ascend and purge removes" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:3 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check (list int)) "sorted" [ 1; 3 ] (Mvc.Vut.rows vut);
+        Mvc.Vut.purge_row vut 1;
+        Alcotest.(check (list int)) "purged" [ 3 ] (Mvc.Vut.rows vut);
+        Alcotest.(check int) "count" 1 (Mvc.Vut.row_count vut));
+    case "set_color and set_state" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Mvc.Vut.set_color vut ~row:1 ~view:"V1" Mvc.Vut.Red;
+        Mvc.Vut.set_state vut ~row:1 ~view:"V1" 4;
+        let e = Mvc.Vut.entry vut ~row:1 ~view:"V1" in
+        Alcotest.(check bool) "red" true (e.color = Mvc.Vut.Red);
+        Alcotest.(check int) "state" 4 e.state);
+    case "entry on missing row raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Mvc.Vut.entry (make ()) ~row:9 ~view:"V1" with
+          | exception Mvc.Vut.Protocol_error _ -> true
+          | _ -> false));
+    case "next_red finds the closest later red" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:3 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:5 ~rel:[ "V1" ];
+        Mvc.Vut.set_color vut ~row:3 ~view:"V1" Mvc.Vut.Red;
+        Mvc.Vut.set_color vut ~row:5 ~view:"V1" Mvc.Vut.Red;
+        Alcotest.(check int) "3" 3 (Mvc.Vut.next_red vut ~row:1 ~view:"V1");
+        Alcotest.(check int) "5" 5 (Mvc.Vut.next_red vut ~row:3 ~view:"V1");
+        Alcotest.(check int) "0 when none" 0 (Mvc.Vut.next_red vut ~row:5 ~view:"V1"));
+    case "earlier_with filters by predicate" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:2 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:4 ~rel:[ "V1" ];
+        Mvc.Vut.set_color vut ~row:1 ~view:"V1" Mvc.Vut.Red;
+        Alcotest.(check (list int)) "only red earlier" [ 1 ]
+          (Mvc.Vut.earlier_with vut ~row:4 ~view:"V1" (fun e ->
+               e.color = Mvc.Vut.Red)));
+    case "white_rows_up_to" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:2 ~rel:[ "V2" ];
+        Mvc.Vut.add_row vut ~row:3 ~rel:[ "V1" ];
+        Mvc.Vut.add_row vut ~row:5 ~rel:[ "V1" ];
+        Alcotest.(check (list int)) "1 and 3" [ 1; 3 ]
+          (Mvc.Vut.white_rows_up_to vut ~view:"V1" 3));
+    case "purgeable when all gray or black" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1" ];
+        Alcotest.(check bool) "white blocks" false (Mvc.Vut.purgeable vut ~row:1);
+        Mvc.Vut.set_color vut ~row:1 ~view:"V1" Mvc.Vut.Gray;
+        Alcotest.(check bool) "gray ok" true (Mvc.Vut.purgeable vut ~row:1));
+    case "render matches the paper's compact format" (fun () ->
+        let vut = make () in
+        Mvc.Vut.add_row vut ~row:1 ~rel:[ "V1"; "V2" ];
+        Mvc.Vut.set_color vut ~row:1 ~view:"V2" Mvc.Vut.Red;
+        Alcotest.(check string) "row" "U1: V1=w V2=r V3=b"
+          (Mvc.Vut.render_row vut 1);
+        Mvc.Vut.set_state vut ~row:1 ~view:"V2" 3;
+        Alcotest.(check string) "with states" "U1: V1=(w,0) V2=(r,3) V3=(b,0)"
+          (Mvc.Vut.render_row vut ~show_state:true 1)) ]

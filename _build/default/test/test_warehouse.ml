@@ -1,0 +1,251 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+let al ?(delta = Signed_bag.zero) view state = Action_list.delta ~view ~state delta
+
+let plus view state tuple =
+  Action_list.delta ~view ~state (Signed_bag.singleton tuple 1)
+
+let wt_tests =
+  [ case "views dedupe in order" (fun () ->
+        let wt = Warehouse.Wt.make ~rows:[ 1 ] [ al "B" 1; al "A" 1; al "B" 1 ] in
+        Alcotest.(check (list string)) "BA" [ "B"; "A" ] (Warehouse.Wt.views wt));
+    case "rows are sorted and deduped" (fun () ->
+        let wt = Warehouse.Wt.make ~rows:[ 3; 1; 3 ] [] in
+        Alcotest.(check (list int)) "13" [ 1; 3 ] wt.Warehouse.Wt.rows;
+        Alcotest.(check int) "last" 3 (Warehouse.Wt.last_row wt));
+    case "depends_on iff view sets intersect" (fun () ->
+        let w1 = Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1; al "B" 1 ] in
+        let w2 = Warehouse.Wt.make ~rows:[ 2 ] [ al "B" 2 ] in
+        let w3 = Warehouse.Wt.make ~rows:[ 3 ] [ al "C" 3 ] in
+        Alcotest.(check bool) "w2 on w1" true (Warehouse.Wt.depends_on w2 w1);
+        Alcotest.(check bool) "w3 not on w1" false (Warehouse.Wt.depends_on w3 w1));
+    case "batch concatenates preserving order" (fun () ->
+        let w1 = Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ] in
+        let w2 = Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ] in
+        let b = Warehouse.Wt.batch [ w1; w2 ] in
+        Alcotest.(check (list int)) "rows" [ 1; 2 ] b.Warehouse.Wt.rows;
+        Alcotest.(check int) "2 actions" 2 (List.length b.Warehouse.Wt.actions));
+    case "action_count sums" (fun () ->
+        let wt =
+          Warehouse.Wt.make ~rows:[ 1 ]
+            [ plus "A" 1 (Helpers.ints [ 1 ]); plus "B" 1 (Helpers.ints [ 2 ]) ]
+        in
+        Alcotest.(check int) "2" 2 (Warehouse.Wt.action_count wt)) ]
+
+let store () =
+  Warehouse.Store.create
+    [ ("A", Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ] ]);
+      ("B", Helpers.rel (Helpers.int_schema [ "y" ]) []) ]
+
+let store_tests =
+  [ case "initial snapshot is ws_0" (fun () ->
+        let s = store () in
+        Alcotest.(check int) "1 state" 1 (List.length (Warehouse.Store.states s));
+        Alcotest.(check int) "A has 1" 1 (Relation.cardinal (Warehouse.Store.view s "A")));
+    case "apply is atomic across action lists" (fun () ->
+        let s = store () in
+        Warehouse.Store.apply s
+          (Warehouse.Wt.make ~rows:[ 1 ]
+             [ plus "A" 1 (Helpers.ints [ 2 ]); plus "B" 1 (Helpers.ints [ 9 ]) ]);
+        Alcotest.(check int) "one commit" 1 (Warehouse.Store.commit_count s);
+        Alcotest.(check int) "2 states" 2 (List.length (Warehouse.Store.states s));
+        Alcotest.(check int) "A grew" 2 (Relation.cardinal (Warehouse.Store.view s "A"));
+        Alcotest.(check int) "B grew" 1 (Relation.cardinal (Warehouse.Store.view s "B")));
+    case "apply to unknown view raises and nothing else is recorded" (fun () ->
+        let s = store () in
+        Alcotest.(check bool) "raises" true
+          (match
+             Warehouse.Store.apply s
+               (Warehouse.Wt.make ~rows:[ 1 ] [ plus "Z" 1 (Helpers.ints [ 1 ]) ])
+           with
+          | exception Warehouse.Store.Unknown_view "Z" -> true
+          | _ -> false);
+        Alcotest.(check int) "no commit recorded" 0 (Warehouse.Store.commit_count s));
+    case "commits carry time and state" (fun () ->
+        let s = store () in
+        Warehouse.Store.apply s ~time:4.2 (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        match Warehouse.Store.commits s with
+        | [ c ] ->
+          Alcotest.(check (float 1e-9)) "time" 4.2 c.Warehouse.Store.time;
+          Alcotest.(check int) "state has A" 1
+            (Relation.cardinal (Database.find c.Warehouse.Store.state "A"))
+        | _ -> Alcotest.fail "expected one commit");
+    case "refresh action replaces view contents" (fun () ->
+        let s = store () in
+        Warehouse.Store.apply s
+          (Warehouse.Wt.make ~rows:[ 1 ]
+             [ Action_list.refresh ~view:"A" ~state:1 (Helpers.bag_of [ [ 7 ]; [ 8 ] ]) ]);
+        Alcotest.check Helpers.bag "replaced"
+          (Helpers.bag_of [ [ 7 ]; [ 8 ] ])
+          (Relation.contents (Warehouse.Store.view s "A"))) ]
+
+(* Submitter tests run on the simulation engine. *)
+let submitter_setup policy =
+  let engine = Sim.Engine.create () in
+  let s = store () in
+  let committed = ref [] in
+  let sub =
+    Warehouse.Submitter.create engine ~policy
+      ~commit_latency:(fun () -> 1.0)
+      ~store:s
+      ~on_commit:(fun wt ->
+        committed := (Sim.Engine.now engine, wt.Warehouse.Wt.rows) :: !committed)
+      ()
+  in
+  (engine, s, sub, committed)
+
+let submitter_tests =
+  [ case "serial commits one at a time in order" (fun () ->
+        let engine, _, sub, committed = submitter_setup Warehouse.Submitter.Serial in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "B" 2 ]);
+        Sim.Engine.run engine;
+        let log = List.rev !committed in
+        Alcotest.(check int) "2 commits" 2 (List.length log);
+        (match log with
+        | [ (t1, [ 1 ]); (t2, [ 2 ]) ] ->
+          Alcotest.(check (float 1e-9)) "first at 1" 1.0 t1;
+          Alcotest.(check (float 1e-9)) "second serialized at 2" 2.0 t2
+        | _ -> Alcotest.fail "unexpected commit log");
+        Alcotest.(check int) "none outstanding" 0 (Warehouse.Submitter.outstanding sub));
+    case "dependency policy parallelizes independent transactions" (fun () ->
+        let engine, _, sub, committed =
+          submitter_setup Warehouse.Submitter.Dependency
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "B" 2 ]);
+        Sim.Engine.run engine;
+        let times = List.rev_map fst !committed in
+        Alcotest.(check (list (float 1e-9))) "both at t=1" [ 1.0; 1.0 ] times);
+    case "dependency policy serializes dependent transactions" (fun () ->
+        let engine, _, sub, committed =
+          submitter_setup Warehouse.Submitter.Dependency
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]);
+        Sim.Engine.run engine;
+        let log = List.rev !committed in
+        (match log with
+        | [ (t1, [ 1 ]); (t2, [ 2 ]) ] ->
+          Alcotest.(check (float 1e-9)) "first" 1.0 t1;
+          Alcotest.(check (float 1e-9)) "second waits" 2.0 t2
+        | _ -> Alcotest.fail "unexpected commit log"));
+    case "dependency: later independent overtakes blocked dependent" (fun () ->
+        let engine, _, sub, committed =
+          submitter_setup Warehouse.Submitter.Dependency
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 3 ] [ al "B" 3 ]);
+        Sim.Engine.run engine;
+        let at_one =
+          List.filter (fun (t, _) -> abs_float (t -. 1.0) < 1e-9) !committed
+        in
+        Alcotest.(check int) "rows 1 and 3 at t=1" 2 (List.length at_one));
+    case "batched combines into one BWT" (fun () ->
+        let engine, s, sub, committed =
+          submitter_setup (Warehouse.Submitter.Batched 2)
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]);
+        Sim.Engine.run engine;
+        (match List.rev !committed with
+        | [ (_, rows) ] -> Alcotest.(check (list int)) "both rows" [ 1; 2 ] rows
+        | _ -> Alcotest.fail "expected a single batched commit");
+        Alcotest.(check int) "one warehouse commit" 1 (Warehouse.Store.commit_count s));
+    case "batched flushes a partial batch after the timeout" (fun () ->
+        let engine = Sim.Engine.create () in
+        let s = store () in
+        let committed = ref 0 in
+        let sub =
+          Warehouse.Submitter.create engine ~policy:(Warehouse.Submitter.Batched 10)
+            ~commit_latency:(fun () -> 0.1)
+            ~batch_timeout:0.5 ~store:s
+            ~on_commit:(fun _ -> incr committed)
+            ()
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Sim.Engine.run engine;
+        Alcotest.(check int) "flushed" 1 !committed;
+        Alcotest.(check bool) "after timeout" true (Sim.Engine.now engine >= 0.5));
+    case "committed counter" (fun () ->
+        let engine, _, sub, _ = submitter_setup Warehouse.Submitter.Serial in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Sim.Engine.run engine;
+        Alcotest.(check int) "1" 1 (Warehouse.Submitter.committed sub));
+    case "policy names" (fun () ->
+        Alcotest.(check string) "serial" "serial"
+          (Warehouse.Submitter.policy_name Warehouse.Submitter.Serial);
+        Alcotest.(check string) "batched" "batched-4"
+          (Warehouse.Submitter.policy_name (Warehouse.Submitter.Batched 4))) ]
+
+let submitter_property_tests =
+  [ Helpers.qcheck ~count:100 "dependency policy: dependent commits in order"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      (fun seed ->
+        let rng = Sim.Rng.create seed in
+        let engine = Sim.Engine.create () in
+        let store =
+          Warehouse.Store.create
+            (List.init 4 (fun i ->
+                 ( Printf.sprintf "V%d" i,
+                   Relational.Relation.create (Helpers.int_schema [ "x" ]) )))
+        in
+        let committed = ref [] in
+        let sub =
+          Warehouse.Submitter.create engine
+            ~policy:Warehouse.Submitter.Dependency
+            ~commit_latency:(fun () -> Sim.Rng.float rng 0.1)
+            ~store
+            ~on_commit:(fun wt -> committed := wt :: !committed)
+            ()
+        in
+        (* Random submissions at random times with random view sets. *)
+        let n = Sim.Rng.int_range rng 1 12 in
+        let wts =
+          List.init n (fun i ->
+              let views =
+                List.filter (fun _ -> Sim.Rng.bool rng) [ 0; 1; 2; 3 ]
+              in
+              let views = if views = [] then [ Sim.Rng.int rng 4 ] else views in
+              Warehouse.Wt.make ~rows:[ i + 1 ]
+                (List.map
+                   (fun v ->
+                     al (Printf.sprintf "V%d" v) (i + 1))
+                   views))
+        in
+        let clock = ref 0.0 in
+        List.iter
+          (fun wt ->
+            clock := !clock +. Sim.Rng.float rng 0.05;
+            let at = !clock in
+            Sim.Engine.schedule_at engine at (fun () ->
+                Warehouse.Submitter.submit sub wt))
+          wts;
+        Sim.Engine.run engine;
+        let order = List.rev_map (fun wt -> Warehouse.Wt.last_row wt) !committed in
+        (* Everything committed... *)
+        List.length order = n
+        (* ...and for any dependent pair, submission order = commit order. *)
+        && List.for_all
+             (fun (i, wi) ->
+               List.for_all
+                 (fun (j, wj) ->
+                   i >= j
+                   || (not (Warehouse.Wt.depends_on wj wi))
+                   ||
+                   let pos r =
+                     let rec find k = function
+                       | [] -> -1
+                       | x :: rest -> if x = r then k else find (k + 1) rest
+                     in
+                     find 0 order
+                   in
+                   pos (i + 1) < pos (j + 1))
+                 (List.mapi (fun j w -> (j, w)) wts))
+             (List.mapi (fun i w -> (i, w)) wts)) ]
+
+let tests = wt_tests @ store_tests @ submitter_tests @ submitter_property_tests

@@ -1,0 +1,128 @@
+open Whips
+
+let case = Helpers.case
+
+let tests =
+  [ case "timeline is off by default" (fun () ->
+        let result = System.run (System.default Workload.Scenarios.example1) in
+        Alcotest.(check int) "empty" 0 (List.length result.timeline));
+    case "timeline records chronologically with all event kinds" (fun () ->
+        let result =
+          System.run
+            { (System.default Workload.Scenarios.paper_views) with
+              record_timeline = true;
+              seed = 3 }
+        in
+        let times = List.map fst result.timeline in
+        Alcotest.(check bool) "nonempty" true (times <> []);
+        Alcotest.(check bool) "sorted" true
+          (List.sort compare times = times);
+        let has prefix =
+          List.exists
+            (fun (_, e) ->
+              String.length e >= String.length prefix
+              && String.sub e 0 (String.length prefix) = prefix)
+            result.timeline
+        in
+        Alcotest.(check bool) "source commits" true (has "source commit");
+        Alcotest.(check bool) "integrator" true (has "integrator");
+        Alcotest.(check bool) "merge RELs" true (has "merge <- REL");
+        Alcotest.(check bool) "merge ALs" true (has "merge <- AL");
+        Alcotest.(check bool) "warehouse commits" true (has "warehouse commit"));
+    case "timeline records forwarded RELs under via-manager routing"
+      (fun () ->
+        let result =
+          System.run
+            { (System.default Workload.Scenarios.paper_views) with
+              record_timeline = true;
+              rel_routing = System.Via_manager;
+              seed = 3 }
+        in
+        Alcotest.(check bool) "forwarded" true
+          (List.exists
+             (fun (_, e) ->
+               String.length e > 24
+               && String.sub e 0 24 = "merge <- forwarded REL_1")
+             result.timeline));
+    case "metrics throughput" (fun () ->
+        let m = Metrics.create () in
+        m.Metrics.transactions <- 10;
+        m.Metrics.completed_at <- 2.0;
+        Alcotest.(check (float 1e-9)) "5/s" 5.0 (Metrics.throughput m);
+        let empty = Metrics.create () in
+        Alcotest.(check (float 1e-9)) "0 when instantaneous" 0.0
+          (Metrics.throughput empty));
+    case "metrics pretty-printer is total" (fun () ->
+        let result = System.run (System.default Workload.Scenarios.bank) in
+        Alcotest.(check bool) "prints" true
+          (String.length (Fmt.str "%a" Metrics.pp result.metrics) > 0));
+    case "witness maps every view content to its claimed source state"
+      (fun () ->
+        let result =
+          System.run
+            { (System.default Workload.Scenarios.paper_views) with
+              vm_kind = System.Batching_vm;
+              arrival = System.Poisson 80.0;
+              seed = 7 }
+        in
+        let verdict, witness = System.verdict_with_witness result in
+        Alcotest.(check bool) "strong" true verdict.strongly_consistent;
+        match witness with
+        | None -> Alcotest.fail "expected a witness"
+        | Some chain ->
+          let states = Warehouse.Store.states result.store in
+          Alcotest.(check int) "one entry per warehouse state"
+            (List.length states) (List.length chain);
+          List.iteri
+            (fun j per_view ->
+              let ws = List.nth states j in
+              List.iter
+                (fun (view_name, c) ->
+                  let view =
+                    List.find
+                      (fun v -> Query.View.name v = view_name)
+                      Workload.Scenarios.paper_views.views
+                  in
+                  let expected =
+                    Relational.Relation.contents
+                      (Query.View.materialize
+                         (Source.Sources.state result.sources c)
+                         view)
+                  in
+                  let actual =
+                    Relational.Relation.contents
+                      (Relational.Database.find ws view_name)
+                  in
+                  Alcotest.check Helpers.bag
+                    (Printf.sprintf "ws%d %s@ss%d" j view_name c)
+                    expected actual)
+                per_view)
+            chain;
+          (* Per-view monotonicity of the witness chain. *)
+          let by_view name =
+            List.map (fun per_view -> List.assoc name per_view) chain
+          in
+          List.iter
+            (fun v ->
+              let cs = by_view (Query.View.name v) in
+              Alcotest.(check bool)
+                (Query.View.name v ^ " monotone")
+                true
+                (List.sort compare cs = cs))
+            Workload.Scenarios.paper_views.views);
+    case "no witness for an inconsistent run" (fun () ->
+        let result =
+          System.run
+            { (System.default Workload.Scenarios.paper_views) with
+              merge_kind = System.Force_passthrough;
+              arrival = System.Poisson 300.0;
+              seed = 2 }
+        in
+        let verdict, witness = System.verdict_with_witness result in
+        if not verdict.strongly_consistent then
+          Alcotest.(check bool) "no witness" true (witness = None));
+    case "default latencies are positive" (fun () ->
+        let l = System.default_latencies in
+        Alcotest.(check bool) "all positive" true
+          (l.message > 0.0 && l.compute > 0.0 && l.commit > 0.0
+          && l.query_roundtrip > 0.0 && l.merge > 0.0)) ]

@@ -1,0 +1,137 @@
+open Relational
+
+let case = Helpers.case
+
+let tests =
+  [ case "named scenarios all load and execute" (fun () ->
+        List.iter
+          (fun scen ->
+            let srcs = Workload.Scenarios.sources scen in
+            let txns = Workload.Scenarios.run_script scen srcs in
+            Alcotest.(check int)
+              (scen.Workload.Scenarios.name ^ " script length")
+              (List.length scen.script) (List.length txns);
+            (* Every view must be evaluable at every source state. *)
+            List.iter
+              (fun db ->
+                List.iter
+                  (fun v -> ignore (Query.View.materialize db v))
+                  scen.views)
+              (Source.Sources.states srcs))
+          Workload.Scenarios.all);
+    case "example1 reproduces Table 1 exactly" (fun () ->
+        let scen = Workload.Scenarios.example1 in
+        let srcs = Workload.Scenarios.sources scen in
+        let v1 = List.nth scen.views 0 and v2 = List.nth scen.views 1 in
+        let at i v =
+          Relation.contents (Query.View.materialize (Source.Sources.state srcs i) v)
+        in
+        let _ = Workload.Scenarios.run_script scen srcs in
+        (* t0 row of Table 1 *)
+        Alcotest.check Helpers.bag "V1(ss0) empty" Bag.empty (at 0 v1);
+        Alcotest.check Helpers.bag "V2(ss0) empty" Bag.empty (at 0 v2);
+        (* t1..t3: after inserting [2,3] into S *)
+        Alcotest.check Helpers.bag "V1(ss1) = {[1,2,3]}"
+          (Helpers.bag_of [ [ 1; 2; 3 ] ])
+          (at 1 v1);
+        Alcotest.check Helpers.bag "V2(ss1) = {[2,3,4]}"
+          (Helpers.bag_of [ [ 2; 3; 4 ] ])
+          (at 1 v2));
+    case "bank scenario has a multi-source transfer" (fun () ->
+        let scen = Workload.Scenarios.bank in
+        let srcs = Workload.Scenarios.sources scen in
+        let txns = Workload.Scenarios.run_script scen srcs in
+        let multi =
+          List.filter
+            (fun (t : Update.Transaction.t) ->
+              List.length (Update.Transaction.relations t) > 1)
+            txns
+        in
+        Alcotest.(check int) "two transfers" 2 (List.length multi));
+    case "auxiliary scenario: RS |><| ST == V at every state" (fun () ->
+        (* The MVC motivation of [12]: the primary view recomputed from
+           mutually consistent auxiliary views equals the direct
+           definition. *)
+        let scen = Workload.Scenarios.auxiliary in
+        let srcs = Workload.Scenarios.sources scen in
+        let _ = Workload.Scenarios.run_script scen srcs in
+        List.iter
+          (fun db ->
+            let rs = Query.View.materialize db (List.nth scen.views 0) in
+            let st = Query.View.materialize db (List.nth scen.views 1) in
+            let v = Query.View.materialize db (List.nth scen.views 2) in
+            let joined =
+              Query.Eval.eval
+                (Database.of_list [ ("RS", rs); ("ST", st) ])
+                Query.Algebra.(join (base "RS") (base "ST"))
+            in
+            Alcotest.(check bool) "equal contents" true
+              (Relation.equal_contents joined v))
+          (Source.Sources.states srcs));
+    case "generator is deterministic per seed" (fun () ->
+        let cfg = Workload.Generator.default in
+        let a = Workload.Generator.generate cfg in
+        let b = Workload.Generator.generate cfg in
+        Alcotest.(check int) "same script length" (List.length a.script)
+          (List.length b.script);
+        let flat s =
+          List.map
+            (fun us -> List.map (fun u -> Fmt.str "%a" Update.pp u) us)
+            s.Workload.Scenarios.script
+        in
+        Alcotest.(check (list (list string))) "same script" (flat a) (flat b));
+    case "different seeds differ" (fun () ->
+        let a = Workload.Generator.generate Workload.Generator.default in
+        let b =
+          Workload.Generator.generate { Workload.Generator.default with seed = 43 }
+        in
+        let flat s =
+          List.concat_map
+            (fun us -> List.map (fun u -> Fmt.str "%a" Update.pp u) us)
+            s.Workload.Scenarios.script
+        in
+        Alcotest.(check bool) "differ" true (flat a <> flat b));
+    case "generated scripts execute cleanly" (fun () ->
+        List.iter
+          (fun seed ->
+            let scen =
+              Workload.Generator.generate
+                { Workload.Generator.default with seed; multi_update_prob = 0.3 }
+            in
+            let srcs = Workload.Scenarios.sources scen in
+            let _ = Workload.Scenarios.run_script scen srcs in
+            List.iter
+              (fun v ->
+                ignore
+                  (Query.View.materialize (Source.Sources.current srcs) v))
+              scen.views)
+          [ 1; 2; 3; 4; 5 ]);
+    case "generated deletes target live tuples" (fun () ->
+        (* Execute the script and check no delete was a silent no-op: the
+           cardinality change matches the delta size. *)
+        let scen =
+          Workload.Generator.generate
+            { Workload.Generator.default with seed = 11; n_transactions = 50 }
+        in
+        let srcs = Workload.Scenarios.sources scen in
+        List.iter
+          (fun updates ->
+            let db_before = Source.Sources.current srcs in
+            let txn = Source.Sources.execute srcs updates in
+            List.iter
+              (fun (u : Update.t) ->
+                match u.op with
+                | Update.Delete tup ->
+                  Alcotest.(check bool) "tuple was present" true
+                    (Relation.mem (Database.find db_before u.relation) tup)
+                | Update.Insert _ | Update.Modify _ -> ())
+              txn.updates)
+          scen.script);
+    case "generator validates config" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Workload.Generator.generate
+               { Workload.Generator.default with n_views = 0 }
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false)) ]
