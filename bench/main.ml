@@ -24,21 +24,25 @@ let experiments =
     ("micro", Micro.run) ]
 
 let usage () =
-  Printf.printf "usage: main.exe [experiment ...]\navailable experiments:\n";
+  Printf.printf
+    "usage: main.exe [-quick] [experiment ...]\navailable experiments:\n";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: args ->
-    let run name =
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-        Printf.printf "unknown experiment: %s\n" name;
-        usage ();
-        exit 1
-    in
-    if List.mem "--help" args || List.mem "-h" args then usage ()
-    else List.iter run args
-  | [] -> usage ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, args = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
+  if List.mem "-quick" flags || List.mem "--quick" flags then Micro.quick := true;
+  if List.mem "--help" flags || List.mem "-h" flags then usage ()
+  else
+    match args with
+    | [] -> List.iter (fun (_, f) -> f ()) experiments
+    | args ->
+      let run name =
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.printf "unknown experiment: %s\n" name;
+          usage ();
+          exit 1
+      in
+      List.iter run args

@@ -6,6 +6,10 @@
 open Bechamel
 open Relational
 
+(* Set by `bench/main.exe -quick`: shrink the measurement quota so the
+   @bench-smoke alias exercises every kernel in a few seconds. *)
+let quick = ref false
+
 let int_schema names = Schema.make (List.map (fun n -> (n, Value.Int_ty)) names)
 
 let random_bag seed n =
@@ -18,11 +22,34 @@ let random_bag seed n =
   in
   loop n Bag.empty
 
+(* Like [random_bag] but with values drawn from [0, range): at range ~ 2n
+   tuples are mostly distinct, so an n-row relation really holds n rows
+   rather than 2500 heavy-multiplicity ones. *)
+let random_bag_wide seed n ~range =
+  let rng = Sim.Rng.create seed in
+  let rec loop i acc =
+    if i = 0 then acc
+    else
+      loop (i - 1)
+        (Bag.add (Tuple.ints [ Sim.Rng.int rng range; Sim.Rng.int rng range ]) acc)
+  in
+  loop n Bag.empty
+
 let join_db n =
   let rs = int_schema [ "A"; "B" ] and ss = int_schema [ "B"; "C" ] in
   Database.of_list
     [ ("R", Relation.with_contents (Relation.create rs) (random_bag 1 n));
       ("S", Relation.with_contents (Relation.create ss) (random_bag 2 n)) ]
+
+let join_db_wide n ~range =
+  let rs = int_schema [ "A"; "B" ] and ss = int_schema [ "B"; "C" ] in
+  Database.of_list
+    [ ("R",
+       Relation.with_contents (Relation.create rs)
+         (random_bag_wide 1 n ~range));
+      ("S",
+       Relation.with_contents (Relation.create ss)
+         (random_bag_wide 2 n ~range)) ]
 
 let test_vut_lifecycle =
   Test.make ~name:"vut: 64-row add/color/purge lifecycle"
@@ -213,11 +240,150 @@ let test_delta_via_aux =
           in
           ignore (Query.Delta.eval ~pre:aux_db aux_changes over_aux)))
 
+(* Naive-vs-hash kernel ablation (the compiled positional hash kernel
+   against the interpreted nested-loop reference). The headline pair is the
+   join-delta kernel at 10k-row relations: a 32-update source batch against
+   V = R |><| S, i.e. the work a batching view manager does per action
+   list. The naive rule joins the 10k-row pre-state against the 32-row
+   delta pairwise (320k Tuple.join calls, each re-resolving the shared
+   attribute by name); the hash rule builds on the 32-row side and probes
+   the 10k side positionally. *)
+
+let delta_kernel_setup n =
+  let range = 2 * n in
+  let db = join_db_wide n ~range in
+  let expr = Query.Algebra.(join (base "R") (base "S")) in
+  let rng = Sim.Rng.create 42 in
+  let updates =
+    List.init 32 (fun _ ->
+        Update.insert "S"
+          (Tuple.ints [ Sim.Rng.int rng range; Sim.Rng.int rng range ]))
+  in
+  let changes =
+    Query.Delta.changes_of_list
+      (List.map (fun (u : Update.t) -> (u.relation, Update.to_delta u)) updates)
+  in
+  (db, expr, changes)
+
+let test_delta_join_10k_hash =
+  Test.make ~name:"kernel:delta-join-10k/hash"
+    (Staged.stage
+       (let db, expr, changes = delta_kernel_setup 10_000 in
+        fun () -> ignore (Query.Delta.eval ~pre:db changes expr)))
+
+let test_delta_join_10k_naive =
+  Test.make ~name:"kernel:delta-join-10k/naive"
+    (Staged.stage
+       (let db, expr, changes = delta_kernel_setup 10_000 in
+        fun () -> ignore (Query.Delta.eval ~naive:true ~pre:db changes expr)))
+
+let test_eval_join_1k_hash =
+  Test.make ~name:"kernel:eval-join-1k/hash"
+    (Staged.stage
+       (let db = join_db_wide 1000 ~range:1000 in
+        let expr = Query.Algebra.(join (base "R") (base "S")) in
+        fun () -> ignore (Query.Eval.eval_bag db expr)))
+
+let test_eval_join_1k_naive =
+  Test.make ~name:"kernel:eval-join-1k/naive"
+    (Staged.stage
+       (let db = join_db_wide 1000 ~range:1000 in
+        let expr = Query.Algebra.(join (base "R") (base "S")) in
+        fun () -> ignore (Query.Eval.eval_bag ~naive:true db expr)))
+
+let test_vut_guards_indexed =
+  Test.make ~name:"kernel:vut-next-red-1k/hash"
+    (Staged.stage
+       (let vut = Mvc.Vut.create ~views:[ "V" ] in
+        for row = 1 to 1024 do
+          Mvc.Vut.add_row vut ~row ~rel:[ "V" ]
+        done;
+        Mvc.Vut.set_color vut ~row:1024 ~view:"V" Mvc.Vut.Red;
+        fun () -> ignore (Mvc.Vut.next_red vut ~row:1 ~view:"V")))
+
+let test_vut_guards_scan =
+  Test.make ~name:"kernel:vut-next-red-1k/naive"
+    (Staged.stage
+       (let vut = Mvc.Vut.create ~views:[ "V" ] in
+        for row = 1 to 1024 do
+          Mvc.Vut.add_row vut ~row ~rel:[ "V" ]
+        done;
+        Mvc.Vut.set_color vut ~row:1024 ~view:"V" Mvc.Vut.Red;
+        fun () ->
+          (* The pre-index implementation: linear scan for the first red
+             row after 1 (earlier_with is the retained scan path). *)
+          ignore
+            (Mvc.Vut.earlier_with vut ~row:1025 ~view:"V" (fun e ->
+                 e.Mvc.Vut.color = Mvc.Vut.Red))))
+
+(* Ablation pairs reported in BENCH_kernel.json: (kernel, naive, hash). *)
+let ablation_pairs =
+  [ ("delta-join-10k", "kernel:delta-join-10k/naive", "kernel:delta-join-10k/hash");
+    ("eval-join-1k", "kernel:eval-join-1k/naive", "kernel:eval-join-1k/hash");
+    ("vut-next-red-1k", "kernel:vut-next-red-1k/naive", "kernel:vut-next-red-1k/hash") ]
+
 let tests =
   [ test_vut_lifecycle; test_vut_next_red; test_spa; test_pa; test_delta_join;
     test_eval_join; test_bag_union; test_delta_pushdown;
     test_delta_pushdown_only; test_delta_direct_3way; test_delta_via_aux;
-    test_oracle; test_system ]
+    test_delta_join_10k_hash; test_delta_join_10k_naive;
+    test_eval_join_1k_hash; test_eval_join_1k_naive; test_vut_guards_indexed;
+    test_vut_guards_scan; test_oracle; test_system ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Machine-readable perf baseline (format documented in EXPERIMENTS.md):
+   every kernel's ns/run plus the naive-vs-hash ablation pairs, so future
+   PRs can diff the trajectory instead of eyeballing table output. *)
+let write_json ~path estimates =
+  let oc = open_out path in
+  let kernels =
+    List.map
+      (fun (name, ns) ->
+        Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %.1f }"
+          (json_escape name) ns)
+      estimates
+  in
+  let ablations =
+    List.filter_map
+      (fun (kernel, naive_name, hash_name) ->
+        match (List.assoc_opt naive_name estimates,
+               List.assoc_opt hash_name estimates)
+        with
+        | Some naive_ns, Some hash_ns when hash_ns > 0.0 ->
+          Some
+            (Printf.sprintf
+               "    { \"kernel\": \"%s\", \"naive_ns\": %.1f, \"hash_ns\": \
+                %.1f, \"speedup\": %.2f }"
+               (json_escape kernel) naive_ns hash_ns (naive_ns /. hash_ns))
+        | _ -> None)
+      ablation_pairs
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"generated_by\": \"bench/main.exe micro\",\n\
+    \  \"unit\": \"ns_per_run\",\n\
+    \  \"quick\": %b,\n\
+    \  \"kernels\": [\n%s\n  ],\n\
+    \  \"ablations\": [\n%s\n  ]\n\
+     }\n"
+    !quick
+    (String.concat ",\n" kernels)
+    (String.concat ",\n" ablations);
+  close_out oc
 
 let run () =
   Tables.section "micro-benchmarks (Bechamel, ns per run, OLS estimate)";
@@ -225,27 +391,45 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
+  let quota = if !quick then 0.05 else 0.25 in
   let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~stabilize:false ()
   in
-  let rows =
-    List.map
+  let estimates =
+    List.concat_map
       (fun test ->
         let results = Benchmark.all cfg [ instance ] test in
         let analyzed = Analyze.all ols instance results in
         Hashtbl.fold
           (fun name ols_result acc ->
-            let estimate =
-              match Analyze.OLS.estimates ols_result with
-              | Some [ e ] -> Printf.sprintf "%.0f ns" e
-              | Some es ->
-                String.concat ","
-                  (List.map (fun e -> Printf.sprintf "%.0f" e) es)
-              | None -> "n/a"
-            in
-            [ name; estimate ] :: acc)
-          analyzed []
-        |> List.concat)
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> (name, e) :: acc
+            | Some _ | None -> acc)
+          analyzed [])
       tests
   in
-  Tables.print ~title:"kernel costs" ~header:[ "benchmark"; "time/run" ] rows
+  let rows =
+    List.map
+      (fun (name, e) -> [ name; Printf.sprintf "%.0f ns" e ])
+      estimates
+  in
+  Tables.print ~title:"kernel costs" ~header:[ "benchmark"; "time/run" ] rows;
+  let speedups =
+    List.filter_map
+      (fun (kernel, naive_name, hash_name) ->
+        match (List.assoc_opt naive_name estimates,
+               List.assoc_opt hash_name estimates)
+        with
+        | Some naive_ns, Some hash_ns when hash_ns > 0.0 ->
+          Some
+            [ kernel; Printf.sprintf "%.0f ns" naive_ns;
+              Printf.sprintf "%.0f ns" hash_ns;
+              Printf.sprintf "%.1fx" (naive_ns /. hash_ns) ]
+        | _ -> None)
+      ablation_pairs
+  in
+  Tables.print ~title:"naive vs hash kernel ablation"
+    ~header:[ "kernel"; "naive"; "hash"; "speedup" ]
+    speedups;
+  write_json ~path:"BENCH_kernel.json" estimates;
+  Printf.printf "wrote BENCH_kernel.json\n%!"

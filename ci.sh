@@ -1,0 +1,8 @@
+#!/bin/sh
+# Minimal CI: build, run the test suite, then the bench smoke pass
+# (micro-benchmarks with -quick plus the table1/example5 paper traces).
+set -eux
+
+dune build
+dune runtest
+dune build @bench-smoke

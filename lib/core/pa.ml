@@ -78,8 +78,7 @@ let rec collect t i =
     List.for_all
       (fun view ->
         if is_red (Vut.entry t.vut ~row:i ~view) then
-          List.for_all (collect t)
-            (Vut.earlier_with t.vut ~row:i ~view is_red)
+          List.for_all (collect t) (Vut.earlier_reds t.vut ~row:i ~view)
         else true)
       views
     && List.for_all

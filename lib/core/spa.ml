@@ -55,7 +55,7 @@ let rec process_row t i =
        unapplied; lists must reach the warehouse in generation order. *)
     let blocked_by_earlier =
       Vut.exists_in_row t.vut ~row:i (fun view e ->
-          is_red e && Vut.earlier_with t.vut ~row:i ~view is_red <> [])
+          is_red e && Vut.has_earlier_red t.vut ~row:i ~view)
     in
     if not (some_white || blocked_by_earlier) then begin
       (* Line 3: red -> gray. *)
@@ -99,12 +99,9 @@ let process_action t (al : Query.Action_list.t) =
      entry in this column can only mean a lost message. Applying this list
      anyway would put the view's operations out of generation order —
      detect the loss instead of corrupting the warehouse. *)
-  (match
-     Vut.earlier_with t.vut ~row:al.state ~view:al.view (fun e ->
-         e.color = Vut.White)
-   with
-  | [] -> ()
-  | missing :: _ ->
+  (match Vut.first_earlier_white t.vut ~row:al.state ~view:al.view with
+  | None -> ()
+  | Some missing ->
     raise
       (Vut.Protocol_error
          (Printf.sprintf

@@ -5,15 +5,26 @@ type entry = { color : color; state : int }
 exception Protocol_error of string
 
 module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
 
 type cell = { mutable color : color; mutable state : int }
 
 type row = cell array
 
+(* Besides the row-major table the VUT keeps, per column (view), the sorted
+   sets of row numbers currently white and currently red. Every merge guard
+   — "is an earlier list from this manager still unapplied", "which rows
+   does a batched list cover", nextRed — is a query against one of these
+   sets, so SPA/PA event handling costs O(log live-rows) per guard instead
+   of a scan of the whole table. The sets are maintained by add_row /
+   set_color / purge_row; [earlier_with] keeps the linear scan as the
+   reference the indexes are property-tested against. *)
 type t = {
   view_order : string array;
   view_index : (string, int) Hashtbl.t;
   mutable table : row Int_map.t;
+  whites : Int_set.t array; (* per column: rows whose entry is white *)
+  reds : Int_set.t array; (* per column: rows whose entry is red *)
 }
 
 let protocol_error fmt = Fmt.kstr (fun s -> raise (Protocol_error s)) fmt
@@ -26,7 +37,9 @@ let create ~views =
         invalid_arg (Printf.sprintf "Vut.create: duplicate view %s" v);
       Hashtbl.add view_index v i)
     views;
-  { view_order = Array.of_list views; view_index; table = Int_map.empty }
+  let n = List.length views in
+  { view_order = Array.of_list views; view_index; table = Int_map.empty;
+    whites = Array.make n Int_set.empty; reds = Array.make n Int_set.empty }
 
 let views t = Array.to_list t.view_order
 
@@ -35,12 +48,27 @@ let index t view =
   | Some i -> i
   | None -> protocol_error "unknown view %s" view
 
+let track_color t ~row ~col old_color new_color =
+  (match old_color with
+  | White -> t.whites.(col) <- Int_set.remove row t.whites.(col)
+  | Red -> t.reds.(col) <- Int_set.remove row t.reds.(col)
+  | Gray | Black -> ());
+  match new_color with
+  | White -> t.whites.(col) <- Int_set.add row t.whites.(col)
+  | Red -> t.reds.(col) <- Int_set.add row t.reds.(col)
+  | Gray | Black -> ()
+
 let add_row t ~row ~rel =
   if Int_map.mem row t.table then protocol_error "row %d already exists" row;
   let cells =
     Array.map (fun _ -> { color = Black; state = 0 }) t.view_order
   in
-  List.iter (fun v -> cells.(index t v) <- { color = White; state = 0 }) rel;
+  List.iter
+    (fun v ->
+      let col = index t v in
+      cells.(col) <- { color = White; state = 0 };
+      track_color t ~row ~col Black White)
+    rel;
   t.table <- Int_map.add row cells t.table
 
 let has_row t row = Int_map.mem row t.table
@@ -58,7 +86,13 @@ let entry t ~row ~view =
   let c = cell t ~row ~view in
   ({ color = c.color; state = c.state } : entry)
 
-let set_color t ~row ~view color = (cell t ~row ~view).color <- color
+let set_color t ~row ~view color =
+  let col = index t view in
+  let c = cell t ~row ~view in
+  if c.color <> color then begin
+    track_color t ~row ~col c.color color;
+    c.color <- color
+  end
 
 let set_state t ~row ~view state = (cell t ~row ~view).state <- state
 
@@ -96,19 +130,35 @@ let earlier_with t ~row ~view pred =
     t.table []
   |> List.rev
 
+let earlier_reds t ~row ~view =
+  let col = index t view in
+  let below, _, _ = Int_set.split row t.reds.(col) in
+  Int_set.elements below
+
+let has_earlier_red t ~row ~view =
+  let col = index t view in
+  match Int_set.min_elt_opt t.reds.(col) with
+  | Some i -> i < row
+  | None -> false
+
+let first_earlier_white t ~row ~view =
+  let col = index t view in
+  match Int_set.min_elt_opt t.whites.(col) with
+  | Some i when i < row -> Some i
+  | _ -> None
+
 let next_red t ~row ~view =
   let col = index t view in
-  let found =
-    Int_map.fold
-      (fun i cells acc ->
-        match acc with
-        | Some _ -> acc
-        | None -> if i > row && cells.(col).color = Red then Some i else None)
-      t.table None
-  in
-  match found with Some i -> i | None -> 0
+  match Int_set.find_first_opt (fun i -> i > row) t.reds.(col) with
+  | Some i -> i
+  | None -> 0
 
-let purge_row t row = t.table <- Int_map.remove row t.table
+let purge_row t row =
+  (match Int_map.find_opt row t.table with
+  | None -> ()
+  | Some cells ->
+    Array.iteri (fun col c -> track_color t ~row ~col c.color Black) cells);
+  t.table <- Int_map.remove row t.table
 
 let purgeable t ~row =
   not
@@ -117,11 +167,8 @@ let purgeable t ~row =
 
 let white_rows_up_to t ~view i =
   let col = index t view in
-  Int_map.fold
-    (fun i' cells acc ->
-      if i' <= i && cells.(col).color = White then i' :: acc else acc)
-    t.table []
-  |> List.rev
+  let below, _, _ = Int_set.split (i + 1) t.whites.(col) in
+  Int_set.elements below
 
 let color_letter = function
   | White -> "w"

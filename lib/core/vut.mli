@@ -58,11 +58,24 @@ val fold_row : t -> row:int -> (string -> entry -> 'a -> 'a) -> 'a -> 'a
 
 val earlier_with : t -> row:int -> view:string -> (entry -> bool) -> int list
 (** Live rows strictly before [row] whose entry in [view] satisfies the
-    predicate, ascending. *)
+    predicate, ascending. Linear scan of the live table — the generic
+    reference the indexed queries below are property-tested against. *)
+
+val earlier_reds : t -> row:int -> view:string -> int list
+(** Indexed equivalent of [earlier_with] with a "red" predicate: live rows
+    [< row] whose entry in the column is red, ascending. O(log live + k). *)
+
+val has_earlier_red : t -> row:int -> view:string -> bool
+(** Whether some live row [< row] is red in the column. O(log live). *)
+
+val first_earlier_white : t -> row:int -> view:string -> int option
+(** Smallest live row [< row] whose entry in the column is white.
+    O(log live). *)
 
 val next_red : t -> row:int -> view:string -> int
 (** [nextRed(i,x)]: the smallest live row number greater than [row] whose
-    entry in column [view] is red; 0 when none (paper convention). *)
+    entry in column [view] is red; 0 when none (paper convention). Answered
+    from the per-column red index in O(log live). *)
 
 val purge_row : t -> int -> unit
 (** Remove a row. Absent rows are ignored. *)
@@ -72,7 +85,8 @@ val purgeable : t -> row:int -> bool
 
 val white_rows_up_to : t -> view:string -> int -> int list
 (** Live rows [i' <= i] whose entry in the column is white, ascending —
-    the rows a batched action list [AL^x_i] covers (PA's ProcessAction). *)
+    the rows a batched action list [AL^x_i] covers (PA's ProcessAction).
+    Answered from the per-column white index. *)
 
 val render_row : t -> ?show_state:bool -> int -> string
 (** Compact rendering, e.g. ["U1: V1=w V2=r V3=b"] or with states

@@ -1,0 +1,474 @@
+open Relational
+
+(* Compiled query plans: every attribute name in an algebra expression is
+   resolved to an integer position exactly once, at compile time. Evaluation
+   and delta computation then run purely positionally — array indexing, hash
+   probes — instead of searching schema name lists per tuple. Joins carry
+   precomputed key positions for both sides plus the positions of the right
+   side's non-shared columns, so a joined output tuple is one [Array.append]
+   and key extraction is one [Tuple.project_pos]. *)
+
+type operand = O_pos of int | O_const of Value.t
+
+type pred =
+  | P_true
+  | P_false
+  | P_cmp of Pred.cmp * operand * operand
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+
+type agg =
+  | A_count
+  | A_sum of int
+  | A_avg of int
+  | A_min of int
+  | A_max of int
+
+type t = { node : node; schema : Schema.t }
+
+and node =
+  | Base of string
+  | Select of pred * t
+  | Project of int array * t
+  | Join of join
+  | Union of t * t
+  | Group_by of group
+
+and join = {
+  left : t;
+  right : t;
+  key_left : int array;  (* shared-attribute positions in the left schema *)
+  key_right : int array; (* same attributes, positions in the right schema *)
+  right_extra : int array; (* right-side positions of non-shared columns *)
+}
+
+and group = {
+  input : t;
+  key_pos : int array;
+  aggs : agg array;
+  group_by : Algebra.group_by; (* original, for affected-group recompute *)
+}
+
+let schema t = t.schema
+
+(* Predicate compilation: attribute operands become positions. *)
+
+let compile_operand schema = function
+  | Pred.Attr name -> O_pos (Schema.index_of schema name)
+  | Pred.Const v -> O_const v
+
+let rec compile_pred schema (p : Pred.t) =
+  match p with
+  | Pred.True -> P_true
+  | Pred.False -> P_false
+  | Pred.Cmp (cmp, x, y) ->
+    P_cmp (cmp, compile_operand schema x, compile_operand schema y)
+  | Pred.And (a, b) -> P_and (compile_pred schema a, compile_pred schema b)
+  | Pred.Or (a, b) -> P_or (compile_pred schema a, compile_pred schema b)
+  | Pred.Not a -> P_not (compile_pred schema a)
+
+let operand_value tup = function O_pos i -> Tuple.get tup i | O_const v -> v
+
+let rec eval_pred p tup =
+  match p with
+  | P_true -> true
+  | P_false -> false
+  | P_cmp (cmp, x, y) ->
+    Pred.cmp_holds cmp (operand_value tup x) (operand_value tup y)
+  | P_and (a, b) -> eval_pred a tup && eval_pred b tup
+  | P_or (a, b) -> eval_pred a tup || eval_pred b tup
+  | P_not a -> not (eval_pred a tup)
+
+(* Plan compilation. [Rename] changes only the schema, never the tuples, so
+   it compiles away entirely: the renamed schema propagates upward and the
+   child plan is used directly. *)
+
+let rec compile ~lookup (expr : Algebra.t) =
+  match expr with
+  | Algebra.Base name -> { node = Base name; schema = lookup name }
+  | Algebra.Select (pred, e) ->
+    let child = compile ~lookup e in
+    (* Resolve every predicate attribute now: ill-typed view definitions
+       fail at compile time, matching Algebra.schema_of. *)
+    { node = Select (compile_pred child.schema pred, child);
+      schema = child.schema }
+  | Algebra.Project (names, e) ->
+    let child = compile ~lookup e in
+    { node = Project (Schema.positions child.schema names, child);
+      schema = Schema.project child.schema names }
+  | Algebra.Join (a, b) ->
+    let left = compile ~lookup a and right = compile ~lookup b in
+    let shared = Schema.common left.schema right.schema in
+    let schema = Schema.join left.schema right.schema in
+    let right_extra =
+      Schema.positions right.schema
+        (List.filter
+           (fun n -> not (Schema.mem left.schema n))
+           (Schema.names right.schema))
+    in
+    { node =
+        Join
+          { left; right;
+            key_left = Schema.positions left.schema shared;
+            key_right = Schema.positions right.schema shared;
+            right_extra };
+      schema }
+  | Algebra.Union (a, b) ->
+    let left = compile ~lookup a and right = compile ~lookup b in
+    if not (Schema.equal left.schema right.schema) then
+      invalid_arg "Algebra.schema_of: union of incompatible schemas";
+    { node = Union (left, right); schema = left.schema }
+  | Algebra.Rename (mapping, e) ->
+    let child = compile ~lookup e in
+    { child with schema = Schema.rename child.schema mapping }
+  | Algebra.Group_by ({ keys; aggregates; input } as group_by) ->
+    let child = compile ~lookup input in
+    let key_attrs =
+      List.map (fun k -> (k, Schema.type_of child.schema k)) keys
+    in
+    let agg_attr (name, agg) =
+      let ty =
+        match (agg : Algebra.aggregate) with
+        | Algebra.Count -> Value.Int_ty
+        | Algebra.Sum a | Algebra.Min a | Algebra.Max a ->
+          Schema.type_of child.schema a
+        | Algebra.Avg _ -> Value.Float_ty
+      in
+      (name, ty)
+    in
+    let out_schema = Schema.make (key_attrs @ List.map agg_attr aggregates) in
+    let agg_of (_, a) =
+      match (a : Algebra.aggregate) with
+      | Algebra.Count -> A_count
+      | Algebra.Sum n -> A_sum (Schema.index_of child.schema n)
+      | Algebra.Avg n -> A_avg (Schema.index_of child.schema n)
+      | Algebra.Min n -> A_min (Schema.index_of child.schema n)
+      | Algebra.Max n -> A_max (Schema.index_of child.schema n)
+    in
+    { node =
+        Group_by
+          { input = child;
+            key_pos = Schema.positions child.schema keys;
+            aggs = Array.of_list (List.map agg_of aggregates);
+            group_by };
+      schema = out_schema }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate kernels (shared with the interpreted reference path).    *)
+
+let add_values a b =
+  match (a, b) with
+  | Value.Null, v | v, Value.Null -> v
+  | Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Value.Float x, Value.Float y -> Value.Float (x +. y)
+  | Value.Int x, Value.Float y | Value.Float y, Value.Int x ->
+    Value.Float (float_of_int x +. y)
+  | (Value.Bool _ | Value.String _), _ | _, (Value.Bool _ | Value.String _) ->
+    raise (Relation.Type_error "sum over non-numeric attribute")
+
+let scale_value n = function
+  | Value.Null -> Value.Null
+  | Value.Int x -> Value.Int (n * x)
+  | Value.Float x -> Value.Float (float_of_int n *. x)
+  | Value.Bool _ | Value.String _ ->
+    raise (Relation.Type_error "sum over non-numeric attribute")
+
+let to_float = function
+  | Value.Int x -> float_of_int x
+  | Value.Float x -> x
+  | Value.Null | Value.Bool _ | Value.String _ ->
+    raise (Relation.Type_error "avg over non-numeric attribute")
+
+let aggregate_group ~input_schema ~group ~key contents =
+  let { Algebra.keys; aggregates; input = _ } = group in
+  let non_null attr f init =
+    Bag.fold
+      (fun tup n acc ->
+        match Tuple.field input_schema tup attr with
+        | Value.Null -> acc
+        | v -> f v n acc)
+      contents init
+  in
+  let compute = function
+    | Algebra.Count -> Value.Int (Bag.cardinal contents)
+    | Algebra.Sum attr ->
+      non_null attr (fun v n acc -> add_values acc (scale_value n v)) Value.Null
+    | Algebra.Avg attr ->
+      let total, count =
+        non_null attr
+          (fun v n (total, count) ->
+            (total +. (float_of_int n *. to_float v), count + n))
+          (0.0, 0)
+      in
+      if count = 0 then Value.Null else Value.Float (total /. float_of_int count)
+    | Algebra.Min attr ->
+      non_null attr
+        (fun v _ acc ->
+          match acc with
+          | Value.Null -> v
+          | best -> if Value.compare v best < 0 then v else best)
+        Value.Null
+    | Algebra.Max attr ->
+      non_null attr
+        (fun v _ acc ->
+          match acc with
+          | Value.Null -> v
+          | best -> if Value.compare v best > 0 then v else best)
+        Value.Null
+  in
+  ignore keys;
+  Tuple.concat key
+    (Tuple.of_list (List.map (fun (_, agg) -> compute agg) aggregates))
+
+(* Positional variant used by the compiled plan: no name lookups. *)
+let aggregate_group_pos ~aggs ~key contents =
+  let non_null pos f init =
+    Bag.fold
+      (fun tup n acc ->
+        match Tuple.get tup pos with Value.Null -> acc | v -> f v n acc)
+      contents init
+  in
+  let compute = function
+    | A_count -> Value.Int (Bag.cardinal contents)
+    | A_sum pos ->
+      non_null pos (fun v n acc -> add_values acc (scale_value n v)) Value.Null
+    | A_avg pos ->
+      let total, count =
+        non_null pos
+          (fun v n (total, count) ->
+            (total +. (float_of_int n *. to_float v), count + n))
+          (0.0, 0)
+      in
+      if count = 0 then Value.Null else Value.Float (total /. float_of_int count)
+    | A_min pos ->
+      non_null pos
+        (fun v _ acc ->
+          match acc with
+          | Value.Null -> v
+          | best -> if Value.compare v best < 0 then v else best)
+        Value.Null
+    | A_max pos ->
+      non_null pos
+        (fun v _ acc ->
+          match acc with
+          | Value.Null -> v
+          | best -> if Value.compare v best > 0 then v else best)
+        Value.Null
+  in
+  Tuple.concat key
+    (Tuple.of_list (Array.to_list (Array.map compute aggs)))
+
+(* ------------------------------------------------------------------ *)
+(* Hash join on counted tuple lists.                                  *)
+
+(* Join two counted collections on precomputed key positions: build a hash
+   index on the smaller side, probe with the larger. Output tuples are
+   always [left ++ right_extra] regardless of build direction, and
+   multiplicities multiply (either may be negative — signed deltas). *)
+let join_counted_pos ~key_left ~key_right ~right_extra left right =
+  let nl = List.length left and nr = List.length right in
+  if nl = 0 || nr = 0 then []
+  else begin
+    let combine acc (ltup, ln) (rtup, rn) =
+      (Tuple.concat ltup (Tuple.project_pos right_extra rtup), ln * rn) :: acc
+    in
+    if nr <= nl then begin
+      let index = Bag_index.of_counted ~key_pos:key_right right in
+      List.fold_left
+        (fun acc (ltup, ln) ->
+          List.fold_left
+            (fun acc entry -> combine acc (ltup, ln) entry)
+            acc
+            (Bag_index.find index (Tuple.project_pos key_left ltup)))
+        [] left
+    end
+    else begin
+      let index = Bag_index.of_counted ~key_pos:key_left left in
+      List.fold_left
+        (fun acc (rtup, rn) ->
+          List.fold_left
+            (fun acc (ltup, ln) -> combine acc (ltup, ln) (rtup, rn))
+            acc
+            (Bag_index.find index (Tuple.project_pos key_right rtup)))
+        [] right
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Full evaluation.                                                   *)
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
+let rec eval_bag db t =
+  match t.node with
+  | Base name -> Relation.contents (Database.find db name)
+  | Select (pred, e) -> Bag.filter (eval_pred pred) (eval_bag db e)
+  | Project (positions, e) ->
+    Bag.map (Tuple.project_pos positions) (eval_bag db e)
+  | Join { left; right; key_left; key_right; right_extra } ->
+    Bag.of_counted_list
+      (join_counted_pos ~key_left ~key_right ~right_extra
+         (Bag.to_counted_list (eval_bag db left))
+         (Bag.to_counted_list (eval_bag db right)))
+  | Union (a, b) -> Bag.union (eval_bag db a) (eval_bag db b)
+  | Group_by { input; key_pos; aggs; group_by = _ } ->
+    let contents = eval_bag db input in
+    let by_key = Tuple_tbl.create 32 in
+    Bag.iter
+      (fun tup n ->
+        let key = Tuple.project_pos key_pos tup in
+        let existing =
+          match Tuple_tbl.find_opt by_key key with
+          | Some bag -> bag
+          | None -> Bag.empty
+        in
+        Tuple_tbl.replace by_key key (Bag.add ~count:n tup existing))
+      contents;
+    Tuple_tbl.fold
+      (fun key members acc ->
+        Bag.add (aggregate_group_pos ~aggs ~key members) acc)
+      by_key Bag.empty
+
+let eval db t = Relation.with_contents (Relation.create t.schema) (eval_bag db t)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental delta rules over compiled plans.                       *)
+
+(* [delta ~changes ~eval_pre t] is the signed delta of plan [t] given the
+   per-base-relation signed deltas [changes]; [eval_pre] evaluates a
+   sub-plan over the pre-state (supplied by Delta to keep the dependency
+   direction Compiled <- Delta). Join deltas are hash joins on the plan's
+   precomputed key positions; the pre-state side of a rule is only
+   evaluated when the matching delta side is non-empty. *)
+let rec delta ~changes ~eval_pre t =
+  match t.node with
+  | Base name -> changes name
+  | Select (pred, e) ->
+    Signed_bag.filter (eval_pred pred) (delta ~changes ~eval_pre e)
+  | Project (positions, e) ->
+    Signed_bag.map (Tuple.project_pos positions) (delta ~changes ~eval_pre e)
+  | Join { left; right; key_left; key_right; right_extra } ->
+    let da = delta ~changes ~eval_pre left
+    and db_ = delta ~changes ~eval_pre right in
+    if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
+    else begin
+      let join = join_counted_pos ~key_left ~key_right ~right_extra in
+      let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
+      (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
+      let part1 =
+        if da_l = [] then []
+        else join da_l (Bag.to_counted_list (eval_pre right))
+      in
+      let part2 =
+        if db_l = [] then []
+        else join (Bag.to_counted_list (eval_pre left)) db_l
+      in
+      let part3 = if da_l = [] || db_l = [] then [] else join da_l db_l in
+      Signed_bag.of_list (List.concat [ part1; part2; part3 ])
+    end
+  | Union (a, b) ->
+    Signed_bag.sum (delta ~changes ~eval_pre a) (delta ~changes ~eval_pre b)
+  | Group_by { input; key_pos; aggs; group_by = _ } ->
+    let d_in = delta ~changes ~eval_pre input in
+    if Signed_bag.is_zero d_in then Signed_bag.zero
+    else begin
+      let key_of tup = Tuple.project_pos key_pos tup in
+      (* Recompute exactly the affected groups: retract the old output row
+         of each touched key, emit the new one. Exact for every aggregate
+         kind, including Min/Max under deletions. *)
+      let affected = Tuple_tbl.create 16 in
+      Signed_bag.fold
+        (fun tup _ () -> Tuple_tbl.replace affected (key_of tup) ())
+        d_in ();
+      let pre_in = eval_pre input in
+      let groups_of bag =
+        let table = Tuple_tbl.create 16 in
+        Bag.iter
+          (fun tup n ->
+            let key = key_of tup in
+            if Tuple_tbl.mem affected key then begin
+              let existing =
+                match Tuple_tbl.find_opt table key with
+                | Some b -> b
+                | None -> Bag.empty
+              in
+              Tuple_tbl.replace table key (Bag.add ~count:n tup existing)
+            end)
+          bag;
+        table
+      in
+      let old_groups = groups_of pre_in in
+      let post_in = Signed_bag.apply d_in pre_in in
+      let new_groups = groups_of post_in in
+      Tuple_tbl.fold
+        (fun key () acc ->
+          let members_in table =
+            match Tuple_tbl.find_opt table key with
+            | Some b -> b
+            | None -> Bag.empty
+          in
+          let old_members = members_in old_groups
+          and new_members = members_in new_groups in
+          let acc =
+            if Bag.is_empty old_members then acc
+            else
+              Signed_bag.add
+                (aggregate_group_pos ~aggs ~key old_members)
+                (-1) acc
+          in
+          if Bag.is_empty new_members then acc
+          else Signed_bag.add (aggregate_group_pos ~aggs ~key new_members) 1 acc)
+        affected Signed_bag.zero
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Compile-once memoization.                                          *)
+
+(* View managers hold one Algebra.t per view and compute a delta per
+   transaction; the memo makes every call after the first reuse the plan.
+   Keys compare physically (the same AST value), so structurally equal but
+   distinct expressions each get their own entry — correct, just not shared.
+   A hit is revalidated against the current base-relation schemas (compiling
+   is per-name-resolution, so a same-named relation with a different schema
+   must recompile). *)
+
+module Expr_tbl = Hashtbl.Make (struct
+  type t = Algebra.t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+type memo_entry = { plan : t; bases : (string * Schema.t) list }
+
+let memo : memo_entry Expr_tbl.t = Expr_tbl.create 64
+
+let memo_limit = 1024
+
+let compile_memo ~lookup expr =
+  let validate entry =
+    List.for_all
+      (fun (name, schema) ->
+        match lookup name with
+        | s -> Schema.equal s schema
+        | exception _ -> false)
+      entry.bases
+  in
+  match Expr_tbl.find_opt memo expr with
+  | Some entry when validate entry -> entry.plan
+  | _ ->
+    let plan = compile ~lookup expr in
+    let bases =
+      List.map (fun name -> (name, lookup name)) (Algebra.base_relations expr)
+    in
+    if Expr_tbl.length memo >= memo_limit then Expr_tbl.reset memo;
+    Expr_tbl.replace memo expr { plan; bases };
+    plan

@@ -1,0 +1,79 @@
+(** Compiled query plans: the positional, hash-based evaluation kernel.
+
+    An {!Algebra.t} names attributes by string; evaluating it directly pays
+    a schema name search per attribute {e per tuple}. Compilation resolves
+    every name to an integer position once — select predicates become
+    position comparisons, projections become position arrays, joins carry
+    precomputed key/extra-column positions — and evaluation then runs
+    positionally, with joins executed as build-on-smaller hash joins
+    ({!Relational.Bag_index}). [Rename] nodes compile away entirely.
+
+    {!Eval} and {!Delta} use this layer by default; their [~naive:true]
+    paths keep the original interpreted kernels as the reference
+    implementation for equivalence tests and the micro-bench ablation. *)
+
+open Relational
+
+type t
+(** A compiled plan; carries its output schema at every node. *)
+
+val compile : lookup:(string -> Schema.t) -> Algebra.t -> t
+(** Resolve every attribute of the expression against the base-relation
+    schemas supplied by [lookup]. Raises the same exceptions as
+    {!Algebra.schema_of} on ill-typed expressions (unknown attributes,
+    incompatible unions, conflicting join types). *)
+
+val compile_memo : lookup:(string -> Schema.t) -> Algebra.t -> t
+(** Like {!compile} but memoized on the physical identity of the
+    expression, so a view manager evaluating the same definition per
+    transaction compiles it once. Hits are revalidated against the current
+    base-relation schemas and recompiled on mismatch. *)
+
+val schema : t -> Schema.t
+
+val eval : Database.t -> t -> Relation.t
+
+val eval_bag : Database.t -> t -> Bag.t
+(** @raise Database.Unknown_relation if a base relation is missing. *)
+
+val delta :
+  changes:(string -> Signed_bag.t) ->
+  eval_pre:(t -> Bag.t) ->
+  t ->
+  Signed_bag.t
+(** Signed delta of a compiled plan: [changes] supplies the per-base signed
+    deltas and [eval_pre] evaluates sub-plans over the pre-state (the
+    caller decides how — {!Delta} passes [eval_bag pre]). Join rules run as
+    hash joins on the plan's precomputed key positions, and a rule's
+    pre-state side is only evaluated when the matching delta side is
+    non-empty. *)
+
+val join_counted_pos :
+  key_left:int array ->
+  key_right:int array ->
+  right_extra:int array ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list
+(** Hash join of counted tuple collections on precomputed positions: a hash
+    index is built on the smaller side and probed with the larger, so cost
+    is O(|smaller| + |larger| + |output|) with no per-pair name resolution.
+    Multiplicities multiply and may be negative (signed-delta joins).
+    Output tuples are the left tuple followed by the right side's
+    [right_extra] columns. *)
+
+(** {2 Aggregate kernels} *)
+
+val aggregate_group :
+  input_schema:Schema.t ->
+  group:Algebra.group_by ->
+  key:Tuple.t ->
+  Bag.t ->
+  Tuple.t
+(** [aggregate_group ~input_schema ~group ~key contents] computes the
+    output row of one group: the key values followed by each aggregate
+    evaluated over [contents] (multiplicities respected). [Null]s are
+    skipped by Sum/Avg/Min/Max and counted by Count; an all-null group
+    yields [Null] for that aggregate. Shared by full evaluation and
+    incremental maintenance, which recomputes exactly the affected
+    groups. *)

@@ -47,7 +47,10 @@ let signed_of_counted entries =
   List.fold_left (fun acc (tup, n) -> Signed_bag.add tup n acc) Signed_bag.zero
     entries
 
-let rec eval ~pre changes expr =
+(* Interpreted reference: the delta rules over the raw algebra, with
+   nested-loop joins and per-tuple name resolution. The compiled path is
+   property-tested against this. *)
+let rec eval_naive ~pre changes expr =
   let lookup name = Database.schema pre name in
   match (expr : Algebra.t) with
   | Base name ->
@@ -56,29 +59,29 @@ let rec eval ~pre changes expr =
     change_for changes name
   | Select (pred, e) ->
     let schema = Algebra.schema_of lookup e in
-    Signed_bag.filter (Pred.eval schema pred) (eval ~pre changes e)
+    Signed_bag.filter (Pred.eval schema pred) (eval_naive ~pre changes e)
   | Project (names, e) ->
     let schema = Algebra.schema_of lookup e in
-    Signed_bag.map (Tuple.project schema names) (eval ~pre changes e)
+    Signed_bag.map (Tuple.project schema names) (eval_naive ~pre changes e)
   | Join (a, b) ->
     let sa = Algebra.schema_of lookup a and sb = Algebra.schema_of lookup b in
-    let da = eval ~pre changes a and db_ = eval ~pre changes b in
+    let da = eval_naive ~pre changes a and db_ = eval_naive ~pre changes b in
     if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
     else begin
-      let pre_a = Bag.to_counted_list (Eval.eval_bag pre a) in
-      let pre_b = Bag.to_counted_list (Eval.eval_bag pre b) in
+      let pre_a = Bag.to_counted_list (Eval.eval_bag ~naive:true pre a) in
+      let pre_b = Bag.to_counted_list (Eval.eval_bag ~naive:true pre b) in
       let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
       (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
-      let part1 = Eval.join_counted sa sb da_l pre_b in
-      let part2 = Eval.join_counted sa sb pre_a db_l in
-      let part3 = Eval.join_counted sa sb da_l db_l in
+      let part1 = Eval.join_counted_naive sa sb da_l pre_b in
+      let part2 = Eval.join_counted_naive sa sb pre_a db_l in
+      let part3 = Eval.join_counted_naive sa sb da_l db_l in
       signed_of_counted (List.concat [ part1; part2; part3 ])
     end
   | Union (a, b) ->
-    Signed_bag.sum (eval ~pre changes a) (eval ~pre changes b)
-  | Rename (_, e) -> eval ~pre changes e
+    Signed_bag.sum (eval_naive ~pre changes a) (eval_naive ~pre changes b)
+  | Rename (_, e) -> eval_naive ~pre changes e
   | Group_by group ->
-    let d_in = eval ~pre changes group.input in
+    let d_in = eval_naive ~pre changes group.input in
     if Signed_bag.is_zero d_in then Signed_bag.zero
     else begin
       let input_schema = Algebra.schema_of lookup group.input in
@@ -90,7 +93,7 @@ let rec eval ~pre changes expr =
       Signed_bag.fold
         (fun tup _ () -> Hashtbl.replace affected (key_of tup) ())
         d_in ();
-      let pre_in = Eval.eval_bag pre group.input in
+      let pre_in = Eval.eval_bag ~naive:true pre group.input in
       let groups_of bag =
         let table = Hashtbl.create 16 in
         Bag.iter
@@ -136,6 +139,20 @@ let rec eval ~pre changes expr =
               1 acc)
         affected Signed_bag.zero
     end
+
+let eval_plan ~pre changes plan =
+  Compiled.delta
+    ~changes:(fun name ->
+      let _ = Database.find pre name in
+      change_for changes name)
+    ~eval_pre:(Compiled.eval_bag pre)
+    plan
+
+let eval ?(naive = false) ~pre changes expr =
+  if naive then eval_naive ~pre changes expr
+  else
+    eval_plan ~pre changes
+      (Compiled.compile_memo ~lookup:(Database.schema pre) expr)
 
 let relevant changes expr =
   let changed = changed_relations changes in

@@ -8,121 +8,56 @@ module Tuple_tbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let join_counted sa sb left right =
-  let shared = Schema.common sa sb in
-  let key_of schema tup = Tuple.project schema shared tup in
-  let index = Tuple_tbl.create (List.length right + 1) in
-  let index_one (tup, n) =
-    let key = key_of sb tup in
-    let existing =
-      match Tuple_tbl.find_opt index key with Some l -> l | None -> []
-    in
-    Tuple_tbl.replace index key ((tup, n) :: existing)
-  in
-  List.iter index_one right;
-  let join_one acc (ltup, ln) =
-    match Tuple_tbl.find_opt index (key_of sa ltup) with
-    | None -> acc
-    | Some matches ->
+(* Reference kernel: the textbook O(|left| * |right|) nested loop, with
+   Tuple.join re-resolving the shared attributes by name on every pair.
+   Kept (behind ~naive:true) as the equivalence oracle for the compiled
+   hash kernel and as the baseline series of the micro-bench ablation. *)
+let join_counted_naive sa sb left right =
+  List.fold_left
+    (fun acc (ltup, ln) ->
       List.fold_left
         (fun acc (rtup, rn) ->
           match Tuple.join sa sb ltup rtup with
           | Some joined -> (joined, ln * rn) :: acc
-          | None ->
-            (* Shared-key equality implies joinability. *)
-            assert false)
-        acc matches
-  in
-  List.fold_left join_one [] left
+          | None -> acc)
+        acc right)
+    [] left
 
-let add_values a b =
-  match (a, b) with
-  | Value.Null, v | v, Value.Null -> v
-  | Value.Int x, Value.Int y -> Value.Int (x + y)
-  | Value.Float x, Value.Float y -> Value.Float (x +. y)
-  | Value.Int x, Value.Float y | Value.Float y, Value.Int x ->
-    Value.Float (float_of_int x +. y)
-  | (Value.Bool _ | Value.String _), _ | _, (Value.Bool _ | Value.String _) ->
-    raise (Relation.Type_error "sum over non-numeric attribute")
+let join_counted sa sb left right =
+  let shared = Schema.common sa sb in
+  Compiled.join_counted_pos
+    ~key_left:(Schema.positions sa shared)
+    ~key_right:(Schema.positions sb shared)
+    ~right_extra:
+      (Schema.positions sb
+         (List.filter (fun n -> not (Schema.mem sa n)) (Schema.names sb)))
+    left right
 
-let scale_value n = function
-  | Value.Null -> Value.Null
-  | Value.Int x -> Value.Int (n * x)
-  | Value.Float x -> Value.Float (float_of_int n *. x)
-  | Value.Bool _ | Value.String _ ->
-    raise (Relation.Type_error "sum over non-numeric attribute")
+let aggregate_group = Compiled.aggregate_group
 
-let to_float = function
-  | Value.Int x -> float_of_int x
-  | Value.Float x -> x
-  | Value.Null | Value.Bool _ | Value.String _ ->
-    raise (Relation.Type_error "avg over non-numeric attribute")
-
-let aggregate_group ~input_schema ~group ~key contents =
-  let { Algebra.keys; aggregates; input = _ } = group in
-  let non_null attr f init =
-    Bag.fold
-      (fun tup n acc ->
-        match Tuple.field input_schema tup attr with
-        | Value.Null -> acc
-        | v -> f v n acc)
-      contents init
-  in
-  let compute = function
-    | Algebra.Count -> Value.Int (Bag.cardinal contents)
-    | Algebra.Sum attr ->
-      non_null attr (fun v n acc -> add_values acc (scale_value n v)) Value.Null
-    | Algebra.Avg attr ->
-      let total, count =
-        non_null attr
-          (fun v n (total, count) -> (total +. (float_of_int n *. to_float v), count + n))
-          (0.0, 0)
-      in
-      if count = 0 then Value.Null else Value.Float (total /. float_of_int count)
-    | Algebra.Min attr ->
-      non_null attr
-        (fun v _ acc ->
-          match acc with
-          | Value.Null -> v
-          | best -> if Value.compare v best < 0 then v else best)
-        Value.Null
-    | Algebra.Max attr ->
-      non_null attr
-        (fun v _ acc ->
-          match acc with
-          | Value.Null -> v
-          | best -> if Value.compare v best > 0 then v else best)
-        Value.Null
-  in
-  ignore keys;
-  Tuple.concat key
-    (Tuple.of_list (List.map (fun (_, agg) -> compute agg) aggregates))
-
-let rec eval_bag db expr =
+(* Interpreted reference evaluator: attribute names are resolved through
+   the schema on every tuple. *)
+let rec eval_naive db expr =
   let lookup name = Database.schema db name in
   match (expr : Algebra.t) with
   | Base name -> Relation.contents (Database.find db name)
   | Select (pred, e) ->
     let schema = Algebra.schema_of lookup e in
-    Bag.filter (Pred.eval schema pred) (eval_bag db e)
+    Bag.filter (Pred.eval schema pred) (eval_naive db e)
   | Project (names, e) ->
     let schema = Algebra.schema_of lookup e in
-    Bag.map (Tuple.project schema names) (eval_bag db e)
+    Bag.map (Tuple.project schema names) (eval_naive db e)
   | Join (a, b) ->
     let sa = Algebra.schema_of lookup a and sb = Algebra.schema_of lookup b in
-    let joined =
-      join_counted sa sb
-        (Bag.to_counted_list (eval_bag db a))
-        (Bag.to_counted_list (eval_bag db b))
-    in
-    List.fold_left
-      (fun acc (tup, n) -> Bag.add ~count:n tup acc)
-      Bag.empty joined
-  | Union (a, b) -> Bag.union (eval_bag db a) (eval_bag db b)
-  | Rename (_, e) -> eval_bag db e
+    Bag.of_counted_list
+      (join_counted_naive sa sb
+         (Bag.to_counted_list (eval_naive db a))
+         (Bag.to_counted_list (eval_naive db b)))
+  | Union (a, b) -> Bag.union (eval_naive db a) (eval_naive db b)
+  | Rename (_, e) -> eval_naive db e
   | Group_by group ->
     let input_schema = Algebra.schema_of lookup group.input in
-    let contents = eval_bag db group.input in
+    let contents = eval_naive db group.input in
     let by_key = Tuple_tbl.create 32 in
     Bag.iter
       (fun tup n ->
@@ -139,7 +74,15 @@ let rec eval_bag db expr =
         Bag.add (aggregate_group ~input_schema ~group ~key members) acc)
       by_key Bag.empty
 
-let eval db expr =
+let eval_bag ?(naive = false) db expr =
+  if naive then eval_naive db expr
+  else
+    Compiled.eval_bag db
+      (Compiled.compile_memo ~lookup:(Database.schema db) expr)
+
+let eval ?(naive = false) db expr =
   let lookup name = Database.schema db name in
-  let schema = Algebra.schema_of lookup expr in
-  Relation.with_contents (Relation.create schema) (eval_bag db expr)
+  if naive then
+    let schema = Algebra.schema_of lookup expr in
+    Relation.with_contents (Relation.create schema) (eval_naive db expr)
+  else Compiled.eval db (Compiled.compile_memo ~lookup expr)

@@ -3,15 +3,22 @@
     Used to materialize initial views, by the periodic-refresh view manager,
     and — crucially — by the consistency oracle, which recomputes [V(ss_i)]
     for every source state to decide whether a warehouse state sequence is
-    complete / strongly consistent (Section 2 definitions). *)
+    complete / strongly consistent (Section 2 definitions).
+
+    By default expressions run through the compiled positional kernel
+    ({!Compiled}): names resolved once, joins hash-partitioned. Passing
+    [~naive:true] selects the original interpreted evaluator with
+    nested-loop joins — the reference implementation the compiled kernel is
+    property-tested against, and the baseline series of the micro-bench
+    ablation. *)
 
 open Relational
 
-val eval : Database.t -> Algebra.t -> Relation.t
+val eval : ?naive:bool -> Database.t -> Algebra.t -> Relation.t
 (** Evaluate the expression over the database.
     @raise Database.Unknown_relation if a base relation is missing. *)
 
-val eval_bag : Database.t -> Algebra.t -> Bag.t
+val eval_bag : ?naive:bool -> Database.t -> Algebra.t -> Bag.t
 
 val aggregate_group :
   input_schema:Schema.t ->
@@ -19,13 +26,8 @@ val aggregate_group :
   key:Tuple.t ->
   Bag.t ->
   Tuple.t
-(** [aggregate_group ~input_schema ~group ~key contents] computes the
-    output row of one group: the key values followed by each aggregate
-    evaluated over [contents] (the group's input tuples, multiplicities
-    respected). [Null]s are skipped by Sum/Avg/Min/Max and counted by
-    Count; an all-null group yields [Null] for that aggregate. Shared by
-    full evaluation and incremental maintenance, which recomputes exactly
-    the affected groups. *)
+(** Alias of {!Compiled.aggregate_group}, kept here because incremental
+    maintenance ({!Delta}) recomputes affected groups through it. *)
 
 val join_counted :
   Schema.t ->
@@ -35,5 +37,17 @@ val join_counted :
   (Tuple.t * int) list
 (** Natural join of counted tuple collections; multiplicities multiply.
     Counts may be negative, which is how {!Delta} joins signed deltas with
-    pre-state bags. The right side is indexed on the shared attributes, so
-    cost is O(|left| + |right| + |output|). *)
+    pre-state bags. Resolves the shared attributes once, then runs the
+    build-on-smaller hash join {!Compiled.join_counted_pos}, so cost is
+    O(|smaller| + |larger| + |output|). *)
+
+val join_counted_naive :
+  Schema.t ->
+  Schema.t ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list ->
+  (Tuple.t * int) list
+(** The O(|left| * |right|) nested-loop reference join, re-resolving shared
+    attributes by name per pair ({!Tuple.join}). Equivalent to
+    {!join_counted} up to reordering; kept for equivalence tests and the
+    naive-vs-hash bench series. *)

@@ -19,6 +19,10 @@ type t =
   | Or of t * t
   | Not of t
 
+val cmp_holds : cmp -> Value.t -> Value.t -> bool
+(** The comparison semantics shared by the interpreted and compiled
+    evaluators: [Null] on either side is false (except [Ne], true). *)
+
 val eval : Schema.t -> t -> Tuple.t -> bool
 (** Three-valued logic is not modelled: comparisons involving [Null] are
     false (except [Ne], true), matching the simple semantics the paper's

@@ -14,7 +14,11 @@ val empty : t
 val is_empty : t -> bool
 
 val cardinal : t -> int
-(** Total number of tuples counting multiplicity. *)
+(** Total number of tuples counting multiplicity. O(1): the representation
+    caches the total, so aggregate Counts and metrics never fold the map. *)
+
+val size : t -> int
+(** Alias of {!cardinal}. *)
 
 val distinct : t -> int
 (** Number of distinct tuples. *)
@@ -35,6 +39,10 @@ val remove : ?count:int -> Tuple.t -> t -> t
     @raise Invalid_argument if [count <= 0]. *)
 
 val of_list : Tuple.t list -> t
+
+val of_counted_list : (Tuple.t * int) list -> t
+(** Bulk constructor from (tuple, multiplicity) pairs; multiplicities of
+    repeated tuples add. @raise Invalid_argument on a non-positive count. *)
 
 val to_list : t -> Tuple.t list
 (** Expanded (multiplicity-respecting) tuple list in tuple order. *)

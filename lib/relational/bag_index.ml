@@ -1,0 +1,37 @@
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
+type t = { key_pos : int array; table : (Tuple.t * int) list Tuple_tbl.t }
+
+let key_of t tup = Tuple.project_pos t.key_pos tup
+
+let add t tup n =
+  let key = key_of t tup in
+  let existing =
+    match Tuple_tbl.find_opt t.table key with Some l -> l | None -> []
+  in
+  Tuple_tbl.replace t.table key ((tup, n) :: existing)
+
+let of_counted ~key_pos entries =
+  let t = { key_pos; table = Tuple_tbl.create (List.length entries + 1) } in
+  List.iter (fun (tup, n) -> add t tup n) entries;
+  t
+
+let of_bag ~key_pos bag =
+  let t = { key_pos; table = Tuple_tbl.create (Bag.distinct bag + 1) } in
+  Bag.iter (fun tup n -> add t tup n) bag;
+  t
+
+let find t key =
+  match Tuple_tbl.find_opt t.table key with Some l -> l | None -> []
+
+let find_matching t tup = find t (key_of t tup)
+
+let groups t = Tuple_tbl.fold (fun key entries acc -> (key, entries) :: acc) t.table []
+
+let n_keys t = Tuple_tbl.length t.table

@@ -1,0 +1,30 @@
+(** Hash index over counted tuples, keyed by a projected position list.
+
+    The probe side of a hash join, group-by partitioning, and view-store
+    membership checks all need "every (tuple, count) whose key columns equal
+    [k]" in O(1) expected time. An index is built once per operator
+    invocation from the build side's counted tuples; keys are positional
+    projections ({!Tuple.project_pos}), so no attribute-name resolution
+    happens per tuple. Counts pass through untouched and may be negative
+    (signed deltas index fine). *)
+
+type t
+
+val of_counted : key_pos:int array -> (Tuple.t * int) list -> t
+
+val of_bag : key_pos:int array -> Bag.t -> t
+
+val find : t -> Tuple.t -> (Tuple.t * int) list
+(** [find t key] is every indexed entry whose projected key equals [key]
+    (which must have arity [Array.length key_pos]); [[]] when none. *)
+
+val find_matching : t -> Tuple.t -> (Tuple.t * int) list
+(** [find_matching t tup] projects [tup] through the index's own [key_pos]
+    and looks the result up — for probes whose tuples share the build side's
+    schema. When the probe side has a different schema, project its key with
+    that side's positions and use {!find}. *)
+
+val groups : t -> (Tuple.t * (Tuple.t * int) list) list
+(** All (key, entries) groups, unordered. *)
+
+val n_keys : t -> int

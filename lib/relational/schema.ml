@@ -65,6 +65,8 @@ let compare a b =
 let project t names =
   make (List.map (fun n -> (n, type_of t n)) names)
 
+let positions t names = Array.of_list (List.map (index_of t) names)
+
 let common a b =
   List.filter (fun n -> mem b n) (names a)
 

@@ -40,6 +40,11 @@ val project : t -> string list -> t
 (** [project s names] is the sub-schema with exactly [names], in the order
     given. @raise Unknown_attribute on any missing name. *)
 
+val positions : t -> string list -> int array
+(** Positions of the named attributes, in the order given — the one-time
+    name resolution step of the compiled query kernel.
+    @raise Unknown_attribute on any missing name. *)
+
 val common : t -> t -> string list
 (** Attribute names shared by both schemas, in the order they appear in the
     first schema. Used to compute natural-join conditions. *)

@@ -28,6 +28,8 @@ let project schema names t =
   check_arity schema t;
   Array.of_list (List.map (fun n -> t.(Schema.index_of schema n)) names)
 
+let project_pos positions t = Array.map (fun i -> t.(i)) positions
+
 let concat a b = Array.append a b
 
 let join sa sb a b =

@@ -25,6 +25,11 @@ val conforms : Schema.t -> t -> bool
 val project : Schema.t -> string list -> t -> t
 (** Restrict the tuple to the named attributes, in the order given. *)
 
+val project_pos : int array -> t -> t
+(** Positional projection: [project_pos [|i0; ..|] t] is [[|t.(i0); ..|]].
+    The compiled query kernel resolves attribute names to positions once per
+    plan, then uses this on every tuple — no name lookups on the hot path. *)
+
 val concat : t -> t -> t
 
 val join : Schema.t -> Schema.t -> t -> t -> t option

@@ -5,6 +5,7 @@ type state = {
   compute_latency : batch:int -> float;
   max_batch : int;
   view : Query.View.t;
+  plan : Query.Compiled.t; (* the view definition, compiled once *)
   emit : Query.Action_list.t -> unit;
   queue : Update.Transaction.t Queue.t;
   mutable cache : Database.t;
@@ -20,7 +21,7 @@ let rec pump st =
     in
     let batch = drain [] 0 in
     let changes = Query.Delta.of_transactions batch in
-    let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+    let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
     st.cache <-
       List.fold_left Database.apply_relevant st.cache batch;
     let last =
@@ -42,10 +43,14 @@ let rec pump st =
 
 let create ~engine ~compute_latency ?(max_batch = max_int) ~initial ~view
     ~emit () =
+  let cache = Database.restrict initial (Query.View.base_relations view) in
+  let plan =
+    Query.Compiled.compile ~lookup:(Database.schema cache)
+      view.Query.View.def
+  in
   let st =
-    { engine; compute_latency; max_batch; view; emit; queue = Queue.create ();
-      cache = Database.restrict initial (Query.View.base_relations view);
-      busy = false }
+    { engine; compute_latency; max_batch; view; plan; emit;
+      queue = Queue.create (); cache; busy = false }
   in
   { Vm.view; level = Vm.Strongly_consistent;
     receive =

@@ -5,6 +5,7 @@ type state = {
   compute_latency : batch:int -> float;
   n : int;
   view : Query.View.t;
+  plan : Query.Compiled.t; (* the view definition, compiled once *)
   emit : Query.Action_list.t -> unit;
   queue : Update.Transaction.t Queue.t;
   mutable cache : Database.t;
@@ -14,7 +15,7 @@ type state = {
 let process st batch k =
   st.busy <- true;
   let changes = Query.Delta.of_transactions batch in
-  let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+  let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
   st.cache <- List.fold_left Database.apply_relevant st.cache batch;
   let last =
     match List.rev batch with
@@ -46,10 +47,14 @@ let flush st =
 
 let create ~engine ~compute_latency ~n ~initial ~view ~emit () =
   if n < 1 then invalid_arg "Complete_n_vm.create: n < 1";
+  let cache = Database.restrict initial (Query.View.base_relations view) in
+  let plan =
+    Query.Compiled.compile ~lookup:(Database.schema cache)
+      view.Query.View.def
+  in
   let st =
-    { engine; compute_latency; n; view; emit; queue = Queue.create ();
-      cache = Database.restrict initial (Query.View.base_relations view);
-      busy = false }
+    { engine; compute_latency; n; view; plan; emit; queue = Queue.create ();
+      cache; busy = false }
   in
   { Vm.view; level = Vm.Complete_n n;
     receive =

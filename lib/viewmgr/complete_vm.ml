@@ -4,6 +4,7 @@ type state = {
   engine : Sim.Engine.t;
   compute_latency : batch:int -> float;
   view : Query.View.t;
+  plan : Query.Compiled.t; (* the view definition, compiled once *)
   emit : Query.Action_list.t -> unit;
   queue : Update.Transaction.t Queue.t;
   mutable cache : Database.t;
@@ -15,7 +16,7 @@ let rec pump st =
     st.busy <- true;
     let txn = Queue.pop st.queue in
     let changes = Query.Delta.of_transaction txn in
-    let delta = Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def in
+    let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
     st.cache <- Database.apply_relevant st.cache txn;
     let al =
       Query.Action_list.delta ~view:(Query.View.name st.view)
@@ -29,10 +30,14 @@ let rec pump st =
   end
 
 let create ~engine ~compute_latency ~initial ~view ~emit () =
+  let cache = Database.restrict initial (Query.View.base_relations view) in
+  let plan =
+    Query.Compiled.compile ~lookup:(Database.schema cache)
+      view.Query.View.def
+  in
   let st =
-    { engine; compute_latency; view; emit; queue = Queue.create ();
-      cache = Database.restrict initial (Query.View.base_relations view);
-      busy = false }
+    { engine; compute_latency; view; plan; emit; queue = Queue.create ();
+      cache; busy = false }
   in
   { Vm.view; level = Vm.Complete;
     receive =

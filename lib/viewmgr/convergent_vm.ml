@@ -4,24 +4,24 @@ type state = {
   engine : Sim.Engine.t;
   emit_delay : unit -> float;
   view : Query.View.t;
+  plan : Query.Compiled.t; (* the view definition, compiled once *)
   emit : Query.Action_list.t -> unit;
   mutable cache : Database.t;
   mutable in_flight : int;
 }
 
 let create ~engine ~emit_delay ~initial ~view ~emit () =
-  let st =
-    { engine; emit_delay; view; emit;
-      cache = Database.restrict initial (Query.View.base_relations view);
-      in_flight = 0 }
+  let cache = Database.restrict initial (Query.View.base_relations view) in
+  let plan =
+    Query.Compiled.compile ~lookup:(Database.schema cache)
+      view.Query.View.def
   in
+  let st = { engine; emit_delay; view; plan; emit; cache; in_flight = 0 } in
   { Vm.view; level = Vm.Convergent;
     receive =
       (fun txn ->
         let changes = Query.Delta.of_transaction txn in
-        let delta =
-          Query.Delta.eval ~pre:st.cache changes st.view.Query.View.def
-        in
+        let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
         st.cache <- Database.apply_relevant st.cache txn;
         let al =
           Query.Action_list.delta ~view:(Query.View.name st.view)

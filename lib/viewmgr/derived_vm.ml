@@ -4,8 +4,9 @@ type state = {
   engine : Sim.Engine.t;
   compute_latency : batch:int -> float;
   aux : Query.View.t list;
+  aux_plans : (string * Query.Compiled.t) list; (* per aux view, compiled *)
   view : Query.View.t;
-  over_aux : Query.Algebra.t;
+  over_aux_plan : Query.Compiled.t;
   emit : Query.Action_list.t -> unit;
   queue : Update.Transaction.t Queue.t;
   mutable base_cache : Database.t; (* base relations the aux views need *)
@@ -22,15 +23,15 @@ let rec pump st =
     let aux_changes =
       Query.Delta.changes_of_list
         (List.map
-           (fun aux ->
-             ( Query.View.name aux,
-               Query.Delta.eval ~pre:st.base_cache base_changes
-                 aux.Query.View.def ))
-           st.aux)
+           (fun (name, plan) ->
+             (name, Query.Delta.eval_plan ~pre:st.base_cache base_changes plan))
+           st.aux_plans)
     in
     (* Level 2: the primary view's delta over the materialized
        auxiliaries. *)
-    let delta = Query.Delta.eval ~pre:st.aux_cache aux_changes st.over_aux in
+    let delta =
+      Query.Delta.eval_plan ~pre:st.aux_cache aux_changes st.over_aux_plan
+    in
     st.base_cache <- Database.apply_relevant st.base_cache txn;
     st.aux_cache <-
       List.fold_left
@@ -72,8 +73,19 @@ let create ~engine ~compute_latency ~initial ~aux ~view ~over_aux ~emit () =
          (fun a -> (Query.View.name a, Query.View.materialize base_cache a))
          aux)
   in
+  let aux_plans =
+    List.map
+      (fun a ->
+        ( Query.View.name a,
+          Query.Compiled.compile ~lookup:(Database.schema base_cache)
+            a.Query.View.def ))
+      aux
+  in
+  let over_aux_plan =
+    Query.Compiled.compile ~lookup:(Database.schema aux_cache) over_aux
+  in
   let st =
-    { engine; compute_latency; aux; view; over_aux; emit;
+    { engine; compute_latency; aux; aux_plans; view; over_aux_plan; emit;
       queue = Queue.create (); base_cache; aux_cache; busy = false }
   in
   { Vm.view; level = Vm.Complete;

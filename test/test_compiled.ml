@@ -1,0 +1,166 @@
+(* Property tests for the performance kernel: the hash-partitioned join
+   against the nested-loop reference, the compiled positional evaluator
+   against the interpreted one, the hash delta rules against the naive
+   delta rules, and the VUT color indexes against a linear scan. Each
+   suite runs >= 500 random cases; the naive paths are the oracles. *)
+
+open Relational
+open Query
+
+let qcheck name gen prop = Helpers.qcheck ~count:500 name gen prop
+
+(* Random join inputs: schemas sharing 0..2 attributes (zero shared
+   attributes exercises the cross-product path), counted tuple lists with
+   duplicate tuples and negative multiplicities (signed deltas join
+   pre-state bags through the same kernel). *)
+module Join_gen = struct
+  open QCheck2.Gen
+
+  let schemas =
+    int_range 0 2 >>= fun n_shared ->
+    int_range 1 2 >>= fun n_left ->
+    int_range 1 2 >>= fun n_right ->
+    let names prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+    return
+      ( Helpers.int_schema (names "s" n_shared @ names "l" n_left),
+        Helpers.int_schema (names "s" n_shared @ names "r" n_right) )
+
+  let counted ~arity =
+    list_size (int_range 0 10)
+      (pair (Helpers.Gen.int_tuple ~arity ~range:3) (int_range (-3) 3))
+
+  let t =
+    schemas >>= fun (ls, rs) ->
+    counted ~arity:(Schema.arity ls) >>= fun l ->
+    counted ~arity:(Schema.arity rs) >>= fun r ->
+    return (ls, rs, l, r)
+end
+
+(* The Delta_domain expression pool plus shapes it lacks: an
+   empty-shared-attribute join (cross product), grouped aggregation and
+   renaming, so the compiled paths for every node kind get exercised. *)
+let expr_gen =
+  let open Algebra in
+  let extras =
+    [ join (project [ "a0" ] (base "R0")) (project [ "a2" ] (base "R1"));
+      group_by ~keys:[ "a1" ]
+        ~aggregates:[ ("n", Count); ("s", Sum "a0"); ("m", Max "a2") ]
+        (join (base "R0") (base "R1"));
+      group_by ~keys:[]
+        ~aggregates:[ ("n", Count); ("avg", Avg "a1") ]
+        (base "R1");
+      rename [ ("a0", "b0") ] (base "R0") ]
+  in
+  QCheck2.Gen.oneof
+    [ Helpers.Delta_domain.expr_gen; QCheck2.Gen.oneofl extras ]
+
+let eval_case_gen =
+  QCheck2.Gen.(
+    Helpers.Delta_domain.db_gen >>= fun db ->
+    expr_gen >>= fun expr -> return (db, expr))
+
+let delta_case_gen =
+  QCheck2.Gen.(
+    Helpers.Delta_domain.db_gen >>= fun db ->
+    Helpers.Delta_domain.changes_gen db >>= fun updates ->
+    expr_gen >>= fun expr -> return (db, updates, expr))
+
+(* Random VUT event sequences. Events reference live rows by index so any
+   generated sequence is valid; queries are then compared against the
+   linear-scan reference ([earlier_with] / [rows]) for every view and a
+   set of probe rows straddling the live rows. *)
+module Vut_gen = struct
+  open QCheck2.Gen
+
+  let views = [ "V1"; "V2"; "V3" ]
+
+  type event =
+    | Add of bool * bool * bool  (* which views are in REL_i *)
+    | Set of int * int * Mvc.Vut.color  (* live-row index, view index *)
+    | Purge of int  (* live-row index *)
+
+  let color = oneofl [ Mvc.Vut.White; Mvc.Vut.Red; Mvc.Vut.Gray; Mvc.Vut.Black ]
+
+  let event =
+    oneof
+      [ map3 (fun a b c -> Add (a, b, c)) bool bool bool;
+        map3 (fun i v c -> Set (i, v, c)) (int_range 0 50) (int_range 0 2) color;
+        map (fun i -> Purge i) (int_range 0 50) ]
+
+  let events = list_size (int_range 0 40) event
+
+  let replay evs =
+    let vut = Mvc.Vut.create ~views in
+    let next = ref 1 in
+    let live_row i =
+      match Mvc.Vut.rows vut with
+      | [] -> None
+      | rows -> Some (List.nth rows (i mod List.length rows))
+    in
+    List.iter
+      (function
+        | Add (a, b, c) ->
+          let rel =
+            List.concat
+              [ (if a then [ "V1" ] else []);
+                (if b then [ "V2" ] else []);
+                (if c then [ "V3" ] else []) ]
+          in
+          Mvc.Vut.add_row vut ~row:!next ~rel;
+          incr next
+        | Set (i, v, color) -> (
+          match live_row i with
+          | Some row -> Mvc.Vut.set_color vut ~row ~view:(List.nth views v) color
+          | None -> ())
+        | Purge i -> (
+          match live_row i with
+          | Some row -> Mvc.Vut.purge_row vut row
+          | None -> ()))
+      evs;
+    vut
+end
+
+let vut_indexes_agree vut =
+  let open Mvc.Vut in
+  let rows = rows vut in
+  let probes = 0 :: 1000 :: List.concat_map (fun r -> [ r; r + 1 ]) rows in
+  let colored c r view = (entry vut ~row:r ~view).color = c in
+  List.for_all
+    (fun view ->
+      List.for_all
+        (fun row ->
+          let reds_ref = earlier_with vut ~row ~view (fun e -> e.color = Red) in
+          let whites_ref =
+            earlier_with vut ~row ~view (fun e -> e.color = White)
+          in
+          earlier_reds vut ~row ~view = reds_ref
+          && has_earlier_red vut ~row ~view = (reds_ref <> [])
+          && first_earlier_white vut ~row ~view
+             = (match whites_ref with [] -> None | w :: _ -> Some w)
+          && next_red vut ~row ~view
+             = (match List.filter (fun r -> r > row && colored Red r view) rows with
+               | [] -> 0
+               | r :: _ -> r)
+          && white_rows_up_to vut ~view row
+             = List.filter (fun r -> r <= row && colored White r view) rows)
+        probes)
+    Vut_gen.views
+
+let tests =
+  [ qcheck "hash join == nested-loop join" Join_gen.t
+      (fun (ls, rs, l, r) ->
+        Signed_bag.equal
+          (Signed_bag.of_list (Eval.join_counted ls rs l r))
+          (Signed_bag.of_list (Eval.join_counted_naive ls rs l r)));
+    qcheck "compiled eval == interpreted eval" eval_case_gen
+      (fun (db, expr) ->
+        Bag.equal (Eval.eval_bag db expr) (Eval.eval_bag ~naive:true db expr));
+    qcheck "hash delta == naive delta" delta_case_gen
+      (fun (pre, updates, expr) ->
+        let txn = Update.Transaction.make ~id:1 ~source:"s" updates in
+        let changes = Delta.of_transaction txn in
+        Signed_bag.equal
+          (Delta.eval ~pre changes expr)
+          (Delta.eval ~naive:true ~pre changes expr));
+    qcheck "vut indexes == linear scan" Vut_gen.events
+      (fun evs -> vut_indexes_agree (Vut_gen.replay evs)) ]
