@@ -7,10 +7,7 @@
 open Whips
 
 let verdict_level (v : Consistency.Checker.verdict) =
-  if v.complete then "complete"
-  else if v.strongly_consistent then "strong"
-  else if v.convergent then "convergent"
-  else "INCONSISTENT"
+  Consistency.Checker.(level_name (level v))
 
 let mean_staleness (r : System.result) =
   Sim.Stats.Summary.mean r.metrics.Metrics.staleness

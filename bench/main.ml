@@ -21,6 +21,8 @@ let experiments =
     ("aggregates", Experiments.aggregates);
     ("optimizer", Experiments.optimizer);
     ("soak", Experiments.soak);
+    ("resilience", Resilience.run);
+    ("faultsoak", Resilience.faultsoak);
     ("micro", Micro.run) ]
 
 let usage () =

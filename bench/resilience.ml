@@ -1,0 +1,228 @@
+(* R: resilience experiments. What does the reliability layer cost on a
+   clean network, what does it buy on a lossy one, and how fast does a
+   crashed view manager catch back up? Results land in
+   BENCH_resilience.json (format documented in EXPERIMENTS.md) so future
+   PRs can diff the trajectory.
+
+   [faultsoak] is the fast deterministic variant wired to the
+   `@soak-smoke` dune alias: a fixed-seed matrix of random fault plans
+   that exits nonzero if any acked run gets stuck or misses the
+   consistency level its configuration guarantees. *)
+
+open Whips
+
+let verdict_level (r : System.result) =
+  Consistency.Checker.(level_name (level (System.verdict r)))
+
+let mean_staleness (r : System.result) =
+  Sim.Stats.Summary.mean r.metrics.Metrics.staleness
+
+let scenario ~seed =
+  Workload.Generator.generate
+    { Workload.Generator.default with
+      seed;
+      n_relations = 4;
+      n_views = 3;
+      n_transactions = 30;
+      initial_tuples = 5 }
+
+(* Loss plan scaled by a single knob: at rate [p] every channel drops a
+   message with probability p, duplicates with p/2, and spikes latency
+   with p/2. *)
+let plan_for rate =
+  if rate <= 0.0 then Workload.Fault_plan.empty
+  else
+    Workload.Fault_plan.random ~drop:rate ~duplicate:(rate /. 2.0)
+      ~delay:(rate /. 2.0) ~delay_by:0.05 "*"
+
+let cfg_for ~rate ~reliability ~seed scen =
+  { (System.default scen) with
+    vm_kind = System.Complete_vm;
+    fault_plan = plan_for rate;
+    reliability;
+    arrival = System.Poisson 60.0;
+    seed }
+
+type outcome = {
+  label : string;
+  rate : float;
+  reliable : bool;
+  result : (System.result, string) Stdlib.result;
+}
+
+let run_outcome ~label ~rate ~reliability scen =
+  let reliable = match reliability with System.Off -> false | _ -> true in
+  let result =
+    (* With reliability off a loss-induced FIFO gap makes the hardened
+       SPA abort with Protocol_error rather than corrupt the warehouse;
+       that abort is itself a data point. *)
+    match System.run (cfg_for ~rate ~reliability ~seed:7 scen) with
+    | r -> Ok r
+    | exception Mvc.Vut.Protocol_error _ -> Error "SPA abort (FIFO gap)"
+  in
+  { label; rate; reliable; result }
+
+let outcome_row o =
+  match o.result with
+  | Error msg -> [ o.label; Tables.f3 o.rate; msg; "-"; "-"; "-"; "-" ]
+  | Ok r ->
+    let m = r.metrics in
+    [ o.label; Tables.f3 o.rate;
+      (if r.stuck then "STUCK" else verdict_level r);
+      Printf.sprintf "%d/%d" m.Metrics.msgs_dropped m.Metrics.retransmits;
+      string_of_int m.Metrics.nacks;
+      Tables.ms (mean_staleness r);
+      Tables.f3 m.Metrics.completed_at ]
+
+let json_outcome o =
+  let common =
+    Printf.sprintf "\"label\": \"%s\", \"loss_rate\": %.3f, \"reliable\": %b"
+      o.label o.rate o.reliable
+  in
+  match o.result with
+  | Error msg ->
+    Printf.sprintf "    { %s, \"aborted\": \"%s\" }" common msg
+  | Ok r ->
+    let m = r.metrics in
+    Printf.sprintf
+      "    { %s, \"level\": \"%s\", \"stuck\": %b, \"dropped\": %d, \
+       \"retransmits\": %d, \"nacks\": %d, \"dup_frames_dropped\": %d, \
+       \"commits\": %d, \"mean_staleness_ms\": %.2f, \"drain_s\": %.3f }"
+      common (verdict_level r) r.stuck m.Metrics.msgs_dropped
+      m.Metrics.retransmits m.Metrics.nacks m.Metrics.dup_frames_dropped
+      m.Metrics.commits
+      (1000.0 *. mean_staleness r)
+      m.Metrics.completed_at
+
+let crash_outcome () =
+  let cfg =
+    { (System.default Workload.Scenarios.paper_views) with
+      faults =
+        [ System.Crash_vm { view = "V2"; at_event = 2; restart_after = 0.1 } ];
+      reliability = System.Acked Sim.Reliable.default_params;
+      arrival = System.Poisson 60.0;
+      seed = 1 }
+  in
+  System.run cfg
+
+let run () =
+  Tables.section
+    "R: reliability layer — overhead when clean, repair when lossy";
+  let scen = scenario ~seed:11 in
+  let acked = System.Acked Sim.Reliable.default_params in
+  let outcomes =
+    [ run_outcome ~label:"off, clean" ~rate:0.0 ~reliability:System.Off scen;
+      run_outcome ~label:"acked, clean" ~rate:0.0 ~reliability:acked scen;
+      run_outcome ~label:"off, lossy" ~rate:0.15 ~reliability:System.Off scen;
+      run_outcome ~label:"acked, lossy" ~rate:0.15 ~reliability:acked scen;
+      run_outcome ~label:"acked, very lossy" ~rate:0.30 ~reliability:acked
+        scen ]
+  in
+  Tables.print
+    ~title:"same workload, loss rate x reliability (SPA / complete managers)"
+    ~header:
+      [ "config"; "loss"; "consistency"; "dropped/retx"; "nacks";
+        "mean staleness"; "drain (s)" ]
+    (List.map outcome_row outcomes);
+  Printf.printf
+    "expected shape: acked rows stay complete at every loss rate (paying \
+     staleness\nand drain time for retransmits); off rows abort on a FIFO \
+     gap or get stuck.\n";
+  let crash = crash_outcome () in
+  Tables.print ~title:"crash-restart recovery (complete manager, acked)"
+    ~header:
+      [ "crashes"; "recoveries"; "consistency"; "retransmits"; "drain (s)" ]
+    [ [ string_of_int crash.metrics.Metrics.crashes;
+        string_of_int crash.metrics.Metrics.recoveries;
+        (if crash.stuck then "STUCK" else verdict_level crash);
+        string_of_int crash.metrics.Metrics.retransmits;
+        Tables.f3 crash.metrics.Metrics.completed_at ] ];
+  let oc = open_out "BENCH_resilience.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"generated_by\": \"bench/main.exe resilience\",\n\
+    \  \"sweep\": [\n%s\n  ],\n\
+    \  \"crash_recovery\": { \"crashes\": %d, \"recoveries\": %d, \
+     \"level\": \"%s\", \"drain_s\": %.3f }\n\
+     }\n"
+    (String.concat ",\n" (List.map json_outcome outcomes))
+    crash.metrics.Metrics.crashes crash.metrics.Metrics.recoveries
+    (verdict_level crash) crash.metrics.Metrics.completed_at;
+  close_out oc;
+  Printf.printf "wrote BENCH_resilience.json\n%!"
+
+(* ---- deterministic smoke soak for `dune build @soak-smoke` ---- *)
+
+let faultsoak () =
+  Tables.section "fault soak (smoke): random fault plans under acked channels";
+  let n = if !Micro.quick then 8 else 24 in
+  let failures = ref 0 in
+  let one seed =
+    let rng = Sim.Rng.create (0xFA57 + seed) in
+    let scen =
+      Workload.Generator.generate
+        { Workload.Generator.default with
+          seed = 1 + Sim.Rng.int rng 1000;
+          n_views = 3;
+          n_transactions = 8;
+          initial_tuples = 4 }
+    in
+    let vm_kind, merge_kind, want, label =
+      match seed mod 3 with
+      | 0 ->
+        (System.Complete_vm, System.Auto, Consistency.Checker.Complete,
+         "complete/spa")
+      | 1 ->
+        (System.Complete_vm, System.Force_pa, Consistency.Checker.Strong,
+         "complete/pa")
+      | _ ->
+        (System.Batching_vm, System.Auto, Consistency.Checker.Strong,
+         "batching/pa")
+    in
+    let faults =
+      if seed mod 4 = 0 then
+        [ System.Crash_vm
+            { view = Query.View.name (List.hd scen.Workload.Scenarios.views);
+              at_event = 1 + Sim.Rng.int rng 3;
+              restart_after = 0.05 +. Sim.Rng.float rng 0.1 } ]
+      else []
+    in
+    let cfg =
+      { (System.default scen) with
+        vm_kind;
+        merge_kind;
+        fault_plan =
+          Workload.Fault_plan.random ~drop:0.15 ~duplicate:0.1 ~delay:0.1
+            ~delay_by:0.05 "*";
+        faults;
+        reliability = System.Acked Sim.Reliable.default_params;
+        arrival = System.Poisson 80.0;
+        seed = Sim.Rng.int rng 10_000 }
+    in
+    let r = System.run cfg in
+    let v = System.verdict r in
+    let ok = (not r.stuck) && Consistency.Checker.at_least want v in
+    if not ok then incr failures;
+    [ string_of_int seed; label;
+      string_of_int r.metrics.Metrics.msgs_dropped;
+      string_of_int r.metrics.Metrics.retransmits;
+      string_of_int r.metrics.Metrics.crashes;
+      (if r.stuck then "STUCK" else Consistency.Checker.(level_name (level v)));
+      (if ok then "ok" else "FAIL") ]
+  in
+  let rows = List.map one (List.init n (fun i -> i + 1)) in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "%d seeded runs, 15%% drop / 10%% dup / 10%% delay on every channel"
+         n)
+    ~header:
+      [ "seed"; "config"; "dropped"; "retx"; "crashes"; "consistency";
+        "verdict" ]
+    rows;
+  if !failures > 0 then (
+    Printf.printf "FAULT SOAK FAILED: %d/%d runs violated their guarantee\n"
+      !failures n;
+    exit 1)
+  else Printf.printf "fault soak ok: %d/%d runs kept their guarantee\n%!" n n

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Minimal CI: build, run the test suite, then the bench smoke pass
-# (micro-benchmarks with -quick plus the table1/example5 paper traces).
+# (micro-benchmarks with -quick plus the table1/example5 paper traces)
+# and the fault-plan soak (lossy channels + crashes under the acked
+# reliability layer must keep their consistency guarantees).
 set -eux
 
 dune build
 dune runtest
 dune build @bench-smoke
+dune build @soak-smoke

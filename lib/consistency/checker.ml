@@ -14,6 +14,28 @@ let pp_verdict ppf v =
     (if v.conclusive then "" else " (inconclusive)")
     (if String.equal v.detail "ok" then "" else " [" ^ v.detail ^ "]")
 
+type level = Inconsistent | Convergent | Strong | Complete
+
+let level v =
+  if v.complete then Complete
+  else if v.strongly_consistent then Strong
+  else if v.convergent then Convergent
+  else Inconsistent
+
+let level_name = function
+  | Complete -> "complete"
+  | Strong -> "strong"
+  | Convergent -> "convergent"
+  | Inconsistent -> "INCONSISTENT"
+
+let rank = function
+  | Inconsistent -> 0
+  | Convergent -> 1
+  | Strong -> 2
+  | Complete -> 3
+
+let at_least want v = rank (level v) >= rank want
+
 (* Exploration budget for the cut search (DFS nodes per warehouse state)
    and per-view candidate cap. Exceeding either can only cause false
    negatives, which are reported as inconclusive. *)

@@ -45,6 +45,21 @@ type verdict = {
       (** Human-readable explanation of the first violation (or "ok"). *)
 }
 
+(** The Section-2 consistency ladder, as a total order for assertions:
+    completeness implies strong consistency implies convergence. Faulty
+    runs are asserted against this in the soak tests. *)
+type level = Inconsistent | Convergent | Strong | Complete
+
+val level : verdict -> level
+(** The strongest level the verdict supports. *)
+
+val level_name : level -> string
+(** ["complete"], ["strong"], ["convergent"], ["INCONSISTENT"] — the
+    spelling used in benchmark tables and JSON. *)
+
+val at_least : level -> verdict -> bool
+(** [at_least want v]: does [v] reach at least [want] on the ladder? *)
+
 type witness = (string * int) list list
 (** One entry per warehouse state: the source state each view was mapped
     to — a concrete instance of the paper's mapping [m(ws_j) = ss_i],

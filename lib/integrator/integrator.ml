@@ -5,10 +5,13 @@ type t = {
   schemas : string -> Schema.t;
   views : Query.View.t list;
   mutable next_id : int;
+  retain_log : bool;
+  mutable log : (Update.Transaction.t * string list) list;
+      (* descending id; the retained update log for crash recovery *)
 }
 
-let create ?(semantic_filter = false) ~schemas views =
-  { semantic_filter; schemas; views; next_id = 1 }
+let create ?(semantic_filter = false) ?(retain_log = false) ~schemas views =
+  { semantic_filter; schemas; views; next_id = 1; retain_log; log = [] }
 
 let views t = t.views
 
@@ -35,6 +38,19 @@ let rel_set t txn =
 let ingest t txn =
   let stamped = { txn with Update.Transaction.id = t.next_id } in
   t.next_id <- t.next_id + 1;
-  (stamped, rel_set t stamped)
+  let rel = rel_set t stamped in
+  if t.retain_log then t.log <- (stamped, rel) :: t.log;
+  (stamped, rel)
 
 let ingested t = t.next_id - 1
+
+let log_head t = t.next_id - 1
+
+let replay_for t ~view ~after =
+  List.fold_left
+    (fun acc (txn, rel) ->
+      if txn.Update.Transaction.id > after && List.mem view rel then
+        (txn, rel) :: acc
+      else acc)
+    [] t.log
+(* log is descending, so the fold yields ascending id order *)

@@ -19,10 +19,14 @@ type t
 
 val create :
   ?semantic_filter:bool ->
+  ?retain_log:bool ->
   schemas:(string -> Schema.t) ->
   Query.View.t list ->
   t
-(** [semantic_filter] defaults to false. *)
+(** [semantic_filter] defaults to false. [retain_log] (default false)
+    keeps every stamped transaction with its REL set, so a crashed view
+    manager can re-derive its state by replay (the paper's assumption that
+    the integrator "logs updates for recovery", Section 3.2). *)
 
 val views : t -> Query.View.t list
 
@@ -39,3 +43,15 @@ val rel_set : t -> Update.Transaction.t -> string list
 
 val ingested : t -> int
 (** How many transactions have been numbered. *)
+
+val log_head : t -> int
+(** Id of the newest logged transaction (0 before any ingest). Recovery
+    replays up to this point and then resumes from live deliveries. *)
+
+val replay_for :
+  t ->
+  view:string ->
+  after:int ->
+  (Update.Transaction.t * string list) list
+(** Retained transactions relevant to [view] with id > [after], ascending.
+    Empty unless the integrator was created with [retain_log]. *)

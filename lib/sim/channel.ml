@@ -1,3 +1,5 @@
+type decision = Deliver | Drop | Duplicate | Delay of float
+
 type 'a t = {
   engine : Engine.t;
   name : string;
@@ -6,22 +8,40 @@ type 'a t = {
   mutable last_delivery : float;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable fault : (int -> decision) option;
 }
 
 let create engine ?(name = "chan") ~latency deliver =
   { engine; name; latency; deliver; last_delivery = 0.0; sent = 0;
-    delivered = 0 }
+    delivered = 0; dropped = 0; duplicated = 0; fault = None }
 
-let send t msg =
-  let lat = Float.max 0.0 (t.latency ()) in
+let set_fault t hook = t.fault <- hook
+
+let enqueue t ~extra msg =
+  let lat = Float.max 0.0 (t.latency ()) +. Float.max 0.0 extra in
   let arrival = Engine.now t.engine +. lat in
   (* FIFO: never deliver before a previously sent message. *)
   let arrival = Float.max arrival t.last_delivery in
   t.last_delivery <- arrival;
-  t.sent <- t.sent + 1;
   Engine.schedule_at t.engine arrival (fun () ->
       t.delivered <- t.delivered + 1;
       t.deliver msg)
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  match t.fault with
+  | None -> enqueue t ~extra:0.0 msg
+  | Some hook ->
+    (match hook t.sent with
+    | Deliver -> enqueue t ~extra:0.0 msg
+    | Drop -> t.dropped <- t.dropped + 1
+    | Duplicate ->
+      t.duplicated <- t.duplicated + 1;
+      enqueue t ~extra:0.0 msg;
+      enqueue t ~extra:0.0 msg
+    | Delay extra -> enqueue t ~extra msg)
 
 let name t = t.name
 
@@ -29,4 +49,8 @@ let sent t = t.sent
 
 let delivered t = t.delivered
 
-let in_flight t = t.sent - t.delivered
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated
+
+let in_flight t = t.sent + t.duplicated - t.delivered - t.dropped

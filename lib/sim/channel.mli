@@ -5,7 +5,16 @@
     latency is sampled per message, but a message never overtakes an
     earlier one on the same channel. Messages on *different* channels
     interleave arbitrarily — exactly the nondeterminism the painting
-    algorithms must tolerate. *)
+    algorithms must tolerate.
+
+    Fault injection lives here so that the channel's own statistics stay
+    truthful: a dropped message counts as [sent] and [dropped], never as
+    in-flight forever. *)
+
+type decision = Deliver | Drop | Duplicate | Delay of float
+(** What the fault hook may do to one message. [Delay d] adds [d] seconds
+    on top of the sampled latency (FIFO still holds, so a delayed message
+    also delays everything sent after it on the same channel). *)
 
 type 'a t
 
@@ -21,10 +30,19 @@ val create :
 
 val send : 'a t -> 'a -> unit
 
+val set_fault : 'a t -> (int -> decision) option -> unit
+(** Install (or clear) a fault hook. The hook is consulted on every send
+    with the 1-based index of the message on this channel. *)
+
 val name : 'a t -> string
 
 val sent : 'a t -> int
 
 val delivered : 'a t -> int
 
+val dropped : 'a t -> int
+
+val duplicated : 'a t -> int
+
 val in_flight : 'a t -> int
+(** [sent + duplicated - delivered - dropped]: copies still in the air. *)

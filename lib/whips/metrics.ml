@@ -7,6 +7,14 @@ type t = {
   mutable commits : int;
   mutable actions_applied : int;
   mutable completed_at : float;
+  mutable msgs_dropped : int;
+  mutable retransmits : int;
+  mutable acks : int;
+  mutable nacks : int;
+  mutable dup_frames_dropped : int;
+  mutable gave_up : int;
+  mutable crashes : int;
+  mutable recoveries : int;
 }
 
 let create () =
@@ -14,7 +22,9 @@ let create () =
     merge_held = Sim.Stats.Summary.create ();
     merge_live_rows = Sim.Stats.Summary.create ();
     vm_queue = Sim.Stats.Summary.create ();
-    transactions = 0; commits = 0; actions_applied = 0; completed_at = 0.0 }
+    transactions = 0; commits = 0; actions_applied = 0; completed_at = 0.0;
+    msgs_dropped = 0; retransmits = 0; acks = 0; nacks = 0;
+    dup_frames_dropped = 0; gave_up = 0; crashes = 0; recoveries = 0 }
 
 let throughput t =
   if t.completed_at <= 0.0 then 0.0
@@ -23,7 +33,11 @@ let throughput t =
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>txns=%d commits=%d actions=%d completed=%.3fs tput=%.2f/s@ \
-     staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@]"
+     staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@ \
+     resilience: dropped=%d retx=%d acks=%d nacks=%d dups=%d gave-up=%d \
+     crashes=%d recoveries=%d@]"
     t.transactions t.commits t.actions_applied t.completed_at (throughput t)
     Sim.Stats.Summary.pp t.staleness Sim.Stats.Summary.pp t.merge_held
     Sim.Stats.Summary.pp t.merge_live_rows Sim.Stats.Summary.pp t.vm_queue
+    t.msgs_dropped t.retransmits t.acks t.nacks t.dup_frames_dropped
+    t.gave_up t.crashes t.recoveries

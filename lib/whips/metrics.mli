@@ -1,7 +1,8 @@
 (** Run metrics collected by the system assembly — the quantities the
     paper's Section 7 proposes to study: the effect of merging on view
     freshness, and the load at which the merge process becomes a
-    bottleneck. *)
+    bottleneck — plus the resilience counters (channel drops, retransmits,
+    crash recoveries) folded in from the fault-injection layer. *)
 
 type t = {
   staleness : Sim.Stats.Summary.t;
@@ -17,6 +18,17 @@ type t = {
   mutable commits : int;  (** Warehouse transactions committed. *)
   mutable actions_applied : int;  (** Elementary view operations applied. *)
   mutable completed_at : float;  (** Simulated time when the run drained. *)
+  mutable msgs_dropped : int;
+      (** Messages dropped by injected channel faults (all channels). *)
+  mutable retransmits : int;  (** Frames resent by reliable links. *)
+  mutable acks : int;  (** Acks sent by reliable links. *)
+  mutable nacks : int;  (** Gap nacks sent by reliable links. *)
+  mutable dup_frames_dropped : int;
+      (** Duplicate frames discarded by reliable receivers. *)
+  mutable gave_up : int;
+      (** Reliable senders that exhausted their retries (run is stuck). *)
+  mutable crashes : int;  (** View-manager crash events. *)
+  mutable recoveries : int;  (** Completed crash recoveries. *)
 }
 
 val create : unit -> t

@@ -24,7 +24,11 @@ type rel_routing = Direct | Via_manager
 
 type arrival = All_at_once | Uniform of float | Poisson of float
 
-type fault = Drop_action_list of { view : string; nth : int }
+type fault =
+  | Drop_action_list of { view : string; nth : int }
+  | Crash_vm of { view : string; at_event : int; restart_after : float }
+
+type reliability = Off | Acked of Sim.Reliable.params
 
 type latencies = {
   message : float;
@@ -50,7 +54,9 @@ type config = {
   semantic_filter : bool;
   rel_routing : rel_routing;
   optimize_views : bool;
-  fault : fault option;
+  faults : fault list;
+  fault_plan : Workload.Fault_plan.t;
+  reliability : reliability;
   record_timeline : bool;
   seed : int;
 }
@@ -60,7 +66,11 @@ let default scenario =
     submit = Warehouse.Submitter.Serial; arrival = Uniform 0.05;
     latencies = default_latencies; merge_groups = None;
     semantic_filter = false; rel_routing = Direct; optimize_views = false;
-    fault = None; record_timeline = false; seed = 1 }
+    faults = []; fault_plan = Workload.Fault_plan.empty; reliability = Off;
+    record_timeline = false; seed = 1 }
+
+let faultless cfg =
+  cfg.faults = [] && Workload.Fault_plan.is_empty cfg.fault_plan
 
 type result = {
   config : config;
@@ -268,12 +278,70 @@ let make_server engine ~latency =
   let pending () = Queue.length queue + if !busy then 1 else 0 in
   (submit, pending)
 
+(* Channels between processes, optionally wrapped in the ARQ layer. Both
+   flavours expose the same [send]; reliable links additionally track
+   quiescence (unacked / buffered frames) for the drain check. *)
+type 'a link = { send : 'a -> unit; reliable : 'a Sim.Reliable.t option }
+
 let run_pipelined cfg =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create cfg.seed in
   let arrival_rng = Sim.Rng.split rng in
   let lat_rng = Sim.Rng.split rng in
   let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  (* Fault plan: the config's channel-level plan plus the deterministic
+     translation of Drop_action_list faults (the nth physical message on
+     the manager's action-list channel). Injection happens in the channel,
+     so sent/delivered/dropped statistics stay truthful. *)
+  let fault_rng = Sim.Rng.split rng in
+  let link_rng = Sim.Rng.split rng in
+  let plan =
+    Workload.Fault_plan.union
+      (cfg.fault_plan
+      :: List.filter_map
+           (function
+             | Drop_action_list { view; nth } ->
+               Some
+                 (Workload.Fault_plan.nth ~channel:(view ^ "->merge") ~nth
+                    Workload.Fault_plan.Drop)
+             | Crash_vm _ -> None)
+           cfg.faults)
+  in
+  let quiescence : (unit -> bool) list ref = ref [] in
+  let link_stats : (unit -> Sim.Reliable.stats) list ref = ref [] in
+  let drop_counts : (unit -> int) list ref = ref [] in
+  let register ~faultable chan =
+    if faultable && not (Workload.Fault_plan.is_empty plan) then
+      Workload.Fault_plan.attach plan ~rng:fault_rng chan;
+    drop_counts := (fun () -> Sim.Channel.dropped chan) :: !drop_counts
+  in
+  (* [faultable:false] keeps a link outside the fault plan's reach. The
+     source->integrator feed is the ground-truth boundary: the paper
+     assumes sources report every committed transaction, and the
+     consistency oracle's recorded schedule depends on it, so injected
+     faults model only the warehouse's internal messaging. *)
+  let make_link ?(faultable = true) ~name deliver =
+    match cfg.reliability with
+    | Off ->
+      let ch =
+        Sim.Channel.create engine ~name
+          ~latency:(fun () -> sample cfg.latencies.message)
+          deliver
+      in
+      register ~faultable ch;
+      { send = (fun m -> Sim.Channel.send ch m); reliable = None }
+    | Acked params ->
+      let rl =
+        Sim.Reliable.create engine ~name ~params ~rng:(Sim.Rng.split link_rng)
+          ~latency:(fun () -> sample cfg.latencies.message)
+          deliver
+      in
+      register ~faultable (Sim.Reliable.data_channel rl);
+      register ~faultable (Sim.Reliable.ctrl_channel rl);
+      quiescence := (fun () -> Sim.Reliable.quiescent rl) :: !quiescence;
+      link_stats := (fun () -> Sim.Reliable.stats rl) :: !link_stats;
+      { send = (fun m -> Sim.Reliable.send rl m); reliable = Some rl }
+  in
   let sources = Workload.Scenarios.sources cfg.scenario in
   let schemas = Source.Sources.schema_lookup sources in
   let views = effective_views cfg schemas in
@@ -422,13 +490,46 @@ let run_pipelined cfg =
       Hashtbl.add rel_forwards name q;
       q
   in
+  (* The integrator is created early so recovering view managers can close
+     over it: crash recovery replays its retained update log. *)
+  let retain_log =
+    List.exists (function Crash_vm _ -> true | _ -> false) cfg.faults
+  in
+  let integ =
+    Integrator.create ~semantic_filter:cfg.semantic_filter ~retain_log
+      ~schemas views
+  in
+  (* Highest action-list state the merge layer has received per view: the
+     watermark a restarting manager resyncs against (it replays only the
+     log suffix the merge has not yet seen). *)
+  let watermarks : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let make_vm view =
     let name = Query.View.name view in
+    let kind = kind_of cfg view in
     let merge, gi = merge_of_view name in
-    let al_chan =
-      Sim.Channel.create engine ~name:(name ^ "->merge")
-        ~latency:(fun () -> sample cfg.latencies.message)
-        (fun msg ->
+    let crash_spec =
+      List.find_map
+        (function
+          | Crash_vm { view = v; at_event; restart_after }
+            when String.equal v name ->
+            Some (at_event, restart_after)
+          | _ -> None)
+        cfg.faults
+    in
+    (match (crash_spec, kind) with
+    | Some _, (Complete_vm | Batching_vm) | None, _ -> ()
+    | Some _, _ ->
+      invalid_arg
+        "System: Crash_vm faults support Complete_vm and Batching_vm \
+         managers (log-replay recovery)");
+    (* Control channel merge -> manager, carrying resync replies
+       (epoch, watermark). Handler installed below. *)
+    let ctrl_handler = ref (fun ((_ : int), (_ : int)) -> ()) in
+    let ctrl_link =
+      make_link ~name:("merge->" ^ name) (fun msg -> !ctrl_handler msg)
+    in
+    let al_link =
+      make_link ~name:(name ^ "->merge") (fun msg ->
           merge_server_of gi (fun () ->
               (match msg with
               | `Rel ((row, _, _) as fwd) ->
@@ -437,10 +538,18 @@ let run_pipelined cfg =
               | `Al al ->
                 record "merge <- AL(%s, %d)" al.Query.Action_list.view
                   al.Query.Action_list.state;
-                Mvc.Merge.receive_action_list merge al);
+                Hashtbl.replace watermarks al.Query.Action_list.view
+                  al.Query.Action_list.state;
+                Mvc.Merge.receive_action_list merge al
+              | `Resync epoch ->
+                record "merge <- resync(%s, epoch %d)" name epoch;
+                let w =
+                  Option.value ~default:0 (Hashtbl.find_opt watermarks name)
+                in
+                ctrl_link.send (epoch, w));
               sample_merge_metrics ()))
     in
-    let emit al =
+    let emit_to_merge al =
       (* Forward any RELs this manager owes the merge for rows the list
          covers, ahead of the list itself (same FIFO channel). *)
       let owed = forwards_of name in
@@ -448,69 +557,192 @@ let run_pipelined cfg =
         match Queue.peek_opt owed with
         | Some ((row, _, _) as fwd) when row <= al.Query.Action_list.state ->
           ignore (Queue.pop owed);
-          Sim.Channel.send al_chan (`Rel fwd);
+          al_link.send (`Rel fwd);
           drain ()
         | Some _ | None -> ()
       in
       drain ();
-      Sim.Channel.send al_chan (`Al al)
+      al_link.send (`Al al)
     in
-    let emitted = ref 0 in
-    let emit al =
-      incr emitted;
-      match cfg.fault with
-      | Some (Drop_action_list { view; nth })
-        when String.equal view name && nth = !emitted ->
-        (* The message is lost in transit: the merge never sees it. *)
+    (* Crash wrapper state. [incarnation] fences events scheduled by a dead
+       incarnation of the manager (the engine cannot cancel events). *)
+    let incarnation = ref 0 in
+    let down = ref false in
+    let recovering = ref false in
+    let last_id = ref 0 in
+    let pending_recovery : Update.Transaction.t Queue.t = Queue.create () in
+    let emit_count = ref 0 in
+    let crash_armed = ref (crash_spec <> None) in
+    let resync_epoch = ref 0 in
+    let receive_ref = ref (fun (_ : Update.Transaction.t) -> ()) in
+    let integ_link =
+      make_link ~name:("integ->" ^ name) (fun txn -> !receive_ref txn)
+    in
+    let crash () =
+      crash_armed := false;
+      down := true;
+      incr incarnation;
+      metrics.Metrics.crashes <- metrics.Metrics.crashes + 1;
+      record "%s crashed (losing its in-memory state)" name;
+      (match integ_link.reliable with
+      | Some rl -> Sim.Reliable.set_receiver_down rl true
+      | None -> ());
+      match (cfg.reliability, crash_spec) with
+      | Off, _ | _, None ->
+        (* Without the reliability layer there is no resync protocol: the
+           manager stays dead. Progress may stop, but nothing wrong is
+           ever merged (stuck-but-safe). *)
         ()
-      | Some _ | None -> emit al
+      | Acked _, Some (_, restart_after) ->
+        Sim.Engine.schedule_after engine restart_after (fun () ->
+            down := false;
+            recovering := true;
+            (match integ_link.reliable with
+            | Some rl -> Sim.Reliable.reset_receiver rl
+            | None -> ());
+            (match ctrl_link.reliable with
+            | Some rl -> Sim.Reliable.reset_receiver rl
+            | None -> ());
+            let epoch =
+              match al_link.reliable with
+              | Some rl -> Sim.Reliable.bump_epoch rl
+              | None -> !resync_epoch + 1
+            in
+            resync_epoch := epoch;
+            record "%s restarting, resync epoch %d" name epoch;
+            al_link.send (`Resync epoch))
+    in
+    let guarded_emit inc al =
+      if !incarnation <> inc || !down then ()
+      else begin
+        incr emit_count;
+        match crash_spec with
+        | Some (n, _) when !crash_armed && !emit_count = n -> crash ()
+        | _ -> emit_to_merge al
+      end
     in
     let compute_latency ~batch =
       sample (cfg.latencies.compute *. float_of_int (max 1 batch))
     in
-    match kind_of cfg view with
-    | Complete_vm ->
-      Viewmgr.Complete_vm.create ~engine ~compute_latency ~initial:initial_db
-        ~view ~emit ()
-    | Batching_vm ->
-      Viewmgr.Batching_vm.create ~engine ~compute_latency ~initial:initial_db
-        ~view ~emit ()
-    | Strobe_vm ->
-      Viewmgr.Strobe_vm.create ~engine ~query:remote_query ~view ~emit ()
-    | Periodic_vm period ->
-      Viewmgr.Periodic_vm.create ~engine ~period ~compute_latency
-        ~initial:initial_db ~view ~emit ()
-    | Convergent_vm ->
-      Viewmgr.Convergent_vm.create ~engine
-        ~emit_delay:(fun () -> sample (cfg.latencies.compute +. cfg.latencies.message))
-        ~initial:initial_db ~view ~emit ()
-    | Complete_n_vm n ->
-      Viewmgr.Complete_n_vm.create ~engine ~compute_latency ~n
-        ~initial:initial_db ~view ~emit ()
-    | Derived_vm { aux; over_aux } ->
-      Viewmgr.Derived_vm.create ~engine ~compute_latency ~initial:initial_db
-        ~aux ~view ~over_aux ~emit ()
+    let build_inner ~initial ~inc =
+      let emit = guarded_emit inc in
+      match kind with
+      | Complete_vm ->
+        Viewmgr.Complete_vm.create ~engine ~compute_latency ~initial ~view
+          ~emit ()
+      | Batching_vm ->
+        Viewmgr.Batching_vm.create ~engine ~compute_latency ~initial ~view
+          ~emit ()
+      | Strobe_vm ->
+        Viewmgr.Strobe_vm.create ~engine ~query:remote_query ~view ~emit ()
+      | Periodic_vm period ->
+        Viewmgr.Periodic_vm.create ~engine ~period ~compute_latency ~initial
+          ~view ~emit ()
+      | Convergent_vm ->
+        Viewmgr.Convergent_vm.create ~engine
+          ~emit_delay:(fun () ->
+            sample (cfg.latencies.compute +. cfg.latencies.message))
+          ~initial ~view ~emit ()
+      | Complete_n_vm n ->
+        Viewmgr.Complete_n_vm.create ~engine ~compute_latency ~n ~initial
+          ~view ~emit ()
+      | Derived_vm { aux; over_aux } ->
+        Viewmgr.Derived_vm.create ~engine ~compute_latency ~initial ~aux
+          ~view ~over_aux ~emit ()
+    in
+    let inner = ref (build_inner ~initial:initial_db ~inc:0) in
+    (* Application-level id dedup is only needed around crash recovery
+       (replay overlaps live retransmissions); without a crash fault the
+       raw channel behaviour — including duplicate delivery under
+       reliability Off — must stay observable. *)
+    let dedup = crash_spec <> None in
+    let receive txn =
+      if !down then ()
+      else if !recovering then Queue.push txn pending_recovery
+      else if dedup && txn.Update.Transaction.id <= !last_id then ()
+      else begin
+        last_id := txn.Update.Transaction.id;
+        !inner.Viewmgr.Vm.receive txn
+      end
+    in
+    receive_ref := receive;
+    (ctrl_handler :=
+       fun (epoch, w) ->
+         if !recovering && epoch = !resync_epoch then begin
+           (* Read the integrator's retained log (one query round trip),
+              re-derive the base-relation cache, and recompute the action
+              lists the merge has not seen (states > watermark w). *)
+           Sim.Engine.schedule_after engine
+             (sample cfg.latencies.query_roundtrip)
+             (fun () ->
+               let base =
+                 Database.restrict initial_db (Query.View.base_relations view)
+               in
+               let vplan =
+                 Query.Compiled.compile ~lookup:(Database.schema base)
+                   view.Query.View.def
+               in
+               let head = Integrator.log_head integ in
+               let cache = ref base in
+               let replayed = ref [] in
+               List.iter
+                 (fun (txn, _rel) ->
+                   let changes = Query.Delta.of_transaction txn in
+                   if txn.Update.Transaction.id > w then begin
+                     let delta =
+                       Query.Delta.eval_plan ~pre:!cache changes vplan
+                     in
+                     let al =
+                       Query.Action_list.delta ~view:name
+                         ~state:txn.Update.Transaction.id delta
+                     in
+                     replayed := al :: !replayed
+                   end;
+                   cache := Database.apply_relevant !cache txn)
+                 (Integrator.replay_for integ ~view:name ~after:0);
+               let lists = List.rev !replayed in
+               let n = List.length lists in
+               Sim.Engine.schedule_after engine
+                 (compute_latency ~batch:(max 1 n))
+                 (fun () ->
+                   List.iter emit_to_merge lists;
+                   inner := build_inner ~initial:!cache ~inc:!incarnation;
+                   last_id := head;
+                   recovering := false;
+                   metrics.Metrics.recoveries <-
+                     metrics.Metrics.recoveries + 1;
+                   record
+                     "%s recovered: merge watermark %d, replayed %d lists \
+                      up to U%d"
+                     name w n head;
+                   Queue.iter receive pending_recovery;
+                   Queue.clear pending_recovery))
+         end);
+    let vm0 = !inner in
+    let vm =
+      { Viewmgr.Vm.view; level = vm0.Viewmgr.Vm.level;
+        receive;
+        flush =
+          (fun () ->
+            if (not !down) && not !recovering then !inner.Viewmgr.Vm.flush ());
+        needs_ticks = vm0.Viewmgr.Vm.needs_ticks;
+        pending =
+          (fun () ->
+            if !down then 0
+            else
+              !inner.Viewmgr.Vm.pending ()
+              + Queue.length pending_recovery
+              + if !recovering then 1 else 0) }
+    in
+    (vm, integ_link)
   in
-  let vms = List.map make_vm views in
-  let vm_chans =
-    List.map
-      (fun vm ->
-        ( vm,
-          Sim.Channel.create engine
-            ~name:("integ->" ^ Viewmgr.Vm.name vm)
-            ~latency:(fun () -> sample cfg.latencies.message)
-            (fun txn -> vm.Viewmgr.Vm.receive txn) ))
-      vms
-  in
-  let integ =
-    Integrator.create ~semantic_filter:cfg.semantic_filter ~schemas views
-  in
+  let vm_links = List.map make_vm views in
+  let vms = List.map fst vm_links in
+  let vm_chans = vm_links in
   let rel_chans =
     List.mapi
       (fun gi merge ->
-        Sim.Channel.create engine ~name:"integ->merge"
-          ~latency:(fun () -> sample cfg.latencies.message)
-          (fun (row, rel) ->
+        make_link ~name:"integ->merge" (fun (row, rel) ->
             merge_server_of gi (fun () ->
                 record "merge <- REL_%d = {%s}" row (String.concat ", " rel);
                 Mvc.Merge.receive_rel merge ~row ~rel;
@@ -521,10 +753,8 @@ let run_pipelined cfg =
     List.map (fun group -> List.map Query.View.name group) groups
   in
   let group_last_routed = Array.make (List.length groups) 0 in
-  let integrator_chan =
-    Sim.Channel.create engine ~name:"sources->integ"
-      ~latency:(fun () -> sample cfg.latencies.message)
-      (fun txn ->
+  let integrator_link =
+    make_link ~faultable:false ~name:"sources->integ" (fun txn ->
         let stamped, rel = Integrator.ingest integ txn in
         assert (stamped.Update.Transaction.id = txn.Update.Transaction.id);
         record "integrator: U%d (%a) REL = {%s}" stamped.Update.Transaction.id
@@ -540,7 +770,7 @@ let run_pipelined cfg =
             if rel_group <> [] then
               match cfg.rel_routing with
               | Direct ->
-                Sim.Channel.send (List.nth rel_chans gi)
+                (List.nth rel_chans gi).send
                   (stamped.Update.Transaction.id, rel_group)
               | Via_manager ->
                 let carrier = List.hd rel_group in
@@ -553,11 +783,11 @@ let run_pipelined cfg =
           group_names;
         (* U_i to the relevant view managers (and tick-hungry ones). *)
         List.iter
-          (fun (vm, chan) ->
+          (fun (vm, link) ->
             if
               vm.Viewmgr.Vm.needs_ticks
               || List.mem (Viewmgr.Vm.name vm) rel
-            then Sim.Channel.send chan stamped)
+            then link.send stamped)
           vm_chans;
         let pending =
           List.fold_left
@@ -573,13 +803,14 @@ let run_pipelined cfg =
       metrics.Metrics.transactions <- metrics.Metrics.transactions + 1;
       Hashtbl.replace arrival_times txn.Update.Transaction.id
         (Sim.Engine.now engine);
-      Sim.Channel.send integrator_chan txn);
+      integrator_link.send txn);
   let drained () =
     List.for_all (fun vm -> vm.Viewmgr.Vm.pending () = 0) vms
     && merge_servers_pending () = 0
     && List.for_all (fun (_, held) -> held () = 0) rel_reorderers
     && List.for_all Mvc.Merge.quiescent merges
     && Warehouse.Submitter.outstanding submitter = 0
+    && List.for_all (fun q -> q ()) !quiescence
   in
   let ok =
     drain engine
@@ -588,9 +819,24 @@ let run_pipelined cfg =
         @ List.map (fun m () -> Mvc.Merge.flush m) merges)
       ~drained
   in
-  if (not ok) && cfg.fault = None then
+  if (not ok) && faultless cfg then
     raise (Stuck "system failed to drain after flushing view managers");
   metrics.Metrics.completed_at <- Sim.Engine.now engine;
+  metrics.Metrics.msgs_dropped <-
+    List.fold_left (fun acc d -> acc + d ()) 0 !drop_counts;
+  List.iter
+    (fun get ->
+      let s = get () in
+      metrics.Metrics.retransmits <-
+        metrics.Metrics.retransmits + s.Sim.Reliable.retransmits;
+      metrics.Metrics.acks <- metrics.Metrics.acks + s.Sim.Reliable.acks_sent;
+      metrics.Metrics.nacks <-
+        metrics.Metrics.nacks + s.Sim.Reliable.nacks_sent;
+      metrics.Metrics.dup_frames_dropped <-
+        metrics.Metrics.dup_frames_dropped + s.Sim.Reliable.dups_dropped;
+      metrics.Metrics.gave_up <-
+        metrics.Metrics.gave_up + s.Sim.Reliable.gave_up)
+    !link_stats;
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = Mvc.Merge.algorithm_name algorithm;

@@ -71,11 +71,37 @@ type latencies = {
 
 val default_latencies : latencies
 
-(** Fault injection for the resilience tests: drop one message on a view
-    manager's action-list channel. The painting algorithms then hold every
-    dependent row forever — progress stops (the run raises {!Stuck}) but no
-    inconsistent state is ever exposed. *)
-type fault = Drop_action_list of { view : string; nth : int }
+(** Structured faults for the resilience tests.
+
+    [Drop_action_list] loses the [nth] physical message on a view
+    manager's action-list channel (injected in the channel layer, so the
+    channel's [dropped] counter stays truthful). With reliability off the
+    painting algorithms then either hold every dependent row forever
+    (progress stops but nothing wrong is merged), raise
+    [Vut.Protocol_error] (SPA), or — the dangerous case — silently
+    converge to a wrong warehouse (PA); with reliability on the loss is
+    detected and repaired by nack/retransmit.
+
+    [Crash_vm] kills the view manager of [view] at the moment it would
+    emit its [at_event]-th action list, losing that list and all of the
+    manager's in-memory state. With [reliability = Acked] the manager
+    restarts after [restart_after] simulated seconds, re-handshakes with
+    the merge via an epoch number, learns the merge's watermark for its
+    view, replays the integrator's retained update log to re-derive its
+    cache and the missing action lists, and resumes; only [Complete_vm]
+    and [Batching_vm] managers support this (log-replay recovery). With
+    reliability off the manager stays dead (stuck-but-safe). *)
+type fault =
+  | Drop_action_list of { view : string; nth : int }
+  | Crash_vm of { view : string; at_event : int; restart_after : float }
+
+(** The delivery layer under the system's channels. [Off] is the paper's
+    assumption of reliable FIFO delivery — faults then corrupt or stall.
+    [Acked params] wraps every inter-process channel in the
+    {!Sim.Reliable} ARQ layer (sequence numbers, dedup, cumulative acks,
+    NACK-on-gap, timeout retransmit with capped jittered backoff), which
+    restores the MVC guarantees under message loss and duplication. *)
+type reliability = Off | Acked of Sim.Reliable.params
 
 type config = {
   scenario : Workload.Scenarios.t;
@@ -96,7 +122,15 @@ type config = {
       (** Rewrite view definitions with {!Query.Optimize.optimize} before
           handing them to the view managers (semantics-preserving;
           micro-benchmarked in the ablation). *)
-  fault : fault option;
+  faults : fault list;  (** Structured faults (see {!fault}). *)
+  fault_plan : Workload.Fault_plan.t;
+      (** Channel-level fault schedule: deterministic nth-message rules
+          and seeded random drop/duplicate/delay rules, composable and
+          matched by channel-name pattern. Applies to the warehouse's
+          internal messaging only — the [sources->integ] feed is the
+          ground-truth boundary (the paper assumes sources report every
+          committed transaction) and is never faulted. *)
+  reliability : reliability;
   record_timeline : bool;
       (** Record a human-readable event log (source commits, REL routing,
           action-list deliveries, warehouse commits) in the result; used
@@ -117,7 +151,8 @@ type result = {
       (** Chronological event log (empty unless [record_timeline]). *)
   stuck : bool;
       (** True when an injected fault prevented the run from draining
-          (only possible with [fault] set; otherwise {!Stuck} raises). *)
+          (only possible with faults configured; otherwise {!Stuck}
+          raises). *)
 }
 
 exception Stuck of string

@@ -1,0 +1,100 @@
+type action = Drop | Duplicate | Delay of float
+
+type rule =
+  | Nth of { channel : string; nth : int; action : action }
+  | Random of {
+      channel : string;
+      drop : float;
+      duplicate : float;
+      delay : float;
+      delay_by : float;
+    }
+
+type t = rule list
+
+let empty = []
+
+let is_empty t = t = []
+
+let nth ~channel ~nth:n action = [ Nth { channel; nth = n; action } ]
+
+let random ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_by = 0.1)
+    channel =
+  [ Random { channel; drop; duplicate; delay; delay_by } ]
+
+let union plans = List.concat plans
+
+(* Channel patterns: exact name, "*" for all, or a single leading/trailing
+   "*" glob ("*->merge", "integ->*"). *)
+let matches ~pattern ~channel =
+  let plen = String.length pattern and clen = String.length channel in
+  if pattern = "*" then true
+  else if plen > 0 && pattern.[0] = '*' then
+    let suffix = String.sub pattern 1 (plen - 1) in
+    let slen = String.length suffix in
+    clen >= slen && String.sub channel (clen - slen) slen = suffix
+  else if plen > 0 && pattern.[plen - 1] = '*' then
+    let prefix = String.sub pattern 0 (plen - 1) in
+    let prlen = String.length prefix in
+    clen >= prlen && String.sub channel 0 prlen = prefix
+  else pattern = channel
+
+let rule_channel = function
+  | Nth { channel; _ } -> channel
+  | Random { channel; _ } -> channel
+
+let to_decision = function
+  | Drop -> Sim.Channel.Drop
+  | Duplicate -> Sim.Channel.Duplicate
+  | Delay d -> Sim.Channel.Delay d
+
+let hook plan ~rng ~channel =
+  let rules =
+    List.filter (fun r -> matches ~pattern:(rule_channel r) ~channel) plan
+  in
+  if rules = [] then None
+  else
+    let nths, randoms =
+      List.partition (function Nth _ -> true | Random _ -> false) rules
+    in
+    Some
+      (fun i ->
+        let deterministic =
+          List.find_map
+            (function
+              | Nth { nth = n; action; _ } when n = i -> Some action
+              | _ -> None)
+            nths
+        in
+        match deterministic with
+        | Some a -> to_decision a
+        | None ->
+          let rec sample = function
+            | [] -> Sim.Channel.Deliver
+            | Random { drop; duplicate; delay; delay_by; _ } :: rest ->
+              let u = Sim.Rng.float rng 1.0 in
+              if u < drop then Sim.Channel.Drop
+              else if u < drop +. duplicate then Sim.Channel.Duplicate
+              else if u < drop +. duplicate +. delay then
+                Sim.Channel.Delay (Sim.Rng.float rng delay_by)
+              else sample rest
+            | Nth _ :: rest -> sample rest
+          in
+          sample randoms)
+
+let attach plan ~rng chan =
+  Sim.Channel.set_fault chan (hook plan ~rng ~channel:(Sim.Channel.name chan))
+
+let pp_action ppf = function
+  | Drop -> Fmt.string ppf "drop"
+  | Duplicate -> Fmt.string ppf "duplicate"
+  | Delay d -> Fmt.pf ppf "delay(%.3f)" d
+
+let pp_rule ppf = function
+  | Nth { channel; nth; action } ->
+    Fmt.pf ppf "nth(%s, %d, %a)" channel nth pp_action action
+  | Random { channel; drop; duplicate; delay; delay_by } ->
+    Fmt.pf ppf "random(%s, drop=%.2f, dup=%.2f, delay=%.2f@%.3f)" channel
+      drop duplicate delay delay_by
+
+let pp ppf t = Fmt.(list ~sep:(any "; ") pp_rule) ppf t

@@ -1,0 +1,55 @@
+(** Composable, seeded fault schedules for simulated channels.
+
+    A plan is a union of rules, each scoped to a channel-name pattern
+    (exact name, ["*"] for every channel, or a single leading/trailing
+    ["*"] glob such as ["*->merge"]). Deterministic [Nth] rules target the
+    n-th message ever sent on a channel; [Random] rules sample per message
+    from the run's seeded {!Sim.Rng}, so a whole faulty run is still a
+    pure function of its seed. *)
+
+type action = Drop | Duplicate | Delay of float
+
+type rule =
+  | Nth of { channel : string; nth : int; action : action }
+  | Random of {
+      channel : string;
+      drop : float;  (** per-message drop probability *)
+      duplicate : float;  (** per-message duplicate probability *)
+      delay : float;  (** per-message delay-spike probability *)
+      delay_by : float;  (** delay-spike magnitude bound (seconds) *)
+    }
+
+type t = rule list
+
+val empty : t
+
+val is_empty : t -> bool
+
+val nth : channel:string -> nth:int -> action -> t
+(** Plan with a single deterministic rule. *)
+
+val random :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay:float ->
+  ?delay_by:float ->
+  string ->
+  t
+(** [random channel] builds a single seeded random rule; probabilities
+    default to 0. *)
+
+val union : t list -> t
+(** Compose plans. [Nth] rules take precedence over [Random] rules when
+    both match the same message. *)
+
+val matches : pattern:string -> channel:string -> bool
+
+val hook :
+  t -> rng:Sim.Rng.t -> channel:string -> (int -> Sim.Channel.decision) option
+(** The fault hook for one channel, or [None] when no rule's pattern
+    matches it (the channel then skips hook dispatch entirely). *)
+
+val attach : t -> rng:Sim.Rng.t -> 'a Sim.Channel.t -> unit
+(** Install the plan's hook on a channel, keyed by the channel's name. *)
+
+val pp : t Fmt.t

@@ -241,4 +241,177 @@ let stats_tests =
         Sim.Trace.clear tr;
         Alcotest.(check int) "cleared" 0 (Sim.Trace.length tr)) ]
 
-let tests = rng_tests @ engine_tests @ channel_tests @ stats_tests
+let fault_tests =
+  [ case "fault hook sees 1-based send indexes" (fun () ->
+        let engine = Sim.Engine.create () in
+        let seen = ref [] in
+        let ch =
+          Sim.Channel.create engine ~latency:(fun () -> 0.1) (fun _ -> ())
+        in
+        Sim.Channel.set_fault ch
+          (Some
+             (fun i ->
+               seen := i :: !seen;
+               Sim.Channel.Deliver));
+        Sim.Channel.send ch "a";
+        Sim.Channel.send ch "b";
+        Alcotest.(check (list int)) "indexes" [ 1; 2 ] (List.rev !seen));
+    case "drop keeps sent/dropped/in_flight truthful" (fun () ->
+        let engine = Sim.Engine.create () in
+        let got = ref [] in
+        let ch =
+          Sim.Channel.create engine ~latency:(fun () -> 0.1) (fun m ->
+              got := m :: !got)
+        in
+        Sim.Channel.set_fault ch
+          (Some (fun i -> if i = 2 then Sim.Channel.Drop else Sim.Channel.Deliver));
+        List.iter (Sim.Channel.send ch) [ "a"; "b"; "c" ];
+        Alcotest.(check int) "sent counts the lost message" 3
+          (Sim.Channel.sent ch);
+        Alcotest.(check int) "dropped" 1 (Sim.Channel.dropped ch);
+        Alcotest.(check int) "in flight before run" 2 (Sim.Channel.in_flight ch);
+        Sim.Engine.run engine;
+        Alcotest.(check int) "in flight after run" 0 (Sim.Channel.in_flight ch);
+        Alcotest.(check (list string)) "b lost" [ "a"; "c" ] (List.rev !got));
+    case "duplicate delivers twice and counts once" (fun () ->
+        let engine = Sim.Engine.create () in
+        let got = ref [] in
+        let ch =
+          Sim.Channel.create engine ~latency:(fun () -> 0.1) (fun m ->
+              got := m :: !got)
+        in
+        Sim.Channel.set_fault ch
+          (Some
+             (fun i ->
+               if i = 1 then Sim.Channel.Duplicate else Sim.Channel.Deliver));
+        Sim.Channel.send ch "a";
+        Sim.Channel.send ch "b";
+        Sim.Engine.run engine;
+        Alcotest.(check (list string)) "aab" [ "a"; "a"; "b" ] (List.rev !got);
+        Alcotest.(check int) "duplicated" 1 (Sim.Channel.duplicated ch);
+        Alcotest.(check int) "delivered" 3 (Sim.Channel.delivered ch);
+        Alcotest.(check int) "drained" 0 (Sim.Channel.in_flight ch));
+    case "delay postpones but preserves FIFO for later sends" (fun () ->
+        let engine = Sim.Engine.create () in
+        let got = ref [] in
+        let ch =
+          Sim.Channel.create engine ~latency:(fun () -> 0.1) (fun m ->
+              got := (Sim.Engine.now engine, m) :: !got)
+        in
+        Sim.Channel.set_fault ch
+          (Some
+             (fun i ->
+               if i = 1 then Sim.Channel.Delay 1.0 else Sim.Channel.Deliver));
+        Sim.Channel.send ch "slow";
+        Sim.Channel.send ch "fast";
+        Sim.Engine.run engine;
+        match List.rev !got with
+        | [ (t1, "slow"); (t2, "fast") ] ->
+          Alcotest.(check (float 1e-9)) "delayed" 1.1 t1;
+          Alcotest.(check bool) "fast clamped behind slow" true (t2 >= t1)
+        | _ -> Alcotest.fail "unexpected delivery order") ]
+
+(* The ARQ layer: exactly-once in-order delivery over faulty channels. *)
+let reliable_tests =
+  let make ?params () =
+    let engine = Sim.Engine.create () in
+    let got = ref [] in
+    let rl =
+      Sim.Reliable.create engine ?params ~rng:(Sim.Rng.create 42)
+        ~latency:(fun () -> 0.01)
+        (fun m -> got := m :: !got)
+    in
+    (engine, rl, got)
+  in
+  [ case "in-order exactly-once under drops" (fun () ->
+        let engine, rl, got = make () in
+        Sim.Channel.set_fault
+          (Sim.Reliable.data_channel rl)
+          (Some
+             (fun i ->
+               if i = 2 || i = 4 then Sim.Channel.Drop
+               else Sim.Channel.Deliver));
+        List.iter (Sim.Reliable.send rl) [ 1; 2; 3; 4; 5 ];
+        Sim.Engine.run engine;
+        Alcotest.(check (list int)) "payloads" [ 1; 2; 3; 4; 5 ]
+          (List.rev !got);
+        Alcotest.(check bool) "quiescent" true (Sim.Reliable.quiescent rl);
+        let s = Sim.Reliable.stats rl in
+        Alcotest.(check bool) "retransmitted" true (s.retransmits > 0));
+    case "receiver drops duplicated frames" (fun () ->
+        let engine, rl, got = make () in
+        Sim.Channel.set_fault
+          (Sim.Reliable.data_channel rl)
+          (Some
+             (fun i ->
+               if i = 1 then Sim.Channel.Duplicate else Sim.Channel.Deliver));
+        List.iter (Sim.Reliable.send rl) [ 1; 2 ];
+        Sim.Engine.run engine;
+        Alcotest.(check (list int)) "exactly once" [ 1; 2 ] (List.rev !got);
+        let s = Sim.Reliable.stats rl in
+        Alcotest.(check bool) "dup discarded" true (s.dups_dropped >= 1));
+    case "lost acks cause retransmits, not duplicate delivery" (fun () ->
+        let engine, rl, got = make () in
+        Sim.Channel.set_fault
+          (Sim.Reliable.ctrl_channel rl)
+          (Some
+             (fun i -> if i <= 2 then Sim.Channel.Drop else Sim.Channel.Deliver));
+        List.iter (Sim.Reliable.send rl) [ 1; 2; 3 ];
+        Sim.Engine.run engine;
+        Alcotest.(check (list int)) "exactly once" [ 1; 2; 3 ] (List.rev !got);
+        Alcotest.(check bool) "quiescent" true (Sim.Reliable.quiescent rl));
+    case "gap triggers a nack before any timeout" (fun () ->
+        let engine, rl, got = make () in
+        Sim.Channel.set_fault
+          (Sim.Reliable.data_channel rl)
+          (Some (fun i -> if i = 1 then Sim.Channel.Drop else Sim.Channel.Deliver));
+        Sim.Reliable.send rl 1;
+        Sim.Reliable.send rl 2;
+        (* Run only up to twice the channel latency: enough for frame 2's
+           arrival, the nack, and the nack-driven retransmit, but well
+           inside the 50ms retransmit timeout. *)
+        Sim.Engine.run ~until:0.045 engine;
+        Alcotest.(check (list int)) "healed by nack" [ 1; 2 ] (List.rev !got);
+        let s = Sim.Reliable.stats rl in
+        Alcotest.(check bool) "nacked" true (s.nacks_sent >= 1));
+    case "sender gives up after max_retries and reports non-quiescence"
+      (fun () ->
+        let engine, rl, got =
+          make
+            ~params:
+              { Sim.Reliable.default_params with
+                ack_timeout = 0.01;
+                max_retries = 3 }
+            ()
+        in
+        Sim.Channel.set_fault
+          (Sim.Reliable.data_channel rl)
+          (Some (fun _ -> Sim.Channel.Drop));
+        Sim.Reliable.send rl 1;
+        Sim.Engine.run engine;
+        Alcotest.(check (list int)) "nothing delivered" [] !got;
+        Alcotest.(check bool) "gave up" true (Sim.Reliable.gave_up rl);
+        Alcotest.(check bool) "not quiescent" false (Sim.Reliable.quiescent rl));
+    case "epoch bump voids the old stream at the receiver" (fun () ->
+        let engine, rl, got = make () in
+        (* Lose frame 2 of the old epoch forever, then restart the sender:
+           the receiver must adopt the new epoch's sequence instead of
+           waiting on the old gap. *)
+        Sim.Channel.set_fault
+          (Sim.Reliable.data_channel rl)
+          (Some (fun i -> if i = 2 then Sim.Channel.Drop else Sim.Channel.Deliver));
+        Sim.Reliable.send rl 1;
+        Sim.Reliable.send rl 2;
+        Sim.Engine.run ~until:0.02 engine;
+        Sim.Channel.set_fault (Sim.Reliable.data_channel rl) None;
+        ignore (Sim.Reliable.bump_epoch rl);
+        Sim.Reliable.send rl 10;
+        Sim.Reliable.send rl 11;
+        Sim.Engine.run engine;
+        Alcotest.(check (list int)) "old prefix + new epoch" [ 1; 10; 11 ]
+          (List.rev !got);
+        Alcotest.(check bool) "quiescent" true (Sim.Reliable.quiescent rl)) ]
+
+let tests =
+  rng_tests @ engine_tests @ channel_tests @ fault_tests @ reliable_tests
+  @ stats_tests

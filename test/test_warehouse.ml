@@ -171,6 +171,99 @@ let submitter_tests =
         Sim.Engine.run engine;
         Alcotest.(check int) "flushed" 1 !committed;
         Alcotest.(check bool) "after timeout" true (Sim.Engine.now engine >= 0.5));
+    case "batch timer firing on an already-flushed batch is a no-op" (fun () ->
+        (* A size-triggered flush does not cancel the pending timer; when
+           it fires on the (now empty) batch nothing must be committed,
+           and a later submission must get a fresh timer. *)
+        let engine = Sim.Engine.create () in
+        let s = store () in
+        let committed = ref [] in
+        let sub =
+          Warehouse.Submitter.create engine
+            ~policy:(Warehouse.Submitter.Batched 2)
+            ~commit_latency:(fun () -> 0.01)
+            ~batch_timeout:0.05 ~store:s
+            ~on_commit:(fun wt ->
+              committed := (Sim.Engine.now engine, wt.Warehouse.Wt.rows) :: !committed)
+            ()
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]);
+        (* The size flush happened at t=0; the t=0.05 timer is still
+           pending. A third wt submitted after it fires needs its own. *)
+        Sim.Engine.schedule_at engine 0.1 (fun () ->
+            Warehouse.Submitter.submit sub
+              (Warehouse.Wt.make ~rows:[ 3 ] [ al "A" 3 ]));
+        Sim.Engine.run engine;
+        (match List.rev !committed with
+        | [ (t1, [ 1; 2 ]); (t2, [ 3 ]) ] ->
+          Alcotest.(check (float 1e-9)) "size flush commit" 0.01 t1;
+          Alcotest.(check (float 1e-9)) "fresh timer flush commit" 0.16 t2
+        | log ->
+          Alcotest.failf "unexpected commit log (%d entries)" (List.length log));
+        Alcotest.(check int) "two store commits" 2
+          (Warehouse.Store.commit_count s));
+    case "pending timer adopts wts submitted after a size flush" (fun () ->
+        (* wt3 arrives while the timer armed by wt1 is still pending (the
+           batch it was armed for has already size-flushed): wt3 must ride
+           that original deadline, not a new one. *)
+        let engine = Sim.Engine.create () in
+        let s = store () in
+        let committed = ref [] in
+        let sub =
+          Warehouse.Submitter.create engine
+            ~policy:(Warehouse.Submitter.Batched 2)
+            ~commit_latency:(fun () -> 0.01)
+            ~batch_timeout:0.05 ~store:s
+            ~on_commit:(fun wt ->
+              committed := (Sim.Engine.now engine, wt.Warehouse.Wt.rows) :: !committed)
+            ()
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Sim.Engine.schedule_at engine 0.01 (fun () ->
+            Warehouse.Submitter.submit sub
+              (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]));
+        Sim.Engine.schedule_at engine 0.02 (fun () ->
+            Warehouse.Submitter.submit sub
+              (Warehouse.Wt.make ~rows:[ 3 ] [ al "A" 3 ]));
+        Sim.Engine.run engine;
+        (match List.rev !committed with
+        | [ (t1, [ 1; 2 ]); (t2, [ 3 ]) ] ->
+          Alcotest.(check (float 1e-9)) "size flush commit" 0.02 t1;
+          (* original deadline 0.05, not 0.02 + 0.05 *)
+          Alcotest.(check (float 1e-9)) "original deadline" 0.06 t2
+        | log ->
+          Alcotest.failf "unexpected commit log (%d entries)" (List.length log)));
+    case "batch formed exactly at the timeout boundary" (fun () ->
+        (* The timer (scheduled at t=0) and a submission at exactly
+           t=timeout tie; engine insertion order runs the timer first, so
+           the second wt starts a new batch of its own. *)
+        let engine = Sim.Engine.create () in
+        let s = store () in
+        let committed = ref [] in
+        let sub =
+          Warehouse.Submitter.create engine
+            ~policy:(Warehouse.Submitter.Batched 10)
+            ~commit_latency:(fun () -> 0.01)
+            ~batch_timeout:0.05 ~store:s
+            ~on_commit:(fun wt ->
+              committed := (Sim.Engine.now engine, wt.Warehouse.Wt.rows) :: !committed)
+            ()
+        in
+        Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
+        Sim.Engine.schedule_at engine 0.05 (fun () ->
+            Warehouse.Submitter.submit sub
+              (Warehouse.Wt.make ~rows:[ 2 ] [ al "A" 2 ]));
+        Sim.Engine.run engine;
+        (match List.rev !committed with
+        | [ (t1, [ 1 ]); (t2, [ 2 ]) ] ->
+          Alcotest.(check (float 1e-9)) "first batch at its deadline" 0.06 t1;
+          Alcotest.(check (float 1e-9)) "second batch a full timeout later"
+            0.11 t2
+        | log ->
+          Alcotest.failf "unexpected commit log (%d entries)" (List.length log));
+        Alcotest.(check int) "nothing outstanding" 0
+          (Warehouse.Submitter.outstanding sub));
     case "committed counter" (fun () ->
         let engine, _, sub, _ = submitter_setup Warehouse.Submitter.Serial in
         Warehouse.Submitter.submit sub (Warehouse.Wt.make ~rows:[ 1 ] [ al "A" 1 ]);
