@@ -23,6 +23,8 @@ let experiments =
     ("soak", Experiments.soak);
     ("resilience", Resilience.run);
     ("faultsoak", Resilience.faultsoak);
+    ("serve", Serving.run);
+    ("servesmoke", Serving.servesmoke);
     ("micro", Micro.run) ]
 
 let usage () =

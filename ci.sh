@@ -9,3 +9,4 @@ dune build
 dune runtest
 dune build @bench-smoke
 dune build @soak-smoke
+dune build @serve-smoke

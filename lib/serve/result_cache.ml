@@ -1,0 +1,112 @@
+open Relational
+
+(* Algebra.t is pure first-order data (no closures), so structural
+   equality and the generic hash are sound cache keys. *)
+module Expr_tbl = Hashtbl.Make (struct
+  type t = Query.Algebra.t
+
+  let equal = ( = )
+
+  let hash = Hashtbl.hash
+end)
+
+type entry = {
+  mutable result : Bag.t;
+  mutable computed_at : int;
+  support : string list;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  entries : int;
+}
+
+type t = {
+  capacity : int;
+  entries : entry Expr_tbl.t;
+  insertion_order : Query.Algebra.t Queue.t;
+  changes : (string, int list ref) Hashtbl.t;
+      (* per view, change versions newest first (appended nondecreasing) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Result_cache.create: capacity < 1";
+  { capacity; entries = Expr_tbl.create 64; insertion_order = Queue.create ();
+    changes = Hashtbl.create 16; hits = 0; misses = 0; stale = 0;
+    evictions = 0 }
+
+let note_change t ~view ~version =
+  match Hashtbl.find_opt t.changes view with
+  | Some l -> l := version :: !l
+  | None -> Hashtbl.add t.changes view (ref [ version ])
+
+(* Did [view] change at a version in (lo, hi]? The newest-first list is
+   scanned from its head; versions at the head are the most recent, so
+   the scan stops as soon as it falls to or below [lo]. Reads cluster
+   near the head (sessions read at or near the latest version), keeping
+   this effectively O(1) per support view. *)
+let changed_between t ~view ~lo ~hi =
+  match Hashtbl.find_opt t.changes view with
+  | None -> false
+  | Some l ->
+    let rec scan = function
+      | [] -> false
+      | v :: rest -> if v <= lo then false else v <= hi || scan rest
+    in
+    scan !l
+
+let valid_at t entry version =
+  let lo = min entry.computed_at version
+  and hi = max entry.computed_at version in
+  not
+    (List.exists
+       (fun view -> changed_between t ~view ~lo ~hi)
+       entry.support)
+
+let find t ~version expr =
+  match Expr_tbl.find_opt t.entries expr with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some entry ->
+    if valid_at t entry version then begin
+      t.hits <- t.hits + 1;
+      Some entry.result
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      t.stale <- t.stale + 1;
+      None
+    end
+
+let store t ~version ~support expr result =
+  match Expr_tbl.find_opt t.entries expr with
+  | Some entry ->
+    entry.result <- result;
+    entry.computed_at <- version
+  | None ->
+    if Expr_tbl.length t.entries >= t.capacity then begin
+      (* Evict the oldest-inserted surviving entry. *)
+      let rec evict () =
+        let key = Queue.pop t.insertion_order in
+        if Expr_tbl.mem t.entries key then begin
+          Expr_tbl.remove t.entries key;
+          t.evictions <- t.evictions + 1
+        end
+        else evict ()
+      in
+      evict ()
+    end;
+    Expr_tbl.replace t.entries expr { result; computed_at = version; support };
+    Queue.push expr t.insertion_order
+
+let stats t =
+  { hits = t.hits; misses = t.misses; stale = t.stale;
+    evictions = t.evictions; entries = Expr_tbl.length t.entries }

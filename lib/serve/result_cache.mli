@@ -1,0 +1,48 @@
+(** Versioned result cache for the compiled-plan read path.
+
+    Conceptually keyed by (query, version): a cached bag is the result of
+    one algebra expression evaluated against one immutable warehouse
+    version. Physically one entry is kept per query — the result and the
+    version it was computed at — and validity at another version is
+    decided by *per-view change history*: the entry is valid at version
+    [v] iff no view in the query's support (its base relations, which at
+    the warehouse are view names) changed in the index interval between
+    the computed-at version and [v]. Change history is fed by
+    {!note_change} from the views named in each committed WT's action
+    lists, so invalidation is exact: a hit is bit-for-bit the result the
+    kernel would recompute.
+
+    Validity works in both directions — a session reading an older
+    version can reuse a result computed at a newer one when nothing in
+    between touched the query's views. *)
+
+open Relational
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;  (** Lookups that found no valid entry. *)
+  stale : int;
+      (** Misses where an entry existed but a support view had changed. *)
+  evictions : int;
+  entries : int;  (** Current occupancy. *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 512) bounds the number of distinct queries
+    cached; insertion beyond it evicts the oldest-inserted entry. *)
+
+val note_change : t -> view:string -> version:int -> unit
+(** Record that [view] changed at [version]. Versions must be reported in
+    nondecreasing order per view (they come from the commit sequence). *)
+
+val find : t -> version:int -> Query.Algebra.t -> Bag.t option
+(** A valid cached result for the query at the version, if any. *)
+
+val store : t -> version:int -> support:string list -> Query.Algebra.t -> Bag.t -> unit
+(** Cache the query's result as computed at [version]. [support] is the
+    set of view names the result depends on
+    ({!Query.Algebra.base_relations} of the expression). *)
+
+val stats : t -> stats

@@ -1,6 +1,16 @@
+open Relational
 
 let snapshot_db store = Store.snapshot store
 
-let query store expr = Query.Eval.eval (Store.snapshot store) expr
+(* Reads run on the compiled positional kernel; the memoized compile means
+   an inquiry application issuing the same expression repeatedly pays name
+   resolution once (hits revalidate against the snapshot's schemas, so a
+   store with different view schemas never reuses a stale plan). The
+   interpreted evaluator (Query.Eval.eval ~naive:true) is kept as the
+   equivalence oracle in the property tests. *)
+let eval db expr =
+  Query.Compiled.eval db (Query.Compiled.compile_memo ~lookup:(Database.schema db) expr)
 
-let query_as_of store ~time expr = Query.Eval.eval (Store.as_of store time) expr
+let query store expr = eval (Store.snapshot store) expr
+
+let query_as_of store ~time expr = eval (Store.as_of store time) expr

@@ -8,9 +8,15 @@
     a mutually consistent snapshot. [query_as_of] evaluates against the
     state visible at an earlier instant — the warehouse as a store of
     historical data (Section 1's "storing historical data or backup
-    data"). *)
+    data").
 
-
+    Queries evaluate through the compiled hash-join kernel
+    ({!Query.Compiled}) with a memoized compile per expression; the
+    interpreted evaluator remains available as [Query.Eval.eval
+    ~naive:true] and is the oracle the reader is property-tested
+    against. The snapshot-serving layer ({!Serve}) builds sessions,
+    guarantees and a versioned result cache on top of this module's
+    evaluation path. *)
 
 val snapshot_db : Store.t -> Relational.Database.t
 (** The current warehouse state, views as base relations. *)
@@ -21,4 +27,6 @@ val query : Store.t -> Query.Algebra.t -> Relational.Relation.t
     that is not a view. *)
 
 val query_as_of : Store.t -> time:float -> Query.Algebra.t -> Relational.Relation.t
-(** Evaluate against the state visible at [time]. *)
+(** Evaluate against the state visible at [time].
+    @raise Store.Pruned if [time] predates the store's retention
+    watermark. *)

@@ -2,18 +2,38 @@ open Relational
 
 type commit = { time : float; transaction : Wt.t; state : Database.t }
 
+type retention = Keep_all | Keep_last of int
+
+(* Retained commits live in [buf.(start) .. buf.(start + len - 1)], oldest
+   first, times nondecreasing (the simulator's clock never runs backwards;
+   equal times are legal and resolved latest-wins by the binary search).
+   [pruned] counts commits discarded below the retention watermark, so the
+   global commit index of buf.(start + i) is pruned + i + 1 (index 0 being
+   the initial state). *)
 type t = {
   initial : Database.t;
   mutable current : Database.t;
-  mutable rev_commits : commit list;
-  mutable commit_count : int;
+  mutable buf : commit option array;
+  mutable start : int;
+  mutable len : int;
+  mutable pruned : int;
+  retention : retention;
 }
 
 exception Unknown_view of string
 
-let create bindings =
+exception Pruned of float
+
+let create ?(retention = Keep_all) bindings =
+  (match retention with
+  | Keep_last n when n < 1 ->
+    invalid_arg "Store.create: Keep_last needs a positive window"
+  | Keep_last _ | Keep_all -> ());
   let db = Database.of_list bindings in
-  { initial = db; current = db; rev_commits = []; commit_count = 0 }
+  { initial = db; current = db; buf = Array.make 16 None; start = 0; len = 0;
+    pruned = 0; retention }
+
+let retention t = t.retention
 
 let views t = Database.names t.current
 
@@ -26,6 +46,17 @@ let snapshot t = t.current
 
 let initial t = t.initial
 
+let nth t i =
+  match t.buf.(t.start + i) with
+  | Some c -> c
+  | None -> assert false
+
+let commit_count t = t.pruned + t.len
+
+let watermark t = t.pruned
+
+let retained t = t.len
+
 let apply_action db (al : Query.Action_list.t) =
   match Database.find_opt db al.view with
   | None -> raise (Unknown_view al.view)
@@ -33,22 +64,60 @@ let apply_action db (al : Query.Action_list.t) =
     let contents = Query.Action_list.apply al (Relation.contents rel) in
     Database.add al.view (Relation.with_contents rel contents) db
 
+(* Make room for one more commit at the tail: grow (and compact away the
+   pruned prefix) when the physical buffer is exhausted. *)
+let ensure_room t =
+  if t.start + t.len = Array.length t.buf then begin
+    let cap = max 16 (2 * t.len) in
+    let buf = Array.make cap None in
+    Array.blit t.buf t.start buf 0 t.len;
+    t.buf <- buf;
+    t.start <- 0
+  end
+
+let prune t =
+  match t.retention with
+  | Keep_all -> ()
+  | Keep_last n ->
+    while t.len > n do
+      t.buf.(t.start) <- None;
+      t.start <- t.start + 1;
+      t.len <- t.len - 1;
+      t.pruned <- t.pruned + 1
+    done
+
 let apply t ?(time = 0.0) (wt : Wt.t) =
   let db = List.fold_left apply_action t.current wt.actions in
   t.current <- db;
-  t.rev_commits <- { time; transaction = wt; state = db } :: t.rev_commits;
-  t.commit_count <- t.commit_count + 1
+  ensure_room t;
+  t.buf.(t.start + t.len) <- Some { time; transaction = wt; state = db };
+  t.len <- t.len + 1;
+  prune t
 
-let commits t = List.rev t.rev_commits
+let commits t = List.init t.len (fun i -> nth t i)
 
-let commit_count t = t.commit_count
+let states t = t.initial :: List.init t.len (fun i -> (nth t i).state)
 
-let states t = t.initial :: List.rev_map (fun c -> c.state) t.rev_commits
+(* Rightmost retained commit with time <= query. Several commits may share
+   a simulated time (e.g. an All_at_once script); the binary search keeps
+   moving right past equal times, so the latest of them wins. *)
+let as_of_index t time =
+  if t.len = 0 || (nth t 0).time > time then None
+  else begin
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    (* invariant: (nth lo).time <= time; answer is in [lo, hi] *)
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if (nth t mid).time <= time then lo := mid else hi := mid - 1
+    done;
+    Some !lo
+  end
 
 let as_of t time =
-  (* rev_commits is newest first. *)
-  let rec find = function
-    | [] -> t.initial
-    | c :: older -> if c.time <= time then c.state else find older
-  in
-  find t.rev_commits
+  match as_of_index t time with
+  | Some i -> (nth t i).state
+  | None ->
+    (* Nothing retained at or before [time]: before any commit that is
+       ws_0, but once commits have been pruned the state at [time] is no
+       longer recorded. *)
+    if t.pruned = 0 then t.initial else raise (Pruned time)

@@ -4,7 +4,15 @@
     atomically, recording the full warehouse state sequence
     [ws_0, ws_1, ..., ws_q] (Section 2.3: a warehouse state is a vector
     with one element per view). The recorded history is what the
-    consistency oracle inspects. *)
+    consistency oracle inspects.
+
+    Commits are kept in a growable array ordered by commit time (the
+    simulated clock is nondecreasing), so {!as_of} is a binary search
+    rather than a scan of the whole history. A {!retention} policy bounds
+    how much history is retained: the consistency oracle needs [Keep_all]
+    (the default), while long soaks can run with [Keep_last] so a
+    million-transaction run does not retain every historical state
+    vector. *)
 
 open Relational
 
@@ -14,12 +22,29 @@ type commit = {
   state : Database.t;  (** The warehouse state vector after the commit. *)
 }
 
+(** How much commit history to retain. [Keep_all] records every state
+    (what {!states} and the consistency oracle expect). [Keep_last n]
+    keeps only the [n] most recent commits; older ones are discarded and
+    the watermark advances. The *current* state is always available
+    either way — retention only limits time travel. *)
+type retention = Keep_all | Keep_last of int
+
 type t
 
 exception Unknown_view of string
 
-val create : (string * Relation.t) list -> t
-(** Initial materializations, one per view. *)
+exception Pruned of float
+(** Raised by {!as_of} when the requested instant falls below the
+    retention watermark: some commit before it has been discarded, so the
+    state at that time is no longer recorded. Carries the requested
+    time. *)
+
+val create : ?retention:retention -> (string * Relation.t) list -> t
+(** Initial materializations, one per view. [retention] defaults to
+    [Keep_all].
+    @raise Invalid_argument on [Keep_last n] with [n < 1]. *)
+
+val retention : t -> retention
 
 val views : t -> string list
 
@@ -34,20 +59,34 @@ val initial : t -> Database.t
 
 val apply : t -> ?time:float -> Wt.t -> unit
 (** Apply a warehouse transaction atomically: every action list in order,
-    then record the new state.
+    then record the new state (and prune past the retention window).
+    Commit times must be nondecreasing across calls — they are stamped
+    from the simulation clock.
     @raise Unknown_view if an action list targets an unknown view. *)
 
 val commits : t -> commit list
-(** Committed transactions, oldest first. *)
+(** Retained committed transactions, oldest first (all of them under
+    [Keep_all]). *)
 
 val commit_count : t -> int
+(** Total commits ever applied, including pruned ones. *)
+
+val watermark : t -> int
+(** Number of commits discarded by retention — the global index of the
+    oldest retained commit. 0 under [Keep_all]. *)
+
+val retained : t -> int
+(** Commits currently retained ([= commit_count] under [Keep_all]). *)
 
 val states : t -> Database.t list
 (** [ws_0 ... ws_q]: initial state followed by the state after each
-    commit. *)
+    retained commit. Under [Keep_last] this is a suffix of the history
+    prefixed by [ws_0] — feed the oracle [Keep_all] stores only. *)
 
 val as_of : t -> float -> Database.t
 (** The warehouse state visible at a given (simulated) time: the state
     produced by the last commit at or before that instant ([ws_0] before
-    any commit). Because states are persistent snapshots this is O(log n)
-    bookkeeping and O(1) data. *)
+    any commit). When several commits carry the same time, the latest of
+    them wins. O(log retained) binary search over the commit array; the
+    returned database is a persistent snapshot, so no data is copied.
+    @raise Pruned if the instant falls below the retention watermark. *)

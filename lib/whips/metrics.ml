@@ -3,6 +3,10 @@ type t = {
   merge_held : Sim.Stats.Summary.t;
   merge_live_rows : Sim.Stats.Summary.t;
   vm_queue : Sim.Stats.Summary.t;
+  read_latency : Sim.Stats.Summary.t;
+  served_staleness : Sim.Stats.Summary.t;
+  versions_retained : Sim.Stats.Summary.t;
+  versions_pinned : Sim.Stats.Summary.t;
   mutable transactions : int;
   mutable commits : int;
   mutable actions_applied : int;
@@ -15,6 +19,10 @@ type t = {
   mutable gave_up : int;
   mutable crashes : int;
   mutable recoveries : int;
+  mutable reads : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable reads_clamped : int;
 }
 
 let create () =
@@ -22,22 +30,43 @@ let create () =
     merge_held = Sim.Stats.Summary.create ();
     merge_live_rows = Sim.Stats.Summary.create ();
     vm_queue = Sim.Stats.Summary.create ();
+    read_latency = Sim.Stats.Summary.create ();
+    served_staleness = Sim.Stats.Summary.create ();
+    versions_retained = Sim.Stats.Summary.create ();
+    versions_pinned = Sim.Stats.Summary.create ();
     transactions = 0; commits = 0; actions_applied = 0; completed_at = 0.0;
     msgs_dropped = 0; retransmits = 0; acks = 0; nacks = 0;
-    dup_frames_dropped = 0; gave_up = 0; crashes = 0; recoveries = 0 }
+    dup_frames_dropped = 0; gave_up = 0; crashes = 0; recoveries = 0;
+    reads = 0; cache_hits = 0; cache_misses = 0; reads_clamped = 0 }
 
 let throughput t =
   if t.completed_at <= 0.0 then 0.0
   else float_of_int t.transactions /. t.completed_at
+
+let read_throughput t =
+  if t.completed_at <= 0.0 then 0.0
+  else float_of_int t.reads /. t.completed_at
+
+let cache_hit_ratio t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
 
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>txns=%d commits=%d actions=%d completed=%.3fs tput=%.2f/s@ \
      staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@ \
      resilience: dropped=%d retx=%d acks=%d nacks=%d dups=%d gave-up=%d \
-     crashes=%d recoveries=%d@]"
+     crashes=%d recoveries=%d@ \
+     serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d@ \
+     read-latency: %a@ served-staleness: %a@ versions-retained: %a@ \
+     versions-pinned: %a@]"
     t.transactions t.commits t.actions_applied t.completed_at (throughput t)
     Sim.Stats.Summary.pp t.staleness Sim.Stats.Summary.pp t.merge_held
     Sim.Stats.Summary.pp t.merge_live_rows Sim.Stats.Summary.pp t.vm_queue
     t.msgs_dropped t.retransmits t.acks t.nacks t.dup_frames_dropped
-    t.gave_up t.crashes t.recoveries
+    t.gave_up t.crashes t.recoveries t.reads (read_throughput t)
+    t.cache_hits
+    (t.cache_hits + t.cache_misses)
+    t.reads_clamped Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
+    t.served_staleness Sim.Stats.Summary.pp t.versions_retained
+    Sim.Stats.Summary.pp t.versions_pinned

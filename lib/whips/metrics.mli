@@ -14,6 +14,17 @@ type t = {
       (** Live VUT rows, sampled after each merge event. *)
   vm_queue : Sim.Stats.Summary.t;
       (** Pending work across view managers, sampled on update routing. *)
+  read_latency : Sim.Stats.Summary.t;
+      (** Per served read: completion time minus arrival time (queueing
+          at the session plus the read service latency). *)
+  served_staleness : Sim.Stats.Summary.t;
+      (** Per served read: completion time minus the served version's
+          commit time — how old the data a client actually saw was. *)
+  versions_retained : Sim.Stats.Summary.t;
+      (** Versions held by the serving layer, sampled at each publish. *)
+  versions_pinned : Sim.Stats.Summary.t;
+      (** Versions under an active reader lease, sampled at each
+          publish. *)
   mutable transactions : int;  (** Source transactions executed. *)
   mutable commits : int;  (** Warehouse transactions committed. *)
   mutable actions_applied : int;  (** Elementary view operations applied. *)
@@ -29,6 +40,12 @@ type t = {
       (** Reliable senders that exhausted their retries (run is stuck). *)
   mutable crashes : int;  (** View-manager crash events. *)
   mutable recoveries : int;  (** Completed crash recoveries. *)
+  mutable reads : int;  (** Reads served by the snapshot-serving layer. *)
+  mutable cache_hits : int;  (** Result-cache hits across all sessions. *)
+  mutable cache_misses : int;
+  mutable reads_clamped : int;
+      (** Reads whose session guarantee (or pruned history) forced a
+          newer version than the read asked for. *)
 }
 
 val create : unit -> t
@@ -36,5 +53,11 @@ val create : unit -> t
 val throughput : t -> float
 (** Source transactions per simulated second (0 for an instantaneous
     run). *)
+
+val read_throughput : t -> float
+(** Served reads per simulated second. *)
+
+val cache_hit_ratio : t -> float
+(** [hits / (hits + misses)]; 0 when no cache lookups happened. *)
 
 val pp : Format.formatter -> t -> unit

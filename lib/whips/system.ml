@@ -36,11 +36,35 @@ type latencies = {
   commit : float;
   query_roundtrip : float;
   merge : float;
+  read : float;
 }
 
 let default_latencies =
   { message = 0.002; compute = 0.01; commit = 0.005; query_roundtrip = 0.02;
-    merge = 0.0005 }
+    merge = 0.0005; read = 0.005 }
+
+type read_profile = {
+  sessions : (Serve.Session.guarantee * int) list;
+  read_arrival : arrival;
+  n_reads : int;
+  as_of_fraction : float;
+  as_of_lag : float;
+  read_cache : bool;
+  serve_retention : Serve.Version_manager.retention;
+  queries : Query.Algebra.t list;
+}
+
+let default_reads =
+  { sessions =
+      [ (Serve.Session.Latest, 2); (Serve.Session.Monotonic_reads, 2);
+        (Serve.Session.Bounded_staleness 0.1, 2) ];
+    read_arrival = Poisson 200.0;
+    n_reads = 100;
+    as_of_fraction = 0.25;
+    as_of_lag = 0.2;
+    read_cache = true;
+    serve_retention = Serve.Version_manager.Keep_last 64;
+    queries = [] }
 
 type config = {
   scenario : Workload.Scenarios.t;
@@ -57,6 +81,8 @@ type config = {
   faults : fault list;
   fault_plan : Workload.Fault_plan.t;
   reliability : reliability;
+  reads : read_profile option;
+  store_retention : Warehouse.Store.retention;
   record_timeline : bool;
   seed : int;
 }
@@ -67,10 +93,33 @@ let default scenario =
     latencies = default_latencies; merge_groups = None;
     semantic_filter = false; rel_routing = Direct; optimize_views = false;
     faults = []; fault_plan = Workload.Fault_plan.empty; reliability = Off;
+    reads = None; store_retention = Warehouse.Store.Keep_all;
     record_timeline = false; seed = 1 }
 
 let faultless cfg =
   cfg.faults = [] && Workload.Fault_plan.is_empty cfg.fault_plan
+
+type read_record = {
+  read_session : int;
+  read_guarantee : Serve.Session.guarantee;
+  read_query : Query.Algebra.t;
+  read_as_of : float option;
+  read_arrived : float;
+  read_served : float;
+  read_version : int;
+  read_version_time : float;
+  read_staleness : float;
+  read_cache_hit : bool;
+  read_clamped : bool;
+  read_state : Database.t;
+  read_result : Bag.t;
+}
+
+type serving = {
+  version_manager : Serve.Version_manager.t;
+  result_cache : Serve.Result_cache.t option;
+  reads_served : read_record list;
+}
 
 type result = {
   config : config;
@@ -81,6 +130,7 @@ type result = {
   merge_algorithm : string;
   timeline : (float * string) list;
   stuck : bool;
+  serving : serving option;
 }
 
 exception Stuck of string
@@ -153,6 +203,184 @@ let drain engine ~flushes ~drained =
   in
   loop 1000
 
+(* ---- the snapshot-serving subsystem (lib/serve) wired to a run ----
+
+   One version manager over the store, one optional shared result cache,
+   and a population of reader sessions, each with its own serial service
+   queue (a session is one client connection: its reads are handled one
+   at a time, each costing a sampled read latency). The version is
+   selected and *pinned* when service starts and released when the read
+   completes, so the retention pruning that a concurrent commit triggers
+   can never drop the snapshot an in-flight read is using. *)
+type serving_ctx = {
+  ctx_vm : Serve.Version_manager.t;
+  ctx_cache : Serve.Result_cache.t option;
+  ctx_records : read_record list ref;
+  ctx_publish : Warehouse.Wt.t -> unit;  (* call after each store commit *)
+  ctx_pending : unit -> int;
+}
+
+let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
+  match cfg.reads with
+  | None -> None
+  | Some rp ->
+    let population =
+      List.concat_map (fun (g, n) -> List.init n (fun _ -> g)) rp.sessions
+    in
+    if population = [] then
+      invalid_arg "System: cfg.reads needs at least one session";
+    let arrival_rng = Sim.Rng.split rng in
+    let pick_rng = Sim.Rng.split rng in
+    let vm =
+      Serve.Version_manager.create ~retention:rp.serve_retention
+        (Warehouse.Store.snapshot store)
+    in
+    let cache =
+      if rp.read_cache then Some (Serve.Result_cache.create ()) else None
+    in
+    let queries =
+      Array.of_list
+        (match rp.queries with
+        | [] ->
+          List.map (fun v -> Query.Algebra.base (Query.View.name v)) views
+        | qs -> qs)
+    in
+    let records = ref [] in
+    let servers =
+      Array.of_list
+        (List.mapi
+           (fun sid g ->
+             let session = Serve.Session.create ?cache ~guarantee:g vm in
+             let queue = Queue.create () in
+             let busy = ref false in
+             let rec pump () =
+               if (not !busy) && not (Queue.is_empty queue) then begin
+                 busy := true;
+                 let arrived, as_of, query = Queue.pop queue in
+                 let pending =
+                   Serve.Session.start session ~now:(Sim.Engine.now engine)
+                     ?as_of ()
+                 in
+                 let version = Serve.Session.pending_version pending in
+                 Sim.Engine.schedule_after engine (sample cfg.latencies.read)
+                   (fun () ->
+                     let now = Sim.Engine.now engine in
+                     let o = Serve.Session.complete session pending ~now query in
+                     metrics.Metrics.reads <- metrics.Metrics.reads + 1;
+                     Sim.Stats.Summary.add metrics.Metrics.read_latency
+                       (now -. arrived);
+                     Sim.Stats.Summary.add metrics.Metrics.served_staleness
+                       o.Serve.Session.staleness;
+                     (match cache with
+                     | Some _ ->
+                       if o.Serve.Session.cache_hit then
+                         metrics.Metrics.cache_hits <-
+                           metrics.Metrics.cache_hits + 1
+                       else
+                         metrics.Metrics.cache_misses <-
+                           metrics.Metrics.cache_misses + 1
+                     | None -> ());
+                     if o.Serve.Session.clamped then
+                       metrics.Metrics.reads_clamped <-
+                         metrics.Metrics.reads_clamped + 1;
+                     log
+                       (Printf.sprintf
+                          "session %d (%s) served from version %d%s%s" sid
+                          (Serve.Session.guarantee_name g)
+                          o.Serve.Session.version
+                          (if o.Serve.Session.cache_hit then " [cache]"
+                           else "")
+                          (if o.Serve.Session.clamped then " [clamped]"
+                           else ""));
+                     records :=
+                       { read_session = sid; read_guarantee = g;
+                         read_query = query; read_as_of = as_of;
+                         read_arrived = arrived; read_served = now;
+                         read_version = o.Serve.Session.version;
+                         read_version_time = o.Serve.Session.version_time;
+                         read_staleness = o.Serve.Session.staleness;
+                         read_cache_hit = o.Serve.Session.cache_hit;
+                         read_clamped = o.Serve.Session.clamped;
+                         read_state = version.Serve.Version_manager.state;
+                         read_result = o.Serve.Session.result }
+                       :: !records;
+                     busy := false;
+                     pump ())
+               end
+             in
+             let submit job =
+               Queue.push job queue;
+               pump ()
+             in
+             let pending () = Queue.length queue + if !busy then 1 else 0 in
+             (submit, pending))
+           population)
+    in
+    (* Read arrival process, independent of the update schedule. *)
+    let clock = ref 0.0 in
+    for _ = 1 to rp.n_reads do
+      let at =
+        match rp.read_arrival with
+        | All_at_once -> 0.0
+        | Uniform gap ->
+          clock := !clock +. gap;
+          !clock
+        | Poisson rate ->
+          clock := !clock +. Sim.Rng.exponential arrival_rng ~mean:(1.0 /. rate);
+          !clock
+      in
+      Sim.Engine.schedule_at engine at (fun () ->
+          let sid = Sim.Rng.int pick_rng (Array.length servers) in
+          let query = queries.(Sim.Rng.int pick_rng (Array.length queries)) in
+          let as_of =
+            if
+              rp.as_of_fraction > 0.0
+              && Sim.Rng.float pick_rng 1.0 < rp.as_of_fraction
+            then Some (Float.max 0.0 (at -. Sim.Rng.float pick_rng rp.as_of_lag))
+            else None
+          in
+          (fst servers.(sid)) (at, as_of, query))
+    done;
+    let publish wt =
+      let now = Sim.Engine.now engine in
+      let changed = Warehouse.Wt.views wt in
+      let v =
+        Serve.Version_manager.publish vm ~time:now ~changed
+          (Warehouse.Store.snapshot store)
+      in
+      (match cache with
+      | Some c ->
+        List.iter
+          (fun view ->
+            Serve.Result_cache.note_change c ~view
+              ~version:v.Serve.Version_manager.index)
+          changed
+      | None -> ());
+      Sim.Stats.Summary.add metrics.Metrics.versions_retained
+        (float_of_int (Serve.Version_manager.retained vm));
+      Sim.Stats.Summary.add metrics.Metrics.versions_pinned
+        (float_of_int (Serve.Version_manager.pinned vm))
+    in
+    let pending () =
+      Array.fold_left (fun acc (_, p) -> acc + p ()) 0 servers
+    in
+    Some
+      { ctx_vm = vm; ctx_cache = cache; ctx_records = records;
+        ctx_publish = publish; ctx_pending = pending }
+
+let serving_publish ctx wt =
+  match ctx with Some c -> c.ctx_publish wt | None -> ()
+
+let serving_pending ctx =
+  match ctx with Some c -> c.ctx_pending () | None -> 0
+
+let serving_result ctx =
+  Option.map
+    (fun c ->
+      { version_manager = c.ctx_vm; result_cache = c.ctx_cache;
+        reads_served = List.rev !(c.ctx_records) })
+    ctx
+
 (* The Section 1.1 baseline: one process, sequential handling of updates,
    one warehouse transaction per update, waiting for each commit. *)
 let effective_views cfg schemas =
@@ -173,17 +401,20 @@ let run_sequential cfg =
   let views = effective_views cfg (Source.Sources.schema_lookup sources) in
   let initial_db = Source.Sources.initial sources in
   let store =
-    Warehouse.Store.create
+    Warehouse.Store.create ~retention:cfg.store_retention
       (List.map
          (fun v -> (Query.View.name v, Query.View.materialize initial_db v))
          views)
   in
   let metrics = Metrics.create () in
+  let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  let serving =
+    setup_serving engine ~rng ~sample ~metrics ~store ~views ~log:ignore cfg
+  in
   let arrival_times = Hashtbl.create 64 in
   let queue = Queue.create () in
   let busy = ref false in
   let cache = ref initial_db in
-  let sample mean = Sim.Rng.exponential lat_rng ~mean in
   let rec pump () =
     if (not !busy) && not (Queue.is_empty queue) then begin
       busy := true;
@@ -221,6 +452,7 @@ let run_sequential cfg =
             metrics.Metrics.commits <- metrics.Metrics.commits + 1;
             metrics.Metrics.actions_applied <-
               metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+            serving_publish serving wt;
             (match Hashtbl.find_opt arrival_times txn.id with
             | Some t0 ->
               Sim.Stats.Summary.add metrics.Metrics.staleness
@@ -246,14 +478,16 @@ let run_sequential cfg =
       Sim.Channel.send integrator_chan txn);
   let ok =
     drain engine ~flushes:[]
-      ~drained:(fun () -> (not !busy) && Queue.is_empty queue)
+      ~drained:(fun () ->
+        (not !busy) && Queue.is_empty queue && serving_pending serving = 0)
   in
   if not ok then
     raise (Stuck "sequential baseline failed to drain");
   metrics.Metrics.completed_at <- Sim.Engine.now engine;
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
-    merge_algorithm = "sequential"; timeline = []; stuck = false }
+    merge_algorithm = "sequential"; timeline = []; stuck = false;
+    serving = serving_result serving }
 
 (* A single-threaded service queue: the merge process handles one message
    at a time, each costing a sampled latency. This is what lets benchmark
@@ -347,7 +581,7 @@ let run_pipelined cfg =
   let views = effective_views cfg schemas in
   let initial_db = Source.Sources.initial sources in
   let store =
-    Warehouse.Store.create
+    Warehouse.Store.create ~retention:cfg.store_retention
       (List.map
          (fun v -> (Query.View.name v, Query.View.materialize initial_db v))
          views)
@@ -362,6 +596,11 @@ let run_pipelined cfg =
           timeline := (Sim.Engine.now engine, msg) :: !timeline)
       fmt
   in
+  let serving =
+    setup_serving engine ~rng ~sample ~metrics ~store ~views
+      ~log:(fun msg -> record "%s" msg)
+      cfg
+  in
   let submitter =
     Warehouse.Submitter.create engine ~policy:cfg.submit
       ~commit_latency:(fun () -> sample cfg.latencies.commit)
@@ -374,6 +613,7 @@ let run_pipelined cfg =
         metrics.Metrics.commits <- metrics.Metrics.commits + 1;
         metrics.Metrics.actions_applied <-
           metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+        serving_publish serving wt;
         List.iter
           (fun row ->
             match Hashtbl.find_opt arrival_times row with
@@ -810,6 +1050,7 @@ let run_pipelined cfg =
     && List.for_all (fun (_, held) -> held () = 0) rel_reorderers
     && List.for_all Mvc.Merge.quiescent merges
     && Warehouse.Submitter.outstanding submitter = 0
+    && serving_pending serving = 0
     && List.for_all (fun q -> q ()) !quiescence
   in
   let ok =
@@ -840,7 +1081,8 @@ let run_pipelined cfg =
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = Mvc.Merge.algorithm_name algorithm;
-    timeline = List.rev !timeline; stuck = not ok }
+    timeline = List.rev !timeline; stuck = not ok;
+    serving = serving_result serving }
 
 let run cfg =
   match cfg.merge_kind with

@@ -67,9 +67,39 @@ type latencies = {
   merge : float;  (** Mean merge-process handling cost per message; the
                       merge is a single-threaded server, so this is what
                       eventually saturates it (benchmark P2). *)
+  read : float;  (** Mean per-read service cost at a reader session. *)
 }
 
 val default_latencies : latencies
+
+(** The read workload served by the snapshot-serving subsystem
+    ({!Serve}): a population of reader sessions, an arrival process for
+    their reads, and the serving policy knobs. Reads are scheduled
+    independently of the update script, so read:write ratio sweeps just
+    vary [n_reads] / [read_arrival] against the scenario. *)
+type read_profile = {
+  sessions : (Serve.Session.guarantee * int) list;
+      (** Population: how many sessions per guarantee. Each session is
+          one client connection; its reads are served one at a time. *)
+  read_arrival : arrival;  (** Arrival process across the population. *)
+  n_reads : int;
+  as_of_fraction : float;
+      (** Fraction of reads that are historical ([as_of]) rather than
+          current. *)
+  as_of_lag : float;
+      (** Historical reads ask for an instant uniform in
+          [now - as_of_lag, now]. *)
+  read_cache : bool;  (** Share a {!Serve.Result_cache} across sessions. *)
+  serve_retention : Serve.Version_manager.retention;
+  queries : Query.Algebra.t list;
+      (** Query mix, drawn uniformly; [[]] means one whole-view query
+          per scenario view. *)
+}
+
+val default_reads : read_profile
+(** Six sessions (two per guarantee), 100 Poisson reads at 200/s, 25%
+    historical reads up to 0.2 s back, cache on, keep-last-64
+    retention. *)
 
 (** Structured faults for the resilience tests.
 
@@ -131,6 +161,18 @@ type config = {
           ground-truth boundary (the paper assumes sources report every
           committed transaction) and is never faulted. *)
   reliability : reliability;
+  reads : read_profile option;
+      (** [Some profile] attaches the snapshot-serving subsystem: every
+          warehouse commit is published as a {!Serve.Version_manager}
+          version and the profile's reader sessions are run against it
+          concurrently with the update stream. [None] (the default)
+          disables serving entirely. *)
+  store_retention : Warehouse.Store.retention;
+      (** Retention for the warehouse commit history (satellite of the
+          serving work; independent of [serve_retention]). The
+          consistency {!verdict} replays the full state sequence, so it
+          requires [Keep_all] — prune only in serving/throughput
+          experiments that skip the oracle. *)
   record_timeline : bool;
       (** Record a human-readable event log (source commits, REL routing,
           action-list deliveries, warehouse commits) in the result; used
@@ -139,6 +181,36 @@ type config = {
 }
 
 val default : Workload.Scenarios.t -> config
+
+(** One served read, recorded in arrival order. [read_state] is the
+    exact warehouse state the read was evaluated against (persistent, so
+    holding it is free) — tests replay queries over it with the naive
+    evaluator to cross-check the compiled/cached read path, and feed the
+    deduplicated states to {!Consistency.Checker} to prove every served
+    snapshot is consistent. *)
+type read_record = {
+  read_session : int;
+  read_guarantee : Serve.Session.guarantee;
+  read_query : Query.Algebra.t;
+  read_as_of : float option;  (** Requested instant for historical reads. *)
+  read_arrived : float;
+  read_served : float;
+  read_version : int;
+  read_version_time : float;
+  read_staleness : float;
+  read_cache_hit : bool;
+  read_clamped : bool;
+  read_state : Relational.Database.t;
+  read_result : Relational.Bag.t;
+}
+
+type serving = {
+  version_manager : Serve.Version_manager.t;  (** Post-run state. *)
+  result_cache : Serve.Result_cache.t option;
+  reads_served : read_record list;
+      (** In completion order (per session this equals arrival order —
+          each session serves its reads one at a time). *)
+}
 
 type result = {
   config : config;
@@ -153,6 +225,8 @@ type result = {
       (** True when an injected fault prevented the run from draining
           (only possible with faults configured; otherwise {!Stuck}
           raises). *)
+  serving : serving option;
+      (** Present iff [config.reads] was set. *)
 }
 
 exception Stuck of string

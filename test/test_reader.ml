@@ -64,7 +64,42 @@ let reader_tests =
     case "unknown view raises" (fun () ->
         let s = store_with_history () in
         Alcotest.check_raises "unknown" (Database.Unknown_relation "Z")
-          (fun () -> ignore (Warehouse.Reader.query s (Algebra.base "Z")))) ]
+          (fun () -> ignore (Warehouse.Reader.query s (Algebra.base "Z"))));
+    case "query_as_of below the retention watermark raises Pruned" (fun () ->
+        let s =
+          Warehouse.Store.create
+            ~retention:(Warehouse.Store.Keep_last 1)
+            [ ("V", Helpers.rel (Helpers.int_schema [ "x" ]) []) ]
+        in
+        List.iter
+          (fun (time, t) ->
+            Warehouse.Store.apply s ~time
+              (Warehouse.Wt.make ~rows:[ t ]
+                 [ Action_list.delta ~view:"V" ~state:t
+                     (Signed_bag.singleton (Helpers.ints [ t ]) 1) ]))
+          [ (1.0, 1); (3.0, 2) ];
+        Alcotest.(check bool) "pruned" true
+          (match Warehouse.Reader.query_as_of s ~time:1.5 (Algebra.base "V") with
+          | exception Warehouse.Store.Pruned 1.5 -> true
+          | _ -> false);
+        (* The retained window is still readable. *)
+        Alcotest.(check int) "window" 2
+          (Relation.cardinal
+             (Warehouse.Reader.query_as_of s ~time:3.0 (Algebra.base "V"))));
+    Helpers.qcheck ~count:150 "compiled read path agrees with the naive oracle"
+      QCheck2.Gen.(pair Helpers.Delta_domain.db_gen Helpers.Delta_domain.expr_gen)
+      (fun (database, expr) ->
+        (* Reader.query runs compile_memo + the compiled kernel; the naive
+           evaluator is the reference semantics. *)
+        let s =
+          Warehouse.Store.create
+            (List.map
+               (fun n -> (n, Database.find database n))
+               (Database.names database))
+        in
+        Bag.equal
+          (Eval.eval_bag ~naive:true database expr)
+          (Relation.contents (Warehouse.Reader.query s expr))) ]
 
 let system_tests =
   [ case "customer inquiry over a live run reads consistent data" (fun () ->

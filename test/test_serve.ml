@@ -1,0 +1,477 @@
+open Relational
+open Query
+
+let case = Helpers.case
+
+module Vm = Serve.Version_manager
+module Cache = Serve.Result_cache
+module Session = Serve.Session
+
+(* A warehouse state with one view V holding the tuples 0..k-1, so the
+   version published k-th in a test is trivially distinguishable. *)
+let db k =
+  Database.of_list
+    [ ("V",
+       Helpers.rel (Helpers.int_schema [ "x" ]) (List.init k (fun i -> [ i ]))) ]
+
+let card_v state = Relation.cardinal (Database.find state "V")
+
+let q = Algebra.base "V"
+
+(* A manager with versions 0..n published at times 1.0, 2.0, ...; version
+   i carries i+1 tuples. *)
+let vm_with ?retention n =
+  let vm = Vm.create ?retention (db 1) in
+  for i = 1 to n do
+    ignore (Vm.publish vm ~time:(float_of_int i) ~changed:[ "V" ] (db (i + 1)))
+  done;
+  vm
+
+let version_manager_tests =
+  [ case "publish numbers versions; find retrieves them" (fun () ->
+        let vm = vm_with 2 in
+        Alcotest.(check int) "count" 3 (Vm.version_count vm);
+        Alcotest.(check int) "latest" 2 (Vm.latest vm).Vm.index;
+        Alcotest.(check int) "v0 state" 1 (card_v (Vm.find vm 0).Vm.state);
+        Alcotest.(check int) "v2 state" 3 (card_v (Vm.find vm 2).Vm.state);
+        Alcotest.(check (float 1e-9)) "v1 time" 1.0 (Vm.find vm 1).Vm.time;
+        Alcotest.(check bool) "beyond latest" true
+          (match Vm.find vm 3 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "as_of serves the version visible at an instant" (fun () ->
+        let vm = vm_with 2 in
+        Alcotest.(check int) "before first" 0 (Vm.as_of vm 0.5).Vm.index;
+        Alcotest.(check int) "between" 1 (Vm.as_of vm 1.5).Vm.index;
+        Alcotest.(check int) "exact is inclusive" 1 (Vm.as_of vm 1.0).Vm.index;
+        Alcotest.(check int) "after last" 2 (Vm.as_of vm 99.0).Vm.index);
+    case "as_of ties resolve to the highest index" (fun () ->
+        let vm = Vm.create (db 1) in
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "V" ] (db 2));
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "V" ] (db 3));
+        ignore (Vm.publish vm ~time:3.0 ~changed:[ "V" ] (db 4));
+        Alcotest.(check int) "latest of the tied pair" 2
+          (Vm.as_of vm 1.0).Vm.index;
+        Alcotest.(check int) "its state" 3 (card_v (Vm.as_of vm 1.0).Vm.state));
+    case "publish with a decreasing time is rejected" (fun () ->
+        let vm = vm_with 2 in
+        Alcotest.(check bool) "raises" true
+          (match Vm.publish vm ~time:1.5 ~changed:[] (db 9) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "Keep_last prunes old versions and advances the watermark" (fun () ->
+        let vm = vm_with ~retention:(Vm.Keep_last 2) 3 in
+        Alcotest.(check int) "retained" 2 (Vm.retained vm);
+        Alcotest.(check int) "watermark" 2 (Vm.watermark vm);
+        Alcotest.(check int) "count includes pruned" 4 (Vm.version_count vm);
+        Alcotest.(check bool) "find below watermark" true
+          (match Vm.find vm 1 with exception Vm.Pruned 1 -> true | _ -> false);
+        Alcotest.(check bool) "as_of below watermark" true
+          (match Vm.as_of vm 1.5 with
+          | exception Vm.Pruned _ -> true
+          | _ -> false);
+        Alcotest.(check int) "as_of above watermark" 3 (Vm.as_of vm 9.0).Vm.index;
+        Alcotest.(check int) "oldest_live" 2 (Vm.oldest_live vm).Vm.index);
+    case "Keep_last n < 1 is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Vm.create ~retention:(Vm.Keep_last 0) (db 1) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "a pinned version survives pruning until unpinned" (fun () ->
+        let vm = Vm.create ~retention:(Vm.Keep_last 1) (db 1) in
+        ignore (Vm.pin vm 0);
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "V" ] (db 2));
+        ignore (Vm.publish vm ~time:2.0 ~changed:[ "V" ] (db 3));
+        Alcotest.(check int) "watermark held at the pin" 0 (Vm.watermark vm);
+        Alcotest.(check int) "pinned" 1 (Vm.pinned vm);
+        Alcotest.(check int) "pinned state readable" 1
+          (card_v (Vm.find vm 0).Vm.state);
+        Vm.unpin vm 0;
+        Alcotest.(check int) "pruning resumes" 2 (Vm.watermark vm);
+        Alcotest.(check int) "nothing pinned" 0 (Vm.pinned vm);
+        Alcotest.(check bool) "now pruned" true
+          (match Vm.find vm 0 with exception Vm.Pruned 0 -> true | _ -> false));
+    case "leases nest per version" (fun () ->
+        let vm = Vm.create ~retention:(Vm.Keep_last 1) (db 1) in
+        ignore (Vm.pin vm 0);
+        ignore (Vm.pin vm 0);
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "V" ] (db 2));
+        Vm.unpin vm 0;
+        Alcotest.(check int) "still held by the second lease" 0 (Vm.watermark vm);
+        Vm.unpin vm 0;
+        Alcotest.(check int) "released" 1 (Vm.watermark vm);
+        Alcotest.(check bool) "unbalanced unpin" true
+          (match Vm.unpin vm 1 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "oldest_at_least finds the most cache-friendly fresh version"
+      (fun () ->
+        let vm = vm_with 3 in
+        Alcotest.(check int) "mid" 2 (Vm.oldest_at_least vm 1.5).Vm.index;
+        Alcotest.(check int) "exact" 1 (Vm.oldest_at_least vm 1.0).Vm.index;
+        Alcotest.(check int) "all fresh enough" 0
+          (Vm.oldest_at_least vm 0.0).Vm.index;
+        Alcotest.(check int) "nothing fresh enough: latest" 3
+          (Vm.oldest_at_least vm 9.0).Vm.index);
+    Helpers.qcheck ~count:200 "as_of binary search matches a linear oracle"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 0 12) (int_range 0 5))
+          (int_range (-2) 40))
+      (fun (gaps, instant10) ->
+        let vm = Vm.create (db 1) in
+        let time = ref 0.0 in
+        let times =
+          List.mapi
+            (fun i gap ->
+              time := !time +. (float_of_int gap /. 2.0);
+              ignore (Vm.publish vm ~time:!time ~changed:[ "V" ] (db (i + 2)));
+              !time)
+            gaps
+        in
+        let instant = float_of_int instant10 /. 10.0 in
+        (* Oracle: highest index whose time <= instant; version 0 when
+           even that fails (the documented before-history fallback). *)
+        let expected =
+          List.fold_left
+            (fun acc (i, t) -> if t <= instant then i else acc)
+            0
+            (List.mapi (fun i t -> (i + 1, t)) times)
+        in
+        (Vm.as_of vm instant).Vm.index = expected) ]
+
+let bag_v k = Helpers.bag_of (List.init k (fun i -> [ i ]))
+
+let result_cache_tests =
+  [ case "store then find at the same version hits" (fun () ->
+        let c = Cache.create () in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 2);
+        (match Cache.find c ~version:1 q with
+        | Some b -> Alcotest.check Helpers.bag "cached" (bag_v 2) b
+        | None -> Alcotest.fail "expected a hit");
+        let s = Cache.stats c in
+        Alcotest.(check int) "hits" 1 s.Cache.hits;
+        Alcotest.(check int) "entries" 1 s.Cache.entries);
+    case "an entry stays valid across versions that left its views alone"
+      (fun () ->
+        let c = Cache.create () in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 2);
+        Cache.note_change c ~view:"W" ~version:3;
+        Alcotest.(check bool) "hit at a later version" true
+          (Cache.find c ~version:5 q <> None));
+    case "a support-view change invalidates exactly the affected interval"
+      (fun () ->
+        let c = Cache.create () in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 2);
+        Cache.note_change c ~view:"V" ~version:3;
+        Alcotest.(check bool) "valid before the change" true
+          (Cache.find c ~version:2 q <> None);
+        Alcotest.(check bool) "invalid at the change" true
+          (Cache.find c ~version:3 q = None);
+        Alcotest.(check bool) "invalid after the change" true
+          (Cache.find c ~version:5 q = None);
+        let s = Cache.stats c in
+        Alcotest.(check int) "stale counted" 2 s.Cache.stale);
+    case "validity works backwards: older reads reuse newer results"
+      (fun () ->
+        let c = Cache.create () in
+        Cache.note_change c ~view:"V" ~version:1;
+        Cache.store c ~version:5 ~support:[ "V" ] q (bag_v 6);
+        Alcotest.(check bool) "valid at an older version" true
+          (Cache.find c ~version:2 q <> None);
+        Alcotest.(check bool) "but not across the change" true
+          (Cache.find c ~version:0 q = None));
+    case "capacity evicts the oldest-inserted entry" (fun () ->
+        let c = Cache.create ~capacity:2 () in
+        let q1 = Algebra.base "A" and q2 = Algebra.base "B" in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 1);
+        Cache.store c ~version:1 ~support:[ "A" ] q1 (bag_v 1);
+        Cache.store c ~version:1 ~support:[ "B" ] q2 (bag_v 1);
+        let s = Cache.stats c in
+        Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+        Alcotest.(check int) "entries" 2 s.Cache.entries;
+        Alcotest.(check bool) "oldest gone" true (Cache.find c ~version:1 q = None);
+        Alcotest.(check bool) "newest kept" true
+          (Cache.find c ~version:1 q2 <> None)) ]
+
+(* Session tests run against a manager with versions 0..2 at times 0, 1, 2
+   carrying 1, 2, 3 tuples. *)
+let session_tests =
+  [ case "Latest serves the newest version" (fun () ->
+        let vm = vm_with 2 in
+        let s = Session.create ~guarantee:Session.Latest vm in
+        let o = Session.read s ~now:5.0 q in
+        Alcotest.(check int) "version" 2 o.Session.version;
+        Alcotest.check Helpers.bag "contents" (bag_v 3) o.Session.result;
+        Alcotest.(check (float 1e-9)) "staleness" 3.0 o.Session.staleness;
+        Alcotest.(check bool) "not clamped" false o.Session.clamped);
+    case "historical reads serve the version visible at the instant"
+      (fun () ->
+        let vm = vm_with 2 in
+        let s = Session.create ~guarantee:Session.Latest vm in
+        let o = Session.read s ~now:5.0 ~as_of:1.5 q in
+        Alcotest.(check int) "version" 1 o.Session.version;
+        Alcotest.check Helpers.bag "contents" (bag_v 2) o.Session.result);
+    case "monotonic clamps historical reads up to the session token"
+      (fun () ->
+        let vm = vm_with 2 in
+        let fresh = Session.create ~guarantee:Session.Monotonic_reads vm in
+        let o = Session.read fresh ~now:5.0 ~as_of:1.5 q in
+        Alcotest.(check int) "no token yet: honest history" 1 o.Session.version;
+        Alcotest.(check bool) "not clamped" false o.Session.clamped;
+        let s = Session.create ~guarantee:Session.Monotonic_reads vm in
+        let o1 = Session.read s ~now:5.0 q in
+        Alcotest.(check int) "current read" 2 o1.Session.version;
+        Alcotest.(check int) "token advanced" 2 (Session.token s);
+        let o2 = Session.read s ~now:5.0 ~as_of:1.5 q in
+        Alcotest.(check int) "clamped to the token" 2 o2.Session.version;
+        Alcotest.(check bool) "flagged" true o2.Session.clamped);
+    case "bounded staleness serves the oldest admissible version" (fun () ->
+        let vm = vm_with 2 in
+        let s = Session.create ~guarantee:(Session.Bounded_staleness 2.0) vm in
+        let o = Session.read s ~now:2.5 q in
+        Alcotest.(check int) "oldest within the bound" 1 o.Session.version;
+        Alcotest.(check bool) "bound respected" true
+          (o.Session.staleness <= 2.0);
+        let tight = Session.create ~guarantee:(Session.Bounded_staleness 0.1) vm in
+        let o = Session.read tight ~now:2.5 q in
+        Alcotest.(check int) "nothing fresh enough: latest" 2 o.Session.version);
+    case "reads below the pruning watermark clamp to the oldest retained"
+      (fun () ->
+        let vm = vm_with ~retention:(Vm.Keep_last 1) 2 in
+        let s = Session.create ~guarantee:Session.Latest vm in
+        let o = Session.read s ~now:5.0 ~as_of:0.5 q in
+        Alcotest.(check int) "oldest we still have" 2 o.Session.version;
+        Alcotest.(check bool) "flagged" true o.Session.clamped);
+    case "an in-flight read's lease survives concurrent pruning" (fun () ->
+        let vm = Vm.create ~retention:(Vm.Keep_last 1) (db 1) in
+        let s = Session.create ~guarantee:Session.Latest vm in
+        let pending = Session.start s ~now:0.5 () in
+        Alcotest.(check int) "selected version 0" 0
+          (Session.pending_version pending).Vm.index;
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "V" ] (db 2));
+        ignore (Vm.publish vm ~time:2.0 ~changed:[ "V" ] (db 3));
+        Alcotest.(check int) "prune blocked by the lease" 0 (Vm.watermark vm);
+        let o = Session.complete s pending ~now:2.5 q in
+        Alcotest.check Helpers.bag "evaluated against the leased state"
+          (bag_v 1) o.Session.result;
+        Alcotest.(check int) "lease released, prune resumed" 2 (Vm.watermark vm);
+        Alcotest.(check bool) "double complete" true
+          (match Session.complete s pending ~now:2.5 q with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "sessions sharing a cache share results" (fun () ->
+        let vm = vm_with 2 in
+        let cache = Cache.create () in
+        let s1 = Session.create ~cache ~guarantee:Session.Latest vm in
+        let s2 = Session.create ~cache ~guarantee:Session.Latest vm in
+        let o1 = Session.read s1 ~now:5.0 q in
+        Alcotest.(check bool) "first read misses" false o1.Session.cache_hit;
+        let o2 = Session.read s2 ~now:5.0 q in
+        Alcotest.(check bool) "second read hits" true o2.Session.cache_hit;
+        Alcotest.check Helpers.bag "identical results" o1.Session.result
+          o2.Session.result;
+        Alcotest.check Helpers.bag "and correct"
+          (Query.Eval.eval_bag ~naive:true (db 3) q)
+          o2.Session.result);
+    Helpers.qcheck ~count:150
+      "monotonic sessions never observe a smaller commit index"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      (fun seed ->
+        let rng = Sim.Rng.create seed in
+        let vm = Vm.create (db 1) in
+        let s = Session.create ~guarantee:Session.Monotonic_reads vm in
+        let time = ref 0.0 in
+        let k = ref 1 in
+        let last = ref 0 in
+        let ok = ref true in
+        for _ = 1 to 40 do
+          if Sim.Rng.bool rng then begin
+            time := !time +. Sim.Rng.float rng 1.0;
+            incr k;
+            ignore (Vm.publish vm ~time:!time ~changed:[ "V" ] (db !k))
+          end
+          else begin
+            let as_of =
+              if Sim.Rng.bool rng then
+                Some (Sim.Rng.float rng (!time +. 1.0))
+              else None
+            in
+            let o = Session.read s ~now:(!time +. 0.1) ?as_of q in
+            if o.Session.version < !last then ok := false;
+            last := max !last o.Session.version
+          end
+        done;
+        !ok) ]
+
+(* Full-system integration: concurrent readers against a live maintenance
+   pipeline. *)
+
+let records result =
+  match result.Whips.System.serving with
+  | Some sv -> sv.Whips.System.reads_served
+  | None -> Alcotest.fail "expected serving to be attached"
+
+(* Every served result must equal a naive re-evaluation of its query over
+   the exact state it was served from — the compiled/cached read path
+   cross-checked against the reference evaluator, read by read. *)
+let check_read_results result =
+  List.iter
+    (fun r ->
+      Alcotest.check Helpers.bag "read equals naive oracle"
+        (Query.Eval.eval_bag ~naive:true r.Whips.System.read_state
+           r.Whips.System.read_query)
+        r.Whips.System.read_result)
+    (records result)
+
+(* Served snapshots, sorted by version and deduplicated, form a
+   subsequence of the commit chain; prepending ws_0 and capping with the
+   final state (the checker requires histories to end at ss_f, and reads
+   may have stopped before the last commits) gives the checker a
+   warehouse history that must be strongly consistent whenever the
+   pipeline's merge kept MVC. *)
+let check_served_snapshots result =
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        compare a.Whips.System.read_version b.Whips.System.read_version)
+      (records result)
+  in
+  let served =
+    List.filter_map
+      (fun r ->
+        if r.Whips.System.read_version = 0 then None
+        else Some r.Whips.System.read_state)
+      sorted
+  in
+  let max_version =
+    List.fold_left
+      (fun acc r -> max acc r.Whips.System.read_version)
+      0 sorted
+  in
+  let served =
+    if max_version < Warehouse.Store.commit_count result.Whips.System.store
+    then served @ [ Warehouse.Store.snapshot result.Whips.System.store ]
+    else served
+  in
+  let ws0 = Warehouse.Store.initial result.Whips.System.store in
+  let verdict =
+    Consistency.Checker.check
+      ~views:result.Whips.System.config.Whips.System.scenario.Workload.Scenarios.views
+      ~transactions:result.Whips.System.transactions
+      ~source_states:(Source.Sources.states result.Whips.System.sources)
+      ~warehouse_states:(ws0 :: served)
+  in
+  Alcotest.(check bool)
+    ("served snapshots consistent: " ^ verdict.Consistency.Checker.detail)
+    true
+    (Consistency.Checker.at_least Consistency.Checker.Strong verdict)
+
+let system_tests =
+  [ case "concurrent readers over a live run match the naive oracle"
+      (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.bank) with
+            arrival = Whips.System.Poisson 40.0;
+            reads = Some Whips.System.default_reads;
+            seed = 11 }
+        in
+        let result = Whips.System.run cfg in
+        Alcotest.(check bool) "drained" false result.Whips.System.stuck;
+        Alcotest.(check int) "all reads served" 100
+          (List.length (records result));
+        Alcotest.(check int) "metrics agree" 100
+          result.Whips.System.metrics.Whips.Metrics.reads;
+        check_read_results result;
+        check_served_snapshots result);
+    case "SPA with channel faults serves only consistent snapshots"
+      (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.paper_views) with
+            merge_kind = Whips.System.Force_spa;
+            arrival = Whips.System.Poisson 30.0;
+            fault_plan =
+              Workload.Fault_plan.random ~drop:0.1 ~duplicate:0.05
+                ~delay:0.05 "*";
+            reliability = Whips.System.Acked Sim.Reliable.default_params;
+            reads =
+              Some { Whips.System.default_reads with n_reads = 60 };
+            seed = 7 }
+        in
+        let result = Whips.System.run cfg in
+        Alcotest.(check bool) "drained" false result.Whips.System.stuck;
+        Alcotest.(check int) "all reads served" 60
+          (List.length (records result));
+        check_read_results result;
+        check_served_snapshots result);
+    case "PA with channel faults serves only consistent snapshots"
+      (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.paper_views) with
+            merge_kind = Whips.System.Force_pa;
+            arrival = Whips.System.Poisson 30.0;
+            fault_plan =
+              Workload.Fault_plan.random ~drop:0.1 ~duplicate:0.05
+                ~delay:0.05 "*";
+            reliability = Whips.System.Acked Sim.Reliable.default_params;
+            reads =
+              Some { Whips.System.default_reads with n_reads = 60 };
+            seed = 13 }
+        in
+        let result = Whips.System.run cfg in
+        Alcotest.(check bool) "drained" false result.Whips.System.stuck;
+        check_read_results result;
+        check_served_snapshots result);
+    case "the result cache changes nothing a client can observe" (fun () ->
+        let base =
+          { (Whips.System.default Workload.Scenarios.bank) with
+            arrival = Whips.System.Poisson 40.0;
+            seed = 19 }
+        in
+        let with_cache =
+          Whips.System.run
+            { base with
+              reads =
+                Some { Whips.System.default_reads with read_cache = true } }
+        in
+        let without =
+          Whips.System.run
+            { base with
+              reads =
+                Some { Whips.System.default_reads with read_cache = false } }
+        in
+        let a = records with_cache and b = records without in
+        Alcotest.(check int) "same read count" (List.length a) (List.length b);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check int) "same version"
+              x.Whips.System.read_version y.Whips.System.read_version;
+            Alcotest.check Helpers.bag "same result"
+              x.Whips.System.read_result y.Whips.System.read_result)
+          a b;
+        Alcotest.(check bool) "cache was exercised" true
+          (with_cache.Whips.System.metrics.Whips.Metrics.cache_hits > 0);
+        Alcotest.(check int) "no cache counters when disabled" 0
+          (without.Whips.System.metrics.Whips.Metrics.cache_hits
+          + without.Whips.System.metrics.Whips.Metrics.cache_misses));
+    case "serving metrics are populated" (fun () ->
+        let cfg =
+          { (Whips.System.default Workload.Scenarios.bank) with
+            arrival = Whips.System.Poisson 40.0;
+            reads = Some Whips.System.default_reads;
+            seed = 23 }
+        in
+        let result = Whips.System.run cfg in
+        let m = result.Whips.System.metrics in
+        Alcotest.(check int) "latency samples" m.Whips.Metrics.reads
+          (Sim.Stats.Summary.count m.Whips.Metrics.read_latency);
+        Alcotest.(check int) "staleness samples" m.Whips.Metrics.reads
+          (Sim.Stats.Summary.count m.Whips.Metrics.served_staleness);
+        Alcotest.(check bool) "hit ratio in range" true
+          (let r = Whips.Metrics.cache_hit_ratio m in
+           r >= 0.0 && r <= 1.0);
+        Alcotest.(check bool) "read throughput positive" true
+          (Whips.Metrics.read_throughput m > 0.0)) ]
+
+let tests =
+  version_manager_tests @ result_cache_tests @ session_tests @ system_tests

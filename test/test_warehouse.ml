@@ -80,7 +80,83 @@ let store_tests =
              [ Action_list.refresh ~view:"A" ~state:1 (Helpers.bag_of [ [ 7 ]; [ 8 ] ]) ]);
         Alcotest.check Helpers.bag "replaced"
           (Helpers.bag_of [ [ 7 ]; [ 8 ] ])
-          (Relation.contents (Warehouse.Store.view s "A"))) ]
+          (Relation.contents (Warehouse.Store.view s "A")));
+    case "as_of with tied commit times serves the latest of them" (fun () ->
+        let s = store () in
+        Warehouse.Store.apply s ~time:1.0
+          (Warehouse.Wt.make ~rows:[ 1 ] [ plus "A" 1 (Helpers.ints [ 2 ]) ]);
+        Warehouse.Store.apply s ~time:1.0
+          (Warehouse.Wt.make ~rows:[ 2 ] [ plus "A" 2 (Helpers.ints [ 3 ]) ]);
+        Alcotest.(check int) "second commit wins the tie" 3
+          (Relation.cardinal
+             (Database.find (Warehouse.Store.as_of s 1.0) "A")));
+    case "Keep_last prunes history but keeps the current state" (fun () ->
+        let s =
+          Warehouse.Store.create
+            ~retention:(Warehouse.Store.Keep_last 2)
+            [ ("A", Helpers.rel (Helpers.int_schema [ "x" ]) []) ]
+        in
+        for i = 1 to 4 do
+          Warehouse.Store.apply s ~time:(float_of_int i)
+            (Warehouse.Wt.make ~rows:[ i ] [ plus "A" i (Helpers.ints [ i ]) ])
+        done;
+        Alcotest.(check int) "all commits counted" 4
+          (Warehouse.Store.commit_count s);
+        Alcotest.(check int) "two retained" 2 (Warehouse.Store.retained s);
+        Alcotest.(check int) "watermark" 2 (Warehouse.Store.watermark s);
+        Alcotest.(check int) "states = ws_0 + retained" 3
+          (List.length (Warehouse.Store.states s));
+        Alcotest.(check int) "current intact" 4
+          (Relation.cardinal (Warehouse.Store.view s "A"));
+        Alcotest.(check int) "as_of inside the window" 3
+          (Relation.cardinal
+             (Database.find (Warehouse.Store.as_of s 3.5) "A"));
+        Alcotest.(check bool) "as_of below the watermark" true
+          (match Warehouse.Store.as_of s 1.5 with
+          | exception Warehouse.Store.Pruned 1.5 -> true
+          | _ -> false));
+    case "Keep_last n < 1 is rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Warehouse.Store.create
+               ~retention:(Warehouse.Store.Keep_last 0)
+               [ ("A", Helpers.rel (Helpers.int_schema [ "x" ]) []) ]
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Helpers.qcheck ~count:200 "as_of binary search matches a linear oracle"
+      QCheck2.Gen.(
+        pair (list_size (int_range 0 15) (int_range 0 4)) (int_range (-2) 40))
+      (fun (gaps, instant10) ->
+        (* Random nondecreasing commit times (repeats exercise the tie
+           rule), then a random instant checked against a scan. *)
+        let s =
+          Warehouse.Store.create
+            [ ("A", Helpers.rel (Helpers.int_schema [ "x" ]) []) ]
+        in
+        let time = ref 0.0 in
+        List.iteri
+          (fun i gap ->
+            time := !time +. (float_of_int gap /. 2.0);
+            Warehouse.Store.apply s ~time:!time
+              (Warehouse.Wt.make ~rows:[ i + 1 ]
+                 [ plus "A" (i + 1) (Helpers.ints [ i ]) ]))
+          gaps;
+        let instant = float_of_int instant10 /. 10.0 in
+        let expected =
+          List.fold_left
+            (fun acc c ->
+              if c.Warehouse.Store.time <= instant then
+                Some c.Warehouse.Store.state
+              else acc)
+            None (Warehouse.Store.commits s)
+        in
+        let expected =
+          match expected with
+          | Some state -> state
+          | None -> Warehouse.Store.initial s
+        in
+        Database.equal expected (Warehouse.Store.as_of s instant)) ]
 
 (* Submitter tests run on the simulation engine. *)
 let submitter_setup policy =
