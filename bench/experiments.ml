@@ -37,8 +37,8 @@ let figure1 () =
     let r = System.run cfg in
     let v = System.verdict r in
     [ name; r.merge_algorithm;
-      string_of_int r.metrics.Metrics.transactions;
-      string_of_int r.metrics.Metrics.commits;
+      string_of_int (Atomic.get r.metrics.Metrics.transactions);
+      string_of_int (Atomic.get r.metrics.Metrics.commits);
       Tables.ms (mean_staleness r);
       verdict_level v ]
   in
@@ -174,9 +174,9 @@ let figure3 () =
   let r2, v2 = run (Some 2) in
   Tables.print ~title:"single vs distributed merge on the same workload"
     ~header:[ "merge processes"; "commits"; "mean staleness"; "consistency" ]
-    [ [ "1"; string_of_int r1.metrics.Metrics.commits; Tables.ms (mean_staleness r1);
+    [ [ "1"; string_of_int (Atomic.get r1.metrics.Metrics.commits); Tables.ms (mean_staleness r1);
         verdict_level v1 ];
-      [ "2"; string_of_int r2.metrics.Metrics.commits; Tables.ms (mean_staleness r2);
+      [ "2"; string_of_int (Atomic.get r2.metrics.Metrics.commits); Tables.ms (mean_staleness r2);
         verdict_level v2 ] ]
 
 (* ---- P1: effect of merging on view freshness (Section 7) ---- *)
@@ -340,7 +340,7 @@ let batching () =
     in
     let v = System.verdict r in
     [ Warehouse.Submitter.policy_name policy;
-      string_of_int r.metrics.Metrics.commits;
+      string_of_int (Atomic.get r.metrics.Metrics.commits);
       Tables.ms (mean_staleness r);
       Tables.ms (p95_staleness r);
       verdict_level v ]
@@ -426,7 +426,7 @@ let multisource () =
         let v = System.verdict r in
         [ Printf.sprintf "%.2f" prob;
           string_of_int multi;
-          string_of_int r.metrics.Metrics.commits;
+          string_of_int (Atomic.get r.metrics.Metrics.commits);
           Tables.ms (mean_staleness r);
           verdict_level v ])
       [ 0.0; 0.25; 0.5; 0.75 ]
@@ -496,7 +496,7 @@ let relrouting () =
       (fun (label, routing, vm) ->
         let r, v = run routing vm in
         [ label; r.merge_algorithm;
-          string_of_int r.metrics.Metrics.commits;
+          string_of_int (Atomic.get r.metrics.Metrics.commits);
           Tables.ms (mean_staleness r);
           verdict_level v ])
       [ ("direct / complete", System.Direct, System.Complete_vm);
@@ -579,7 +579,7 @@ let aggregates () =
     let r = System.run cfg in
     let v = System.verdict r in
     [ name; r.merge_algorithm;
-      string_of_int r.metrics.Metrics.commits;
+      string_of_int (Atomic.get r.metrics.Metrics.commits);
       Tables.ms (mean_staleness r);
       verdict_level v ]
   in

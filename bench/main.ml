@@ -25,6 +25,8 @@ let experiments =
     ("faultsoak", Resilience.faultsoak);
     ("serve", Serving.run);
     ("servesmoke", Serving.servesmoke);
+    ("parallel", Parallel_bench.run);
+    ("parsmoke", Parallel_bench.parsmoke);
     ("micro", Micro.run) ]
 
 let usage () =

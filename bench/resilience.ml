@@ -69,8 +69,8 @@ let outcome_row o =
     let m = r.metrics in
     [ o.label; Tables.f3 o.rate;
       (if r.stuck then "STUCK" else verdict_level r);
-      Printf.sprintf "%d/%d" m.Metrics.msgs_dropped m.Metrics.retransmits;
-      string_of_int m.Metrics.nacks;
+      Printf.sprintf "%d/%d" (Atomic.get m.Metrics.msgs_dropped) (Atomic.get m.Metrics.retransmits);
+      string_of_int (Atomic.get m.Metrics.nacks);
       Tables.ms (mean_staleness r);
       Tables.f3 m.Metrics.completed_at ]
 
@@ -88,9 +88,9 @@ let json_outcome o =
       "    { %s, \"level\": \"%s\", \"stuck\": %b, \"dropped\": %d, \
        \"retransmits\": %d, \"nacks\": %d, \"dup_frames_dropped\": %d, \
        \"commits\": %d, \"mean_staleness_ms\": %.2f, \"drain_s\": %.3f }"
-      common (verdict_level r) r.stuck m.Metrics.msgs_dropped
-      m.Metrics.retransmits m.Metrics.nacks m.Metrics.dup_frames_dropped
-      m.Metrics.commits
+      common (verdict_level r) r.stuck (Atomic.get m.Metrics.msgs_dropped)
+      (Atomic.get m.Metrics.retransmits) (Atomic.get m.Metrics.nacks) (Atomic.get m.Metrics.dup_frames_dropped)
+      (Atomic.get m.Metrics.commits)
       (1000.0 *. mean_staleness r)
       m.Metrics.completed_at
 
@@ -132,10 +132,10 @@ let run () =
   Tables.print ~title:"crash-restart recovery (complete manager, acked)"
     ~header:
       [ "crashes"; "recoveries"; "consistency"; "retransmits"; "drain (s)" ]
-    [ [ string_of_int crash.metrics.Metrics.crashes;
-        string_of_int crash.metrics.Metrics.recoveries;
+    [ [ string_of_int (Atomic.get crash.metrics.Metrics.crashes);
+        string_of_int (Atomic.get crash.metrics.Metrics.recoveries);
         (if crash.stuck then "STUCK" else verdict_level crash);
-        string_of_int crash.metrics.Metrics.retransmits;
+        string_of_int (Atomic.get crash.metrics.Metrics.retransmits);
         Tables.f3 crash.metrics.Metrics.completed_at ] ];
   let oc = open_out "BENCH_resilience.json" in
   Printf.fprintf oc
@@ -147,7 +147,7 @@ let run () =
      \"level\": \"%s\", \"drain_s\": %.3f }\n\
      }\n"
     (String.concat ",\n" (List.map json_outcome outcomes))
-    crash.metrics.Metrics.crashes crash.metrics.Metrics.recoveries
+    (Atomic.get crash.metrics.Metrics.crashes) (Atomic.get crash.metrics.Metrics.recoveries)
     (verdict_level crash) crash.metrics.Metrics.completed_at;
   close_out oc;
   Printf.printf "wrote BENCH_resilience.json\n%!"
@@ -205,9 +205,9 @@ let faultsoak () =
     let ok = (not r.stuck) && Consistency.Checker.at_least want v in
     if not ok then incr failures;
     [ string_of_int seed; label;
-      string_of_int r.metrics.Metrics.msgs_dropped;
-      string_of_int r.metrics.Metrics.retransmits;
-      string_of_int r.metrics.Metrics.crashes;
+      string_of_int (Atomic.get r.metrics.Metrics.msgs_dropped);
+      string_of_int (Atomic.get r.metrics.Metrics.retransmits);
+      string_of_int (Atomic.get r.metrics.Metrics.crashes);
       (if r.stuck then "STUCK" else Consistency.Checker.(level_name (level v)));
       (if ok then "ok" else "FAIL") ]
   in

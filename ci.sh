@@ -10,3 +10,7 @@ dune runtest
 dune build @bench-smoke
 dune build @soak-smoke
 dune build @serve-smoke
+dune build @par-smoke
+# The whole suite once more through the multicore runtime: MVC_DOMAINS
+# flips the default parallel config, and every trace must be identical.
+MVC_DOMAINS=4 dune runtest --force

@@ -33,15 +33,21 @@ let groups views =
     view_arr;
   List.rev_map (fun root -> List.rev (Hashtbl.find buckets root)) !order
 
-let coarsen ~max_groups fine =
+let coarsen ?(weight = fun _ -> 1) ~max_groups fine =
   if max_groups < 1 then invalid_arg "Partition.coarsen: max_groups < 1";
   if List.length fine <= max_groups then fine
   else begin
-    (* Largest-first greedy bin packing into max_groups bins. *)
+    (* Heaviest-first greedy bin packing into max_groups bins, by total
+       view weight (evaluation-cost estimate; default 1 per view keeps the
+       historical view-count balancing). *)
+    let weight_of group =
+      List.fold_left (fun acc v -> acc + max 0 (weight v)) 0 group
+    in
+    let weighted = List.map (fun g -> (weight_of g, g)) fine in
     let sorted =
-      List.sort
-        (fun a b -> Int.compare (List.length b) (List.length a))
-        fine
+      (* Stable: equal-weight groups keep their input order, so results
+         are deterministic for any weight function. *)
+      List.stable_sort (fun (wa, _) (wb, _) -> Int.compare wb wa) weighted
     in
     let bins = Array.make max_groups [] in
     let bin_size = Array.make max_groups 0 in
@@ -51,10 +57,10 @@ let coarsen ~max_groups fine =
       !best
     in
     List.iter
-      (fun group ->
+      (fun (w, group) ->
         let b = smallest_bin () in
         bins.(b) <- bins.(b) @ group;
-        bin_size.(b) <- bin_size.(b) + List.length group)
+        bin_size.(b) <- bin_size.(b) + w)
       sorted;
     List.filter (fun g -> g <> []) (Array.to_list bins)
   end

@@ -16,9 +16,17 @@ val groups : Query.View.t list -> Query.View.t list list
     singleton group. Group order follows first view occurrence; views keep
     their input order within a group. *)
 
-val coarsen : max_groups:int -> Query.View.t list list -> Query.View.t list list
+val coarsen :
+  ?weight:(Query.View.t -> int) ->
+  max_groups:int ->
+  Query.View.t list list ->
+  Query.View.t list list
 (** Merge the finest groups into at most [max_groups] groups, balancing by
-    view count (largest-first bin packing). The disjointness property is
+    total view weight (heaviest-first greedy bin packing). [weight] is an
+    estimated per-view evaluation cost — the system passes the summed
+    cardinality of the view's base relations so parallel merge groups get
+    even work; the default weight of 1 balances by raw view count.
+    Negative weights are clamped to 0. The disjointness property is
     preserved (unions of disjoint groups stay mutually disjoint).
     @raise Invalid_argument if [max_groups < 1]. *)
 

@@ -1,0 +1,272 @@
+(* Fixed-size domain pool with help-first fork-join scheduling.
+
+   One mutex + condition guards a FIFO of claim-and-run closures. Every
+   deferred computation lives in a typed cell; the queued closure and any
+   awaiting caller race to *claim* the cell (Todo -> Running) under the
+   lock, so each task body runs exactly once no matter how many hands
+   reach for it. A caller blocked in [await] — or collecting a [map]
+   batch — pops and runs other queued tasks instead of sleeping, which is
+   what lets nested parallel work (a sharded join inside a per-view delta
+   future) complete even when every worker domain is busy. *)
+
+type 'a state =
+  | Todo of (unit -> 'a)
+  | Running
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a cell = { mutable st : 'a state }
+
+type pool = {
+  n_domains : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t; (* claim-and-run closures *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  tasks : int Atomic.t;
+}
+
+type 'a future = Inline of 'a cell | On_pool of { cell : 'a cell; pool : pool }
+
+(* Run the claimed body outside the lock, publish the outcome, wake
+   every waiter (awaiters of this cell and helpers looking for work). *)
+let settle pool cell f =
+  let outcome =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  Atomic.incr pool.tasks;
+  Mutex.lock pool.mutex;
+  cell.st <- outcome;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex
+
+(* Claim-and-run closure for a queued cell; a no-op if an awaiter
+   already claimed it inline. Called without the lock held. *)
+let try_run pool cell () =
+  Mutex.lock pool.mutex;
+  match cell.st with
+  | Todo f ->
+    cell.st <- Running;
+    Mutex.unlock pool.mutex;
+    settle pool cell f
+  | Running | Done _ | Failed _ -> Mutex.unlock pool.mutex
+
+let worker pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopped *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+module Pool = struct
+  type t = pool
+
+  let create ~domains =
+    if domains < 1 then invalid_arg "Parallel.Pool.create: domains < 1";
+    let pool =
+      { n_domains = domains; mutex = Mutex.create ();
+        cond = Condition.create (); queue = Queue.create (); stopped = false;
+        workers = []; tasks = Atomic.make 0 }
+    in
+    pool.workers <-
+      List.init (domains - 1) (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let domains t = t.n_domains
+
+  let tasks_run t = Atomic.get t.tasks
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stopped <- true;
+    Condition.broadcast t.cond;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Domain.join workers
+
+  let check_live t caller =
+    if t.stopped then invalid_arg (caller ^ ": pool is shut down")
+
+  let spawn t f =
+    check_live t "Parallel.Pool.spawn";
+    let cell = { st = Todo f } in
+    Mutex.lock t.mutex;
+    Queue.push (try_run t cell) t.queue;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    cell
+
+  (* Wait for [cell], helping with queued work rather than sleeping
+     whenever there is any. *)
+  let rec await_cell t cell =
+    Mutex.lock t.mutex;
+    match cell.st with
+    | Done v ->
+      Mutex.unlock t.mutex;
+      Ok v
+    | Failed (e, bt) ->
+      Mutex.unlock t.mutex;
+      Error (e, bt)
+    | Todo f ->
+      cell.st <- Running;
+      Mutex.unlock t.mutex;
+      settle t cell f;
+      await_cell t cell
+    | Running ->
+      if Queue.is_empty t.queue then Condition.wait t.cond t.mutex
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      end;
+      Mutex.unlock t.mutex;
+      await_cell t cell
+
+  let map t f xs =
+    check_live t "Parallel.Pool.map";
+    let cells = List.map (fun x -> spawn t (fun () -> f x)) xs in
+    (* Collect every result before raising so no task is left running
+       against state the caller mutates after the map returns; the
+       earliest-index failure wins, as in sequential List.map. *)
+    let outcomes = List.map (fun cell -> await_cell t cell) cells in
+    List.map
+      (function
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      outcomes
+
+  (* Process-wide pool registry: one pool per size, shut down at exit so
+     blocked workers cannot keep the runtime alive. *)
+  let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+
+  let registry_mutex = Mutex.create ()
+
+  let exit_hook_installed = ref false
+
+  let get ~domains =
+    if domains < 1 then invalid_arg "Parallel.Pool.get: domains < 1";
+    Mutex.lock registry_mutex;
+    let pool =
+      match Hashtbl.find_opt registry domains with
+      | Some p when not p.stopped -> p
+      | Some _ | None ->
+        let p = create ~domains in
+        Hashtbl.replace registry domains p;
+        if not !exit_hook_installed then begin
+          exit_hook_installed := true;
+          at_exit (fun () ->
+              Mutex.lock registry_mutex;
+              let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+              Hashtbl.reset registry;
+              Mutex.unlock registry_mutex;
+              List.iter shutdown pools)
+        end;
+        p
+    in
+    Mutex.unlock registry_mutex;
+    pool
+end
+
+module Exec = struct
+  type t = Sequential | Pooled of { pool : Pool.t; shards : int }
+
+  let sequential = Sequential
+
+  let pooled ?shards pool =
+    let shards =
+      match shards with Some s -> s | None -> Pool.domains pool
+    in
+    if shards < 1 then invalid_arg "Parallel.Exec.pooled: shards < 1";
+    Pooled { pool; shards }
+
+  let is_sequential = function Sequential -> true | Pooled _ -> false
+
+  let domains = function
+    | Sequential -> 1
+    | Pooled { pool; _ } -> Pool.domains pool
+
+  let shards = function Sequential -> 1 | Pooled { shards; _ } -> shards
+
+  let map t f xs =
+    match t with
+    | Sequential -> List.map f xs
+    | Pooled { pool; _ } -> Pool.map pool f xs
+
+  let spawn t f =
+    match t with
+    | Sequential -> Inline { st = Todo f }
+    | Pooled { pool; _ } -> On_pool { cell = Pool.spawn pool f; pool }
+
+  let await = function
+    | Inline cell -> (
+      match cell.st with
+      | Todo f ->
+        (* Deferred, not eager: the sequential policy runs the body at
+           the await point so traces match the pre-pool evaluation order
+           exactly. *)
+        (match f () with
+        | v ->
+          cell.st <- Done v;
+          v
+        | exception e ->
+          cell.st <- Failed (e, Printexc.get_raw_backtrace ());
+          raise e)
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Running -> assert false)
+    | On_pool { cell; pool } -> (
+      match Pool.await_cell pool cell with
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+end
+
+module Config = struct
+  type t = { domains : int; shards : int; model_overlap : bool }
+
+  let sequential = { domains = 1; shards = 1; model_overlap = false }
+
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | None | Some "" -> default
+    | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> default)
+
+  let default () =
+    let domains = env_int "MVC_DOMAINS" 1 in
+    { domains; shards = env_int "MVC_SHARDS" (max 1 domains);
+      model_overlap = false }
+
+  let exec t =
+    if t.domains <= 1 then Exec.sequential
+    else Exec.pooled ~shards:(max 1 t.shards) (Pool.get ~domains:t.domains)
+end
+
+let shard_threshold = 1024
+
+let makespan ~lanes durations =
+  if lanes < 1 then invalid_arg "Parallel.makespan: lanes < 1";
+  match durations with
+  | [] -> 0.0
+  | _ ->
+    let sorted = List.stable_sort (fun a b -> Float.compare b a) durations in
+    let lane = Array.make lanes 0.0 in
+    List.iter
+      (fun d ->
+        let best = ref 0 in
+        Array.iteri (fun i load -> if load < lane.(!best) then best := i) lane;
+        lane.(!best) <- lane.(!best) +. d)
+      sorted;
+    Array.fold_left Float.max 0.0 lane

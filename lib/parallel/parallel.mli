@@ -1,0 +1,133 @@
+(** Multicore maintenance runtime: a reusable fixed-size domain pool and
+    the execution policy threaded through the evaluation kernels.
+
+    The pool is spawned once and reused across submissions (spawning a
+    domain costs far more than a delta computation). Work is expressed as
+    closures; {!Pool.map} preserves input order and re-raises the
+    earliest-index exception a task threw, so a parallel map is
+    observably identical to [List.map] over pure functions.
+
+    Scheduling is help-first fork-join: a caller that blocks on a result
+    (or submits a batch) executes queued tasks itself while it waits.
+    Nested parallelism — a sharded join inside a per-view delta future —
+    therefore cannot deadlock even on a pool of one domain, and a pool
+    always makes progress with zero workers ([domains = 1] runs
+    everything inline on the caller).
+
+    Nothing here touches the simulator: executing work on the pool never
+    samples RNG streams or reads the simulated clock, which is what makes
+    [domains = n] produce byte-identical simulated traces to
+    [domains = 1]. *)
+
+module Pool : sig
+  type t
+
+  val create : domains:int -> t
+  (** A pool with [domains] total compute lanes: [domains - 1] worker
+      domains are spawned immediately (zero when [domains <= 1]) and the
+      submitting caller is the remaining lane. Raises [Invalid_argument]
+      when [domains < 1]. *)
+
+  val domains : t -> int
+
+  val get : domains:int -> t
+  (** Memoized {!create}: one shared pool per size for the process,
+      shut down automatically at exit. Use this from long-lived code
+      paths (the system runtime) so repeated runs reuse domains. *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** Ordered parallel map: results are returned in input order. If any
+      task raises, every task still runs to completion (or is executed by
+      the caller) and the exception of the smallest-index failing task is
+      re-raised with its backtrace. *)
+
+  val tasks_run : t -> int
+  (** Total tasks executed since creation (all domains; monotone). *)
+
+  val shutdown : t -> unit
+  (** Join all worker domains. Idempotent. Submitting to a shut-down
+      pool raises [Invalid_argument]. *)
+end
+
+(** A deferred computation: either executed by a pool domain or claimed
+    inline by the awaiting caller, whichever comes first. *)
+type 'a future
+
+(** The execution policy the kernels see: run sequentially, or on a pool
+    with a join-sharding factor. *)
+module Exec : sig
+  type t
+
+  val sequential : t
+  (** Inline execution: {!spawn} defers the closure and {!await} runs it
+      at the await point, on the calling domain — byte-for-byte the
+      sequential evaluation order. *)
+
+  val pooled : ?shards:int -> Pool.t -> t
+  (** Execute on [pool]; joins of at least {!shard_threshold} input rows
+      are split into [shards] hash partitions (default: the pool's
+      domain count). Raises [Invalid_argument] when [shards < 1]. *)
+
+  val is_sequential : t -> bool
+
+  val domains : t -> int
+  (** Compute lanes: 1 for {!sequential}. *)
+
+  val shards : t -> int
+  (** Join sharding factor: 1 for {!sequential}. *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** {!Pool.map} on the policy's pool; [List.map] when sequential. *)
+
+  val spawn : t -> (unit -> 'a) -> 'a future
+  (** Submit a closure. Sequential policy: the closure is simply held
+      until {!await} (deferred, not eager), so mutation of state the
+      closure captured *by reference* after [spawn] is visible to it —
+      callers snapshot what they need before spawning. *)
+
+  val await : 'a future -> 'a
+  (** Block until the future's value is available, executing other queued
+      tasks while waiting. Re-raises the task's exception (with its
+      backtrace) if it failed. Idempotent. *)
+end
+
+(** Parallelism configuration carried by system configs: real execution
+    lanes and join shards, plus the latency-model switch. *)
+module Config : sig
+  type t = {
+    domains : int;
+        (** Compute lanes for real (wall-clock) execution. [1] disables
+            the pool entirely: byte-identical traces to the sequential
+            runtime. Never affects simulated timing. *)
+    shards : int;  (** Hash-join sharding factor (>= 1). *)
+    model_overlap : bool;
+        (** Latency-model knob, independent of [domains]: when true, the
+            strawman sequential runtime charges the makespan of the
+            per-view compute samples over [domains] lanes instead of
+            their sum — the Figure 3 "one process per group" cost model.
+            Changes simulated timestamps only, never commit contents. *)
+  }
+
+  val sequential : t
+  (** [{ domains = 1; shards = 1; model_overlap = false }]. *)
+
+  val default : unit -> t
+  (** Reads [MVC_DOMAINS] and [MVC_SHARDS] from the environment
+      (defaults: 1 domain, [max 1 domains] shards), [model_overlap]
+      false — so [MVC_DOMAINS=4 dune runtest] forces the whole suite
+      through the parallel runtime. *)
+
+  val exec : t -> Exec.t
+  (** {!Exec.sequential} when [domains <= 1], otherwise a pooled policy
+      over the shared {!Pool.get} pool of that size. *)
+end
+
+val shard_threshold : int
+(** Minimum total rows (build + probe) before a join is sharded across
+    domains; below it the sequential kernel always wins. *)
+
+val makespan : lanes:int -> float list -> float
+(** LPT makespan of the given task durations on [lanes] identical lanes
+    (longest-processing-time greedy): the latency model used by
+    [model_overlap]. [makespan ~lanes:1] is the sum; [lanes >= length]
+    is the maximum. Deterministic; ties broken by list order. *)

@@ -266,7 +266,7 @@ let aggregate_group_pos ~aggs ~key contents =
    index on the smaller side, probe with the larger. Output tuples are
    always [left ++ right_extra] regardless of build direction, and
    multiplicities multiply (either may be negative — signed deltas). *)
-let join_counted_pos ~key_left ~key_right ~right_extra left right =
+let join_counted_seq ~key_left ~key_right ~right_extra left right =
   let nl = List.length left and nr = List.length right in
   if nl = 0 || nr = 0 then []
   else begin
@@ -295,6 +295,43 @@ let join_counted_pos ~key_left ~key_right ~right_extra left right =
     end
   end
 
+(* Sharded variant: both sides are partitioned by the hash of their join
+   key, so matching tuples always land in the same shard and the shards
+   join independently (each building its own [Bag_index], on its own
+   domain). Per-shard results are concatenated in shard order — the
+   output is the same *bag* as the sequential kernel's (callers normalize
+   through [Bag]/[Signed_bag], so list order is immaterial), and it is
+   deterministic for a fixed shard count. *)
+let shard_of ~shards key = Tuple.hash key land max_int mod shards
+
+let partition_by ~shards ~key_pos entries =
+  let parts = Array.make shards [] in
+  List.iter
+    (fun ((tup, _) as entry) ->
+      let s = shard_of ~shards (Tuple.project_pos key_pos tup) in
+      parts.(s) <- entry :: parts.(s))
+    entries;
+  parts
+
+let join_counted_pos ?(exec = Parallel.Exec.sequential) ~key_left ~key_right
+    ~right_extra left right =
+  let shards = Parallel.Exec.shards exec in
+  if
+    shards <= 1
+    || List.compare_lengths left [] = 0
+    || List.compare_lengths right [] = 0
+    || List.length left + List.length right < Parallel.shard_threshold
+  then join_counted_seq ~key_left ~key_right ~right_extra left right
+  else begin
+    let lparts = partition_by ~shards ~key_pos:key_left left in
+    let rparts = partition_by ~shards ~key_pos:key_right right in
+    let pairs = List.init shards (fun s -> (lparts.(s), rparts.(s))) in
+    List.concat
+      (Parallel.Exec.map exec
+         (fun (l, r) -> join_counted_seq ~key_left ~key_right ~right_extra l r)
+         pairs)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Full evaluation.                                                   *)
 
@@ -306,20 +343,20 @@ module Tuple_tbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let rec eval_bag db t =
+let rec eval_bag ?(exec = Parallel.Exec.sequential) db t =
   match t.node with
   | Base name -> Relation.contents (Database.find db name)
-  | Select (pred, e) -> Bag.filter (eval_pred pred) (eval_bag db e)
+  | Select (pred, e) -> Bag.filter (eval_pred pred) (eval_bag ~exec db e)
   | Project (positions, e) ->
-    Bag.map (Tuple.project_pos positions) (eval_bag db e)
+    Bag.map (Tuple.project_pos positions) (eval_bag ~exec db e)
   | Join { left; right; key_left; key_right; right_extra } ->
     Bag.of_counted_list
-      (join_counted_pos ~key_left ~key_right ~right_extra
-         (Bag.to_counted_list (eval_bag db left))
-         (Bag.to_counted_list (eval_bag db right)))
-  | Union (a, b) -> Bag.union (eval_bag db a) (eval_bag db b)
+      (join_counted_pos ~exec ~key_left ~key_right ~right_extra
+         (Bag.to_counted_list (eval_bag ~exec db left))
+         (Bag.to_counted_list (eval_bag ~exec db right)))
+  | Union (a, b) -> Bag.union (eval_bag ~exec db a) (eval_bag ~exec db b)
   | Group_by { input; key_pos; aggs; group_by = _ } ->
-    let contents = eval_bag db input in
+    let contents = eval_bag ~exec db input in
     let by_key = Tuple_tbl.create 32 in
     Bag.iter
       (fun tup n ->
@@ -336,7 +373,8 @@ let rec eval_bag db t =
         Bag.add (aggregate_group_pos ~aggs ~key members) acc)
       by_key Bag.empty
 
-let eval db t = Relation.with_contents (Relation.create t.schema) (eval_bag db t)
+let eval ?exec db t =
+  Relation.with_contents (Relation.create t.schema) (eval_bag ?exec db t)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental delta rules over compiled plans.                       *)
@@ -347,19 +385,20 @@ let eval db t = Relation.with_contents (Relation.create t.schema) (eval_bag db t
    direction Compiled <- Delta). Join deltas are hash joins on the plan's
    precomputed key positions; the pre-state side of a rule is only
    evaluated when the matching delta side is non-empty. *)
-let rec delta ~changes ~eval_pre t =
+let rec delta ?(exec = Parallel.Exec.sequential) ~changes ~eval_pre t =
   match t.node with
   | Base name -> changes name
   | Select (pred, e) ->
-    Signed_bag.filter (eval_pred pred) (delta ~changes ~eval_pre e)
+    Signed_bag.filter (eval_pred pred) (delta ~exec ~changes ~eval_pre e)
   | Project (positions, e) ->
-    Signed_bag.map (Tuple.project_pos positions) (delta ~changes ~eval_pre e)
+    Signed_bag.map (Tuple.project_pos positions)
+      (delta ~exec ~changes ~eval_pre e)
   | Join { left; right; key_left; key_right; right_extra } ->
-    let da = delta ~changes ~eval_pre left
-    and db_ = delta ~changes ~eval_pre right in
+    let da = delta ~exec ~changes ~eval_pre left
+    and db_ = delta ~exec ~changes ~eval_pre right in
     if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
     else begin
-      let join = join_counted_pos ~key_left ~key_right ~right_extra in
+      let join = join_counted_pos ~exec ~key_left ~key_right ~right_extra in
       let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
       (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
       let part1 =
@@ -374,9 +413,11 @@ let rec delta ~changes ~eval_pre t =
       Signed_bag.of_list (List.concat [ part1; part2; part3 ])
     end
   | Union (a, b) ->
-    Signed_bag.sum (delta ~changes ~eval_pre a) (delta ~changes ~eval_pre b)
+    Signed_bag.sum
+      (delta ~exec ~changes ~eval_pre a)
+      (delta ~exec ~changes ~eval_pre b)
   | Group_by { input; key_pos; aggs; group_by = _ } ->
-    let d_in = delta ~changes ~eval_pre input in
+    let d_in = delta ~exec ~changes ~eval_pre input in
     if Signed_bag.is_zero d_in then Signed_bag.zero
     else begin
       let key_of tup = Tuple.project_pos key_pos tup in
@@ -453,22 +494,35 @@ let memo : memo_entry Expr_tbl.t = Expr_tbl.create 64
 
 let memo_limit = 1024
 
+(* The memo is process-global and reachable from pool domains (a view
+   manager's delta future compiles through it), so every access holds
+   this lock. Compilation itself is cheap relative to evaluation, so
+   compiling inside the critical section keeps the code simple without
+   a measurable serialization cost. *)
+let memo_mutex = Mutex.create ()
+
 let compile_memo ~lookup expr =
-  let validate entry =
-    List.for_all
-      (fun (name, schema) ->
-        match lookup name with
-        | s -> Schema.equal s schema
-        | exception _ -> false)
-      entry.bases
-  in
-  match Expr_tbl.find_opt memo expr with
-  | Some entry when validate entry -> entry.plan
-  | _ ->
-    let plan = compile ~lookup expr in
-    let bases =
-      List.map (fun name -> (name, lookup name)) (Algebra.base_relations expr)
-    in
-    if Expr_tbl.length memo >= memo_limit then Expr_tbl.reset memo;
-    Expr_tbl.replace memo expr { plan; bases };
-    plan
+  Mutex.lock memo_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_mutex)
+    (fun () ->
+      let validate entry =
+        List.for_all
+          (fun (name, schema) ->
+            match lookup name with
+            | s -> Schema.equal s schema
+            | exception _ -> false)
+          entry.bases
+      in
+      match Expr_tbl.find_opt memo expr with
+      | Some entry when validate entry -> entry.plan
+      | _ ->
+        let plan = compile ~lookup expr in
+        let bases =
+          List.map
+            (fun name -> (name, lookup name))
+            (Algebra.base_relations expr)
+        in
+        if Expr_tbl.length memo >= memo_limit then Expr_tbl.reset memo;
+        Expr_tbl.replace memo expr { plan; bases };
+        plan)

@@ -31,12 +31,15 @@ val compile_memo : lookup:(string -> Schema.t) -> Algebra.t -> t
 
 val schema : t -> Schema.t
 
-val eval : Database.t -> t -> Relation.t
+val eval : ?exec:Parallel.Exec.t -> Database.t -> t -> Relation.t
 
-val eval_bag : Database.t -> t -> Bag.t
-(** @raise Database.Unknown_relation if a base relation is missing. *)
+val eval_bag : ?exec:Parallel.Exec.t -> Database.t -> t -> Bag.t
+(** @raise Database.Unknown_relation if a base relation is missing.
+    With a pooled [exec], large joins run sharded (see
+    {!join_counted_pos}); results are identical. *)
 
 val delta :
+  ?exec:Parallel.Exec.t ->
   changes:(string -> Signed_bag.t) ->
   eval_pre:(t -> Bag.t) ->
   t ->
@@ -49,6 +52,7 @@ val delta :
     non-empty. *)
 
 val join_counted_pos :
+  ?exec:Parallel.Exec.t ->
   key_left:int array ->
   key_right:int array ->
   right_extra:int array ->
@@ -60,7 +64,15 @@ val join_counted_pos :
     is O(|smaller| + |larger| + |output|) with no per-pair name resolution.
     Multiplicities multiply and may be negative (signed-delta joins).
     Output tuples are the left tuple followed by the right side's
-    [right_extra] columns. *)
+    [right_extra] columns.
+
+    With a pooled [exec] and at least {!Parallel.shard_threshold} total
+    input rows, both sides are hash-partitioned by join key into the
+    policy's shard count and the per-shard joins run across domains;
+    per-shard results are concatenated in shard order. Since equal keys
+    land in the same shard, the output is the same {e bag} of counted
+    tuples as the sequential join (list order differs; all callers
+    normalize through [Bag]/[Signed_bag]). *)
 
 (** {2 Aggregate kernels} *)
 

@@ -140,18 +140,18 @@ let rec eval_naive ~pre changes expr =
         affected Signed_bag.zero
     end
 
-let eval_plan ~pre changes plan =
-  Compiled.delta
+let eval_plan ?(exec = Parallel.Exec.sequential) ~pre changes plan =
+  Compiled.delta ~exec
     ~changes:(fun name ->
       let _ = Database.find pre name in
       change_for changes name)
-    ~eval_pre:(Compiled.eval_bag pre)
+    ~eval_pre:(Compiled.eval_bag ~exec pre)
     plan
 
-let eval ?(naive = false) ~pre changes expr =
+let eval ?(naive = false) ?exec ~pre changes expr =
   if naive then eval_naive ~pre changes expr
   else
-    eval_plan ~pre changes
+    eval_plan ?exec ~pre changes
       (Compiled.compile_memo ~lookup:(Database.schema pre) expr)
 
 let relevant changes expr =

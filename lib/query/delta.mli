@@ -33,15 +33,27 @@ val change_for : changes -> string -> Signed_bag.t
 
 val changed_relations : changes -> string list
 
-val eval : ?naive:bool -> pre:Database.t -> changes -> Algebra.t -> Signed_bag.t
+val eval :
+  ?naive:bool ->
+  ?exec:Parallel.Exec.t ->
+  pre:Database.t ->
+  changes ->
+  Algebra.t ->
+  Signed_bag.t
 (** The signed delta of the expression. By default the expression is
     compiled (memoized) and the join delta-rules run as hash joins on
     precomputed key positions; [~naive:true] selects the interpreted
-    reference rules with nested-loop joins.
+    reference rules with nested-loop joins. A pooled [exec] shards large
+    joins across domains; the result is identical.
     @raise Database.Unknown_relation if the expression mentions a base
     relation absent from [pre]. *)
 
-val eval_plan : pre:Database.t -> changes -> Compiled.t -> Signed_bag.t
+val eval_plan :
+  ?exec:Parallel.Exec.t ->
+  pre:Database.t ->
+  changes ->
+  Compiled.t ->
+  Signed_bag.t
 (** Delta of an already-compiled plan — what view managers use, compiling
     their definition once at creation instead of per transaction. *)
 

@@ -70,6 +70,11 @@ let valid_at t entry version =
        (fun view -> changed_between t ~view ~lo ~hi)
        entry.support)
 
+let peek t ~version expr =
+  match Expr_tbl.find_opt t.entries expr with
+  | None -> false
+  | Some entry -> valid_at t entry version
+
 let find t ~version expr =
   match Expr_tbl.find_opt t.entries expr with
   | None ->

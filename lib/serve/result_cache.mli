@@ -40,6 +40,11 @@ val note_change : t -> view:string -> version:int -> unit
 val find : t -> version:int -> Query.Algebra.t -> Bag.t option
 (** A valid cached result for the query at the version, if any. *)
 
+val peek : t -> version:int -> Query.Algebra.t -> bool
+(** Would {!find} hit? Touches no statistics — the serving layer uses
+    this to pick a service-time distribution (hit vs miss) before the
+    actual lookup happens at service completion. *)
+
 val store : t -> version:int -> support:string list -> Query.Algebra.t -> Bag.t -> unit
 (** Cache the query's result as computed at [version]. [support] is the
     set of view names the result depends on

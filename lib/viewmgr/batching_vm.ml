@@ -3,6 +3,7 @@ open Relational
 type state = {
   engine : Sim.Engine.t;
   compute_latency : batch:int -> float;
+  exec : Parallel.Exec.t;
   max_batch : int;
   view : Query.View.t;
   plan : Query.Compiled.t; (* the view definition, compiled once *)
@@ -21,35 +22,39 @@ let rec pump st =
     in
     let batch = drain [] 0 in
     let changes = Query.Delta.of_transactions batch in
-    let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
-    st.cache <-
-      List.fold_left Database.apply_relevant st.cache batch;
+    let pre = st.cache in
     let last =
       match List.rev batch with
       | txn :: _ -> txn.Update.Transaction.id
       | [] -> assert false
     in
-    let al =
-      Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last
-        delta
+    let fut =
+      Parallel.Exec.spawn st.exec (fun () ->
+          let delta =
+            Query.Delta.eval_plan ~exec:st.exec ~pre changes st.plan
+          in
+          Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last
+            delta)
     in
+    st.cache <-
+      List.fold_left Database.apply_relevant st.cache batch;
     Sim.Engine.schedule_after st.engine
       (st.compute_latency ~batch:(List.length batch))
       (fun () ->
-        st.emit al;
+        st.emit (Parallel.Exec.await fut);
         st.busy <- false;
         pump st)
   end
 
-let create ~engine ~compute_latency ?(max_batch = max_int) ~initial ~view
-    ~emit () =
+let create ~engine ~compute_latency ?(exec = Parallel.Exec.sequential)
+    ?(max_batch = max_int) ~initial ~view ~emit () =
   let cache = Database.restrict initial (Query.View.base_relations view) in
   let plan =
     Query.Compiled.compile ~lookup:(Database.schema cache)
       view.Query.View.def
   in
   let st =
-    { engine; compute_latency; max_batch; view; plan; emit;
+    { engine; compute_latency; exec; max_batch; view; plan; emit;
       queue = Queue.create (); cache; busy = false }
   in
   { Vm.view; level = Vm.Strongly_consistent;

@@ -16,9 +16,13 @@
 val create :
   engine:Sim.Engine.t ->
   compute_latency:(batch:int -> float) ->
+  ?exec:Parallel.Exec.t ->
   ?max_batch:int ->
   initial:Relational.Database.t ->
   view:Query.View.t ->
   emit:(Query.Action_list.t -> unit) ->
   unit ->
   Vm.t
+(** With a pooled [exec] (default sequential) the batch delta runs as a
+    future on the domain pool, joined at the emit event; results and the
+    simulated timeline are identical. *)

@@ -3,6 +3,7 @@ open Relational
 type state = {
   engine : Sim.Engine.t;
   compute_latency : batch:int -> float;
+  exec : Parallel.Exec.t;
   n : int;
   view : Query.View.t;
   plan : Query.Compiled.t; (* the view definition, compiled once *)
@@ -15,19 +16,22 @@ type state = {
 let process st batch k =
   st.busy <- true;
   let changes = Query.Delta.of_transactions batch in
-  let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
-  st.cache <- List.fold_left Database.apply_relevant st.cache batch;
+  let pre = st.cache in
   let last =
     match List.rev batch with
     | txn :: _ -> txn.Update.Transaction.id
     | [] -> assert false
   in
-  let al =
-    Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last delta
+  let fut =
+    Parallel.Exec.spawn st.exec (fun () ->
+        let delta = Query.Delta.eval_plan ~exec:st.exec ~pre changes st.plan in
+        Query.Action_list.delta ~view:(Query.View.name st.view) ~state:last
+          delta)
   in
+  st.cache <- List.fold_left Database.apply_relevant st.cache batch;
   Sim.Engine.schedule_after st.engine (st.compute_latency ~batch:(List.length batch))
     (fun () ->
-      st.emit al;
+      st.emit (Parallel.Exec.await fut);
       st.busy <- false;
       k ())
 
@@ -45,7 +49,8 @@ let flush st =
     process st batch (fun () -> pump st)
   end
 
-let create ~engine ~compute_latency ~n ~initial ~view ~emit () =
+let create ~engine ~compute_latency ?(exec = Parallel.Exec.sequential) ~n
+    ~initial ~view ~emit () =
   if n < 1 then invalid_arg "Complete_n_vm.create: n < 1";
   let cache = Database.restrict initial (Query.View.base_relations view) in
   let plan =
@@ -53,8 +58,8 @@ let create ~engine ~compute_latency ~n ~initial ~view ~emit () =
       view.Query.View.def
   in
   let st =
-    { engine; compute_latency; n; view; plan; emit; queue = Queue.create ();
-      cache; busy = false }
+    { engine; compute_latency; exec; n; view; plan; emit;
+      queue = Queue.create (); cache; busy = false }
   in
   { Vm.view; level = Vm.Complete_n n;
     receive =

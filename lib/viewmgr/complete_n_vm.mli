@@ -13,10 +13,13 @@
 val create :
   engine:Sim.Engine.t ->
   compute_latency:(batch:int -> float) ->
+  ?exec:Parallel.Exec.t ->
   n:int ->
   initial:Relational.Database.t ->
   view:Query.View.t ->
   emit:(Query.Action_list.t -> unit) ->
   unit ->
   Vm.t
-(** @raise Invalid_argument if [n < 1]. *)
+(** With a pooled [exec] (default sequential) the batch delta runs as a
+    future on the domain pool, joined at the emit event.
+    @raise Invalid_argument if [n < 1]. *)

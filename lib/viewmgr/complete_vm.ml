@@ -3,6 +3,7 @@ open Relational
 type state = {
   engine : Sim.Engine.t;
   compute_latency : batch:int -> float;
+  exec : Parallel.Exec.t;
   view : Query.View.t;
   plan : Query.Compiled.t; (* the view definition, compiled once *)
   emit : Query.Action_list.t -> unit;
@@ -16,28 +17,37 @@ let rec pump st =
     st.busy <- true;
     let txn = Queue.pop st.queue in
     let changes = Query.Delta.of_transaction txn in
-    let delta = Query.Delta.eval_plan ~pre:st.cache changes st.plan in
-    st.cache <- Database.apply_relevant st.cache txn;
-    let al =
-      Query.Action_list.delta ~view:(Query.View.name st.view)
-        ~state:txn.Update.Transaction.id delta
+    (* The delta runs as a future over a snapshot of the pre-state
+       (Database.t is persistent, so [pre] is immutable); it is joined in
+       the emit event, so the simulated timeline is unchanged — a pooled
+       exec only moves real work off this domain. *)
+    let pre = st.cache in
+    let fut =
+      Parallel.Exec.spawn st.exec (fun () ->
+          let delta =
+            Query.Delta.eval_plan ~exec:st.exec ~pre changes st.plan
+          in
+          Query.Action_list.delta ~view:(Query.View.name st.view)
+            ~state:txn.Update.Transaction.id delta)
     in
+    st.cache <- Database.apply_relevant st.cache txn;
     Sim.Engine.schedule_after st.engine (st.compute_latency ~batch:1)
       (fun () ->
-        st.emit al;
+        st.emit (Parallel.Exec.await fut);
         st.busy <- false;
         pump st)
   end
 
-let create ~engine ~compute_latency ~initial ~view ~emit () =
+let create ~engine ~compute_latency ?(exec = Parallel.Exec.sequential)
+    ~initial ~view ~emit () =
   let cache = Database.restrict initial (Query.View.base_relations view) in
   let plan =
     Query.Compiled.compile ~lookup:(Database.schema cache)
       view.Query.View.def
   in
   let st =
-    { engine; compute_latency; view; plan; emit; queue = Queue.create ();
-      cache; busy = false }
+    { engine; compute_latency; exec; view; plan; emit;
+      queue = Queue.create (); cache; busy = false }
   in
   { Vm.view; level = Vm.Complete;
     receive =

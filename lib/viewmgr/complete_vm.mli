@@ -15,10 +15,14 @@
 val create :
   engine:Sim.Engine.t ->
   compute_latency:(batch:int -> float) ->
+  ?exec:Parallel.Exec.t ->
   initial:Relational.Database.t ->
   view:Query.View.t ->
   emit:(Query.Action_list.t -> unit) ->
   unit ->
   Vm.t
 (** [initial] must contain (at least) the view's base relations at source
-    state [ss_0]. [compute_latency ~batch:1] is sampled per update. *)
+    state [ss_0]. [compute_latency ~batch:1] is sampled per update.
+    With a pooled [exec] (default sequential) the delta computation runs
+    as a future on the domain pool, joined at the emit event; results and
+    the simulated timeline are identical. *)

@@ -7,22 +7,22 @@ type t = {
   served_staleness : Sim.Stats.Summary.t;
   versions_retained : Sim.Stats.Summary.t;
   versions_pinned : Sim.Stats.Summary.t;
-  mutable transactions : int;
-  mutable commits : int;
-  mutable actions_applied : int;
+  transactions : int Atomic.t;
+  commits : int Atomic.t;
+  actions_applied : int Atomic.t;
   mutable completed_at : float;
-  mutable msgs_dropped : int;
-  mutable retransmits : int;
-  mutable acks : int;
-  mutable nacks : int;
-  mutable dup_frames_dropped : int;
-  mutable gave_up : int;
-  mutable crashes : int;
-  mutable recoveries : int;
-  mutable reads : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable reads_clamped : int;
+  msgs_dropped : int Atomic.t;
+  retransmits : int Atomic.t;
+  acks : int Atomic.t;
+  nacks : int Atomic.t;
+  dup_frames_dropped : int Atomic.t;
+  gave_up : int Atomic.t;
+  crashes : int Atomic.t;
+  recoveries : int Atomic.t;
+  reads : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  reads_clamped : int Atomic.t;
 }
 
 let create () =
@@ -34,22 +34,29 @@ let create () =
     served_staleness = Sim.Stats.Summary.create ();
     versions_retained = Sim.Stats.Summary.create ();
     versions_pinned = Sim.Stats.Summary.create ();
-    transactions = 0; commits = 0; actions_applied = 0; completed_at = 0.0;
-    msgs_dropped = 0; retransmits = 0; acks = 0; nacks = 0;
-    dup_frames_dropped = 0; gave_up = 0; crashes = 0; recoveries = 0;
-    reads = 0; cache_hits = 0; cache_misses = 0; reads_clamped = 0 }
+    transactions = Atomic.make 0; commits = Atomic.make 0;
+    actions_applied = Atomic.make 0; completed_at = 0.0;
+    msgs_dropped = Atomic.make 0; retransmits = Atomic.make 0;
+    acks = Atomic.make 0; nacks = Atomic.make 0;
+    dup_frames_dropped = Atomic.make 0; gave_up = Atomic.make 0;
+    crashes = Atomic.make 0; recoveries = Atomic.make 0;
+    reads = Atomic.make 0; cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0; reads_clamped = Atomic.make 0 }
+
+let add counter n = Atomic.fetch_and_add counter n |> ignore
 
 let throughput t =
   if t.completed_at <= 0.0 then 0.0
-  else float_of_int t.transactions /. t.completed_at
+  else float_of_int (Atomic.get t.transactions) /. t.completed_at
 
 let read_throughput t =
   if t.completed_at <= 0.0 then 0.0
-  else float_of_int t.reads /. t.completed_at
+  else float_of_int (Atomic.get t.reads) /. t.completed_at
 
 let cache_hit_ratio t =
-  let total = t.cache_hits + t.cache_misses in
-  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+  let total = Atomic.get t.cache_hits + Atomic.get t.cache_misses in
+  if total = 0 then 0.0
+  else float_of_int (Atomic.get t.cache_hits) /. float_of_int total
 
 let pp ppf t =
   Fmt.pf ppf
@@ -60,13 +67,18 @@ let pp ppf t =
      serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d@ \
      read-latency: %a@ served-staleness: %a@ versions-retained: %a@ \
      versions-pinned: %a@]"
-    t.transactions t.commits t.actions_applied t.completed_at (throughput t)
+    (Atomic.get t.transactions) (Atomic.get t.commits)
+    (Atomic.get t.actions_applied) t.completed_at (throughput t)
     Sim.Stats.Summary.pp t.staleness Sim.Stats.Summary.pp t.merge_held
     Sim.Stats.Summary.pp t.merge_live_rows Sim.Stats.Summary.pp t.vm_queue
-    t.msgs_dropped t.retransmits t.acks t.nacks t.dup_frames_dropped
-    t.gave_up t.crashes t.recoveries t.reads (read_throughput t)
-    t.cache_hits
-    (t.cache_hits + t.cache_misses)
-    t.reads_clamped Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
+    (Atomic.get t.msgs_dropped) (Atomic.get t.retransmits) (Atomic.get t.acks)
+    (Atomic.get t.nacks)
+    (Atomic.get t.dup_frames_dropped)
+    (Atomic.get t.gave_up) (Atomic.get t.crashes) (Atomic.get t.recoveries)
+    (Atomic.get t.reads) (read_throughput t)
+    (Atomic.get t.cache_hits)
+    (Atomic.get t.cache_hits + Atomic.get t.cache_misses)
+    (Atomic.get t.reads_clamped)
+    Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
     t.served_staleness Sim.Stats.Summary.pp t.versions_retained
     Sim.Stats.Summary.pp t.versions_pinned

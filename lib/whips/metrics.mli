@@ -25,30 +25,40 @@ type t = {
   versions_pinned : Sim.Stats.Summary.t;
       (** Versions under an active reader lease, sampled at each
           publish. *)
-  mutable transactions : int;  (** Source transactions executed. *)
-  mutable commits : int;  (** Warehouse transactions committed. *)
-  mutable actions_applied : int;  (** Elementary view operations applied. *)
+  transactions : int Atomic.t;  (** Source transactions executed. *)
+  commits : int Atomic.t;  (** Warehouse transactions committed. *)
+  actions_applied : int Atomic.t;
+      (** Elementary view operations applied. *)
   mutable completed_at : float;  (** Simulated time when the run drained. *)
-  mutable msgs_dropped : int;
+  msgs_dropped : int Atomic.t;
       (** Messages dropped by injected channel faults (all channels). *)
-  mutable retransmits : int;  (** Frames resent by reliable links. *)
-  mutable acks : int;  (** Acks sent by reliable links. *)
-  mutable nacks : int;  (** Gap nacks sent by reliable links. *)
-  mutable dup_frames_dropped : int;
+  retransmits : int Atomic.t;  (** Frames resent by reliable links. *)
+  acks : int Atomic.t;  (** Acks sent by reliable links. *)
+  nacks : int Atomic.t;  (** Gap nacks sent by reliable links. *)
+  dup_frames_dropped : int Atomic.t;
       (** Duplicate frames discarded by reliable receivers. *)
-  mutable gave_up : int;
+  gave_up : int Atomic.t;
       (** Reliable senders that exhausted their retries (run is stuck). *)
-  mutable crashes : int;  (** View-manager crash events. *)
-  mutable recoveries : int;  (** Completed crash recoveries. *)
-  mutable reads : int;  (** Reads served by the snapshot-serving layer. *)
-  mutable cache_hits : int;  (** Result-cache hits across all sessions. *)
-  mutable cache_misses : int;
-  mutable reads_clamped : int;
+  crashes : int Atomic.t;  (** View-manager crash events. *)
+  recoveries : int Atomic.t;  (** Completed crash recoveries. *)
+  reads : int Atomic.t;  (** Reads served by the snapshot-serving layer. *)
+  cache_hits : int Atomic.t;
+      (** Result-cache hits across all sessions. *)
+  cache_misses : int Atomic.t;
+  reads_clamped : int Atomic.t;
       (** Reads whose session guarantee (or pruned history) forced a
           newer version than the read asked for. *)
 }
+(** Every integer counter is an [Atomic.t]: with [domains > 1] the
+    maintenance runtime executes work on pool domains, and counters
+    must tolerate increments from any of them. [completed_at] and the
+    {!Sim.Stats.Summary.t} accumulators are only touched from the
+    simulation (main) domain. *)
 
 val create : unit -> t
+
+val add : int Atomic.t -> int -> unit
+(** [add counter n] atomically bumps a counter by [n]. *)
 
 val throughput : t -> float
 (** Source transactions per simulated second (0 for an instantaneous

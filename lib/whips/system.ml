@@ -37,11 +37,12 @@ type latencies = {
   query_roundtrip : float;
   merge : float;
   read : float;
+  read_hit : float;
 }
 
 let default_latencies =
   { message = 0.002; compute = 0.01; commit = 0.005; query_roundtrip = 0.02;
-    merge = 0.0005; read = 0.005 }
+    merge = 0.0005; read = 0.005; read_hit = 0.0005 }
 
 type read_profile = {
   sessions : (Serve.Session.guarantee * int) list;
@@ -84,6 +85,7 @@ type config = {
   reads : read_profile option;
   store_retention : Warehouse.Store.retention;
   record_timeline : bool;
+  parallel : Parallel.Config.t;
   seed : int;
 }
 
@@ -94,7 +96,8 @@ let default scenario =
     semantic_filter = false; rel_routing = Direct; optimize_views = false;
     faults = []; fault_plan = Workload.Fault_plan.empty; reliability = Off;
     reads = None; store_retention = Warehouse.Store.Keep_all;
-    record_timeline = false; seed = 1 }
+    record_timeline = false; parallel = Parallel.Config.default ();
+    seed = 1 }
 
 let faultless cfg =
   cfg.faults = [] && Workload.Fault_plan.is_empty cfg.fault_plan
@@ -262,11 +265,29 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
                      ?as_of ()
                  in
                  let version = Serve.Session.pending_version pending in
-                 Sim.Engine.schedule_after engine (sample cfg.latencies.read)
+                 (* A cache hit skips the evaluation kernel, so it gets the
+                    cheap service-time distribution. The probe pins neither
+                    statistics nor the entry: the authoritative lookup (and
+                    hit/miss accounting) happens at completion, against the
+                    version pinned here, so the probe's answer cannot rot.
+                    Either branch draws exactly one latency sample, keeping
+                    the RNG stream aligned across configurations. *)
+                 let will_hit =
+                   match cache with
+                   | Some c ->
+                     Serve.Result_cache.peek c
+                       ~version:version.Serve.Version_manager.index query
+                   | None -> false
+                 in
+                 let service_mean =
+                   if will_hit then cfg.latencies.read_hit
+                   else cfg.latencies.read
+                 in
+                 Sim.Engine.schedule_after engine (sample service_mean)
                    (fun () ->
                      let now = Sim.Engine.now engine in
                      let o = Serve.Session.complete session pending ~now query in
-                     metrics.Metrics.reads <- metrics.Metrics.reads + 1;
+                     Atomic.incr metrics.Metrics.reads;
                      Sim.Stats.Summary.add metrics.Metrics.read_latency
                        (now -. arrived);
                      Sim.Stats.Summary.add metrics.Metrics.served_staleness
@@ -274,15 +295,11 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
                      (match cache with
                      | Some _ ->
                        if o.Serve.Session.cache_hit then
-                         metrics.Metrics.cache_hits <-
-                           metrics.Metrics.cache_hits + 1
-                       else
-                         metrics.Metrics.cache_misses <-
-                           metrics.Metrics.cache_misses + 1
+                         Atomic.incr metrics.Metrics.cache_hits
+                       else Atomic.incr metrics.Metrics.cache_misses
                      | None -> ());
                      if o.Serve.Session.clamped then
-                       metrics.Metrics.reads_clamped <-
-                         metrics.Metrics.reads_clamped + 1;
+                       Atomic.incr metrics.Metrics.reads_clamped;
                      log
                        (Printf.sprintf
                           "session %d (%s) served from version %d%s%s" sid
@@ -408,6 +425,7 @@ let run_sequential cfg =
   in
   let metrics = Metrics.create () in
   let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  let exec = Parallel.Config.exec cfg.parallel in
   let serving =
     setup_serving engine ~rng ~sample ~metrics ~store ~views ~log:ignore cfg
   in
@@ -428,30 +446,45 @@ let run_sequential cfg =
               (Update.Transaction.relations txn))
           views
       in
+      (* The per-view deltas of one source update are independent by
+         construction (each reads only the shared pre-state), so they fan
+         out across the pool; [Exec.map] preserves view order, making the
+         action-list order — and thus the WT — identical to [List.map]. *)
+      let pre = !cache in
       let actions =
-        List.map
+        Parallel.Exec.map exec
           (fun v ->
-            let delta = Query.Delta.eval ~pre:!cache changes v.Query.View.def in
+            let delta =
+              Query.Delta.eval ~exec ~pre changes v.Query.View.def
+            in
             Query.Action_list.delta ~view:(Query.View.name v)
               ~state:txn.Update.Transaction.id delta)
           relevant
       in
       cache := Database.apply_transaction !cache txn;
       (* Deltas for all views are computed one after the other by the same
-         process — the whole point of the strawman's slowness. *)
+         process — the whole point of the strawman's slowness. Under
+         [model_overlap] the charge is instead the LPT makespan of the
+         same per-view samples over [domains] lanes (the Figure 3 cost
+         model); the samples themselves are drawn identically in both
+         modes, so the RNG stream never forks. *)
+      let compute_samples =
+        List.map (fun _ -> sample cfg.latencies.compute) relevant
+      in
       let compute_time =
-        List.fold_left
-          (fun acc _ -> acc +. sample cfg.latencies.compute)
-          0.0 relevant
+        if cfg.parallel.Parallel.Config.model_overlap then
+          Parallel.makespan ~lanes:cfg.parallel.Parallel.Config.domains
+            compute_samples
+        else List.fold_left ( +. ) 0.0 compute_samples
       in
       Sim.Engine.schedule_after engine (compute_time +. sample cfg.latencies.commit)
         (fun () ->
           if actions <> [] then begin
             let wt = Warehouse.Wt.make ~rows:[ txn.id ] actions in
             Warehouse.Store.apply store ~time:(Sim.Engine.now engine) wt;
-            metrics.Metrics.commits <- metrics.Metrics.commits + 1;
-            metrics.Metrics.actions_applied <-
-              metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+            Atomic.incr metrics.Metrics.commits;
+            Metrics.add metrics.Metrics.actions_applied
+              (Warehouse.Wt.action_count wt);
             serving_publish serving wt;
             (match Hashtbl.find_opt arrival_times txn.id with
             | Some t0 ->
@@ -472,7 +505,7 @@ let run_sequential cfg =
   in
   schedule_script engine arrival_rng cfg ~execute:(fun updates ->
       let txn = Source.Sources.execute sources updates in
-      metrics.Metrics.transactions <- metrics.Metrics.transactions + 1;
+      Atomic.incr metrics.Metrics.transactions;
       Hashtbl.replace arrival_times txn.Update.Transaction.id
         (Sim.Engine.now engine);
       Sim.Channel.send integrator_chan txn);
@@ -491,16 +524,31 @@ let run_sequential cfg =
 
 (* A single-threaded service queue: the merge process handles one message
    at a time, each costing a sampled latency. This is what lets benchmark
-   P2 observe the merge becoming a bottleneck (Section 7's question). *)
-let make_server engine ~latency =
+   P2 observe the merge becoming a bottleneck (Section 7's question).
+
+   A job is two halves. [work] is the group-local computation — reorderer
+   ingest, painting, VUT bookkeeping — touching only state owned by this
+   server's merge group; with a pooled exec it is dispatched to the
+   domain pool when the message is popped and joined at the
+   service-completion event, so different groups' merges genuinely
+   overlap (Figure 3, one process per group). The busy flag guarantees
+   at most one in-flight job per server, making each group's state
+   single-writer. [finish] is the externally visible half — timeline
+   records, WT submission, control replies, metric samples — and always
+   runs on the simulation domain at the completion event, in the same
+   order as the fully sequential server, which is why [domains = 1] and
+   [domains = n] produce identical traces. *)
+let make_server engine ~exec ~latency =
   let queue = Queue.create () in
   let busy = ref false in
   let rec pump () =
     if (not !busy) && not (Queue.is_empty queue) then begin
       busy := true;
-      let job = Queue.pop queue in
+      let work, finish = Queue.pop queue in
+      let fut = Parallel.Exec.spawn exec work in
       Sim.Engine.schedule_after engine (latency ()) (fun () ->
-          job ();
+          Parallel.Exec.await fut;
+          finish ();
           busy := false;
           pump ())
     end
@@ -523,6 +571,7 @@ let run_pipelined cfg =
   let arrival_rng = Sim.Rng.split rng in
   let lat_rng = Sim.Rng.split rng in
   let sample mean = Sim.Rng.exponential lat_rng ~mean in
+  let exec = Parallel.Config.exec cfg.parallel in
   (* Fault plan: the config's channel-level plan plus the deterministic
      translation of Drop_action_list faults (the nth physical message on
      the manager's action-list channel). Injection happens in the channel,
@@ -610,9 +659,9 @@ let run_pipelined cfg =
           (Fmt.list ~sep:Fmt.comma Fmt.int)
           wt.Warehouse.Wt.rows
           (String.concat ", " (Warehouse.Wt.views wt));
-        metrics.Metrics.commits <- metrics.Metrics.commits + 1;
-        metrics.Metrics.actions_applied <-
-          metrics.Metrics.actions_applied + Warehouse.Wt.action_count wt;
+        Atomic.incr metrics.Metrics.commits;
+        Metrics.add metrics.Metrics.actions_applied
+          (Warehouse.Wt.action_count wt);
         serving_publish serving wt;
         List.iter
           (fun row ->
@@ -624,27 +673,57 @@ let run_pipelined cfg =
           wt.Warehouse.Wt.rows)
       ()
   in
-  (* Merge processes: one per group (Section 6.1), or a single one. *)
+  (* Merge processes: one per group (Section 6.1), or a single one. Groups
+     are balanced by estimated evaluation cost — the summed initial
+     cardinality of each view's base relations — so that with parallel
+     merge groups every domain gets comparable work, not just a
+     comparable view count. *)
   let groups =
     match cfg.merge_groups with
     | None -> [ views ]
-    | Some k -> Mvc.Partition.coarsen ~max_groups:k (Mvc.Partition.groups views)
+    | Some k ->
+      let weight v =
+        List.fold_left
+          (fun acc r ->
+            acc
+            +
+            match Database.find initial_db r with
+            | rel -> Relation.cardinal rel
+            | exception _ -> 0)
+          1
+          (Query.View.base_relations v)
+      in
+      Mvc.Partition.coarsen ~weight ~max_groups:k
+        (Mvc.Partition.groups views)
   in
   let levels = List.map (fun v -> level_of (kind_of cfg v)) views in
   let algorithm = algorithm_for cfg levels in
+  let n_groups = List.length groups in
+  (* A merge's [emit] fires inside its group's work half, which may be
+     running on a pool domain; WTs are buffered group-locally and
+     submitted from the simulation domain — in emission order — by the
+     job's finish half (or by the flush wrapper during drain). *)
+  let emitted = Array.init n_groups (fun _ -> Queue.create ()) in
   let merges =
-    List.map
-      (fun group ->
+    List.mapi
+      (fun gi group ->
         Mvc.Merge.create algorithm
           ~views:(List.map Query.View.name group)
-          ~emit:(fun wt -> Warehouse.Submitter.submit submitter wt))
+          ~emit:(fun wt -> Queue.push wt emitted.(gi)))
       groups
+  in
+  let drain_emitted gi =
+    while not (Queue.is_empty emitted.(gi)) do
+      Warehouse.Submitter.submit submitter (Queue.pop emitted.(gi))
+    done
   in
   (* One service queue per merge process: messages from the REL channel and
      every view manager's AL channel are handled one at a time. *)
   let merge_servers =
     List.map
-      (fun _ -> make_server engine ~latency:(fun () -> sample cfg.latencies.merge))
+      (fun _ ->
+        make_server engine ~exec
+          ~latency:(fun () -> sample cfg.latencies.merge))
       merges
   in
   let merge_server_of =
@@ -655,15 +734,23 @@ let run_pipelined cfg =
   let merge_servers_pending () =
     List.fold_left (fun acc (_, pending) -> acc + pending ()) 0 merge_servers
   in
+  (* Merge occupancy is sampled from per-group snapshots refreshed on the
+     simulation domain whenever that group's state settles (job finish,
+     flush). Reading another group's merge live would race with its
+     in-flight work; the snapshots are exactly the live values at every
+     sampling point because merge state only changes inside jobs and
+     flushes. *)
+  let held_snapshot = Array.make n_groups 0 in
+  let rows_snapshot = Array.make n_groups 0 in
+  let snapshot_group gi merge =
+    held_snapshot.(gi) <- Mvc.Merge.held_action_lists merge;
+    rows_snapshot.(gi) <- Mvc.Merge.live_rows merge
+  in
   let sample_merge_metrics () =
-    let held =
-      List.fold_left (fun acc m -> acc + Mvc.Merge.held_action_lists m) 0 merges
-    in
-    let rows =
-      List.fold_left (fun acc m -> acc + Mvc.Merge.live_rows m) 0 merges
-    in
-    Sim.Stats.Summary.add metrics.Metrics.merge_held (float_of_int held);
-    Sim.Stats.Summary.add metrics.Metrics.merge_live_rows (float_of_int rows)
+    Sim.Stats.Summary.add metrics.Metrics.merge_held
+      (float_of_int (Array.fold_left ( + ) 0 held_snapshot));
+    Sim.Stats.Summary.add metrics.Metrics.merge_live_rows
+      (float_of_int (Array.fold_left ( + ) 0 rows_snapshot))
   in
   (* View managers and their AL channels to the owning merge. *)
   let merge_of_view =
@@ -770,24 +857,39 @@ let run_pipelined cfg =
     in
     let al_link =
       make_link ~name:(name ^ "->merge") (fun msg ->
-          merge_server_of gi (fun () ->
-              (match msg with
-              | `Rel ((row, _, _) as fwd) ->
-                record "merge <- forwarded REL_%d (via %s)" row name;
-                fst (reorderer_of gi) fwd
-              | `Al al ->
-                record "merge <- AL(%s, %d)" al.Query.Action_list.view
-                  al.Query.Action_list.state;
-                Hashtbl.replace watermarks al.Query.Action_list.view
-                  al.Query.Action_list.state;
-                Mvc.Merge.receive_action_list merge al
-              | `Resync epoch ->
-                record "merge <- resync(%s, epoch %d)" name epoch;
-                let w =
-                  Option.value ~default:0 (Hashtbl.find_opt watermarks name)
-                in
-                ctrl_link.send (epoch, w));
-              sample_merge_metrics ()))
+          (* Work half: group-local painting/reordering, safe off the
+             simulation domain. Finish half: timeline records, the
+             watermark table (shared across groups), control replies and
+             buffered WT submission — simulation domain only. *)
+          let work, finish =
+            match msg with
+            | `Rel ((row, _, _) as fwd) ->
+              ( (fun () -> fst (reorderer_of gi) fwd),
+                fun () -> record "merge <- forwarded REL_%d (via %s)" row name
+              )
+            | `Al al ->
+              ( (fun () -> Mvc.Merge.receive_action_list merge al),
+                fun () ->
+                  record "merge <- AL(%s, %d)" al.Query.Action_list.view
+                    al.Query.Action_list.state;
+                  Hashtbl.replace watermarks al.Query.Action_list.view
+                    al.Query.Action_list.state )
+            | `Resync epoch ->
+              ( (fun () -> ()),
+                fun () ->
+                  record "merge <- resync(%s, epoch %d)" name epoch;
+                  let w =
+                    Option.value ~default:0 (Hashtbl.find_opt watermarks name)
+                  in
+                  ctrl_link.send (epoch, w) )
+          in
+          merge_server_of gi
+            ( work,
+              fun () ->
+                finish ();
+                snapshot_group gi merge;
+                drain_emitted gi;
+                sample_merge_metrics () ))
     in
     let emit_to_merge al =
       (* Forward any RELs this manager owes the merge for rows the list
@@ -822,7 +924,7 @@ let run_pipelined cfg =
       crash_armed := false;
       down := true;
       incr incarnation;
-      metrics.Metrics.crashes <- metrics.Metrics.crashes + 1;
+      Atomic.incr metrics.Metrics.crashes;
       record "%s crashed (losing its in-memory state)" name;
       (match integ_link.reliable with
       | Some rl -> Sim.Reliable.set_receiver_down rl true
@@ -868,11 +970,11 @@ let run_pipelined cfg =
       let emit = guarded_emit inc in
       match kind with
       | Complete_vm ->
-        Viewmgr.Complete_vm.create ~engine ~compute_latency ~initial ~view
-          ~emit ()
+        Viewmgr.Complete_vm.create ~engine ~compute_latency ~exec ~initial
+          ~view ~emit ()
       | Batching_vm ->
-        Viewmgr.Batching_vm.create ~engine ~compute_latency ~initial ~view
-          ~emit ()
+        Viewmgr.Batching_vm.create ~engine ~compute_latency ~exec ~initial
+          ~view ~emit ()
       | Strobe_vm ->
         Viewmgr.Strobe_vm.create ~engine ~query:remote_query ~view ~emit ()
       | Periodic_vm period ->
@@ -884,8 +986,8 @@ let run_pipelined cfg =
             sample (cfg.latencies.compute +. cfg.latencies.message))
           ~initial ~view ~emit ()
       | Complete_n_vm n ->
-        Viewmgr.Complete_n_vm.create ~engine ~compute_latency ~n ~initial
-          ~view ~emit ()
+        Viewmgr.Complete_n_vm.create ~engine ~compute_latency ~exec ~n
+          ~initial ~view ~emit ()
       | Derived_vm { aux; over_aux } ->
         Viewmgr.Derived_vm.create ~engine ~compute_latency ~initial ~aux
           ~view ~over_aux ~emit ()
@@ -930,7 +1032,7 @@ let run_pipelined cfg =
                    let changes = Query.Delta.of_transaction txn in
                    if txn.Update.Transaction.id > w then begin
                      let delta =
-                       Query.Delta.eval_plan ~pre:!cache changes vplan
+                       Query.Delta.eval_plan ~exec ~pre:!cache changes vplan
                      in
                      let al =
                        Query.Action_list.delta ~view:name
@@ -949,8 +1051,7 @@ let run_pipelined cfg =
                    inner := build_inner ~initial:!cache ~inc:!incarnation;
                    last_id := head;
                    recovering := false;
-                   metrics.Metrics.recoveries <-
-                     metrics.Metrics.recoveries + 1;
+                   Atomic.incr metrics.Metrics.recoveries;
                    record
                      "%s recovered: merge watermark %d, replayed %d lists \
                       up to U%d"
@@ -983,10 +1084,14 @@ let run_pipelined cfg =
     List.mapi
       (fun gi merge ->
         make_link ~name:"integ->merge" (fun (row, rel) ->
-            merge_server_of gi (fun () ->
-                record "merge <- REL_%d = {%s}" row (String.concat ", " rel);
-                Mvc.Merge.receive_rel merge ~row ~rel;
-                sample_merge_metrics ())))
+            merge_server_of gi
+              ( (fun () -> Mvc.Merge.receive_rel merge ~row ~rel),
+                fun () ->
+                  record "merge <- REL_%d = {%s}" row
+                    (String.concat ", " rel);
+                  snapshot_group gi merge;
+                  drain_emitted gi;
+                  sample_merge_metrics () )))
       merges
   in
   let group_names =
@@ -1040,13 +1145,14 @@ let run_pipelined cfg =
       let txn = Source.Sources.execute sources updates in
       record "source commit: U%d at %s" txn.Update.Transaction.id
         txn.Update.Transaction.source;
-      metrics.Metrics.transactions <- metrics.Metrics.transactions + 1;
+      Atomic.incr metrics.Metrics.transactions;
       Hashtbl.replace arrival_times txn.Update.Transaction.id
         (Sim.Engine.now engine);
       integrator_link.send txn);
   let drained () =
     List.for_all (fun vm -> vm.Viewmgr.Vm.pending () = 0) vms
     && merge_servers_pending () = 0
+    && Array.for_all Queue.is_empty emitted
     && List.for_all (fun (_, held) -> held () = 0) rel_reorderers
     && List.for_all Mvc.Merge.quiescent merges
     && Warehouse.Submitter.outstanding submitter = 0
@@ -1057,26 +1163,31 @@ let run_pipelined cfg =
     drain engine
       ~flushes:
         (List.map (fun vm -> vm.Viewmgr.Vm.flush) vms
-        @ List.map (fun m () -> Mvc.Merge.flush m) merges)
+        @ List.mapi
+            (fun gi m () ->
+              (* Flush runs between engine passes, with no job in flight;
+                 refresh the group's snapshot and submit anything the
+                 flush emitted so snapshots track live state exactly. *)
+              Mvc.Merge.flush m;
+              snapshot_group gi m;
+              drain_emitted gi)
+            merges)
       ~drained
   in
   if (not ok) && faultless cfg then
     raise (Stuck "system failed to drain after flushing view managers");
   metrics.Metrics.completed_at <- Sim.Engine.now engine;
-  metrics.Metrics.msgs_dropped <-
-    List.fold_left (fun acc d -> acc + d ()) 0 !drop_counts;
+  Metrics.add metrics.Metrics.msgs_dropped
+    (List.fold_left (fun acc d -> acc + d ()) 0 !drop_counts);
   List.iter
     (fun get ->
       let s = get () in
-      metrics.Metrics.retransmits <-
-        metrics.Metrics.retransmits + s.Sim.Reliable.retransmits;
-      metrics.Metrics.acks <- metrics.Metrics.acks + s.Sim.Reliable.acks_sent;
-      metrics.Metrics.nacks <-
-        metrics.Metrics.nacks + s.Sim.Reliable.nacks_sent;
-      metrics.Metrics.dup_frames_dropped <-
-        metrics.Metrics.dup_frames_dropped + s.Sim.Reliable.dups_dropped;
-      metrics.Metrics.gave_up <-
-        metrics.Metrics.gave_up + s.Sim.Reliable.gave_up)
+      Metrics.add metrics.Metrics.retransmits s.Sim.Reliable.retransmits;
+      Metrics.add metrics.Metrics.acks s.Sim.Reliable.acks_sent;
+      Metrics.add metrics.Metrics.nacks s.Sim.Reliable.nacks_sent;
+      Metrics.add metrics.Metrics.dup_frames_dropped
+        s.Sim.Reliable.dups_dropped;
+      Metrics.add metrics.Metrics.gave_up s.Sim.Reliable.gave_up)
     !link_stats;
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;

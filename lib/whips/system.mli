@@ -67,7 +67,11 @@ type latencies = {
   merge : float;  (** Mean merge-process handling cost per message; the
                       merge is a single-threaded server, so this is what
                       eventually saturates it (benchmark P2). *)
-  read : float;  (** Mean per-read service cost at a reader session. *)
+  read : float;  (** Mean per-read service cost at a reader session
+                     (result-cache miss: the evaluation kernel runs). *)
+  read_hit : float;
+      (** Mean per-read service cost when the shared result cache will
+          serve the read (no evaluation) — much cheaper than [read]. *)
 }
 
 val default_latencies : latencies
@@ -177,10 +181,20 @@ type config = {
       (** Record a human-readable event log (source commits, REL routing,
           action-list deliveries, warehouse commits) in the result; used
           by the CLI's [--timeline] and by debugging sessions. *)
+  parallel : Parallel.Config.t;
+      (** The multicore maintenance runtime. [domains > 1] runs per-view
+          delta evaluation, sharded join kernels and per-group merge work
+          on a shared domain pool; [domains = 1] (the default unless
+          [MVC_DOMAINS] is set) executes everything inline. The knob
+          never touches simulated time or RNG streams, so every domain
+          count yields identical commits, reads and verdicts —
+          [model_overlap] is the separate latency-model switch. *)
   seed : int;
 }
 
 val default : Workload.Scenarios.t -> config
+(** [parallel] defaults to {!Parallel.Config.default}[ ()], i.e. the
+    [MVC_DOMAINS] / [MVC_SHARDS] environment knobs. *)
 
 (** One served read, recorded in arrival order. [read_state] is the
     exact warehouse state the read was evaluated against (persistent, so

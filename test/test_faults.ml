@@ -53,7 +53,7 @@ let unreliable_tests =
         Alcotest.(check bool) "rows 1,2 committed" true
           (Warehouse.Store.commit_count result.store >= 2);
         Alcotest.(check bool) "channel counted the drop" true
-          (result.metrics.Metrics.msgs_dropped = 1);
+          ((Atomic.get result.metrics.Metrics.msgs_dropped) = 1);
         let v = System.verdict result in
         Alcotest.(check bool) "prefix consistent" true
           (String.equal v.detail "final warehouse state differs from V(ss_f)"));
@@ -99,8 +99,8 @@ let unreliable_tests =
             seed = 1 }
         in
         let result = System.run cfg in
-        Alcotest.(check int) "crashed" 1 result.metrics.Metrics.crashes;
-        Alcotest.(check int) "no recovery" 0 result.metrics.Metrics.recoveries;
+        Alcotest.(check int) "crashed" 1 (Atomic.get result.metrics.Metrics.crashes);
+        Alcotest.(check int) "no recovery" 0 (Atomic.get result.metrics.Metrics.recoveries);
         Alcotest.(check bool) "stuck" true result.stuck;
         let v = System.verdict result in
         Alcotest.(check bool) "nothing wrong was merged" true
@@ -129,11 +129,11 @@ let reliable_tests =
         in
         Alcotest.(check bool) "not stuck" false result.stuck;
         Alcotest.(check bool) "the drop happened" true
-          (result.metrics.Metrics.msgs_dropped >= 1);
+          ((Atomic.get result.metrics.Metrics.msgs_dropped) >= 1);
         Alcotest.(check bool) "gap nacked" true
-          (result.metrics.Metrics.nacks >= 1);
+          ((Atomic.get result.metrics.Metrics.nacks) >= 1);
         Alcotest.(check bool) "list retransmitted" true
-          (result.metrics.Metrics.retransmits >= 1);
+          ((Atomic.get result.metrics.Metrics.retransmits) >= 1);
         let v = System.verdict result in
         Alcotest.(check bool) "consistent again" true (strong_or_better v));
     case "a lost final list is repaired by timeout retransmission" (fun () ->
@@ -142,7 +142,7 @@ let reliable_tests =
         let result = System.run (lossy ~reliability:acked ~view:"V2" ~nth:3 1) in
         Alcotest.(check bool) "not stuck" false result.stuck;
         Alcotest.(check bool) "retransmitted" true
-          (result.metrics.Metrics.retransmits >= 1);
+          ((Atomic.get result.metrics.Metrics.retransmits) >= 1);
         let v = System.verdict result in
         Alcotest.(check bool) "complete" true v.complete);
     case "crashed complete manager resyncs, replays the log, and catches up"
@@ -158,8 +158,8 @@ let reliable_tests =
         in
         let result = System.run cfg in
         Alcotest.(check bool) "not stuck" false result.stuck;
-        Alcotest.(check int) "crashed" 1 result.metrics.Metrics.crashes;
-        Alcotest.(check int) "recovered" 1 result.metrics.Metrics.recoveries;
+        Alcotest.(check int) "crashed" 1 (Atomic.get result.metrics.Metrics.crashes);
+        Alcotest.(check int) "recovered" 1 (Atomic.get result.metrics.Metrics.recoveries);
         let v = System.verdict result in
         Alcotest.(check bool) "complete after recovery" true v.complete);
     case "crashed batching manager recovers under PA" (fun () ->
@@ -175,7 +175,7 @@ let reliable_tests =
         in
         let result = System.run cfg in
         Alcotest.(check bool) "not stuck" false result.stuck;
-        Alcotest.(check int) "recovered" 1 result.metrics.Metrics.recoveries;
+        Alcotest.(check int) "recovered" 1 (Atomic.get result.metrics.Metrics.recoveries);
         let v = System.verdict result in
         Alcotest.(check bool) "strongly consistent" true (strong_or_better v));
     case "crash faults on source-querying managers are rejected" (fun () ->
@@ -201,9 +201,9 @@ let reliable_tests =
         in
         Alcotest.(check bool) "not stuck" false result.stuck;
         Alcotest.(check int) "no retransmits" 0
-          result.metrics.Metrics.retransmits;
+          (Atomic.get result.metrics.Metrics.retransmits);
         Alcotest.(check bool) "acks flowed" true
-          (result.metrics.Metrics.acks > 0);
+          ((Atomic.get result.metrics.Metrics.acks) > 0);
         let v = System.verdict result in
         Alcotest.(check bool) "complete" true v.complete) ]
 
@@ -269,7 +269,7 @@ let soak_run seed =
       seed
       (Consistency.Checker.level_name want)
       Consistency.Checker.(level_name (level v))
-      result.merge_algorithm result.metrics.Metrics.msgs_dropped;
+      result.merge_algorithm (Atomic.get result.metrics.Metrics.msgs_dropped);
   true
 
 let soak_tests =

@@ -381,7 +381,7 @@ let system_tests =
         Alcotest.(check int) "all reads served" 100
           (List.length (records result));
         Alcotest.(check int) "metrics agree" 100
-          result.Whips.System.metrics.Whips.Metrics.reads;
+          (Atomic.get result.Whips.System.metrics.Whips.Metrics.reads);
         check_read_results result;
         check_served_snapshots result);
     case "SPA with channel faults serves only consistent snapshots"
@@ -426,6 +426,13 @@ let system_tests =
         let base =
           { (Whips.System.default Workload.Scenarios.bank) with
             arrival = Whips.System.Poisson 40.0;
+            (* Value-transparency check: pin the hit service time to the
+               miss service time so cache-on and cache-off runs serve at
+               identical instants (and thus versions). The cheaper-hit
+               latency model is exercised separately below. *)
+            latencies =
+              { Whips.System.default_latencies with
+                read_hit = Whips.System.default_latencies.Whips.System.read };
             seed = 19 }
         in
         let with_cache =
@@ -450,10 +457,10 @@ let system_tests =
               x.Whips.System.read_result y.Whips.System.read_result)
           a b;
         Alcotest.(check bool) "cache was exercised" true
-          (with_cache.Whips.System.metrics.Whips.Metrics.cache_hits > 0);
+          ((Atomic.get with_cache.Whips.System.metrics.Whips.Metrics.cache_hits) > 0);
         Alcotest.(check int) "no cache counters when disabled" 0
-          (without.Whips.System.metrics.Whips.Metrics.cache_hits
-          + without.Whips.System.metrics.Whips.Metrics.cache_misses));
+          ((Atomic.get without.Whips.System.metrics.Whips.Metrics.cache_hits)
+          + (Atomic.get without.Whips.System.metrics.Whips.Metrics.cache_misses)));
     case "serving metrics are populated" (fun () ->
         let cfg =
           { (Whips.System.default Workload.Scenarios.bank) with
@@ -463,9 +470,9 @@ let system_tests =
         in
         let result = Whips.System.run cfg in
         let m = result.Whips.System.metrics in
-        Alcotest.(check int) "latency samples" m.Whips.Metrics.reads
+        Alcotest.(check int) "latency samples" (Atomic.get m.Whips.Metrics.reads)
           (Sim.Stats.Summary.count m.Whips.Metrics.read_latency);
-        Alcotest.(check int) "staleness samples" m.Whips.Metrics.reads
+        Alcotest.(check int) "staleness samples" (Atomic.get m.Whips.Metrics.reads)
           (Sim.Stats.Summary.count m.Whips.Metrics.served_staleness);
         Alcotest.(check bool) "hit ratio in range" true
           (let r = Whips.Metrics.cache_hit_ratio m in

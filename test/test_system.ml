@@ -228,7 +228,7 @@ let misc_tests =
           System.run { (System.default Workload.Scenarios.bank) with seed = 73 }
         in
         let m = result.metrics in
-        Alcotest.(check int) "transactions" 4 m.Metrics.transactions;
+        Alcotest.(check int) "transactions" 4 (Atomic.get m.Metrics.transactions);
         Alcotest.(check bool) "staleness sampled" true
           (Sim.Stats.Summary.count m.Metrics.staleness > 0);
         Alcotest.(check bool) "completed" true (m.Metrics.completed_at > 0.0));

@@ -46,7 +46,7 @@ let tests =
              result.timeline));
     case "metrics throughput" (fun () ->
         let m = Metrics.create () in
-        m.Metrics.transactions <- 10;
+        Atomic.set m.Metrics.transactions 10;
         m.Metrics.completed_at <- 2.0;
         Alcotest.(check (float 1e-9)) "5/s" 5.0 (Metrics.throughput m);
         let empty = Metrics.create () in
