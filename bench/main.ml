@@ -27,6 +27,9 @@ let experiments =
     ("servesmoke", Serving.servesmoke);
     ("parallel", Parallel_bench.run);
     ("parsmoke", Parallel_bench.parsmoke);
+    ("shared", Shared_bench.run);
+    ("sharedsmoke", Shared_bench.sharedsmoke);
+    ("summary", Summary.run);
     ("micro", Micro.run) ]
 
 let usage () =

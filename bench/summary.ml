@@ -1,0 +1,113 @@
+(* Folds every BENCH_*.json artifact in the working directory into one
+   BENCH_summary.json: experiment name -> the headline number(s) each
+   artifact reports. The artifacts are written by this harness with
+   known key names, so extraction is a flat scan for `"key": value`
+   pairs — no JSON parser needed (none is vendored), and a missing file
+   or key simply drops out of the summary rather than failing. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* First occurrence of ["key": <number>] in [content]. *)
+let find_number content key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and clen = String.length content in
+  let rec search i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while
+        !j < clen && (content.[!j] = ' ' || content.[!j] = '\n')
+      do
+        incr j
+      done;
+      let start = !j in
+      while
+        !j < clen
+        && (match content.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j > start then float_of_string_opt (String.sub content start (!j - start))
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+(* Per artifact: the headline metrics worth surfacing, as
+   (json key in the artifact, summary label). *)
+let catalogue =
+  [ ( "BENCH_kernel.json",
+      "micro",
+      [ ("ns_per_run", "first_kernel_ns_per_run") ] );
+    ( "BENCH_parallel.json",
+      "parallel",
+      [ ( "speedup_vs_sequential_at_4_domains",
+          "modeled_speedup_at_4_domains" ) ] );
+    ( "BENCH_resilience.json",
+      "resilience",
+      [ ("loss_rate", "first_loss_rate"); ("recoveries", "crash_recoveries") ]
+    );
+    ( "BENCH_serve.json",
+      "serve",
+      [ ("speedup_compiled", "read_path_speedup_compiled");
+        ("speedup_cached", "read_path_speedup_cached") ] );
+    ( "BENCH_shared.json",
+      "shared",
+      [ ("rows_reduction_at_degree_3", "rows_reduction_at_degree_3");
+        ("mean_read_latency_ms", "invalidate_read_latency_ms") ] ) ]
+
+let run () =
+  Tables.section "summary: folding BENCH_*.json headline numbers";
+  let entries =
+    List.filter_map
+      (fun (path, name, keys) ->
+        if Sys.file_exists path then begin
+          let content = read_file path in
+          let found =
+            List.filter_map
+              (fun (key, label) ->
+                Option.map (fun v -> (label, v)) (find_number content key))
+              keys
+          in
+          Some (path, name, found)
+        end
+        else None)
+      catalogue
+  in
+  let oc = open_out "BENCH_summary.json" in
+  let entry_json (path, name, found) =
+    let metrics =
+      List.map
+        (fun (label, v) -> Printf.sprintf "      \"%s\": %g" label v)
+        found
+    in
+    Printf.sprintf
+      "    { \"experiment\": \"%s\", \"artifact\": \"%s\",\n\
+       \      \"headline\": {\n%s\n      } }"
+      name path
+      (String.concat ",\n" (List.map (fun m -> "  " ^ m) metrics))
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"generated_by\": \"bench/main.exe summary\",\n\
+    \  \"experiments\": [\n%s\n  ]\n\
+     }\n"
+    (String.concat ",\n" (List.map entry_json entries));
+  close_out oc;
+  List.iter
+    (fun (path, name, found) ->
+      Printf.printf "  %-12s %-24s %s\n" name path
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "%s=%g" l v) found)))
+    entries;
+  Printf.printf "wrote BENCH_summary.json (%d artifacts)\n%!"
+    (List.length entries)

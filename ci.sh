@@ -11,6 +11,9 @@ dune build @bench-smoke
 dune build @soak-smoke
 dune build @serve-smoke
 dune build @par-smoke
+dune build @shared-smoke
+# Fold every BENCH_*.json headline into BENCH_summary.json.
+dune exec bench/main.exe -- -quick summary
 # The whole suite once more through the multicore runtime: MVC_DOMAINS
 # flips the default parallel config, and every trace must be identical.
 MVC_DOMAINS=4 dune runtest --force

@@ -1,0 +1,191 @@
+(* Canonical normal form + hash-consing for cross-view sub-plan sharing.
+
+   Two views written as [Select (p, Join (a, b))] and
+   [Select (p', Join (b, a))] denote the same computation whenever p and
+   p' are the same conjuncts in a different order: the natural join is
+   name-based, so commuting it only permutes output columns, and a
+   column permutation is an invertible, multiplicity-preserving
+   [Project]. The normal form exploits exactly that: operands of
+   commutative operators are ordered structurally, predicates are
+   flattened and sorted, selections are pulled up through joins, and
+   the column permutations this introduces are bridged by explicit
+   permutation [Project]s that are hoisted as high as possible (through
+   [Select], out of [Join] operands, absorbed by real [Project]s and
+   [Group_by]s) so they never sit between an operator and the
+   subexpression another view wants to share.
+
+   Everything here is schema-preserving: [normalize] returns an
+   expression with the same output schema — names, order and types —
+   and the same bag semantics as its input, so it can be substituted
+   for a view definition without touching any consumer. *)
+
+open Relational
+
+(* ---- predicate normal form ---- *)
+
+let rec normalize_pred (p : Pred.t) : Pred.t =
+  match p with
+  | Pred.True | Pred.False | Pred.Cmp _ -> p
+  | Pred.Not q -> Pred.Not (normalize_pred q)
+  | Pred.And _ ->
+    let rec flat acc = function
+      | Pred.And (a, b) -> flat (flat acc a) b
+      | q -> normalize_pred q :: acc
+    in
+    (* Sorting the conjuncts makes [And] order-insensitive; [sort_uniq]
+       also drops duplicate conjuncts (p && p = p for our two-valued
+       evaluation). *)
+    Pred.conj (List.sort_uniq Stdlib.compare (flat [] p))
+  | Pred.Or _ ->
+    let rec flat acc = function
+      | Pred.Or (a, b) -> flat (flat acc a) b
+      | q -> normalize_pred q :: acc
+    in
+    Pred.disj (List.sort_uniq Stdlib.compare (flat [] p))
+
+(* ---- expression normal form ---- *)
+
+let names_of ~schemas e = Schema.names (Algebra.schema_of schemas e)
+
+(* Split a permutation [Project] off the top of [e]: a Project whose
+   name list has the same length and the same name set as its child's
+   schema reorders columns without dropping or duplicating any. *)
+let split_perm ~schemas (e : Algebra.t) =
+  match e with
+  | Algebra.Project (names, inner) ->
+    let inner_names = names_of ~schemas inner in
+    if
+      List.length names = List.length inner_names
+      && List.for_all (fun n -> List.mem n inner_names) names
+    then (Some names, inner)
+    else (None, e)
+  | _ -> (None, e)
+
+(* Wrap [e] in a permutation Project yielding column order [names],
+   unless it already has that order. *)
+let restore ~schemas ~names e =
+  if names_of ~schemas e = names then e else Algebra.Project (names, e)
+
+let rec normalize ~schemas (e : Algebra.t) : Algebra.t =
+  match e with
+  | Algebra.Base _ -> e
+  | Algebra.Select (p, e0) ->
+    let e0' = normalize ~schemas e0 in
+    (* Hoist a permutation out of the operand — predicates resolve
+       attributes by name, so Select commutes with any permutation —
+       and merge with an inner Select so that stacked selections with
+       reordered conjuncts still unify. *)
+    let perm, core = split_perm ~schemas e0' in
+    let sel =
+      match core with
+      | Algebra.Select (q, inner) ->
+        Algebra.Select (normalize_pred (Pred.And (p, q)), inner)
+      | _ -> Algebra.Select (normalize_pred p, core)
+    in
+    (match perm with
+    | None -> sel
+    | Some names -> restore ~schemas ~names sel)
+  | Algebra.Project (names, e0) ->
+    let e0' = normalize ~schemas e0 in
+    (* A real Project resolves by name, so it absorbs any inner Project
+       (permutation or narrowing) outright. *)
+    let core =
+      match e0' with Algebra.Project (_, inner) -> inner | _ -> e0'
+    in
+    Algebra.Project (names, core)
+  | Algebra.Join (a, b) ->
+    let out = names_of ~schemas e in
+    let a' = normalize ~schemas a and b' = normalize ~schemas b in
+    let _, ca = split_perm ~schemas a' and _, cb = split_perm ~schemas b' in
+    (* Selections hoist through the join: sel_p(A) |><| B and
+       sel_p(A |><| B) are the same bag, because the natural join's
+       output keeps every operand column p mentions and a surviving
+       output tuple restricted to A's columns is exactly the A-tuple
+       that produced it. Pulling selections up undoes the optimizer's
+       pushdown locally, leaving the bare join as the shareable core —
+       views written (or optimized) as sel over join and as the raw
+       join then meet on one subexpression. *)
+    let split_sel = function
+      | Algebra.Select (p, inner) -> (Some p, inner)
+      | x -> (None, x)
+    in
+    let pa, ca = split_sel ca and pb, cb = split_sel cb in
+    (* Natural join matches on shared names, so operand column order is
+       irrelevant to which tuples pair up; dropping the permutations and
+       ordering the operands structurally changes output column order
+       only, which [restore] repairs. *)
+    let x, y = if Stdlib.compare ca cb <= 0 then (ca, cb) else (cb, ca) in
+    let joined = Algebra.Join (x, y) in
+    let sel =
+      match (pa, pb) with
+      | None, None -> joined
+      | Some p, None | None, Some p ->
+        Algebra.Select (normalize_pred p, joined)
+      | Some p, Some q ->
+        Algebra.Select (normalize_pred (Pred.And (p, q)), joined)
+    in
+    restore ~schemas ~names:out sel
+  | Algebra.Union (a, b) ->
+    let out = names_of ~schemas e in
+    let a' = normalize ~schemas a and b' = normalize ~schemas b in
+    let _, ca = split_perm ~schemas a' and _, cb = split_perm ~schemas b' in
+    let x, y = if Stdlib.compare ca cb <= 0 then (ca, cb) else (cb, ca) in
+    (* Union is order-sensitive about schemas: re-align the second
+       operand to the first's column order. *)
+    let y' = restore ~schemas ~names:(names_of ~schemas x) y in
+    restore ~schemas ~names:out (Algebra.Union (x, y'))
+  | Algebra.Rename (mapping, e0) ->
+    (* Renames translate names positionally against their input schema,
+       so permutations below them cannot be hoisted; sharing stops at a
+       Rename boundary. *)
+    Algebra.Rename (mapping, normalize ~schemas e0)
+  | Algebra.Group_by { keys; aggregates; input } ->
+    let input' = normalize ~schemas input in
+    (* Keys and aggregate arguments resolve by name and the output
+       schema is keys ++ aggregate names, so an input permutation is
+       invisible — drop it entirely. *)
+    let _, core = split_perm ~schemas input' in
+    Algebra.Group_by { keys; aggregates; input = core }
+
+(* ---- hash-consing ---- *)
+
+(* Structurally equal (sub)expressions map to one physical
+   representative. [Compiled.compile_memo] keys its plan cache on
+   physical equality, so interning the canonical definitions of all
+   registered views makes their common subexpressions hit one shared
+   compiled plan as well. *)
+
+let intern_tbl : (Algebra.t, Algebra.t) Hashtbl.t = Hashtbl.create 256
+
+let intern_mutex = Mutex.create ()
+
+let intern_limit = 4096
+
+let intern e =
+  Mutex.lock intern_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock intern_mutex)
+    (fun () ->
+      let rec go e =
+        let rebuilt =
+          match (e : Algebra.t) with
+          | Algebra.Base _ -> e
+          | Algebra.Select (p, x) -> Algebra.Select (p, go x)
+          | Algebra.Project (ns, x) -> Algebra.Project (ns, go x)
+          | Algebra.Join (a, b) -> Algebra.Join (go a, go b)
+          | Algebra.Union (a, b) -> Algebra.Union (go a, go b)
+          | Algebra.Rename (m, x) -> Algebra.Rename (m, go x)
+          | Algebra.Group_by { keys; aggregates; input } ->
+            Algebra.Group_by { keys; aggregates; input = go input }
+        in
+        match Hashtbl.find_opt intern_tbl rebuilt with
+        | Some repr -> repr
+        | None ->
+          if Hashtbl.length intern_tbl >= intern_limit then
+            Hashtbl.reset intern_tbl;
+          Hashtbl.add intern_tbl rebuilt rebuilt;
+          rebuilt
+      in
+      go e)
+
+let canonical ~schemas e = intern (normalize ~schemas e)

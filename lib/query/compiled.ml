@@ -262,6 +262,15 @@ let aggregate_group_pos ~aggs ~key contents =
 (* ------------------------------------------------------------------ *)
 (* Hash join on counted tuple lists.                                  *)
 
+(* Rows scanned by the join kernel, process-wide: build + probe side of
+   every full hash join, probe side only when a prebuilt index is used.
+   The shared-plan bench diffs this around a run as its work metric. *)
+let rows_counter = Atomic.make 0
+
+let kernel_rows () = Atomic.get rows_counter
+
+let count_rows n = ignore (Atomic.fetch_and_add rows_counter n)
+
 (* Join two counted collections on precomputed key positions: build a hash
    index on the smaller side, probe with the larger. Output tuples are
    always [left ++ right_extra] regardless of build direction, and
@@ -270,6 +279,7 @@ let join_counted_seq ~key_left ~key_right ~right_extra left right =
   let nl = List.length left and nr = List.length right in
   if nl = 0 || nr = 0 then []
   else begin
+    count_rows (nl + nr);
     let combine acc (ltup, ln) (rtup, rn) =
       (Tuple.concat ltup (Tuple.project_pos right_extra rtup), ln * rn) :: acc
     in
@@ -384,40 +394,90 @@ let eval ?exec db t =
    sub-plan over the pre-state (supplied by Delta to keep the dependency
    direction Compiled <- Delta). Join deltas are hash joins on the plan's
    precomputed key positions; the pre-state side of a rule is only
-   evaluated when the matching delta side is non-empty. *)
-let rec delta ?(exec = Parallel.Exec.sequential) ~changes ~eval_pre t =
+   evaluated when the matching delta side is non-empty.
+
+   [pre_index], when it returns an index for a [Base] join operand
+   (keyed on that operand's join-key positions over its pre-state),
+   short-circuits the dA |><| B_pre and A_pre |><| dB rules into pure
+   probes: the pre-state side is neither evaluated nor re-indexed, so
+   the cost is O(|delta|) instead of O(|pre|). The shared-plan engine
+   supplies it for materialized intermediates. *)
+let no_pre_index : string -> key_pos:int array -> Bag_index.t option =
+ fun _ ~key_pos:_ -> None
+
+(* Probe a prebuilt index over B_pre (keyed at B's join key) with the
+   left-side delta: output rows are left ++ right_extra, counts
+   multiply. Only the probe side is charged to the kernel counter. *)
+let probe_right_index ~index ~key_left ~right_extra da_l =
+  count_rows (List.length da_l);
+  List.fold_left
+    (fun acc (ltup, ln) ->
+      List.fold_left
+        (fun acc (rtup, rn) ->
+          (Tuple.concat ltup (Tuple.project_pos right_extra rtup), ln * rn)
+          :: acc)
+        acc
+        (Bag_index.find index (Tuple.project_pos key_left ltup)))
+    [] da_l
+
+(* Symmetric: probe an index over A_pre with the right-side delta. *)
+let probe_left_index ~index ~key_right ~right_extra db_l =
+  count_rows (List.length db_l);
+  List.fold_left
+    (fun acc (rtup, rn) ->
+      let extra = Tuple.project_pos right_extra rtup in
+      List.fold_left
+        (fun acc (ltup, ln) -> (Tuple.concat ltup extra, ln * rn) :: acc)
+        acc
+        (Bag_index.find index (Tuple.project_pos key_right rtup)))
+    [] db_l
+
+let rec delta ?(exec = Parallel.Exec.sequential) ?(pre_index = no_pre_index)
+    ~changes ~eval_pre t =
   match t.node with
   | Base name -> changes name
   | Select (pred, e) ->
-    Signed_bag.filter (eval_pred pred) (delta ~exec ~changes ~eval_pre e)
+    Signed_bag.filter (eval_pred pred)
+      (delta ~exec ~pre_index ~changes ~eval_pre e)
   | Project (positions, e) ->
     Signed_bag.map (Tuple.project_pos positions)
-      (delta ~exec ~changes ~eval_pre e)
+      (delta ~exec ~pre_index ~changes ~eval_pre e)
   | Join { left; right; key_left; key_right; right_extra } ->
-    let da = delta ~exec ~changes ~eval_pre left
-    and db_ = delta ~exec ~changes ~eval_pre right in
+    let da = delta ~exec ~pre_index ~changes ~eval_pre left
+    and db_ = delta ~exec ~pre_index ~changes ~eval_pre right in
     if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
     else begin
       let join = join_counted_pos ~exec ~key_left ~key_right ~right_extra in
       let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
+      let indexed side key =
+        match side.node with
+        | Base name -> pre_index name ~key_pos:key
+        | _ -> None
+      in
       (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
       let part1 =
         if da_l = [] then []
-        else join da_l (Bag.to_counted_list (eval_pre right))
+        else
+          match indexed right key_right with
+          | Some index -> probe_right_index ~index ~key_left ~right_extra da_l
+          | None -> join da_l (Bag.to_counted_list (eval_pre right))
       in
       let part2 =
         if db_l = [] then []
-        else join (Bag.to_counted_list (eval_pre left)) db_l
+        else
+          match indexed left key_left with
+          | Some index -> probe_left_index ~index ~key_right ~right_extra db_l
+          | None -> join (Bag.to_counted_list (eval_pre left)) db_l
       in
       let part3 = if da_l = [] || db_l = [] then [] else join da_l db_l in
       Signed_bag.of_list (List.concat [ part1; part2; part3 ])
     end
   | Union (a, b) ->
     Signed_bag.sum
-      (delta ~exec ~changes ~eval_pre a)
-      (delta ~exec ~changes ~eval_pre b)
+      (delta ~exec ~pre_index ~changes ~eval_pre a)
+      (delta ~exec ~pre_index ~changes ~eval_pre b)
   | Group_by { input; key_pos; aggs; group_by = _ } ->
-    let d_in = delta ~exec ~changes ~eval_pre input in
+    let d_in = delta ~exec ~pre_index ~changes ~eval_pre input in
     if Signed_bag.is_zero d_in then Signed_bag.zero
     else begin
       let key_of tup = Tuple.project_pos key_pos tup in
@@ -490,22 +550,40 @@ end)
 
 type memo_entry = { plan : t; bases : (string * Schema.t) list }
 
-let memo : memo_entry Expr_tbl.t = Expr_tbl.create 64
-
-let memo_limit = 1024
-
 (* The memo is process-global and reachable from pool domains (a view
-   manager's delta future compiles through it), so every access holds
-   this lock. Compilation itself is cheap relative to evaluation, so
-   compiling inside the critical section keeps the code simple without
-   a measurable serialization cost. *)
-let memo_mutex = Mutex.create ()
+   manager's delta future compiles through it). A single table behind a
+   single mutex serialized every compilation across domains; the table
+   is sharded by the expression's structural hash instead — physical
+   equality implies structural equality, so an expression always lands
+   in the same shard — with one lock per shard. Contended acquisitions
+   (try_lock failing before the blocking lock) are counted so the
+   runtime can report residual serialization. *)
+let memo_shards = 8
+
+let memos : memo_entry Expr_tbl.t array =
+  Array.init memo_shards (fun _ -> Expr_tbl.create 64)
+
+let memo_locks = Array.init memo_shards (fun _ -> Mutex.create ())
+
+let memo_shard_limit = 128
+
+let contention_counter = Atomic.make 0
+
+let memo_contention () = Atomic.get contention_counter
+
+let memo_shard expr = Hashtbl.hash expr land max_int mod memo_shards
 
 let compile_memo ~lookup expr =
-  Mutex.lock memo_mutex;
+  let shard = memo_shard expr in
+  let lock = memo_locks.(shard) in
+  if not (Mutex.try_lock lock) then begin
+    ignore (Atomic.fetch_and_add contention_counter 1);
+    Mutex.lock lock
+  end;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock memo_mutex)
+    ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
+      let memo = memos.(shard) in
       let validate entry =
         List.for_all
           (fun (name, schema) ->
@@ -523,6 +601,6 @@ let compile_memo ~lookup expr =
             (fun name -> (name, lookup name))
             (Algebra.base_relations expr)
         in
-        if Expr_tbl.length memo >= memo_limit then Expr_tbl.reset memo;
+        if Expr_tbl.length memo >= memo_shard_limit then Expr_tbl.reset memo;
         Expr_tbl.replace memo expr { plan; bases };
         plan)

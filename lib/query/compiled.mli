@@ -27,7 +27,21 @@ val compile_memo : lookup:(string -> Schema.t) -> Algebra.t -> t
 (** Like {!compile} but memoized on the physical identity of the
     expression, so a view manager evaluating the same definition per
     transaction compiles it once. Hits are revalidated against the current
-    base-relation schemas and recompiled on mismatch. *)
+    base-relation schemas and recompiled on mismatch. The memo is sharded
+    by structural hash with one lock per shard, so concurrent domains
+    compiling different expressions rarely serialize; {!Canon.intern}ed
+    expressions share one physical key and therefore one plan. *)
+
+val memo_contention : unit -> int
+(** Process-wide count of contended memo-shard lock acquisitions (a
+    [try_lock] that failed before blocking). {!Whips.Metrics} snapshots
+    it around a run. *)
+
+val kernel_rows : unit -> int
+(** Process-wide count of rows scanned by the hash-join kernel: build +
+    probe side of every full join, probe side only for the prebuilt-index
+    delta paths. The shared-plan bench diffs it around a run as its
+    delta-evaluation work metric. *)
 
 val schema : t -> Schema.t
 
@@ -40,6 +54,7 @@ val eval_bag : ?exec:Parallel.Exec.t -> Database.t -> t -> Bag.t
 
 val delta :
   ?exec:Parallel.Exec.t ->
+  ?pre_index:(string -> key_pos:int array -> Bag_index.t option) ->
   changes:(string -> Signed_bag.t) ->
   eval_pre:(t -> Bag.t) ->
   t ->
@@ -49,7 +64,15 @@ val delta :
     caller decides how — {!Delta} passes [eval_bag pre]). Join rules run as
     hash joins on the plan's precomputed key positions, and a rule's
     pre-state side is only evaluated when the matching delta side is
-    non-empty. *)
+    non-empty.
+
+    [pre_index name ~key_pos], when it returns a hash index over [name]'s
+    pre-state keyed at [key_pos], turns the join rules whose pre-state
+    side is that base relation into pure probes of the existing index —
+    O(|delta|) instead of evaluating and indexing the pre-state. The
+    index must be consistent with what [eval_pre] would return for
+    [Base name]. The shared-plan engine supplies it for materialized
+    intermediates; by default no index is offered. *)
 
 val join_counted_pos :
   ?exec:Parallel.Exec.t ->

@@ -140,8 +140,8 @@ let rec eval_naive ~pre changes expr =
         affected Signed_bag.zero
     end
 
-let eval_plan ?(exec = Parallel.Exec.sequential) ~pre changes plan =
-  Compiled.delta ~exec
+let eval_plan ?(exec = Parallel.Exec.sequential) ?pre_index ~pre changes plan =
+  Compiled.delta ~exec ?pre_index
     ~changes:(fun name ->
       let _ = Database.find pre name in
       change_for changes name)

@@ -50,12 +50,16 @@ val eval :
 
 val eval_plan :
   ?exec:Parallel.Exec.t ->
+  ?pre_index:(string -> key_pos:int array -> Bag_index.t option) ->
   pre:Database.t ->
   changes ->
   Compiled.t ->
   Signed_bag.t
 (** Delta of an already-compiled plan — what view managers use, compiling
-    their definition once at creation instead of per transaction. *)
+    their definition once at creation instead of per transaction.
+    [pre_index] is forwarded to {!Compiled.delta}: a returned index over a
+    base relation's pre-state turns that relation's join rules into pure
+    probes. *)
 
 val relevant : changes -> Algebra.t -> bool
 (** True when some changed relation appears in the expression. A cheap

@@ -35,3 +35,21 @@ let find_matching t tup = find t (key_of t tup)
 let groups t = Tuple_tbl.fold (fun key entries acc -> (key, entries) :: acc) t.table []
 
 let n_keys t = Tuple_tbl.length t.table
+
+let apply_signed t delta =
+  Signed_bag.to_list delta
+  |> List.iter (fun (tup, n) ->
+         let key = key_of t tup in
+         let entries = find t key in
+         let merged, found =
+           List.fold_left
+             (fun (acc, found) (etup, en) ->
+               if Tuple.equal etup tup then
+                 let m = en + n in
+                 ((if m = 0 then acc else (etup, m) :: acc), true)
+               else ((etup, en) :: acc, found))
+             ([], false) entries
+         in
+         let merged = if found then merged else (tup, n) :: merged in
+         if merged = [] then Tuple_tbl.remove t.table key
+         else Tuple_tbl.replace t.table key merged)

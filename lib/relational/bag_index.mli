@@ -28,3 +28,12 @@ val groups : t -> (Tuple.t * (Tuple.t * int) list) list
 (** All (key, entries) groups, unordered. *)
 
 val n_keys : t -> int
+
+val apply_signed : t -> Signed_bag.t -> unit
+(** [apply_signed t delta] edits the index in place so it indexes
+    [Signed_bag.apply delta b] whenever it previously indexed [b] (the
+    delta must apply exactly — counts that sum to zero are dropped, and
+    net-negative counts would be recorded as-is). Lets a long-lived index
+    over a maintained intermediate ride through updates instead of being
+    rebuilt per batch. Bucket order is not preserved; consumers must not
+    depend on entry order (join results are canonicalized into bags). *)

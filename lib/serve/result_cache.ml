@@ -22,6 +22,8 @@ type stats = {
   stale : int;
   evictions : int;
   entries : int;
+  refreshed : int;
+  refresh_fallbacks : int;
 }
 
 type t = {
@@ -34,13 +36,15 @@ type t = {
   mutable misses : int;
   mutable stale : int;
   mutable evictions : int;
+  mutable refreshed : int;
+  mutable refresh_fallbacks : int;
 }
 
 let create ?(capacity = 512) () =
   if capacity < 1 then invalid_arg "Result_cache.create: capacity < 1";
   { capacity; entries = Expr_tbl.create 64; insertion_order = Queue.create ();
     changes = Hashtbl.create 16; hits = 0; misses = 0; stale = 0;
-    evictions = 0 }
+    evictions = 0; refreshed = 0; refresh_fallbacks = 0 }
 
 let note_change t ~view ~version =
   match Hashtbl.find_opt t.changes view with
@@ -112,6 +116,58 @@ let store t ~version ~support expr result =
     Expr_tbl.replace t.entries expr { result; computed_at = version; support };
     Queue.push expr t.insertion_order
 
+(* Incremental refresh on commit. An entry valid at the pre-commit
+   version [version - 1] whose support intersects [changed] would be
+   invalidated by the change notes; instead, when the commit's view
+   deltas are estimated no wider than the cached result, push them
+   through the compiled delta plan of the cached query and advance the
+   entry to [version] in place. [Signed_bag.apply] is exact here — the
+   entry is bit-for-bit the pre-state result and the delta is exact —
+   so a refreshed entry stays indistinguishable from a recompute.
+   Entries wider deltas would churn more than recomputation saves fall
+   back to plain invalidation (they simply keep their old computed_at
+   and fail validity checks spanning this commit). *)
+let commit t ~version ~changed ~pre ~post =
+  let delta_cache = Hashtbl.create 8 in
+  let view_delta view =
+    match Hashtbl.find_opt delta_cache view with
+    | Some d -> d
+    | None ->
+      let d =
+        Signed_bag.diff_of_bags
+          ~before:(Relation.contents (Database.find pre view))
+          ~after:(Relation.contents (Database.find post view))
+      in
+      Hashtbl.add delta_cache view d;
+      d
+  in
+  let prev = version - 1 in
+  Expr_tbl.iter
+    (fun expr entry ->
+      let touched = List.filter (fun v -> List.mem v entry.support) changed in
+      if touched <> [] && entry.computed_at <= prev && valid_at t entry prev
+      then begin
+        let width =
+          List.fold_left
+            (fun acc v -> acc + Signed_bag.size (view_delta v))
+            0 touched
+        in
+        if width <= Bag.cardinal entry.result then begin
+          let changes =
+            Query.Delta.changes_of_list
+              (List.map (fun v -> (v, view_delta v)) touched)
+          in
+          let d = Query.Delta.eval ~pre changes expr in
+          entry.result <- Signed_bag.apply d entry.result;
+          entry.computed_at <- version;
+          t.refreshed <- t.refreshed + 1
+        end
+        else t.refresh_fallbacks <- t.refresh_fallbacks + 1
+      end)
+    t.entries;
+  List.iter (fun view -> note_change t ~view ~version) changed
+
 let stats t =
   { hits = t.hits; misses = t.misses; stale = t.stale;
-    evictions = t.evictions; entries = Expr_tbl.length t.entries }
+    evictions = t.evictions; entries = Expr_tbl.length t.entries;
+    refreshed = t.refreshed; refresh_fallbacks = t.refresh_fallbacks }

@@ -27,6 +27,11 @@ type stats = {
       (** Misses where an entry existed but a support view had changed. *)
   evictions : int;
   entries : int;  (** Current occupancy. *)
+  refreshed : int;
+      (** Entries advanced in place by {!commit}'s incremental refresh. *)
+  refresh_fallbacks : int;
+      (** Touched entries {!commit} left to invalidation because the
+          commit's deltas were wider than the cached result. *)
 }
 
 val create : ?capacity:int -> unit -> t
@@ -36,6 +41,25 @@ val create : ?capacity:int -> unit -> t
 val note_change : t -> view:string -> version:int -> unit
 (** Record that [view] changed at [version]. Versions must be reported in
     nondecreasing order per view (they come from the commit sequence). *)
+
+val commit :
+  t ->
+  version:int ->
+  changed:string list ->
+  pre:Database.t ->
+  post:Database.t ->
+  unit
+(** Process one commit: refresh-or-invalidate, then record the change
+    notes for every view in [changed] (subsuming per-view
+    {!note_change} calls). [pre]/[post] are the warehouse states
+    before/after the commit that produced [version]; [changed] is the
+    committed WT's view set. Cached entries valid at [version - 1]
+    whose support intersects [changed] are advanced to [version] in
+    place by pushing the commit's per-view deltas through the query's
+    compiled delta plan — exact, so a refreshed hit is bit-for-bit a
+    recompute — unless the summed delta width exceeds the cached
+    result's cardinality, in which case the entry is simply left to
+    invalidation (counted in [refresh_fallbacks]). *)
 
 val find : t -> version:int -> Query.Algebra.t -> Bag.t option
 (** A valid cached result for the query at the version, if any. *)

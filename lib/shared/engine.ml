@@ -1,0 +1,494 @@
+(* Shared-plan delta engine.
+
+   One view manager per view (the paper's Figure 1) recomputes identical
+   join subexpressions once per view per update. This engine
+   canonicalizes every registered view definition (Optimize rewrites,
+   then Canon's normal form + hash-consing), collects the subexpressions
+   that contain a join and appear in >= 2 views, and turns each into a
+   DAG node with a materialized intermediate: a persistent [Bag.t] per
+   advanced state, plus long-lived [Bag_index]es that ride through
+   updates via [Bag_index.apply_signed]. Node plans and view root plans
+   are rewritten to reference deeper shared nodes as synthetic base
+   relations ("#shared:i" — real relation names never start with '#'),
+   so one delta computation per (node, transaction) serves every view,
+   and the dA |><| B_pre join rules against a materialized intermediate
+   become pure probes of its index ([Compiled.delta]'s [pre_index]).
+
+   Consistency discipline. Views demand their transactions in global
+   transaction-id order (the integrator feeds each view manager a FIFO
+   of its relevant transactions), but different views reach a shared
+   node at different real times. Two mechanisms make that safe:
+
+   - Versioned intermediates: [n_versions] keeps the node's bag at each
+     advanced transaction id (persistent bags share structure, so a
+     snapshot is O(1)). A demand at transaction [u] always evaluates
+     pre-state against the newest version with id < u, wherever other
+     views have gotten to.
+
+   - Deferred advance: the delta computed at [u] is NOT applied to the
+     head immediately — other views' pre-state reads at [u] must still
+     see the pre-[u] head — but parked in [n_pending] and folded in
+     lazily, before the next strictly later demand ([ensure_advanced]).
+     Because every node-relevant transaction is demanded by every
+     referrer view in id order, at most one pending delta is ever
+     outstanding, which [demand] asserts.
+
+   Determinism: a node's delta at [u] is a pure function of the node
+   expression, the pre-state and the transaction, none of which depend
+   on domain count or real-time interleaving; hit/miss totals are
+   per-(node, txn) — one miss, referrers-1 hits — regardless of which
+   view arrives first. Runs at MVC_DOMAINS 1/2/4 therefore produce
+   byte-identical traces, the same discipline the PR 4 runtime keeps. *)
+
+open Relational
+module Algebra = Query.Algebra
+
+let synth_prefix = "#shared:"
+
+let is_synth name = String.length name > 0 && name.[0] = '#'
+
+type node = {
+  n_name : string;
+  n_expr : Algebra.t;  (* full canonical expression, real bases only *)
+  n_plan : Query.Compiled.t;  (* rewritten: deeper shared nodes as Base *)
+  n_schema : Schema.t;
+  n_bases : string list;  (* real base relations of the full expression *)
+  n_deps : node list;  (* direct synthetic dependencies *)
+  n_level : int;
+  n_referrers : string list;  (* views whose canonical def contains it *)
+  mutable n_versions : (int * Bag.t) list;  (* newest first; 0 = initial *)
+  mutable n_pending : (int * Signed_bag.t) option;
+  n_memo : (int, Signed_bag.t) Hashtbl.t;  (* txn id -> delta *)
+  n_indexes : (int array * int, Bag_index.t) Hashtbl.t;
+      (* (key positions, version id) -> index over that version *)
+}
+
+type view_info = {
+  v_name : string;
+  v_expr : Algebra.t;  (* canonical definition *)
+  v_plan : Query.Compiled.t;  (* rewritten root plan *)
+  v_bases : string list;
+  v_deps : node list;
+}
+
+type t = {
+  nodes_by_name : (string, node) Hashtbl.t;
+  all_nodes : node list;  (* ascending (size, structural) order *)
+  levels : node list list;  (* ascending level *)
+  views : view_info list;  (* registration order *)
+  completed : (string, int) Hashtbl.t;  (* view -> last completed txn *)
+  lock : Mutex.t;  (* serializes txn_delta entries (pipelined mode) *)
+  index_lock : Mutex.t;  (* guards every n_indexes table *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  rows : int Atomic.t;  (* intermediate maintenance cost, in delta rows *)
+}
+
+(* ---- construction ---- *)
+
+let rec has_join = function
+  | Algebra.Join _ -> true
+  | Algebra.Base _ -> false
+  | Algebra.Select (_, e) | Algebra.Project (_, e) | Algebra.Rename (_, e) ->
+    has_join e
+  | Algebra.Union (a, b) -> has_join a || has_join b
+  | Algebra.Group_by g -> has_join g.Algebra.input
+
+let children = function
+  | Algebra.Base _ -> []
+  | Algebra.Select (_, e)
+  | Algebra.Project (_, e)
+  | Algebra.Rename (_, e) ->
+    [ e ]
+  | Algebra.Join (a, b) | Algebra.Union (a, b) -> [ a; b ]
+  | Algebra.Group_by g -> [ g.Algebra.input ]
+
+let create ~schemas ~initial views =
+  let canon_views =
+    List.map
+      (fun v ->
+        ( Query.View.name v,
+          Query.Canon.canonical ~schemas
+            (Query.Optimize.optimize ~schemas v.Query.View.def) ))
+      views
+  in
+  (* Tally every join-bearing subexpression by the set of views whose
+     canonical definition contains it. *)
+  let tally : (Algebra.t, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec visit vname e =
+    if has_join e then begin
+      let r =
+        match Hashtbl.find_opt tally e with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add tally e r;
+          r
+      in
+      if not (List.mem vname !r) then r := vname :: !r
+    end;
+    List.iter (visit vname) (children e)
+  in
+  List.iter (fun (name, def) -> visit name def) canon_views;
+  let shared =
+    Hashtbl.fold
+      (fun e refs acc ->
+        if List.length !refs >= 2 then (e, List.rev !refs) :: acc else acc)
+      tally []
+    (* Hashtbl.fold order is unspecified; the structural sort makes node
+       naming, levels and every downstream trace deterministic. Smaller
+       expressions first, so a node's strict subexpressions precede it. *)
+    |> List.sort (fun (a, _) (b, _) ->
+           Stdlib.compare (Algebra.size a, a) (Algebra.size b, b))
+  in
+  let shared_name : (Algebra.t, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e, _) ->
+      Hashtbl.add shared_name e (Printf.sprintf "%s%d" synth_prefix i))
+    shared;
+  (* Rewrite an expression against the shared set: every maximal shared
+     strict subexpression becomes a synthetic base relation. [top]
+     suppresses the self-match when rewriting a shared node's own
+     expression. *)
+  let rec rewrite ~top e =
+    match if top then None else Hashtbl.find_opt shared_name e with
+    | Some name -> Algebra.Base name
+    | None -> (
+      match e with
+      | Algebra.Base _ -> e
+      | Algebra.Select (p, x) -> Algebra.Select (p, rewrite ~top:false x)
+      | Algebra.Project (ns, x) -> Algebra.Project (ns, rewrite ~top:false x)
+      | Algebra.Join (a, b) ->
+        Algebra.Join (rewrite ~top:false a, rewrite ~top:false b)
+      | Algebra.Union (a, b) ->
+        Algebra.Union (rewrite ~top:false a, rewrite ~top:false b)
+      | Algebra.Rename (m, x) -> Algebra.Rename (m, rewrite ~top:false x)
+      | Algebra.Group_by { keys; aggregates; input } ->
+        Algebra.Group_by { keys; aggregates; input = rewrite ~top:false input })
+  in
+  let nodes_by_name = Hashtbl.create 16 in
+  let lookup name =
+    if is_synth name then (Hashtbl.find nodes_by_name name).n_schema
+    else schemas name
+  in
+  let all_nodes =
+    List.map
+      (fun (expr, referrers) ->
+        let n_name = Hashtbl.find shared_name expr in
+        let rewritten = rewrite ~top:true expr in
+        let n_deps =
+          List.filter_map
+            (fun b ->
+              if is_synth b then Some (Hashtbl.find nodes_by_name b) else None)
+            (Algebra.base_relations rewritten)
+        in
+        let n_level =
+          List.fold_left (fun acc d -> max acc (d.n_level + 1)) 0 n_deps
+        in
+        let n_plan = Query.Compiled.compile ~lookup rewritten in
+        let n_schema = Query.Compiled.schema n_plan in
+        (* Materialize the initial state through the dependencies'
+           initial states — each shared join is evaluated once even
+           during construction. *)
+        let aug =
+          List.fold_left
+            (fun db d ->
+              Database.add d.n_name
+                (Relation.with_contents
+                   (Relation.create d.n_schema)
+                   (snd (List.hd d.n_versions)))
+                db)
+            initial n_deps
+        in
+        let bag0 = Query.Compiled.eval_bag aug n_plan in
+        let node =
+          { n_name;
+            n_expr = expr;
+            n_plan;
+            n_schema;
+            n_bases = Algebra.base_relations expr;
+            n_deps;
+            n_level;
+            n_referrers = referrers;
+            n_versions = [ (0, bag0) ];
+            n_pending = None;
+            n_memo = Hashtbl.create 16;
+            n_indexes = Hashtbl.create 8 }
+        in
+        Hashtbl.add nodes_by_name n_name node;
+        node)
+      shared
+  in
+  let max_level =
+    List.fold_left (fun acc n -> max acc n.n_level) (-1) all_nodes
+  in
+  let levels =
+    List.init (max_level + 1) (fun l ->
+        List.filter (fun n -> n.n_level = l) all_nodes)
+  in
+  let views =
+    List.map
+      (fun (v_name, v_expr) ->
+        let rewritten = rewrite ~top:false v_expr in
+        let v_deps =
+          List.filter_map
+            (fun b ->
+              if is_synth b then Some (Hashtbl.find nodes_by_name b) else None)
+            (Algebra.base_relations rewritten)
+        in
+        { v_name;
+          v_expr;
+          v_plan = Query.Compiled.compile ~lookup rewritten;
+          v_bases = Algebra.base_relations v_expr;
+          v_deps })
+      canon_views
+  in
+  { nodes_by_name;
+    all_nodes;
+    levels;
+    views;
+    completed = Hashtbl.create 8;
+    lock = Mutex.create ();
+    index_lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    rows = Atomic.make 0 }
+
+(* ---- node state ---- *)
+
+(* Newest version strictly before transaction [u] — the node's pre-state
+   for a demand at [u]. *)
+let state_before node u =
+  let rec go = function
+    | [] -> invalid_arg "Shared.Engine: no state before transaction"
+    | (id, bag) :: rest -> if id < u then (id, bag) else go rest
+  in
+  go node.n_versions
+
+(* Fold a pending delta older than [u] into the head version and migrate
+   the head's live indexes in place. Must run before any pre-state read
+   at [u] — including for transactions the node is irrelevant to —
+   otherwise a later parent evaluation would see a stale head. *)
+let ensure_advanced t node ~before:u =
+  match node.n_pending with
+  | Some (w, d) when w < u ->
+    let hid, hbag = List.hd node.n_versions in
+    assert (w > hid);
+    node.n_versions <- (w, Signed_bag.apply d hbag) :: node.n_versions;
+    node.n_pending <- None;
+    Mutex.lock t.index_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.index_lock)
+      (fun () ->
+        let stale =
+          Hashtbl.fold
+            (fun (kp, vid) idx acc ->
+              if vid = hid then (kp, idx) :: acc else acc)
+            node.n_indexes []
+        in
+        List.iter
+          (fun (kp, idx) ->
+            Bag_index.apply_signed idx d;
+            Hashtbl.remove node.n_indexes (kp, hid);
+            Hashtbl.add node.n_indexes (kp, w) idx)
+          stale)
+  | _ -> ()
+
+(* A live index over the node's pre-[u] state, building (and caching) it
+   on first use. Indexes at the current head ride through advances via
+   [apply_signed]; an index requested for an older version (a lagging
+   view) is built fresh and dropped at the next prune. *)
+let node_index t node ~before:u ~key_pos =
+  let vid, bag = state_before node u in
+  Mutex.lock t.index_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.index_lock)
+    (fun () ->
+      match Hashtbl.find_opt node.n_indexes (key_pos, vid) with
+      | Some idx -> idx
+      | None ->
+        let idx = Bag_index.of_bag ~key_pos bag in
+        Hashtbl.add node.n_indexes (key_pos, vid) idx;
+        idx)
+
+let relevant_to bases rels = List.exists (fun r -> List.mem r bases) rels
+
+(* ---- the demand-driven delta pass ---- *)
+
+let rec demand t node ~exec ~pre ~changes txn =
+  let u = txn.Update.Transaction.id in
+  if not (relevant_to node.n_bases (Update.Transaction.relations txn)) then
+    Signed_bag.zero
+  else
+    match Hashtbl.find_opt node.n_memo u with
+    | Some d ->
+      Atomic.incr t.hits;
+      d
+    | None ->
+      Atomic.incr t.misses;
+      let d = plan_delta t ~exec ~pre ~changes ~txn ~deps:node.n_deps node.n_plan in
+      Hashtbl.replace node.n_memo u d;
+      assert (node.n_pending = None);
+      node.n_pending <- Some (u, d);
+      ignore (Atomic.fetch_and_add t.rows (Signed_bag.size d));
+      d
+
+(* Delta of one rewritten plan at [txn], demanding synthetic bases
+   recursively and resolving their pre-states from the versioned
+   intermediates. The dependency pre-states are pinned (ensured + read)
+   before [Compiled.delta] runs, so recursive demands during the
+   traversal — which park new pending deltas at [txn] — cannot move
+   what [eval_pre] sees. *)
+and plan_delta t ~exec ~pre ~changes ~txn ~deps plan =
+  let u = txn.Update.Transaction.id in
+  List.iter (fun d -> ensure_advanced t d ~before:u) deps;
+  let aug =
+    List.fold_left
+      (fun db d ->
+        Database.add d.n_name
+          (Relation.with_contents
+             (Relation.create d.n_schema)
+             (snd (state_before d u)))
+          db)
+      pre deps
+  in
+  Query.Compiled.delta ~exec
+    ~changes:(fun name ->
+      match Hashtbl.find_opt t.nodes_by_name name with
+      | Some child -> demand t child ~exec ~pre ~changes txn
+      | None -> Query.Delta.change_for changes name)
+    ~eval_pre:(Query.Compiled.eval_bag ~exec aug)
+    ~pre_index:(fun name ~key_pos ->
+      match Hashtbl.find_opt t.nodes_by_name name with
+      | Some child -> Some (node_index t child ~before:u ~key_pos)
+      | None -> None)
+    plan
+
+(* ---- retention ---- *)
+
+(* Drop node state no view can demand again: every referrer has
+   completed transaction [c], so memo entries at ids <= min c and
+   versions older than the newest one at or below min c are dead. *)
+let prune t =
+  List.iter
+    (fun node ->
+      let min_c =
+        List.fold_left
+          (fun acc v ->
+            min acc (Option.value (Hashtbl.find_opt t.completed v) ~default:0))
+          max_int node.n_referrers
+      in
+      let min_c = if node.n_referrers = [] then 0 else min_c in
+      let rec keep = function
+        | [] -> []
+        | (id, bag) :: rest ->
+          if id <= min_c then [ (id, bag) ] else (id, bag) :: keep rest
+      in
+      node.n_versions <- keep node.n_versions;
+      let kept = List.map fst node.n_versions in
+      let dead_memo =
+        Hashtbl.fold
+          (fun id _ acc -> if id <= min_c then id :: acc else acc)
+          node.n_memo []
+      in
+      List.iter (Hashtbl.remove node.n_memo) dead_memo;
+      Mutex.lock t.index_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.index_lock)
+        (fun () ->
+          let dead_idx =
+            Hashtbl.fold
+              (fun ((_, vid) as key) _ acc ->
+                if List.mem vid kept then acc else key :: acc)
+              node.n_indexes []
+          in
+          List.iter (Hashtbl.remove node.n_indexes) dead_idx))
+    t.all_nodes
+
+(* ---- entry points ---- *)
+
+let txn_pass t ?(exec = Parallel.Exec.sequential) ~pre txn =
+  let u = txn.Update.Transaction.id in
+  let rels = Update.Transaction.relations txn in
+  let changes = Query.Delta.of_transaction txn in
+  (* Apply last transaction's pendings on the simulation thread, before
+     any parallelism: two parents of one child may then run on different
+     domains without racing on its version list. *)
+  List.iter (fun n -> ensure_advanced t n ~before:u) t.all_nodes;
+  List.iter
+    (fun level ->
+      match List.filter (fun n -> relevant_to n.n_bases rels) level with
+      | [] -> ()
+      | live ->
+        (* Same-level nodes share no state (their dependencies sit in
+           lower, already-completed levels), so the level fans out on
+           the domain pool. *)
+        ignore
+          (Parallel.Exec.map exec
+             (fun n -> demand t n ~exec ~pre ~changes txn)
+             live))
+    t.levels;
+  let live_views =
+    List.filter (fun vi -> relevant_to vi.v_bases rels) t.views
+  in
+  let out =
+    Parallel.Exec.map exec
+      (fun vi ->
+        ( vi.v_name,
+          plan_delta t ~exec ~pre ~changes ~txn ~deps:vi.v_deps vi.v_plan ))
+      live_views
+  in
+  List.iter (fun vi -> Hashtbl.replace t.completed vi.v_name u) t.views;
+  prune t;
+  out
+
+(* No [exec] here, deliberately. The pipelined runtime calls this from
+   futures running on pool domains; the engine lock serializes them. A
+   lock holder that fanned work out on the pool would, in the help-first
+   discipline, execute queued tasks while waiting — possibly another
+   view's delta future, which would try to take the same (non-reentrant)
+   lock on the same domain. Keeping everything under the lock strictly
+   sequential removes that cycle: a holder never waits on the pool, so
+   blocked domains always make progress once it returns. *)
+let txn_delta t ~view ~pre txn =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let vi =
+        try List.find (fun vi -> vi.v_name = view) t.views
+        with Not_found ->
+          invalid_arg ("Shared.Engine.txn_delta: unregistered view " ^ view)
+      in
+      let exec = Parallel.Exec.sequential in
+      let changes = Query.Delta.of_transaction txn in
+      let d =
+        plan_delta t ~exec ~pre ~changes ~txn ~deps:vi.v_deps vi.v_plan
+      in
+      let u = txn.Update.Transaction.id in
+      let prev = Option.value (Hashtbl.find_opt t.completed view) ~default:0 in
+      Hashtbl.replace t.completed view (max prev u);
+      prune t;
+      d)
+
+(* ---- introspection ---- *)
+
+type stats = {
+  nodes : int;
+  levels : int;
+  hits : int;
+  misses : int;
+  rows_maintained : int;
+}
+
+let stats t =
+  { nodes = List.length t.all_nodes;
+    levels = List.length t.levels;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    rows_maintained = Atomic.get t.rows }
+
+let node_count t = List.length t.all_nodes
+
+let describe t =
+  List.map (fun n -> (n.n_name, Algebra.to_string n.n_expr)) t.all_nodes

@@ -1,0 +1,77 @@
+(** Shared-plan delta engine: cross-view subplan sharing with
+    materialized, incrementally-maintained intermediates.
+
+    View definitions are canonicalized ({!Query.Optimize} rewrites, then
+    {!Query.Canon}'s normal form + hash-consing); join-bearing
+    subexpressions appearing in two or more views become nodes of a
+    sub-plan DAG, each with a materialized intermediate — a persistent
+    [Bag.t] per advanced transaction plus long-lived [Bag_index]es
+    migrated in place by the node's own deltas. Per transaction, each
+    node's delta is computed once and served to every referring view
+    (one miss, then memo hits); the join rules against an intermediate
+    probe its existing index instead of evaluating pre-state.
+
+    Semantics-preserving: per-view deltas equal what
+    {!Query.Delta.eval} computes against the original definitions
+    (property-tested against the naive evaluator). Deterministic: node
+    deltas are pure functions of node expression, pre-state and
+    transaction, so traces are byte-identical across MVC_DOMAINS.
+
+    Both entry points assume views demand transactions in increasing
+    transaction-id order, each view seeing every transaction that
+    touches its base relations (the integrator's FIFO discipline). *)
+
+open Relational
+
+type t
+
+val create :
+  schemas:(string -> Schema.t) -> initial:Database.t -> Query.View.t list -> t
+(** Build the DAG over the given views and materialize every shared
+    intermediate's initial state from [initial]. [schemas] must resolve
+    every base relation mentioned; [initial] must contain them. *)
+
+val txn_pass :
+  t ->
+  ?exec:Parallel.Exec.t ->
+  pre:Database.t ->
+  Update.Transaction.t ->
+  (string * Signed_bag.t) list
+(** One topological pass for one transaction (the sequential runtime's
+    shape): shared nodes are computed level by level — independent
+    nodes of a level fan out on [exec] — then every relevant view's
+    delta is read off its root plan. Returns (view name, delta) for
+    exactly the views whose base relations the transaction touches, in
+    registration order. [pre] is the warehouse state before the
+    transaction. Must be called with strictly increasing transaction
+    ids; not reentrant (one caller, the simulation loop). *)
+
+val txn_delta :
+  t -> view:string -> pre:Database.t -> Update.Transaction.t -> Signed_bag.t
+(** Demand-driven entry for the pipelined runtime: the delta of one
+    view for one transaction, computing shared nodes on first demand
+    and serving memoized deltas to later-arriving views. Thread-safe
+    (internally serialized); each view must demand its relevant
+    transactions in increasing id order. [pre] is that view's
+    pre-transaction base state (it must agree with every other view's
+    on the shared nodes' base relations, which the integrator's
+    routing guarantees). Work under the internal lock is deliberately
+    sequential — a lock holder must never wait on the help-first pool
+    (see the implementation note) — so callers get parallelism across
+    views, not within a node delta. *)
+
+type stats = {
+  nodes : int;  (** shared DAG nodes *)
+  levels : int;  (** DAG depth in dispatch levels *)
+  hits : int;  (** demands served from the per-transaction memo *)
+  misses : int;  (** demands that computed a fresh node delta *)
+  rows_maintained : int;
+      (** total |delta| rows folded into materialized intermediates *)
+}
+
+val stats : t -> stats
+
+val node_count : t -> int
+
+val describe : t -> (string * string) list
+(** (node name, canonical expression) per shared node, in node order. *)

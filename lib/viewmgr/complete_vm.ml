@@ -6,6 +6,8 @@ type state = {
   exec : Parallel.Exec.t;
   view : Query.View.t;
   plan : Query.Compiled.t; (* the view definition, compiled once *)
+  delta_fn :
+    (pre:Database.t -> Update.Transaction.t -> Signed_bag.t) option;
   emit : Query.Action_list.t -> unit;
   queue : Update.Transaction.t Queue.t;
   mutable cache : Database.t;
@@ -16,7 +18,6 @@ let rec pump st =
   if (not st.busy) && not (Queue.is_empty st.queue) then begin
     st.busy <- true;
     let txn = Queue.pop st.queue in
-    let changes = Query.Delta.of_transaction txn in
     (* The delta runs as a future over a snapshot of the pre-state
        (Database.t is persistent, so [pre] is immutable); it is joined in
        the emit event, so the simulated timeline is unchanged — a pooled
@@ -25,7 +26,11 @@ let rec pump st =
     let fut =
       Parallel.Exec.spawn st.exec (fun () ->
           let delta =
-            Query.Delta.eval_plan ~exec:st.exec ~pre changes st.plan
+            match st.delta_fn with
+            | Some f -> f ~pre txn
+            | None ->
+              let changes = Query.Delta.of_transaction txn in
+              Query.Delta.eval_plan ~exec:st.exec ~pre changes st.plan
           in
           Query.Action_list.delta ~view:(Query.View.name st.view)
             ~state:txn.Update.Transaction.id delta)
@@ -39,14 +44,14 @@ let rec pump st =
   end
 
 let create ~engine ~compute_latency ?(exec = Parallel.Exec.sequential)
-    ~initial ~view ~emit () =
+    ?delta_fn ~initial ~view ~emit () =
   let cache = Database.restrict initial (Query.View.base_relations view) in
   let plan =
     Query.Compiled.compile ~lookup:(Database.schema cache)
       view.Query.View.def
   in
   let st =
-    { engine; compute_latency; exec; view; plan; emit;
+    { engine; compute_latency; exec; view; plan; delta_fn; emit;
       queue = Queue.create (); cache; busy = false }
   in
   { Vm.view; level = Vm.Complete;

@@ -16,6 +16,10 @@ val create :
   engine:Sim.Engine.t ->
   compute_latency:(batch:int -> float) ->
   ?exec:Parallel.Exec.t ->
+  ?delta_fn:
+    (pre:Relational.Database.t ->
+    Relational.Update.Transaction.t ->
+    Relational.Signed_bag.t) ->
   initial:Relational.Database.t ->
   view:Query.View.t ->
   emit:(Query.Action_list.t -> unit) ->
@@ -25,4 +29,9 @@ val create :
     state [ss_0]. [compute_latency ~batch:1] is sampled per update.
     With a pooled [exec] (default sequential) the delta computation runs
     as a future on the domain pool, joined at the emit event; results and
-    the simulated timeline are identical. *)
+    the simulated timeline are identical.
+
+    [delta_fn], when given, replaces the per-view compiled delta plan as
+    the delta computation (the shared-plan engine routes views through
+    its DAG this way); it receives the manager's pre-transaction base
+    cache and must return exactly what the plan would. *)

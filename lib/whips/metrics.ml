@@ -23,6 +23,12 @@ type t = {
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
   reads_clamped : int Atomic.t;
+  shared_hits : int Atomic.t;
+  shared_misses : int Atomic.t;
+  shared_rows : int Atomic.t;
+  memo_contention : int Atomic.t;
+  cache_refreshes : int Atomic.t;
+  cache_refresh_fallbacks : int Atomic.t;
 }
 
 let create () =
@@ -41,7 +47,10 @@ let create () =
     dup_frames_dropped = Atomic.make 0; gave_up = Atomic.make 0;
     crashes = Atomic.make 0; recoveries = Atomic.make 0;
     reads = Atomic.make 0; cache_hits = Atomic.make 0;
-    cache_misses = Atomic.make 0; reads_clamped = Atomic.make 0 }
+    cache_misses = Atomic.make 0; reads_clamped = Atomic.make 0;
+    shared_hits = Atomic.make 0; shared_misses = Atomic.make 0;
+    shared_rows = Atomic.make 0; memo_contention = Atomic.make 0;
+    cache_refreshes = Atomic.make 0; cache_refresh_fallbacks = Atomic.make 0 }
 
 let add counter n = Atomic.fetch_and_add counter n |> ignore
 
@@ -58,13 +67,20 @@ let cache_hit_ratio t =
   if total = 0 then 0.0
   else float_of_int (Atomic.get t.cache_hits) /. float_of_int total
 
+let shared_hit_ratio t =
+  let total = Atomic.get t.shared_hits + Atomic.get t.shared_misses in
+  if total = 0 then 0.0
+  else float_of_int (Atomic.get t.shared_hits) /. float_of_int total
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>txns=%d commits=%d actions=%d completed=%.3fs tput=%.2f/s@ \
      staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@ \
      resilience: dropped=%d retx=%d acks=%d nacks=%d dups=%d gave-up=%d \
      crashes=%d recoveries=%d@ \
-     serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d@ \
+     serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d \
+     refreshed=%d refresh-fallbacks=%d@ \
+     shared-plans: hits=%d/%d rows-maintained=%d memo-contention=%d@ \
      read-latency: %a@ served-staleness: %a@ versions-retained: %a@ \
      versions-pinned: %a@]"
     (Atomic.get t.transactions) (Atomic.get t.commits)
@@ -79,6 +95,12 @@ let pp ppf t =
     (Atomic.get t.cache_hits)
     (Atomic.get t.cache_hits + Atomic.get t.cache_misses)
     (Atomic.get t.reads_clamped)
+    (Atomic.get t.cache_refreshes)
+    (Atomic.get t.cache_refresh_fallbacks)
+    (Atomic.get t.shared_hits)
+    (Atomic.get t.shared_hits + Atomic.get t.shared_misses)
+    (Atomic.get t.shared_rows)
+    (Atomic.get t.memo_contention)
     Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
     t.served_staleness Sim.Stats.Summary.pp t.versions_retained
     Sim.Stats.Summary.pp t.versions_pinned

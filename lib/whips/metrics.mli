@@ -48,6 +48,23 @@ type t = {
   reads_clamped : int Atomic.t;
       (** Reads whose session guarantee (or pruned history) forced a
           newer version than the read asked for. *)
+  shared_hits : int Atomic.t;
+      (** Shared-plan engine demands served from a node's per-transaction
+          memo — a delta some other view's pass already computed. *)
+  shared_misses : int Atomic.t;
+      (** Shared-plan engine demands that computed a fresh node delta. *)
+  shared_rows : int Atomic.t;
+      (** Delta rows folded into materialized intermediates — the
+          engine's maintenance cost. *)
+  memo_contention : int Atomic.t;
+      (** Contended plan-memo shard-lock acquisitions during the run
+          ({!Query.Compiled.memo_contention} delta). *)
+  cache_refreshes : int Atomic.t;
+      (** Result-cache entries advanced in place by incremental refresh
+          at commit. *)
+  cache_refresh_fallbacks : int Atomic.t;
+      (** Touched cache entries left to invalidation because the
+          commit's deltas were wider than the cached result. *)
 }
 (** Every integer counter is an [Atomic.t]: with [domains > 1] the
     maintenance runtime executes work on pool domains, and counters
@@ -69,5 +86,9 @@ val read_throughput : t -> float
 
 val cache_hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 when no cache lookups happened. *)
+
+val shared_hit_ratio : t -> float
+(** Shared-plan engine [hits / (hits + misses)]; 0 when the engine was
+    off or never demanded. *)
 
 val pp : Format.formatter -> t -> unit

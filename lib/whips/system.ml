@@ -51,6 +51,7 @@ type read_profile = {
   as_of_fraction : float;
   as_of_lag : float;
   read_cache : bool;
+  cache_refresh : bool;
   serve_retention : Serve.Version_manager.retention;
   queries : Query.Algebra.t list;
 }
@@ -64,6 +65,7 @@ let default_reads =
     as_of_fraction = 0.25;
     as_of_lag = 0.2;
     read_cache = true;
+    cache_refresh = true;
     serve_retention = Serve.Version_manager.Keep_last 64;
     queries = [] }
 
@@ -86,6 +88,7 @@ type config = {
   store_retention : Warehouse.Store.retention;
   record_timeline : bool;
   parallel : Parallel.Config.t;
+  shared_plans : bool;
   seed : int;
 }
 
@@ -97,7 +100,7 @@ let default scenario =
     faults = []; fault_plan = Workload.Fault_plan.empty; reliability = Off;
     reads = None; store_retention = Warehouse.Store.Keep_all;
     record_timeline = false; parallel = Parallel.Config.default ();
-    seed = 1 }
+    shared_plans = false; seed = 1 }
 
 let faultless cfg =
   cfg.faults = [] && Workload.Fault_plan.is_empty cfg.fault_plan
@@ -358,21 +361,28 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
           in
           (fst servers.(sid)) (at, as_of, query))
     done;
+    (* Warehouse state at the previously published version: the [pre]
+       side of the commit's per-view deltas when the cache refreshes
+       entries in place instead of invalidating them. *)
+    let last_state = ref (Warehouse.Store.snapshot store) in
     let publish wt =
       let now = Sim.Engine.now engine in
       let changed = Warehouse.Wt.views wt in
-      let v =
-        Serve.Version_manager.publish vm ~time:now ~changed
-          (Warehouse.Store.snapshot store)
-      in
+      let post = Warehouse.Store.snapshot store in
+      let v = Serve.Version_manager.publish vm ~time:now ~changed post in
       (match cache with
       | Some c ->
-        List.iter
-          (fun view ->
-            Serve.Result_cache.note_change c ~view
-              ~version:v.Serve.Version_manager.index)
-          changed
+        if rp.cache_refresh then
+          Serve.Result_cache.commit c ~version:v.Serve.Version_manager.index
+            ~changed ~pre:!last_state ~post
+        else
+          List.iter
+            (fun view ->
+              Serve.Result_cache.note_change c ~view
+                ~version:v.Serve.Version_manager.index)
+            changed
       | None -> ());
+      last_state := post;
       Sim.Stats.Summary.add metrics.Metrics.versions_retained
         (float_of_int (Serve.Version_manager.retained vm));
       Sim.Stats.Summary.add metrics.Metrics.versions_pinned
@@ -397,6 +407,30 @@ let serving_result ctx =
       { version_manager = c.ctx_vm; result_cache = c.ctx_cache;
         reads_served = List.rev !(c.ctx_records) })
     ctx
+
+let ctx_cache_of = function Some c -> c.ctx_cache | None -> None
+
+(* Fold the run-scoped perf counters into the metrics at drain time: the
+   plan-memo contention accrued since the run started, the shared-plan
+   engine's hit/miss/maintenance tallies, and the result cache's
+   refresh-vs-invalidate decision counts. *)
+let finalize_perf_metrics metrics ~contention0 ~shared ~serving =
+  Metrics.add metrics.Metrics.memo_contention
+    (Query.Compiled.memo_contention () - contention0);
+  (match shared with
+  | Some eng ->
+    let s = Shared.Engine.stats eng in
+    Metrics.add metrics.Metrics.shared_hits s.Shared.Engine.hits;
+    Metrics.add metrics.Metrics.shared_misses s.Shared.Engine.misses;
+    Metrics.add metrics.Metrics.shared_rows s.Shared.Engine.rows_maintained
+  | None -> ());
+  match ctx_cache_of serving with
+  | Some c ->
+    let s = Serve.Result_cache.stats c in
+    Metrics.add metrics.Metrics.cache_refreshes s.Serve.Result_cache.refreshed;
+    Metrics.add metrics.Metrics.cache_refresh_fallbacks
+      s.Serve.Result_cache.refresh_fallbacks
+  | None -> ()
 
 (* The Section 1.1 baseline: one process, sequential handling of updates,
    one warehouse transaction per update, waiting for each commit. *)
@@ -424,8 +458,17 @@ let run_sequential cfg =
          views)
   in
   let metrics = Metrics.create () in
+  let contention0 = Query.Compiled.memo_contention () in
   let sample mean = Sim.Rng.exponential lat_rng ~mean in
   let exec = Parallel.Config.exec cfg.parallel in
+  let shared =
+    if cfg.shared_plans then
+      Some
+        (Shared.Engine.create
+           ~schemas:(Source.Sources.schema_lookup sources)
+           ~initial:initial_db views)
+    else None
+  in
   let serving =
     setup_serving engine ~rng ~sample ~metrics ~store ~views ~log:ignore cfg
   in
@@ -449,17 +492,36 @@ let run_sequential cfg =
       (* The per-view deltas of one source update are independent by
          construction (each reads only the shared pre-state), so they fan
          out across the pool; [Exec.map] preserves view order, making the
-         action-list order — and thus the WT — identical to [List.map]. *)
+         action-list order — and thus the WT — identical to [List.map].
+         With [shared_plans] the fan-out instead happens inside the
+         engine's topological pass — one node delta per shared subplan,
+         served to every referring view — which computes bit-identical
+         per-view deltas, so the WT stream is unchanged. *)
       let pre = !cache in
       let actions =
-        Parallel.Exec.map exec
-          (fun v ->
-            let delta =
-              Query.Delta.eval ~exec ~pre changes v.Query.View.def
-            in
-            Query.Action_list.delta ~view:(Query.View.name v)
-              ~state:txn.Update.Transaction.id delta)
-          relevant
+        match shared with
+        | Some eng ->
+          let deltas = Shared.Engine.txn_pass eng ~exec ~pre txn in
+          List.map
+            (fun v ->
+              let name = Query.View.name v in
+              let delta =
+                match List.assoc_opt name deltas with
+                | Some d -> d
+                | None -> Signed_bag.zero
+              in
+              Query.Action_list.delta ~view:name
+                ~state:txn.Update.Transaction.id delta)
+            relevant
+        | None ->
+          Parallel.Exec.map exec
+            (fun v ->
+              let delta =
+                Query.Delta.eval ~exec ~pre changes v.Query.View.def
+              in
+              Query.Action_list.delta ~view:(Query.View.name v)
+                ~state:txn.Update.Transaction.id delta)
+            relevant
       in
       cache := Database.apply_transaction !cache txn;
       (* Deltas for all views are computed one after the other by the same
@@ -517,6 +579,7 @@ let run_sequential cfg =
   if not ok then
     raise (Stuck "sequential baseline failed to drain");
   metrics.Metrics.completed_at <- Sim.Engine.now engine;
+  finalize_perf_metrics metrics ~contention0 ~shared ~serving;
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = "sequential"; timeline = []; stuck = false;
@@ -636,6 +699,26 @@ let run_pipelined cfg =
          views)
   in
   let metrics = Metrics.create () in
+  let contention0 = Query.Compiled.memo_contention () in
+  (* Shared-plan engine for the pipelined runtime: complete managers
+     route their per-update deltas through one sub-plan DAG instead of
+     each evaluating its own compiled plan, so a subplan common to
+     several views is maintained once per update. Gated to fault-free,
+     unfiltered runs — the engine requires every routed view to demand
+     every transaction touching its base relations in id order, which
+     message drops, crashes and semantic filtering all break. *)
+  let is_complete v =
+    match kind_of cfg v with Complete_vm -> true | _ -> false
+  in
+  let shared =
+    if cfg.shared_plans && faultless cfg && not cfg.semantic_filter
+       && List.exists is_complete views
+    then
+      Some
+        (Shared.Engine.create ~schemas ~initial:initial_db
+           (List.filter is_complete views))
+    else None
+  in
   let arrival_times = Hashtbl.create 64 in
   let timeline = ref [] in
   let record fmt =
@@ -970,8 +1053,13 @@ let run_pipelined cfg =
       let emit = guarded_emit inc in
       match kind with
       | Complete_vm ->
-        Viewmgr.Complete_vm.create ~engine ~compute_latency ~exec ~initial
-          ~view ~emit ()
+        let delta_fn =
+          Option.map
+            (fun eng ~pre txn -> Shared.Engine.txn_delta eng ~view:name ~pre txn)
+            shared
+        in
+        Viewmgr.Complete_vm.create ~engine ~compute_latency ~exec ?delta_fn
+          ~initial ~view ~emit ()
       | Batching_vm ->
         Viewmgr.Batching_vm.create ~engine ~compute_latency ~exec ~initial
           ~view ~emit ()
@@ -1177,6 +1265,7 @@ let run_pipelined cfg =
   if (not ok) && faultless cfg then
     raise (Stuck "system failed to drain after flushing view managers");
   metrics.Metrics.completed_at <- Sim.Engine.now engine;
+  finalize_perf_metrics metrics ~contention0 ~shared ~serving;
   Metrics.add metrics.Metrics.msgs_dropped
     (List.fold_left (fun acc d -> acc + d ()) 0 !drop_counts);
   List.iter

@@ -94,6 +94,13 @@ type read_profile = {
       (** Historical reads ask for an instant uniform in
           [now - as_of_lag, now]. *)
   read_cache : bool;  (** Share a {!Serve.Result_cache} across sessions. *)
+  cache_refresh : bool;
+      (** On each commit, advance still-valid cached results in place by
+          pushing the commit's per-view deltas through each cached
+          query's delta plan ({!Serve.Result_cache.commit}) instead of
+          only invalidating them. Exact — a refreshed hit is bit-for-bit
+          a recompute — with automatic fallback to invalidation when the
+          deltas are wider than the cached result. On by default. *)
   serve_retention : Serve.Version_manager.retention;
   queries : Query.Algebra.t list;
       (** Query mix, drawn uniformly; [[]] means one whole-view query
@@ -189,6 +196,19 @@ type config = {
           never touches simulated time or RNG streams, so every domain
           count yields identical commits, reads and verdicts —
           [model_overlap] is the separate latency-model switch. *)
+  shared_plans : bool;
+      (** Route per-update delta evaluation through the
+          {!Shared.Engine} sub-plan DAG: join-bearing subplans common
+          to several views are canonicalized, materialized and
+          incrementally maintained once per update instead of once per
+          referring view. Per-view deltas are bit-identical to the
+          unshared path, so commits, reads and verdicts are unchanged.
+          The sequential runtime always honours the flag; the pipelined
+          runtime applies it to [Complete_vm]-managed views on
+          fault-free, unfiltered runs (every routed view must see every
+          transaction touching its base relations, which drops, crashes
+          and semantic filtering break) and silently falls back to
+          per-view plans otherwise. Off by default. *)
   seed : int;
 }
 

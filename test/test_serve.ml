@@ -192,7 +192,47 @@ let result_cache_tests =
         Alcotest.(check int) "entries" 2 s.Cache.entries;
         Alcotest.(check bool) "oldest gone" true (Cache.find c ~version:1 q = None);
         Alcotest.(check bool) "newest kept" true
-          (Cache.find c ~version:1 q2 <> None)) ]
+          (Cache.find c ~version:1 q2 <> None));
+    case "commit advances valid entries in place, exactly" (fun () ->
+        let c = Cache.create () in
+        let q2 = Algebra.select (Pred.le "x" (Value.Int 1)) (Algebra.base "V") in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 3);
+        Cache.store c ~version:1 ~support:[ "V" ] q2
+          (Helpers.bag_of [ [ 0 ]; [ 1 ] ]);
+        (* db 3 -> db 4 inserts one tuple into V: width 1 <= both cached
+           cardinalities, so both entries refresh rather than invalidate. *)
+        Cache.commit c ~version:2 ~changed:[ "V" ] ~pre:(db 3) ~post:(db 4);
+        let s = Cache.stats c in
+        Alcotest.(check int) "both entries refreshed" 2 s.Cache.refreshed;
+        Alcotest.(check int) "no fallbacks" 0 s.Cache.refresh_fallbacks;
+        (match Cache.find c ~version:2 q with
+        | Some b ->
+          Alcotest.check Helpers.bag "bit-for-bit the recompute" (bag_v 4) b
+        | None -> Alcotest.fail "expected a refreshed hit");
+        (match Cache.find c ~version:2 q2 with
+        | Some b ->
+          Alcotest.check Helpers.bag "selection delta filtered away"
+            (Helpers.bag_of [ [ 0 ]; [ 1 ] ])
+            b
+        | None -> Alcotest.fail "expected a refreshed hit");
+        (* The trade-off the refresh makes: the single physical entry now
+           sits at version 2, so a read pinned before the commit misses. *)
+        Alcotest.(check bool) "pre-commit reads now miss" true
+          (Cache.find c ~version:1 q = None));
+    case "refresh falls back when the delta outweighs the cached result"
+      (fun () ->
+        let c = Cache.create () in
+        Cache.store c ~version:1 ~support:[ "V" ] q (bag_v 1);
+        (* db 1 -> db 5 inserts four tuples: width 4 > |cached| = 1, so the
+           entry is left to plain invalidation. *)
+        Cache.commit c ~version:2 ~changed:[ "V" ] ~pre:(db 1) ~post:(db 5);
+        let s = Cache.stats c in
+        Alcotest.(check int) "fallback counted" 1 s.Cache.refresh_fallbacks;
+        Alcotest.(check int) "nothing refreshed" 0 s.Cache.refreshed;
+        Alcotest.(check bool) "entry invalidated at the new version" true
+          (Cache.find c ~version:2 q = None);
+        Alcotest.(check bool) "still valid at its own version" true
+          (Cache.find c ~version:1 q <> None)) ]
 
 (* Session tests run against a manager with versions 0..2 at times 0, 1, 2
    carrying 1, 2, 3 tuples. *)
@@ -461,6 +501,117 @@ let system_tests =
         Alcotest.(check int) "no cache counters when disabled" 0
           ((Atomic.get without.Whips.System.metrics.Whips.Metrics.cache_hits)
           + (Atomic.get without.Whips.System.metrics.Whips.Metrics.cache_misses)));
+    case "incremental refresh changes nothing a client can observe"
+      (fun () ->
+        (* Same value-transparency scheme as the cache test above: pinned
+           hit latency makes refresh-on and refresh-off runs serve at
+           identical instants and versions, so every divergence a
+           refreshed entry could introduce would surface as a result
+           mismatch. *)
+        let base =
+          { (Whips.System.default Workload.Scenarios.bank) with
+            arrival = Whips.System.Poisson 40.0;
+            latencies =
+              { Whips.System.default_latencies with
+                read_hit = Whips.System.default_latencies.Whips.System.read };
+            seed = 29 }
+        in
+        let refresh =
+          Whips.System.run
+            { base with
+              reads =
+                Some { Whips.System.default_reads with cache_refresh = true } }
+        in
+        let invalidate =
+          Whips.System.run
+            { base with
+              reads =
+                Some { Whips.System.default_reads with cache_refresh = false } }
+        in
+        let a = records refresh and b = records invalidate in
+        Alcotest.(check int) "same read count" (List.length a) (List.length b);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check int) "same version"
+              x.Whips.System.read_version y.Whips.System.read_version;
+            Alcotest.check Helpers.bag "same result"
+              x.Whips.System.read_result y.Whips.System.read_result)
+          a b;
+        check_read_results refresh;
+        let rm = refresh.Whips.System.metrics in
+        Alcotest.(check bool) "refresh was exercised" true
+          (Atomic.get rm.Whips.Metrics.cache_refreshes > 0);
+        let im = invalidate.Whips.System.metrics in
+        Alcotest.(check int) "no refreshes when disabled" 0
+          (Atomic.get im.Whips.Metrics.cache_refreshes
+          + Atomic.get im.Whips.Metrics.cache_refresh_fallbacks));
+    case "refresh matches invalidation under SPA with channel faults"
+      (fun () ->
+        let base =
+          { (Whips.System.default Workload.Scenarios.paper_views) with
+            merge_kind = Whips.System.Force_spa;
+            arrival = Whips.System.Poisson 30.0;
+            latencies =
+              { Whips.System.default_latencies with
+                read_hit = Whips.System.default_latencies.Whips.System.read };
+            fault_plan =
+              Workload.Fault_plan.random ~drop:0.1 ~duplicate:0.05
+                ~delay:0.05 "*";
+            reliability = Whips.System.Acked Sim.Reliable.default_params;
+            seed = 7 }
+        in
+        let reads refresh =
+          Some
+            { Whips.System.default_reads with n_reads = 60; cache_refresh = refresh }
+        in
+        let on = Whips.System.run { base with reads = reads true } in
+        let off = Whips.System.run { base with reads = reads false } in
+        Alcotest.(check bool) "drained" false on.Whips.System.stuck;
+        let a = records on and b = records off in
+        Alcotest.(check int) "same read count" (List.length a) (List.length b);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check int) "same version"
+              x.Whips.System.read_version y.Whips.System.read_version;
+            Alcotest.check Helpers.bag "same result"
+              x.Whips.System.read_result y.Whips.System.read_result)
+          a b;
+        check_read_results on;
+        check_served_snapshots on;
+        Alcotest.(check bool) "refresh was exercised under faults" true
+          (Atomic.get on.Whips.System.metrics.Whips.Metrics.cache_refreshes > 0));
+    case "refresh matches invalidation under PA with channel faults"
+      (fun () ->
+        let base =
+          { (Whips.System.default Workload.Scenarios.paper_views) with
+            merge_kind = Whips.System.Force_pa;
+            arrival = Whips.System.Poisson 30.0;
+            latencies =
+              { Whips.System.default_latencies with
+                read_hit = Whips.System.default_latencies.Whips.System.read };
+            fault_plan =
+              Workload.Fault_plan.random ~drop:0.1 ~duplicate:0.05
+                ~delay:0.05 "*";
+            reliability = Whips.System.Acked Sim.Reliable.default_params;
+            seed = 13 }
+        in
+        let reads refresh =
+          Some
+            { Whips.System.default_reads with n_reads = 60; cache_refresh = refresh }
+        in
+        let on = Whips.System.run { base with reads = reads true } in
+        let off = Whips.System.run { base with reads = reads false } in
+        let a = records on and b = records off in
+        Alcotest.(check int) "same read count" (List.length a) (List.length b);
+        List.iter2
+          (fun x y ->
+            Alcotest.(check int) "same version"
+              x.Whips.System.read_version y.Whips.System.read_version;
+            Alcotest.check Helpers.bag "same result"
+              x.Whips.System.read_result y.Whips.System.read_result)
+          a b;
+        check_read_results on;
+        check_served_snapshots on);
     case "serving metrics are populated" (fun () ->
         let cfg =
           { (Whips.System.default Workload.Scenarios.bank) with

@@ -1,0 +1,398 @@
+(* The shared-plan delta engine. Four layers of evidence:
+
+   - Canon: the normal form is schema- and semantics-preserving (qcheck
+     against the naive evaluator), idempotent, and actually unifies what
+     it promises — commuted joins, reordered conjuncts and the
+     optimizer's selection pushdown all intern to physically shared
+     subterms;
+   - Bag_index.apply_signed: an index migrated in place equals a fresh
+     index of the applied bag (the mechanism long-lived intermediates
+     ride through updates on);
+   - the engine oracle: over random databases, view sets with forced
+     subplan overlap and random transaction chains, per-view deltas
+     from [txn_pass] and from demand-driven [txn_delta] (txn-major
+     rotated and view-major laggard orders) equal independent per-view
+     [Query.Delta.eval] runs of the naive reference rules, and applying
+     them step by step reproduces the naive recompute of every view;
+   - pinned paper traces: full-system runs of the paper scenarios are
+     byte-identical with sharing on and off, on both runtimes. *)
+
+open Relational
+
+let case = Helpers.case
+
+let schemas r =
+  Helpers.Delta_domain.schema_of
+    (int_of_string (String.sub r 1 (String.length r - 1)))
+
+let canon = Query.Canon.canonical ~schemas
+
+let normalize = Query.Canon.normalize ~schemas
+
+let rel k = Query.Algebra.base (Printf.sprintf "R%d" k)
+
+(* ---- the canonical normal form ---- *)
+
+let core_of = function
+  | Query.Algebra.Project (_, inner) -> inner
+  | e -> e
+
+let canon_tests =
+  [ case "commuted joins intern to one physical core" (fun () ->
+        let a = canon (Query.Algebra.join (rel 0) (rel 1)) in
+        let b = canon (Query.Algebra.join (rel 1) (rel 0)) in
+        (match b with
+        | Query.Algebra.Project (names, _) ->
+          Alcotest.(check (list string))
+            "bridging permutation keeps the commuted order"
+            [ "a1"; "a2"; "a0" ] names
+        | _ -> Alcotest.fail "expected a bridging permutation Project");
+        Alcotest.(check bool) "one shared core" true (core_of b == a));
+    case "pushed selections and commuted operands unify" (fun () ->
+        (* sel_p(R0) |><| R1 (the optimizer's pushed form) and
+           sel_p(R1 |><| R0) (the written form, commuted) are the same
+           computation; both must canonicalize onto one physical
+           Select-over-Join core. *)
+        let p = Query.Pred.le "a0" (Value.Int 2) in
+        let a =
+          canon (Query.Algebra.join (Query.Algebra.select p (rel 0)) (rel 1))
+        in
+        let b =
+          canon (Query.Algebra.select p (Query.Algebra.join (rel 1) (rel 0)))
+        in
+        Alcotest.(check bool) "one shared core" true (core_of b == a));
+    case "the optimizer's selection pushdown cancels out" (fun () ->
+        let e =
+          Query.Algebra.select
+            (Query.Pred.le "a0" (Value.Int 2))
+            (Query.Algebra.join (rel 0) (rel 1))
+        in
+        let opt = Query.Optimize.optimize ~schemas e in
+        Alcotest.(check bool) "the optimizer rewrote" true (opt <> e);
+        Alcotest.(check bool) "same canonical form" true (canon opt == canon e));
+    case "reordered conjuncts unify" (fun () ->
+        let p = Query.Pred.le "a0" (Value.Int 2)
+        and q = Query.Pred.le "a1" (Value.Int 3) in
+        let sel pr = Query.Algebra.select pr (Query.Algebra.join (rel 0) (rel 1)) in
+        Alcotest.(check bool) "And is order-insensitive" true
+          (canon (sel (Query.Pred.And (p, q)))
+          == canon (sel (Query.Pred.And (q, p)))));
+    Helpers.qcheck ~count:300
+      "normalize preserves schema and semantics; idempotent"
+      QCheck2.Gen.(
+        pair Helpers.Delta_domain.expr_gen Helpers.Delta_domain.db_gen)
+      (fun (e, db) ->
+        let n = normalize e in
+        Schema.equal
+          (Query.Algebra.schema_of schemas e)
+          (Query.Algebra.schema_of schemas n)
+        && Bag.equal
+             (Query.Eval.eval_bag ~naive:true db e)
+             (Query.Eval.eval_bag ~naive:true db n)
+        && normalize n = n) ]
+
+(* ---- long-lived index migration ---- *)
+
+let dump_index idx =
+  Bag_index.groups idx
+  |> List.map (fun (k, es) ->
+         ( k,
+           List.sort
+             (fun (t1, c1) (t2, c2) ->
+               match Tuple.compare t1 t2 with 0 -> compare c1 c2 | n -> n)
+             es ))
+  |> List.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2)
+
+let index_tests =
+  [ Helpers.qcheck ~count:200 "apply_signed == reindex of the applied bag"
+      QCheck2.Gen.(
+        pair
+          (Helpers.Gen.small_bag ~arity:2 ~range:4)
+          (Helpers.Gen.small_bag ~arity:2 ~range:4))
+      (fun (before, after) ->
+        (* diff_of_bags applies exactly, the precondition apply_signed
+           documents. *)
+        let d = Signed_bag.diff_of_bags ~before ~after in
+        let idx = Bag_index.of_bag ~key_pos:[| 0 |] before in
+        Bag_index.apply_signed idx d;
+        dump_index idx = dump_index (Bag_index.of_bag ~key_pos:[| 0 |] after));
+    case "apply_signed drops emptied keys" (fun () ->
+        let b = Helpers.bag_of [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ] ] in
+        let idx = Bag_index.of_bag ~key_pos:[| 0 |] b in
+        Bag_index.apply_signed idx
+          (Signed_bag.of_list
+             [ (Tuple.ints [ 0; 1 ], -1); (Tuple.ints [ 0; 2 ], -1) ]);
+        Alcotest.(check int) "one key left" 1 (Bag_index.n_keys idx);
+        Alcotest.(check (list (pair Helpers.tuple int)))
+          "emptied group finds nothing" []
+          (Bag_index.find idx (Tuple.ints [ 0 ]))) ]
+
+(* ---- the engine oracle (qcheck) ---- *)
+
+(* Five views: two arbitrary expressions plus a trio built around one
+   join — selected, selected-and-commuted, and raw — so every generated
+   case has forced subplan overlap (the trio's canonical forms meet on
+   Join(R0, R1), giving the engine at least one shared node). *)
+let view_set_gen =
+  QCheck2.Gen.(
+    let pred_on ks =
+      map2
+        (fun k v -> Query.Pred.le (Printf.sprintf "a%d" k) (Value.Int v))
+        (oneofl ks) (int_range 0 3)
+    in
+    Helpers.Delta_domain.expr_gen >>= fun e1 ->
+    Helpers.Delta_domain.expr_gen >>= fun e2 ->
+    pred_on [ 0; 1; 2 ] >>= fun p ->
+    pred_on [ 0; 1; 2 ] >>= fun q ->
+    return
+      [ e1;
+        e2;
+        Query.Algebra.select p (Query.Algebra.join (rel 0) (rel 1));
+        Query.Algebra.select q (Query.Algebra.join (rel 1) (rel 0));
+        Query.Algebra.join (rel 0) (rel 1) ])
+
+(* A chain of transactions with strictly increasing ids whose deletes and
+   modifies always target live tuples (threading the evolving db, like
+   [Delta_domain.changes_gen] does within one transaction). *)
+let txns_gen db =
+  QCheck2.Gen.(
+    int_range 1 4 >>= fun n ->
+    let rec go db i acc =
+      if i > n then return (List.rev acc)
+      else
+        Helpers.Delta_domain.changes_gen db >>= fun updates ->
+        let txn = Update.Transaction.make ~id:i ~source:"s0" updates in
+        go (Database.apply_transaction db txn) (i + 1) (txn :: acc)
+    in
+    go db 1 [])
+
+let scenario_gen =
+  QCheck2.Gen.(
+    Helpers.Delta_domain.db_gen >>= fun db ->
+    view_set_gen >>= fun defs ->
+    txns_gen db >>= fun txns -> return (db, defs, txns))
+
+let make_views defs =
+  List.mapi (fun i d -> Query.View.make (Printf.sprintf "V%d" i) d) defs
+
+let naive_delta ~pre txn (v : Query.View.t) =
+  Query.Delta.eval ~naive:true ~pre
+    (Query.Delta.of_transaction txn)
+    v.Query.View.def
+
+(* txn_pass: one topological pass per transaction, every relevant view's
+   delta read off the shared DAG, checked against independent naive
+   per-view deltas AND against the naive recompute of the maintained
+   view contents at the end of the chain. *)
+let check_txn_pass (db, defs, txns) =
+  let views = make_views defs in
+  let eng = Shared.Engine.create ~schemas ~initial:db views in
+  let ok = ref (Shared.Engine.node_count eng >= 1) in
+  let cur = ref db in
+  let mat =
+    ref
+      (List.map
+         (fun (v : Query.View.t) ->
+           (v.Query.View.name, Query.Eval.eval_bag ~naive:true db v.Query.View.def))
+         views)
+  in
+  List.iter
+    (fun txn ->
+      let deltas = Shared.Engine.txn_pass eng ~pre:!cur txn in
+      List.iter
+        (fun (v : Query.View.t) ->
+          let oracle = naive_delta ~pre:!cur txn v in
+          let got =
+            Option.value
+              (List.assoc_opt v.Query.View.name deltas)
+              ~default:Signed_bag.zero
+          in
+          if not (Signed_bag.equal got oracle) then ok := false)
+        views;
+      mat :=
+        List.map
+          (fun (n, b) ->
+            match List.assoc_opt n deltas with
+            | Some d -> (n, Signed_bag.apply d b)
+            | None -> (n, b))
+          !mat;
+      cur := Database.apply_transaction !cur txn)
+    txns;
+  List.iter
+    (fun (v : Query.View.t) ->
+      if
+        not
+          (Bag.equal
+             (List.assoc v.Query.View.name !mat)
+             (Query.Eval.eval_bag ~naive:true !cur v.Query.View.def))
+      then ok := false)
+    views;
+  !ok
+
+(* txn_delta: the pipelined runtime's demand-driven entry, under the two
+   adversarial arrival orders — txn-major with a rotated view order (so
+   every view is sometimes the miss that computes a node and sometimes a
+   memo hit) and view-major (one view drains the whole chain before the
+   next starts, exercising versioned intermediates, deferred advance and
+   laggard index builds). *)
+let check_txn_delta (db, defs, txns) =
+  let views = make_views defs in
+  let states = Array.make (List.length txns + 1) db in
+  List.iteri
+    (fun i txn -> states.(i + 1) <- Database.apply_transaction states.(i) txn)
+    txns;
+  let ok = ref true in
+  let demand eng i txn (v : Query.View.t) =
+    let d =
+      Shared.Engine.txn_delta eng ~view:v.Query.View.name ~pre:states.(i) txn
+    in
+    if not (Signed_bag.equal d (naive_delta ~pre:states.(i) txn v)) then
+      ok := false
+  in
+  let eng1 = Shared.Engine.create ~schemas ~initial:db views in
+  List.iteri
+    (fun i txn ->
+      List.iteri
+        (fun j _ ->
+          demand eng1 i txn (List.nth views ((i + j) mod List.length views)))
+        views)
+    txns;
+  let eng2 = Shared.Engine.create ~schemas ~initial:db views in
+  List.iter
+    (fun v -> List.iteri (fun i txn -> demand eng2 i txn v) txns)
+    views;
+  !ok
+
+let oracle_tests =
+  [ Helpers.qcheck ~count:500
+      "txn_pass deltas == independent naive per-view deltas" scenario_gen
+      check_txn_pass;
+    Helpers.qcheck ~count:150
+      "demand-driven txn_delta matches the oracle in adversarial orders"
+      scenario_gen check_txn_delta;
+    case "one miss then memo hits per (node, transaction)" (fun () ->
+        let db =
+          Database.of_list
+            [ ("R0", Helpers.rel (schemas "R0") [ [ 0; 1 ]; [ 1; 2 ] ]);
+              ("R1", Helpers.rel (schemas "R1") [ [ 1; 5 ]; [ 2; 6 ] ]);
+              ("R2", Helpers.rel (schemas "R2") [ [ 5; 0 ] ]) ]
+        in
+        let j = Query.Algebra.join (rel 0) (rel 1) in
+        let views =
+          make_views
+            [ Query.Algebra.select (Query.Pred.le "a0" (Value.Int 3)) j;
+              Query.Algebra.select
+                (Query.Pred.le "a2" (Value.Int 9))
+                (Query.Algebra.join (rel 1) (rel 0));
+              j ]
+        in
+        let eng = Shared.Engine.create ~schemas ~initial:db views in
+        Alcotest.(check int) "one shared node" 1 (Shared.Engine.node_count eng);
+        let txn =
+          Update.Transaction.make ~id:1 ~source:"s0"
+            [ Update.insert "R0" (Tuple.ints [ 1; 1 ]) ]
+        in
+        let deltas = Shared.Engine.txn_pass eng ~pre:db txn in
+        List.iter
+          (fun (v : Query.View.t) ->
+            Alcotest.check Helpers.signed_bag
+              (v.Query.View.name ^ " delta")
+              (naive_delta ~pre:db txn v)
+              (Option.value
+                 (List.assoc_opt v.Query.View.name deltas)
+                 ~default:Signed_bag.zero))
+          views;
+        let s = Shared.Engine.stats eng in
+        Alcotest.(check int) "the node computed once" 1 s.Shared.Engine.misses;
+        Alcotest.(check int) "served to all three views from the memo" 3
+          s.Shared.Engine.hits;
+        Alcotest.(check bool) "maintenance rows counted" true
+          (s.Shared.Engine.rows_maintained > 0)) ]
+
+(* ---- pinned paper traces ---- *)
+
+(* Everything externally visible about a run: commit/action counts, the
+   final instant, the whole warehouse state sequence (the VUT evolution
+   of Examples 2-5 when the scenario is [paper_views]), the full event
+   timeline, the served-read log and the oracle verdict. Sharing must
+   change none of it. *)
+let trace (r : Whips.System.result) =
+  let views =
+    r.Whips.System.config.Whips.System.scenario.Workload.Scenarios.views
+  in
+  let dump_state db =
+    List.map
+      (fun v ->
+        Bag.to_list
+          (Relation.contents (Database.find db (Query.View.name v))))
+      views
+  in
+  let m = r.Whips.System.metrics in
+  let reads =
+    match r.Whips.System.serving with
+    | None -> []
+    | Some s ->
+      List.map
+        (fun rr ->
+          ( rr.Whips.System.read_session,
+            rr.Whips.System.read_version,
+            rr.Whips.System.read_served,
+            Bag.to_list rr.Whips.System.read_result ))
+        s.Whips.System.reads_served
+  in
+  ( ( Atomic.get m.Whips.Metrics.commits,
+      Atomic.get m.Whips.Metrics.actions_applied,
+      m.Whips.Metrics.completed_at ),
+    List.map dump_state (Warehouse.Store.states r.Whips.System.store),
+    r.Whips.System.timeline,
+    reads,
+    Whips.System.verdict r )
+
+let run_scen scen ~merge_kind ~shared =
+  Whips.System.run
+    { (Whips.System.default scen) with
+      merge_kind;
+      arrival = Whips.System.Uniform 0.02;
+      reads = Some Whips.System.default_reads;
+      record_timeline = true;
+      shared_plans = shared;
+      seed = 5 }
+
+let pinned_case name scen ~merge_kind ~expect_sharing =
+  case name (fun () ->
+      let off = run_scen scen ~merge_kind ~shared:false in
+      let on = run_scen scen ~merge_kind ~shared:true in
+      Alcotest.(check bool) "byte-identical trace" true (trace on = trace off);
+      if expect_sharing then begin
+        let m = on.Whips.System.metrics in
+        Alcotest.(check bool) "the engine was exercised" true
+          (Atomic.get m.Whips.Metrics.shared_hits
+           + Atomic.get m.Whips.Metrics.shared_misses
+          > 0);
+        let off_m = off.Whips.System.metrics in
+        Alcotest.(check int) "no engine without the flag" 0
+          (Atomic.get off_m.Whips.Metrics.shared_hits
+          + Atomic.get off_m.Whips.Metrics.shared_misses)
+      end)
+
+let paper_tests =
+  [ pinned_case "example1 is byte-identical under sharing (sequential)"
+      Workload.Scenarios.example1 ~merge_kind:Whips.System.Sequential
+      ~expect_sharing:false;
+    pinned_case "paper_views VUT evolution is byte-identical (sequential)"
+      Workload.Scenarios.paper_views ~merge_kind:Whips.System.Sequential
+      ~expect_sharing:false;
+    pinned_case "paper_views_q VUT evolution is byte-identical (sequential)"
+      Workload.Scenarios.paper_views_q ~merge_kind:Whips.System.Sequential
+      ~expect_sharing:false;
+    pinned_case "auxiliary shares its sub-view joins (sequential)"
+      Workload.Scenarios.auxiliary ~merge_kind:Whips.System.Sequential
+      ~expect_sharing:true;
+    pinned_case "paper_views is byte-identical under sharing (pipelined)"
+      Workload.Scenarios.paper_views ~merge_kind:Whips.System.Auto
+      ~expect_sharing:false;
+    pinned_case "auxiliary shares its sub-view joins (pipelined)"
+      Workload.Scenarios.auxiliary ~merge_kind:Whips.System.Auto
+      ~expect_sharing:true ]
+
+let tests = canon_tests @ index_tests @ oracle_tests @ paper_tests
