@@ -1,0 +1,75 @@
+(* @col-smoke: the columnar kernels must be observably invisible.
+
+   Every pinned paper scenario (plus one generated workload) runs twice
+   — columnar kernels forced on and forced off — on both runtimes (the
+   pipelined merge and the sequential strawman) and at 1 and 4 domains,
+   and the complete trace must be identical: commit and action counts,
+   the simulated completion instant, the final contents of every view,
+   every served read (session, version, instants, cache hit, result),
+   and the consistency verdict. Exits nonzero on any divergence; wired
+   to `dune build @col-smoke`, which ci.sh runs. *)
+
+open Relational
+open Whips
+
+let with_columnar flag f =
+  let saved = !Columnar.enabled in
+  Columnar.enabled := flag;
+  Fun.protect ~finally:(fun () -> Columnar.enabled := saved) f
+
+let trace ~columnar ~merge ~domains scen =
+  with_columnar columnar (fun () ->
+      Parallel_bench.run_system ~merge ~domains ~shards:domains
+        ~model_overlap:false ~reads:System.default_reads scen)
+
+let merge_name = function
+  | System.Sequential -> "sequential"
+  | _ -> "pipelined"
+
+let check scen =
+  let configs =
+    List.concat_map
+      (fun merge -> List.map (fun d -> (merge, d)) [ 1; 4 ])
+      [ System.Auto; System.Sequential ]
+  in
+  let results =
+    List.map
+      (fun (merge, domains) ->
+        let on = trace ~columnar:true ~merge ~domains scen
+        and off = trace ~columnar:false ~merge ~domains scen in
+        let ok =
+          Parallel_bench.signatures_equal (Parallel_bench.signature on)
+            (Parallel_bench.signature off)
+          && Parallel_bench.read_signature on
+             = Parallel_bench.read_signature off
+          && System.verdict on = System.verdict off
+        in
+        Printf.printf "col-smoke %-14s %-10s domains %d: %s\n%!"
+          scen.Workload.Scenarios.name (merge_name merge) domains
+          (if ok then "identical" else "DIVERGED");
+        ok)
+      configs
+  in
+  List.for_all Fun.id results
+
+let run () =
+  Tables.section
+    "col-smoke: columnar and boxed kernels must produce identical traces";
+  let generated =
+    Workload.Generator.generate
+      { Workload.Generator.default with
+        seed = 23;
+        n_relations = 4;
+        n_views = 3;
+        n_transactions = 12;
+        initial_tuples = 6 }
+  in
+  let scens = Workload.Scenarios.all @ [ generated ] in
+  let results = List.map check scens in
+  if List.for_all Fun.id results then
+    Printf.printf "col-smoke OK: %d scenarios identical on both kernels\n%!"
+      (List.length scens)
+  else begin
+    Printf.printf "col-smoke FAILED: columnar and boxed traces diverged\n%!";
+    exit 1
+  end

@@ -29,18 +29,21 @@ let experiments =
     ("parsmoke", Parallel_bench.parsmoke);
     ("shared", Shared_bench.run);
     ("sharedsmoke", Shared_bench.sharedsmoke);
+    ("colsmoke", Colsmoke.run);
     ("summary", Summary.run);
     ("micro", Micro.run) ]
 
 let usage () =
   Printf.printf
-    "usage: main.exe [-quick] [experiment ...]\navailable experiments:\n";
+    "usage: main.exe [-quick] [--check-regression] [experiment ...]\n\
+     available experiments:\n";
   List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, args = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
   if List.mem "-quick" flags || List.mem "--quick" flags then Micro.quick := true;
+  if List.mem "--check-regression" flags then Summary.check_regression := true;
   if List.mem "--help" flags || List.mem "-h" flags then usage ()
   else
     match args with

@@ -5,6 +5,14 @@
    pairs — no JSON parser needed (none is vendored), and a missing file
    or key simply drops out of the summary rather than failing. *)
 
+(* Set by `bench/main.exe --check-regression`: after folding, compare
+   the kernel headline against the last BENCH_history.jsonl entry for
+   the same kernel and fail the run if it regressed. *)
+let check_regression = ref false
+
+(* Allowed headline slowdown before the gate trips. *)
+let regression_factor = 1.5
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -41,6 +49,73 @@ let find_number content key =
   in
   search 0
 
+(* First occurrence of ["key": "<string>"] in [content]. *)
+let find_string content key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and clen = String.length content in
+  let rec search i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < clen && (content.[!j] = ' ' || content.[!j] = '\n') do
+        incr j
+      done;
+      if !j < clen && content.[!j] = '"' then begin
+        let start = !j + 1 in
+        let k = ref start in
+        while !k < clen && content.[!k] <> '"' do
+          incr k
+        done;
+        if !k < clen then Some (String.sub content start (!k - start)) else None
+      end
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+(* First occurrence of ["key": true/false] in [content]. *)
+let find_bool content key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and clen = String.length content in
+  let rec search i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < clen && (content.[!j] = ' ' || content.[!j] = '\n') do
+        incr j
+      done;
+      let starts_with word =
+        !j + String.length word <= clen
+        && String.sub content !j (String.length word) = word
+      in
+      if starts_with "true" then Some true
+      else if starts_with "false" then Some false
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+(* The commit the run measured, read straight from .git (no subprocess):
+   HEAD either holds the hash or names a ref whose file holds it. Any
+   surprise degrades to "unknown" rather than failing the bench run. *)
+let git_rev () =
+  let read path =
+    try Some (String.trim (read_file path)) with Sys_error _ -> None
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+    if String.length head >= 5 && String.sub head 0 5 = "ref: " then begin
+      let ref_name = String.sub head 5 (String.length head - 5) in
+      match read (Filename.concat ".git" ref_name) with
+      | Some rev when rev <> "" -> rev
+      | Some _ | None -> "unknown"
+    end
+    else if head <> "" then head
+    else "unknown"
+
 (* Per artifact: the headline metrics worth surfacing, as
    (json key in the artifact, summary label). *)
 let catalogue =
@@ -63,6 +138,8 @@ let catalogue =
       "shared",
       [ ("rows_reduction_at_degree_3", "rows_reduction_at_degree_3");
         ("mean_read_latency_ms", "invalidate_read_latency_ms") ] ) ]
+
+let history_path = "BENCH_history.jsonl"
 
 let run () =
   Tables.section "summary: folding BENCH_*.json headline numbers";
@@ -110,4 +187,84 @@ let run () =
            (List.map (fun (l, v) -> Printf.sprintf "%s=%g" l v) found)))
     entries;
   Printf.printf "wrote BENCH_summary.json (%d artifacts)\n%!"
-    (List.length entries)
+    (List.length entries);
+  (* The kernel headline this run measured (name, ns, quick). *)
+  let headline =
+    if Sys.file_exists "BENCH_kernel.json" then begin
+      let content = read_file "BENCH_kernel.json" in
+      match
+        ( find_string content "headline_kernel",
+          find_number content "ns_per_run",
+          find_bool content "quick" )
+      with
+      | Some name, Some ns, quick ->
+        Some (name, ns, Option.value ~default:false quick)
+      | _ -> None
+    end
+    else None
+  in
+  (* The last recorded run of the same headline kernel at the same
+     measurement quota — what the regression gate compares against.
+     Read before this run is appended. *)
+  let previous =
+    match headline with
+    | None -> None
+    | Some (name, _, quick) ->
+      if not (Sys.file_exists history_path) then None
+      else
+        List.fold_left
+          (fun acc line ->
+            match
+              ( find_string line "headline_kernel",
+                find_number line "headline_ns",
+                find_bool line "quick" )
+            with
+            | Some n, Some ns, Some q when n = name && q = quick ->
+              Some (ns, Option.value ~default:"unknown" (find_string line "git_rev"))
+            | _ -> acc)
+          None
+          (String.split_on_char '\n' (read_file history_path))
+  in
+  (* Append this run's headlines — one JSON line per run, so the perf
+     trajectory accumulates across commits instead of being overwritten
+     like BENCH_summary.json. *)
+  let all_metrics =
+    List.concat_map (fun (_, _, found) -> found) entries
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
+  Printf.fprintf oc
+    "{ \"git_rev\": \"%s\", \"quick\": %b%s, \"metrics\": { %s } }\n"
+    (git_rev ())
+    (match headline with Some (_, _, q) -> q | None -> false)
+    (match headline with
+    | Some (name, ns, _) ->
+      Printf.sprintf ", \"headline_kernel\": \"%s\", \"headline_ns\": %.1f"
+        name ns
+    | None -> "")
+    (String.concat ", "
+       (List.map
+          (fun (label, v) -> Printf.sprintf "\"%s\": %g" label v)
+          all_metrics));
+  close_out oc;
+  Printf.printf "appended %s\n%!" history_path;
+  if !check_regression then begin
+    match (headline, previous) with
+    | Some (name, ns, _), Some (prev_ns, prev_rev) ->
+      if prev_ns > 0.0 && ns > regression_factor *. prev_ns then begin
+        Printf.printf
+          "REGRESSION: %s at %.1f ns/run, %.2fx the %.1f ns/run recorded at \
+           %s (gate: %.1fx)\n\
+           %!"
+          name ns (ns /. prev_ns) prev_ns prev_rev regression_factor;
+        exit 1
+      end
+      else
+        Printf.printf "regression gate: %s at %.1f ns/run vs %.1f (ok)\n%!"
+          name ns prev_ns
+    | Some (name, ns, _), None ->
+      Printf.printf
+        "regression gate: no prior history for %s (recorded %.1f ns/run)\n%!"
+        name ns
+    | None, _ ->
+      Printf.printf "regression gate: no kernel headline to check\n%!"
+  end

@@ -12,8 +12,13 @@ dune build @soak-smoke
 dune build @serve-smoke
 dune build @par-smoke
 dune build @shared-smoke
-# Fold every BENCH_*.json headline into BENCH_summary.json.
-dune exec bench/main.exe -- -quick summary
+# Columnar kernels must be observably invisible: identical traces with
+# the columnar path forced on and off, both runtimes, 1 and 4 domains.
+dune build @col-smoke
+# Fold every BENCH_*.json headline into BENCH_summary.json, append this
+# run to BENCH_history.jsonl, and fail if the kernel headline regressed
+# more than 1.5x against the last recorded run of the same kernel.
+dune exec bench/main.exe -- -quick --check-regression summary
 # The whole suite once more through the multicore runtime: MVC_DOMAINS
 # flips the default parallel config, and every trace must be identical.
 MVC_DOMAINS=4 dune runtest --force

@@ -274,8 +274,14 @@ let count_rows n = ignore (Atomic.fetch_and_add rows_counter n)
 (* Join two counted collections on precomputed key positions: build a hash
    index on the smaller side, probe with the larger. Output tuples are
    always [left ++ right_extra] regardless of build direction, and
-   multiplicities multiply (either may be negative — signed deltas). *)
+   multiplicities multiply (either may be negative — signed deltas).
+   Zero-count entries are dropped from both sides up front: the index
+   treats count-zero rows as dead, so keeping them on the probe side
+   only would make the output depend on the build-side choice (which
+   differs per shard). *)
 let join_counted_seq ~key_left ~key_right ~right_extra left right =
+  let live = List.filter (fun ((_ : Tuple.t), n) -> n <> 0) in
+  let left = live left and right = live right in
   let nl = List.length left and nr = List.length right in
   if nl = 0 || nr = 0 then []
   else begin
@@ -343,6 +349,83 @@ let join_counted_pos ?(exec = Parallel.Exec.sequential) ~key_left ~key_right
   end
 
 (* ------------------------------------------------------------------ *)
+(* Columnar kernels: predicate compilation over value ids and the     *)
+(* sharded columnar hash join.                                        *)
+
+(* A compiled predicate specialized to a chunk: a closure from row
+   index to bool, reading value ids straight out of the column arrays.
+   Equality tests are id comparisons (interning is injective); ordered
+   comparisons compare int-tagged ids directly and decode otherwise.
+   Null keeps the {!Pred.cmp_holds} semantics: false on either side,
+   except [Ne]. *)
+let col_operand chunk = function
+  | O_pos p -> fun row -> Columnar.get chunk p row
+  | O_const v ->
+    let id = Value.intern v in
+    fun _ -> id
+
+let rec col_pred chunk p : int -> bool =
+  match p with
+  | P_true -> fun _ -> true
+  | P_false -> fun _ -> false
+  | P_cmp (cmp, x, y) ->
+    let fx = col_operand chunk x and fy = col_operand chunk y in
+    let null = Value.null_id in
+    (match cmp with
+    | Pred.Eq ->
+      fun row ->
+        let a = fx row and b = fy row in
+        a <> null && b <> null && a = b
+    | Pred.Ne ->
+      fun row ->
+        let a = fx row and b = fy row in
+        a = null || b = null || a <> b
+    | Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge ->
+      let holds =
+        match cmp with
+        | Pred.Lt -> fun c -> c < 0
+        | Pred.Le -> fun c -> c <= 0
+        | Pred.Gt -> fun c -> c > 0
+        | _ -> fun c -> c >= 0
+      in
+      fun row ->
+        let a = fx row and b = fy row in
+        a <> null && b <> null && holds (Value.compare_ids a b))
+  | P_and (a, b) ->
+    let fa = col_pred chunk a and fb = col_pred chunk b in
+    fun row -> fa row && fb row
+  | P_or (a, b) ->
+    let fa = col_pred chunk a and fb = col_pred chunk b in
+    fun row -> fa row || fb row
+  | P_not a ->
+    let fa = col_pred chunk a in
+    fun row -> not (fa row)
+
+(* Columnar join with the same sharding policy (and row accounting) as
+   the boxed kernel: above the threshold, both sides partition by
+   join-key hash and the shards join independently on the pool. *)
+let join_col ~exec ~key_left ~key_right ~right_extra l r =
+  let nl = Columnar.length l and nr = Columnar.length r in
+  let out_arity = Columnar.arity l + Array.length right_extra in
+  if nl = 0 || nr = 0 then Columnar.empty ~arity:out_arity
+  else begin
+    count_rows (nl + nr);
+    let shards = Parallel.Exec.shards exec in
+    if shards <= 1 || nl + nr < Parallel.shard_threshold then
+      Columnar.join ~key_left ~key_right ~right_extra l r
+    else begin
+      let lparts = Columnar.hash_partition ~shards ~key_pos:key_left l in
+      let rparts = Columnar.hash_partition ~shards ~key_pos:key_right r in
+      let pairs = List.init shards (fun s -> (lparts.(s), rparts.(s))) in
+      List.fold_left Columnar.append
+        (Columnar.empty ~arity:out_arity)
+        (Parallel.Exec.map exec
+           (fun (a, b) -> Columnar.join ~key_left ~key_right ~right_extra a b)
+           pairs)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Full evaluation.                                                   *)
 
 module Tuple_tbl = Hashtbl.Make (struct
@@ -353,8 +436,22 @@ module Tuple_tbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
+(* Join-bearing plans route through the columnar kernels (conversion
+   overhead amortizes over the join work); join-free plans stay on the
+   boxed bags, whose Base case is a free pointer read. *)
+let rec plan_joins t =
+  match t.node with
+  | Base _ -> false
+  | Select (_, e) | Project (_, e) -> plan_joins e
+  | Join _ -> true
+  | Union (a, b) -> plan_joins a || plan_joins b
+  | Group_by g -> plan_joins g.input
+
 let rec eval_bag ?(exec = Parallel.Exec.sequential) db t =
   match t.node with
+  | (Select _ | Project _ | Join _ | Union _)
+    when !Columnar.enabled && plan_joins t ->
+    Columnar.to_bag (eval_col ~exec db t)
   | Base name -> Relation.contents (Database.find db name)
   | Select (pred, e) -> Bag.filter (eval_pred pred) (eval_bag ~exec db e)
   | Project (positions, e) ->
@@ -383,6 +480,25 @@ let rec eval_bag ?(exec = Parallel.Exec.sequential) db t =
         Bag.add (aggregate_group_pos ~aggs ~key members) acc)
       by_key Bag.empty
 
+(* Columnar evaluation: selection/projection as int-array scans, joins
+   through the columnar hash kernel. Base relations hand out their
+   memoized chunk; grouping (a boxed-bag algorithm) converts at the
+   boundary. *)
+and eval_col ~exec db t =
+  match t.node with
+  | Base name -> Relation.columnar (Database.find db name)
+  | Select (pred, e) ->
+    let chunk = eval_col ~exec db e in
+    Columnar.filter ~keep:(col_pred chunk pred) chunk
+  | Project (positions, e) ->
+    Columnar.project positions (eval_col ~exec db e)
+  | Join { left; right; key_left; key_right; right_extra } ->
+    join_col ~exec ~key_left ~key_right ~right_extra
+      (eval_col ~exec db left) (eval_col ~exec db right)
+  | Union (a, b) -> Columnar.append (eval_col ~exec db a) (eval_col ~exec db b)
+  | Group_by _ ->
+    Columnar.of_bag ~arity:(Schema.arity t.schema) (eval_bag ~exec db t)
+
 let eval ?exec db t =
   Relation.with_contents (Relation.create t.schema) (eval_bag ?exec db t)
 
@@ -405,53 +521,82 @@ let eval ?exec db t =
 let no_pre_index : string -> key_pos:int array -> Bag_index.t option =
  fun _ ~key_pos:_ -> None
 
+let no_pre_relation : string -> Relation.t option = fun _ -> None
+
+(* The key of [tup] at [key_pos] as interned ids — the probe currency of
+   the int-keyed index; the boxed key tuple is never materialized. *)
+let probe_ids key_pos tup =
+  Array.map (fun p -> Value.intern (Tuple.get tup p)) key_pos
+
 (* Probe a prebuilt index over B_pre (keyed at B's join key) with the
    left-side delta: output rows are left ++ right_extra, counts
-   multiply. Only the probe side is charged to the kernel counter. *)
-let probe_right_index ~index ~key_left ~right_extra da_l =
+   multiply. [filter], when present, restricts matches to pre-state
+   rows satisfying a selection that sits between the join and the base
+   relation. Only the probe side is charged to the kernel counter. *)
+let probe_right_index ?filter ~index ~key_left ~right_extra da_l =
   count_rows (List.length da_l);
+  let keep = match filter with None -> fun _ -> true | Some p -> eval_pred p in
   List.fold_left
     (fun acc (ltup, ln) ->
-      List.fold_left
-        (fun acc (rtup, rn) ->
-          (Tuple.concat ltup (Tuple.project_pos right_extra rtup), ln * rn)
-          :: acc)
-        acc
-        (Bag_index.find index (Tuple.project_pos key_left ltup)))
+      Bag_index.fold_ids index (probe_ids key_left ltup)
+        (fun rtup rn acc ->
+          if keep rtup then
+            (Tuple.concat ltup (Tuple.project_pos right_extra rtup), ln * rn)
+            :: acc
+          else acc)
+        acc)
     [] da_l
 
 (* Symmetric: probe an index over A_pre with the right-side delta. *)
-let probe_left_index ~index ~key_right ~right_extra db_l =
+let probe_left_index ?filter ~index ~key_right ~right_extra db_l =
   count_rows (List.length db_l);
+  let keep = match filter with None -> fun _ -> true | Some p -> eval_pred p in
   List.fold_left
     (fun acc (rtup, rn) ->
       let extra = Tuple.project_pos right_extra rtup in
-      List.fold_left
-        (fun acc (ltup, ln) -> (Tuple.concat ltup extra, ln * rn) :: acc)
-        acc
-        (Bag_index.find index (Tuple.project_pos key_right rtup)))
+      Bag_index.fold_ids index (probe_ids key_right rtup)
+        (fun ltup ln acc ->
+          if keep ltup then (Tuple.concat ltup extra, ln * rn) :: acc else acc)
+        acc)
     [] db_l
 
 let rec delta ?(exec = Parallel.Exec.sequential) ?(pre_index = no_pre_index)
-    ~changes ~eval_pre t =
+    ?(pre_relation = no_pre_relation) ~changes ~eval_pre t =
   match t.node with
   | Base name -> changes name
   | Select (pred, e) ->
     Signed_bag.filter (eval_pred pred)
-      (delta ~exec ~pre_index ~changes ~eval_pre e)
+      (delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre e)
   | Project (positions, e) ->
     Signed_bag.map (Tuple.project_pos positions)
-      (delta ~exec ~pre_index ~changes ~eval_pre e)
+      (delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre e)
   | Join { left; right; key_left; key_right; right_extra } ->
-    let da = delta ~exec ~pre_index ~changes ~eval_pre left
-    and db_ = delta ~exec ~pre_index ~changes ~eval_pre right in
+    let da = delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre left
+    and db_ = delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre right in
     if Signed_bag.is_zero da && Signed_bag.is_zero db_ then Signed_bag.zero
     else begin
       let join = join_counted_pos ~exec ~key_left ~key_right ~right_extra in
       let da_l = Signed_bag.to_list da and db_l = Signed_bag.to_list db_ in
+      (* An index over a pre-state side, avoiding its evaluation: the
+         caller-supplied [pre_index] (materialized intermediates), else
+         the relation's own memoized int-keyed index when the side is a
+         base relation — possibly under a pushed-down selection, which
+         becomes a filter on the probe matches. *)
       let indexed side key =
         match side.node with
-        | Base name -> pre_index name ~key_pos:key
+        | Base name -> (
+          match pre_index name ~key_pos:key with
+          | Some index -> Some (index, None)
+          | None ->
+            if !Columnar.enabled then
+              Option.map
+                (fun rel -> (Relation.index rel ~key_pos:key, None))
+                (pre_relation name)
+            else None)
+        | Select (p, { node = Base name; _ }) when !Columnar.enabled ->
+          Option.map
+            (fun rel -> (Relation.index rel ~key_pos:key, Some p))
+            (pre_relation name)
         | _ -> None
       in
       (* d(A |><| B) = dA |><| B_pre + A_pre |><| dB + dA |><| dB *)
@@ -459,14 +604,16 @@ let rec delta ?(exec = Parallel.Exec.sequential) ?(pre_index = no_pre_index)
         if da_l = [] then []
         else
           match indexed right key_right with
-          | Some index -> probe_right_index ~index ~key_left ~right_extra da_l
+          | Some (index, filter) ->
+            probe_right_index ?filter ~index ~key_left ~right_extra da_l
           | None -> join da_l (Bag.to_counted_list (eval_pre right))
       in
       let part2 =
         if db_l = [] then []
         else
           match indexed left key_left with
-          | Some index -> probe_left_index ~index ~key_right ~right_extra db_l
+          | Some (index, filter) ->
+            probe_left_index ?filter ~index ~key_right ~right_extra db_l
           | None -> join (Bag.to_counted_list (eval_pre left)) db_l
       in
       let part3 = if da_l = [] || db_l = [] then [] else join da_l db_l in
@@ -474,10 +621,10 @@ let rec delta ?(exec = Parallel.Exec.sequential) ?(pre_index = no_pre_index)
     end
   | Union (a, b) ->
     Signed_bag.sum
-      (delta ~exec ~pre_index ~changes ~eval_pre a)
-      (delta ~exec ~pre_index ~changes ~eval_pre b)
+      (delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre a)
+      (delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre b)
   | Group_by { input; key_pos; aggs; group_by = _ } ->
-    let d_in = delta ~exec ~pre_index ~changes ~eval_pre input in
+    let d_in = delta ~exec ~pre_index ~pre_relation ~changes ~eval_pre input in
     if Signed_bag.is_zero d_in then Signed_bag.zero
     else begin
       let key_of tup = Tuple.project_pos key_pos tup in

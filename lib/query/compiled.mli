@@ -55,6 +55,7 @@ val eval_bag : ?exec:Parallel.Exec.t -> Database.t -> t -> Bag.t
 val delta :
   ?exec:Parallel.Exec.t ->
   ?pre_index:(string -> key_pos:int array -> Bag_index.t option) ->
+  ?pre_relation:(string -> Relation.t option) ->
   changes:(string -> Signed_bag.t) ->
   eval_pre:(t -> Bag.t) ->
   t ->
@@ -72,7 +73,17 @@ val delta :
     O(|delta|) instead of evaluating and indexing the pre-state. The
     index must be consistent with what [eval_pre] would return for
     [Base name]. The shared-plan engine supplies it for materialized
-    intermediates; by default no index is offered. *)
+    intermediates; by default no index is offered.
+
+    [pre_relation name], when it returns [name]'s pre-state relation,
+    lets the join rules fall back to the relation's own memoized
+    int-keyed index ({!Relation.index}) for sides that are base
+    relations — or selections pushed down onto base relations, whose
+    predicate is then applied as a filter on the probe matches. Since
+    the index is cached on the relation record itself, a 10k-row
+    pre-state costs one index build per version rather than one scan per
+    transaction. Only consulted when columnar kernels are enabled
+    ({!Columnar.enabled}). *)
 
 val join_counted_pos :
   ?exec:Parallel.Exec.t ->

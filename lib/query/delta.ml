@@ -142,6 +142,7 @@ let rec eval_naive ~pre changes expr =
 
 let eval_plan ?(exec = Parallel.Exec.sequential) ?pre_index ~pre changes plan =
   Compiled.delta ~exec ?pre_index
+    ~pre_relation:(fun name -> Database.find_opt pre name)
     ~changes:(fun name ->
       let _ = Database.find pre name in
       change_for changes name)

@@ -11,12 +11,18 @@
 type t
 
 val of_counted : key_pos:int array -> (Tuple.t * int) list -> t
+(** Zero-count entries are dropped. *)
 
 val of_bag : key_pos:int array -> Bag.t -> t
 
 val find : t -> Tuple.t -> (Tuple.t * int) list
 (** [find t key] is every indexed entry whose projected key equals [key]
     (which must have arity [Array.length key_pos]); [[]] when none. *)
+
+val fold_ids : t -> int array -> (Tuple.t -> int -> 'a -> 'a) -> 'a -> 'a
+(** [fold_ids t ids f acc] folds [f] over every live entry whose key
+    columns intern to exactly [ids] — the allocation-free probe the
+    compiled delta rules use: the key never exists as a boxed tuple. *)
 
 val find_matching : t -> Tuple.t -> (Tuple.t * int) list
 (** [find_matching t tup] projects [tup] through the index's own [key_pos]
@@ -36,4 +42,5 @@ val apply_signed : t -> Signed_bag.t -> unit
     net-negative counts would be recorded as-is). Lets a long-lived index
     over a maintained intermediate ride through updates instead of being
     rebuilt per batch. Bucket order is not preserved; consumers must not
-    depend on entry order (join results are canonicalized into bags). *)
+    depend on entry order (join results are canonicalized into bags).
+    An empty delta returns immediately without allocating. *)

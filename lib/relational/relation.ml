@@ -1,8 +1,28 @@
-type t = { schema : Schema.t; contents : Bag.t }
+(* A relation instance. Alongside the boxed bag, a relation memoizes its
+   columnar snapshot and per-key-position hash indexes: the compiled
+   kernels ask for them on every evaluation/delta over a pre-state, so a
+   base relation is encoded (and indexed) at most once per version
+   instead of once per view per transaction. The memo fields are
+   mutable but the relation value stays observably immutable — every
+   content-changing operation builds a fresh record with empty memos,
+   and an empty delta returns the same record, so MVCC versions that
+   retain an unchanged relation share its chunks and indexes by
+   pointer. Concurrent memo fills from pool domains are benign races:
+   both domains compute the same deterministic snapshot and one
+   single-word write wins. *)
+
+type t = {
+  schema : Schema.t;
+  contents : Bag.t;
+  mutable col : Columnar.t option;
+  mutable idxs : (int array * Bag_index.t) list;
+}
 
 exception Type_error of string
 
-let create schema = { schema; contents = Bag.empty }
+let make schema contents = { schema; contents; col = None; idxs = [] }
+
+let create schema = make schema Bag.empty
 
 let check_tuple schema tup =
   if not (Tuple.conforms schema tup) then
@@ -13,22 +33,45 @@ let check_tuple schema tup =
 
 let of_tuples schema tuples =
   List.iter (check_tuple schema) tuples;
-  { schema; contents = Bag.of_list tuples }
+  make schema (Bag.of_list tuples)
 
 let schema t = t.schema
 
 let contents t = t.contents
 
-let with_contents t contents = { t with contents }
+let with_contents t contents =
+  if contents == t.contents then t else make t.schema contents
 
 let insert ?count tup t =
   check_tuple t.schema tup;
-  { t with contents = Bag.add ?count tup t.contents }
+  make t.schema (Bag.add ?count tup t.contents)
 
-let delete ?count tup t = { t with contents = Bag.remove ?count tup t.contents }
+let delete ?count tup t = make t.schema (Bag.remove ?count tup t.contents)
 
 let apply_delta delta t =
-  { t with contents = Signed_bag.apply delta t.contents }
+  (* Empty-delta fast path: same record, memos (chunks, indexes) kept. *)
+  if Signed_bag.is_zero delta then t
+  else make t.schema (Signed_bag.apply delta t.contents)
+
+let columnar t =
+  match t.col with
+  | Some c -> c
+  | None ->
+    let c = Columnar.of_bag ~arity:(Schema.arity t.schema) t.contents in
+    t.col <- Some c;
+    c
+
+let index t ~key_pos =
+  let rec lookup = function
+    | [] -> None
+    | (kp, idx) :: rest -> if kp = key_pos then Some idx else lookup rest
+  in
+  match lookup t.idxs with
+  | Some idx -> idx
+  | None ->
+    let idx = Bag_index.of_bag ~key_pos t.contents in
+    t.idxs <- (key_pos, idx) :: t.idxs;
+    idx
 
 let cardinal t = Bag.cardinal t.contents
 

@@ -24,7 +24,20 @@ val insert : ?count:int -> Tuple.t -> t -> t
 val delete : ?count:int -> Tuple.t -> t -> t
 
 val apply_delta : Signed_bag.t -> t -> t
-(** Apply a signed delta to the contents. *)
+(** Apply a signed delta to the contents. An empty delta returns the
+    relation itself (physically — memoized chunks and indexes ride
+    along), so versions untouched by a transaction share storage. *)
+
+val columnar : t -> Columnar.t
+(** The relation's contents as a columnar chunk, memoized: encoded at
+    most once per relation version and shared by pointer with every
+    consumer (and, through {!apply_delta}'s empty-delta fast path, with
+    later versions that leave the relation unchanged). *)
+
+val index : t -> key_pos:int array -> Bag_index.t
+(** Memoized hash index over the contents keyed at [key_pos]. The
+    returned index is shared — callers must treat it as read-only
+    (never {!Bag_index.apply_signed} it); the delta rules only probe. *)
 
 val cardinal : t -> int
 

@@ -43,7 +43,12 @@ let of_parts ~insert ~delete =
   in
   Bag.fold (fun tup n acc -> add tup (-n) acc) delete with_inserts
 
-let sum a b = Tuple_map.fold (fun tup n acc -> add tup n acc) b a
+(* Empty operands short-circuit before any closure or fold allocates:
+   per-transaction maintenance sums and applies a zero delta for every
+   view a transaction is irrelevant to. *)
+let sum a b =
+  if is_zero b then a else if is_zero a then b
+  else Tuple_map.fold (fun tup n acc -> add tup n acc) b a
 
 let negate t = Tuple_map.map (fun n -> -n) t
 
@@ -52,11 +57,13 @@ let diff_of_bags ~before ~after =
   Bag.fold (fun tup n acc -> add tup (-n) acc) before added
 
 let apply t bag =
-  Tuple_map.fold
-    (fun tup n acc ->
-      if n > 0 then Bag.add ~count:n tup acc
-      else Bag.remove ~count:(-n) tup acc)
-    t bag
+  if is_zero t then bag
+  else
+    Tuple_map.fold
+      (fun tup n acc ->
+        if n > 0 then Bag.add ~count:n tup acc
+        else Bag.remove ~count:(-n) tup acc)
+      t bag
 
 let applies_exactly t bag =
   Tuple_map.for_all (fun tup n -> n > 0 || Bag.count bag tup >= -n) t

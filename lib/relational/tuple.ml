@@ -74,6 +74,10 @@ let pp ppf t =
 
 let to_string t = Fmt.str "%a" pp t
 
+let intern t = Array.map Value.intern t
+
+let of_ids ids = Array.map Value.of_id ids
+
 let ints is = of_list (List.map (fun i -> Value.Int i) is)
 
 let mk = of_list

@@ -47,6 +47,14 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val intern : t -> int array
+(** Per-field {!Value.intern}: the tuple as a row of interned ids, the
+    currency of the columnar kernel ({!Columnar}). *)
+
+val of_ids : int array -> t
+(** Inverse of {!intern} (per-field {!Value.of_id}). The array is not
+    retained. *)
+
 (** Convenience constructors used pervasively in tests and examples. *)
 
 val ints : int list -> t

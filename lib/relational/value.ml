@@ -59,3 +59,102 @@ let pp_ty ppf = function
 let to_string v = Fmt.str "%a" pp v
 
 let ty_to_string ty = Fmt.str "%a" pp_ty ty
+
+(* ------------------------------------------------------------------ *)
+(* Interning: values as dense int ids.                                *)
+
+(* Ids are tagged: an odd id [(i lsl 1) lor 1] encodes [Int i] directly
+   (no dictionary traffic, and the encoding is monotone, so ordered
+   comparisons between two int ids never decode); an even id
+   [idx lsl 1] indexes the global dictionary. The dictionary is keyed
+   by {!equal}/{!hash} (not polymorphic equality — Float NaN must
+   intern to one id), so [intern] is injective up to {!equal} and id
+   equality decides value equality. *)
+
+module Vtbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)
+
+let dict_lock = Mutex.create ()
+
+let dict_tbl : int Vtbl.t = Vtbl.create 256
+
+let dict_vals : t array ref = ref (Array.make 256 Null)
+
+let dict_len = ref 0
+
+(* Pre-seed the nullary/boolean constants so their ids are fixed
+   process-wide constants ([null_id] in particular anchors the compiled
+   predicates' Null semantics). *)
+let seed v =
+  let idx = !dict_len in
+  !dict_vals.(idx) <- v;
+  dict_len := idx + 1;
+  Vtbl.add dict_tbl v idx;
+  idx lsl 1
+
+let null_id = seed Null
+
+let false_id = seed (Bool false)
+
+let true_id = seed (Bool true)
+
+let fits_tagged i = (i lsl 1) asr 1 = i
+
+let intern v =
+  match v with
+  | Int i when fits_tagged i -> (i lsl 1) lor 1
+  | Null -> null_id
+  | Bool false -> false_id
+  | Bool true -> true_id
+  | _ ->
+    Mutex.lock dict_lock;
+    let id =
+      match Vtbl.find_opt dict_tbl v with
+      | Some idx -> idx lsl 1
+      | None ->
+        let idx = !dict_len in
+        if idx = Array.length !dict_vals then begin
+          let bigger = Array.make (2 * idx) Null in
+          Array.blit !dict_vals 0 bigger 0 idx;
+          dict_vals := bigger
+        end;
+        !dict_vals.(idx) <- v;
+        dict_len := idx + 1;
+        Vtbl.add dict_tbl v idx;
+        idx lsl 1
+    in
+    Mutex.unlock dict_lock;
+    id
+
+let of_id id =
+  if id land 1 = 1 then Int (id asr 1)
+  else if id = null_id then Null
+  else if id = false_id then Bool false
+  else if id = true_id then Bool true
+  else begin
+    Mutex.lock dict_lock;
+    let v = !dict_vals.(id lsr 1) in
+    Mutex.unlock dict_lock;
+    v
+  end
+
+let equal_ids : int -> int -> bool = Int.equal
+
+(* Total order on ids consistent with {!compare} on the underlying
+   values. Two tagged ids compare as raw ints (the encoding is
+   monotone); anything else decodes. *)
+let compare_ids a b =
+  if a = b then 0
+  else if a land 1 = 1 && b land 1 = 1 then Int.compare a b
+  else compare (of_id a) (of_id b)
+
+let interned_count () =
+  Mutex.lock dict_lock;
+  let n = !dict_len in
+  Mutex.unlock dict_lock;
+  n

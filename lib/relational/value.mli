@@ -38,3 +38,34 @@ val pp_ty : Format.formatter -> ty -> unit
 val to_string : t -> string
 
 val ty_to_string : ty -> string
+
+(** {1 Interning}
+
+    The columnar storage kernel stores relations as flat arrays of int
+    ids. [Int i] values are tag-encoded directly into the id (no table,
+    order-preserving); every other value goes through a process-global
+    dictionary keyed by {!equal}, so interning is injective up to value
+    equality and id equality decides value equality. Both directions are
+    safe to call from any domain. *)
+
+val intern : t -> int
+(** The id of [v]; equal values (per {!equal}) always intern to the same
+    id within a process. *)
+
+val of_id : int -> t
+(** Inverse of {!intern}. Behaviour on an int that {!intern} never
+    returned is unspecified. *)
+
+val null_id : int
+(** [intern Null], a fixed process-wide constant — compiled predicates
+    test it directly for the Null comparison semantics. *)
+
+val equal_ids : int -> int -> bool
+(** [equal_ids (intern a) (intern b)] iff [equal a b]. *)
+
+val compare_ids : int -> int -> int
+(** Total order on ids consistent with {!compare} on the decoded values.
+    Two int-tagged ids compare without decoding. *)
+
+val interned_count : unit -> int
+(** Number of dictionary entries (tag-encoded ints not included). *)

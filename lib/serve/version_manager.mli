@@ -43,6 +43,13 @@ val create : ?retention:retention -> Database.t -> t
 val publish : t -> time:float -> changed:string list -> Database.t -> version
 (** Append the next version and run the pruning pass. Publish times must
     be nondecreasing (they come from the simulation clock).
+
+    When columnar kernels are enabled, publishing also pre-warms the
+    columnar chunks of the [changed] relations ({!Relation.columnar}),
+    so a version is effectively a vector of column-chunk pointers:
+    readers never pay the encode on their first snapshot scan, and
+    every other retained version sharing an unchanged relation record
+    shares its chunk by pointer.
     @raise Invalid_argument if [time] decreases. *)
 
 val latest : t -> version
@@ -85,3 +92,16 @@ val unpin : t -> int -> unit
 
 val pinned : t -> int
 (** Number of distinct versions currently holding at least one lease. *)
+
+type chunk_stats = {
+  slots : int;  (** (retained version, relation) pairs — logical chunks. *)
+  distinct : int;  (** Physically distinct chunks backing them. *)
+}
+
+val chunk_stats : t -> chunk_stats
+(** How much columnar storage MVCC retention shares: each retained
+    version's relations counted once per version ([slots]), versus the
+    number of physically distinct chunks backing them ([distinct]).
+    Relations a commit left untouched keep their record — and thus
+    their chunk — so [distinct] grows only with actual change. Forces
+    any not-yet-encoded chunk (once per distinct relation record). *)

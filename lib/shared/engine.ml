@@ -272,6 +272,12 @@ let state_before node u =
 let ensure_advanced t node ~before:u =
   match node.n_pending with
   | Some (w, d) when w < u ->
+    if Signed_bag.is_zero d then
+      (* Zero-delta fast path: the head bag is already the post-[w]
+         state and every index over it stays valid, so skip the version
+         push and the index migration entirely. *)
+      node.n_pending <- None
+    else begin
     let hid, hbag = List.hd node.n_versions in
     assert (w > hid);
     node.n_versions <- (w, Signed_bag.apply d hbag) :: node.n_versions;
@@ -292,6 +298,7 @@ let ensure_advanced t node ~before:u =
             Hashtbl.remove node.n_indexes (kp, hid);
             Hashtbl.add node.n_indexes (kp, w) idx)
           stale)
+    end
   | _ -> ()
 
 (* A live index over the node's pre-[u] state, building (and caching) it
@@ -362,6 +369,15 @@ and plan_delta t ~exec ~pre ~changes ~txn ~deps plan =
       match Hashtbl.find_opt t.nodes_by_name name with
       | Some child -> Some (node_index t child ~before:u ~key_pos)
       | None -> None)
+      (* Real base relations (not engine intermediates) expose their own
+         memoized indexes, so the join rules probe them instead of
+         re-evaluating the pre-state — the same fast path the unshared
+         runtime gets. Synthetic dependency bindings in [aug] are fresh
+         records per call and are excluded: the engine's [pre_index]
+         already covers them with long-lived indexes. *)
+    ~pre_relation:(fun name ->
+      if Hashtbl.mem t.nodes_by_name name then None
+      else Database.find_opt pre name)
     plan
 
 (* ---- retention ---- *)

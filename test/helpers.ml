@@ -25,6 +25,14 @@ let rel schema lists = Relation.of_tuples schema (List.map ints lists)
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* Run [f] with the columnar kernels forced on or off, restoring the
+   switch afterwards — the columnar-vs-boxed oracles compare both paths
+   in one process. *)
+let with_columnar flag f =
+  let saved = !Columnar.enabled in
+  Columnar.enabled := flag;
+  Fun.protect ~finally:(fun () -> Columnar.enabled := saved) f
+
 let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)

@@ -81,4 +81,18 @@ let tests =
         Bag.equal (Bag.diff (Bag.union a b) b) a);
     Helpers.qcheck "cardinal is sum of counts" gen (fun b ->
         Bag.cardinal b
-        = List.fold_left (fun acc (_, n) -> acc + n) 0 (Bag.to_counted_list b)) ]
+        = List.fold_left (fun acc (_, n) -> acc + n) 0 (Bag.to_counted_list b));
+    (* Columnar chunks are an alternate carrier for the same bag algebra:
+       encode, operate, decode must agree with the boxed operations. *)
+    Helpers.qcheck "union through columnar append == Bag.union"
+      QCheck2.Gen.(pair gen gen)
+      (fun (a, b) ->
+        Bag.equal (Bag.union a b)
+          (Columnar.to_bag
+             (Columnar.append (Columnar.of_bag ~arity:2 a)
+                (Columnar.of_bag ~arity:2 b))));
+    Helpers.qcheck "counted round-trip through a chunk is lossless" gen
+      (fun b ->
+        Bag.equal b
+          (Bag.of_counted_list
+             (Columnar.to_counted_list (Columnar.of_bag ~arity:2 b)))) ]

@@ -1,0 +1,235 @@
+open Relational
+
+let case = Helpers.case
+
+(* ---- value interning ---- *)
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ Helpers.Gen.small_value;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Value.String s) (string_size (int_range 0 6)) ])
+
+let intern_tests =
+  [ Helpers.qcheck ~count:300 "intern/of_id round-trips"
+      value_gen
+      (fun v -> Value.equal v (Value.of_id (Value.intern v)));
+    Helpers.qcheck ~count:300 "id equality decides value equality"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) ->
+        Value.equal_ids (Value.intern a) (Value.intern b) = Value.equal a b);
+    Helpers.qcheck ~count:300 "compare_ids is consistent with Value.compare"
+      QCheck2.Gen.(pair value_gen value_gen)
+      (fun (a, b) ->
+        compare
+          (compare (Value.compare_ids (Value.intern a) (Value.intern b)) 0)
+          (compare (Value.compare a b) 0)
+        = 0);
+    case "NaN interns to a single id" (fun () ->
+        let a = Value.intern (Value.Float Float.nan)
+        and b = Value.intern (Value.Float Float.nan) in
+        Alcotest.(check int) "same id" a b;
+        Alcotest.(check bool) "round-trips" true
+          (Value.equal (Value.Float Float.nan) (Value.of_id a)));
+    case "interning a known value grows no dictionary entry" (fun () ->
+        let v = Value.String "columnar-dict-growth-probe" in
+        let _ = Value.intern v in
+        let before = Value.interned_count () in
+        let _ = Value.intern v and _ = Value.intern (Value.Int 123456789) in
+        Alcotest.(check int) "count unchanged" before
+          (Value.interned_count ()));
+    case "null_id is intern Null" (fun () ->
+        Alcotest.(check int) "fixed" Value.null_id (Value.intern Value.Null))
+  ]
+
+(* ---- chunk round-trips and scans ---- *)
+
+let bag_gen = Helpers.Gen.small_bag ~arity:3 ~range:5
+
+let signed_gen = Helpers.Gen.small_signed ~arity:3 ~range:5
+
+let chunk_tests =
+  [ Helpers.qcheck "of_bag/to_bag round-trips" bag_gen (fun b ->
+        Bag.equal b (Columnar.to_bag (Columnar.of_bag ~arity:3 b)));
+    Helpers.qcheck "of_signed/to_signed round-trips" signed_gen (fun s ->
+        Signed_bag.equal s (Columnar.to_signed (Columnar.of_signed ~arity:3 s)));
+    Helpers.qcheck "project matches the boxed projection" bag_gen (fun b ->
+        let positions = [| 2; 0 |] in
+        Bag.equal
+          (Bag.map (Tuple.project_pos positions) b)
+          (Columnar.to_bag
+             (Columnar.project positions (Columnar.of_bag ~arity:3 b))));
+    Helpers.qcheck "append matches Signed_bag.sum"
+      QCheck2.Gen.(pair signed_gen signed_gen)
+      (fun (a, b) ->
+        Signed_bag.equal (Signed_bag.sum a b)
+          (Columnar.to_signed
+             (Columnar.append (Columnar.of_signed ~arity:3 a)
+                (Columnar.of_signed ~arity:3 b))));
+    Helpers.qcheck "filter on a key id matches the boxed filter" bag_gen
+      (fun b ->
+        let want = Value.intern (Value.Int 2) in
+        let c = Columnar.of_bag ~arity:3 b in
+        Bag.equal
+          (Bag.filter (fun tup -> Value.equal (Tuple.get tup 1) (Value.Int 2)) b)
+          (Columnar.to_bag
+             (Columnar.filter ~keep:(fun row -> Columnar.get c 1 row = want) c)));
+    Helpers.qcheck "hash_partition is a partition that respects keys"
+      signed_gen
+      (fun s ->
+        let c = Columnar.of_signed ~arity:3 s in
+        let parts = Columnar.hash_partition ~shards:3 ~key_pos:[| 0; 2 |] c in
+        (* Re-uniting the shards loses nothing... *)
+        Signed_bag.equal s
+          (Columnar.to_signed
+             (Array.fold_left Columnar.append (Columnar.empty ~arity:3) parts))
+        (* ...and equal keys never straddle shards: partitioning a
+           shard again with the same key positions is the identity on
+           occupancy. *)
+        && Array.for_all
+             (fun part ->
+               let again =
+                 Columnar.hash_partition ~shards:3 ~key_pos:[| 0; 2 |] part
+               in
+               Array.exists (fun p -> Columnar.length p = Columnar.length part)
+                 again)
+             parts);
+    case "builder drops zero-multiplicity rows and batches the rest"
+      (fun () ->
+        let b = Columnar.Builder.create 2 in
+        Columnar.Builder.push_row b
+          [| Value.intern (Value.Int 1); Value.null_id |]
+          2;
+        Columnar.Builder.push_row b [| Value.null_id; Value.null_id |] 0;
+        Columnar.Builder.push_row b
+          [| Value.intern (Value.Int 3); Value.null_id |]
+          (-1);
+        Alcotest.(check int) "builder length" 2 (Columnar.Builder.length b);
+        let c = Columnar.Builder.finish b in
+        Alcotest.(check int) "rows" 2 (Columnar.length c);
+        Alcotest.(check int) "total" 1 (Columnar.total c);
+        Alcotest.(check Helpers.signed_bag) "contents"
+          (Signed_bag.of_list
+             [ (Tuple.of_list [ Value.Int 1; Value.Null ], 2);
+               (Tuple.of_list [ Value.Int 3; Value.Null ], -1) ])
+          (Columnar.to_signed c)) ]
+
+(* ---- chunk sharing across relation versions ---- *)
+
+let sharing_tests =
+  [ case "Relation.columnar encodes once per version" (fun () ->
+        let r = Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ]; [ 2 ] ] in
+        let builds0 = Columnar.chunk_builds () in
+        let c1 = Relation.columnar r in
+        let c2 = Relation.columnar r in
+        Alcotest.(check bool) "same chunk" true (c1 == c2);
+        Alcotest.(check int) "one encode" (builds0 + 1)
+          (Columnar.chunk_builds ()));
+    case "an empty delta preserves the relation and its chunk" (fun () ->
+        let r = Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ] ] in
+        let c = Relation.columnar r in
+        let r' = Relation.apply_delta Signed_bag.zero r in
+        Alcotest.(check bool) "same record" true (r == r');
+        Alcotest.(check bool) "same chunk" true (c == Relation.columnar r'));
+    case "a real delta yields a fresh chunk" (fun () ->
+        let r = Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ] ] in
+        let c = Relation.columnar r in
+        let r' =
+          Relation.apply_delta (Signed_bag.singleton (Tuple.ints [ 2 ]) 1) r
+        in
+        Alcotest.(check bool) "new chunk" true (c != Relation.columnar r'));
+    case "Relation.index is memoized per key positions" (fun () ->
+        let r =
+          Helpers.rel (Helpers.int_schema [ "x"; "y" ]) [ [ 1; 2 ]; [ 1; 3 ] ]
+        in
+        let i1 = Relation.index r ~key_pos:[| 0 |] in
+        let i2 = Relation.index r ~key_pos:[| 0 |] in
+        let j = Relation.index r ~key_pos:[| 1 |] in
+        Alcotest.(check bool) "same index" true (i1 == i2);
+        Alcotest.(check bool) "distinct key set, distinct index" true (i1 != j);
+        Alcotest.(check int) "x keys" 1 (Bag_index.n_keys i1);
+        Alcotest.(check int) "y keys" 2 (Bag_index.n_keys j)) ]
+
+(* ---- allocation-free empty-delta fast paths ---- *)
+
+(* Pin the fast paths by physical equality (the strongest no-work
+   observable) and by minor-heap growth: the measurement itself boxes a
+   couple of floats, so allow a few words of slack but nothing that
+   would admit a fold over the operands. *)
+let alloc_slack = 64.0
+
+let empty_delta_tests =
+  [ case "Signed_bag.sum with a zero operand returns the other" (fun () ->
+        let d = Signed_bag.singleton (Tuple.ints [ 1 ]) 2 in
+        Alcotest.(check bool) "right zero" true
+          (Signed_bag.sum d Signed_bag.zero == d);
+        Alcotest.(check bool) "left zero" true
+          (Signed_bag.sum Signed_bag.zero d == d));
+    case "Signed_bag.apply of a zero delta returns the bag" (fun () ->
+        let b = Helpers.bag_of [ [ 1 ]; [ 2 ] ] in
+        Alcotest.(check bool) "same bag" true
+          (Signed_bag.apply Signed_bag.zero b == b));
+    case "Bag_index.apply_signed of a zero delta allocates nothing"
+      (fun () ->
+        let idx =
+          Bag_index.of_bag ~key_pos:[| 0 |] (Helpers.bag_of [ [ 1; 2 ]; [ 3; 4 ] ])
+        in
+        let groups_before = Bag_index.groups idx in
+        let before = Gc.minor_words () in
+        Bag_index.apply_signed idx Signed_bag.zero;
+        let after = Gc.minor_words () in
+        Alcotest.(check bool) "no allocation" true
+          (after -. before <= alloc_slack);
+        Alcotest.(check int) "index untouched" (List.length groups_before)
+          (List.length (Bag_index.groups idx)));
+    case "Signed_bag.sum of two zero deltas allocates nothing" (fun () ->
+        let before = Gc.minor_words () in
+        let s = Signed_bag.sum Signed_bag.zero Signed_bag.zero in
+        let after = Gc.minor_words () in
+        Alcotest.(check bool) "zero result" true (Signed_bag.is_zero s);
+        Alcotest.(check bool) "no allocation" true
+          (after -. before <= alloc_slack)) ]
+
+(* ---- Bag_index probe paths ---- *)
+
+let index_tests =
+  [ Helpers.qcheck "fold_ids matches find"
+      QCheck2.Gen.(pair bag_gen (Helpers.Gen.int_tuple ~arity:2 ~range:5))
+      (fun (b, key) ->
+        let idx = Bag_index.of_bag ~key_pos:[| 0; 2 |] b in
+        let ids =
+          Array.init 2 (fun i -> Value.intern (Tuple.get key i))
+        in
+        let via_fold =
+          Bag_index.fold_ids idx ids
+            (fun tup n acc -> Signed_bag.add tup n acc)
+            Signed_bag.zero
+        in
+        let via_find =
+          List.fold_left
+            (fun acc (tup, n) -> Signed_bag.add tup n acc)
+            Signed_bag.zero (Bag_index.find idx key)
+        in
+        Signed_bag.equal via_fold via_find);
+    Helpers.qcheck "apply_signed tracks a rebuilt index"
+      QCheck2.Gen.(pair bag_gen signed_gen)
+      (fun (b, d) ->
+        let idx = Bag_index.of_bag ~key_pos:[| 1 |] b in
+        (* apply_signed requires a delta that applies exactly (no
+           clamped deletions), so diff the clamped post-state back. *)
+        let post = Signed_bag.apply d b in
+        let d = Signed_bag.diff_of_bags ~before:b ~after:post in
+        Bag_index.apply_signed idx d;
+        let rebuilt = Bag_index.of_bag ~key_pos:[| 1 |] post in
+        Bag.fold
+          (fun tup _ ok ->
+            ok
+            && Signed_bag.equal
+                 (Signed_bag.of_list (Bag_index.find_matching idx tup))
+                 (Signed_bag.of_list (Bag_index.find_matching rebuilt tup)))
+          post true) ]
+
+let tests =
+  intern_tests @ chunk_tests @ sharing_tests @ empty_delta_tests @ index_tests

@@ -163,4 +163,37 @@ let tests =
           (Delta.eval ~pre changes expr)
           (Delta.eval ~naive:true ~pre changes expr));
     qcheck "vut indexes == linear scan" Vut_gen.events
-      (fun evs -> vut_indexes_agree (Vut_gen.replay evs)) ]
+      (fun evs -> vut_indexes_agree (Vut_gen.replay evs));
+    (* Columnar-vs-boxed oracles: the same plan evaluated with the
+       columnar kernels forced on and forced off must be bag-identical
+       (the boxed path is itself oracle-tested against the interpreted
+       evaluator above). *)
+    qcheck "columnar eval == boxed eval" eval_case_gen
+      (fun (db, expr) ->
+        Bag.equal
+          (Helpers.with_columnar true (fun () -> Eval.eval_bag db expr))
+          (Helpers.with_columnar false (fun () -> Eval.eval_bag db expr)));
+    qcheck "columnar delta == boxed delta" delta_case_gen
+      (fun (pre, updates, expr) ->
+        let txn = Update.Transaction.make ~id:1 ~source:"s" updates in
+        let changes = Delta.of_transaction txn in
+        Signed_bag.equal
+          (Helpers.with_columnar true (fun () -> Delta.eval ~pre changes expr))
+          (Helpers.with_columnar false (fun () ->
+               Delta.eval ~pre changes expr)));
+    qcheck "columnar join kernel == boxed join kernel" Join_gen.t
+      (fun (ls, rs, l, r) ->
+        let shared = Schema.common ls rs in
+        let key_left = Schema.positions ls shared
+        and key_right = Schema.positions rs shared in
+        let right_extra =
+          Schema.positions rs
+            (List.filter (fun n -> not (List.mem n shared)) (Schema.names rs))
+        in
+        Signed_bag.equal
+          (Columnar.to_signed
+             (Columnar.join ~key_left ~key_right ~right_extra
+                (Columnar.of_counted_list ~arity:(Schema.arity ls) l)
+                (Columnar.of_counted_list ~arity:(Schema.arity rs) r)))
+          (Signed_bag.of_list
+             (Compiled.join_counted_pos ~key_left ~key_right ~right_extra l r))) ]

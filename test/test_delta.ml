@@ -113,4 +113,19 @@ let tests =
         in
         Bag.equal
           (Signed_bag.apply batch_delta (Eval.eval_bag pre expr))
-          (Signed_bag.apply step_delta (Eval.eval_bag pre expr))) ]
+          (Signed_bag.apply step_delta (Eval.eval_bag pre expr)));
+    (* The columnar probe path (relation-cached indexes) against the
+       interpreted delta rules directly — not just against the boxed
+       compiled path. *)
+    Helpers.qcheck ~count:300 "columnar delta == naive delta"
+      QCheck2.Gen.(
+        Helpers.Delta_domain.db_gen >>= fun db ->
+        Helpers.Delta_domain.changes_gen db >>= fun updates ->
+        Helpers.Delta_domain.expr_gen >>= fun expr ->
+        return (db, updates, expr))
+      (fun (pre, updates, expr) ->
+        let txn = Update.Transaction.make ~id:1 ~source:"s" updates in
+        let changes = Delta.of_transaction txn in
+        Signed_bag.equal
+          (Helpers.with_columnar true (fun () -> Delta.eval ~pre changes expr))
+          (Delta.eval ~naive:true ~pre changes expr)) ]

@@ -138,7 +138,35 @@ let version_manager_tests =
             0
             (List.mapi (fun i t -> (i + 1, t)) times)
         in
-        (Vm.as_of vm instant).Vm.index = expected) ]
+        (Vm.as_of vm instant).Vm.index = expected);
+    case "retained versions share column chunks for unchanged relations"
+      (fun () ->
+        let r0 = Helpers.rel (Helpers.int_schema [ "x" ]) [ [ 1 ]; [ 2 ] ]
+        and s = Helpers.rel (Helpers.int_schema [ "y" ]) [ [ 10 ] ] in
+        let state0 = Database.of_list [ ("R", r0); ("S", s) ] in
+        let vm = Vm.create state0 in
+        (* Each publish rebinds R through a delta and leaves S's record
+           (hence its chunk and indexes) untouched. *)
+        let bump i state =
+          let r' =
+            Relation.apply_delta
+              (Signed_bag.singleton (Tuple.ints [ 100 + i ]) 1)
+              (Database.find state "R")
+          in
+          Database.add "R" r' state
+        in
+        let s1 = bump 1 state0 in
+        ignore (Vm.publish vm ~time:1.0 ~changed:[ "R" ] s1);
+        ignore (Vm.publish vm ~time:2.0 ~changed:[ "R" ] (bump 2 s1));
+        let stats = Vm.chunk_stats vm in
+        Alcotest.(check int) "slots" 6 stats.Vm.slots;
+        (* Three R versions, one shared S chunk. *)
+        Alcotest.(check int) "distinct" 4 stats.Vm.distinct;
+        let chunk_s i =
+          Relation.columnar (Database.find (Vm.find vm i).Vm.state "S")
+        in
+        Alcotest.(check bool) "S chunk shared by pointer" true
+          (chunk_s 0 == chunk_s 2)) ]
 
 let bag_v k = Helpers.bag_of (List.init k (fun i -> [ i ]))
 
