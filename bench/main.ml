@@ -23,6 +23,7 @@ let experiments =
     ("soak", Experiments.soak);
     ("resilience", Resilience.run);
     ("faultsoak", Resilience.faultsoak);
+    ("crashsmoke", Resilience.crashsmoke);
     ("serve", Serving.run);
     ("servesmoke", Serving.servesmoke);
     ("parallel", Parallel_bench.run);

@@ -128,8 +128,9 @@ let catalogue =
           "modeled_speedup_at_4_domains" ) ] );
     ( "BENCH_resilience.json",
       "resilience",
-      [ ("loss_rate", "first_loss_rate"); ("recoveries", "crash_recoveries") ]
-    );
+      [ ("loss_rate", "first_loss_rate"); ("recoveries", "crash_recoveries");
+        ("recovery_headline_s", "recovery_headline_s");
+        ("wal_overhead_pct", "wal_overhead_pct") ] );
     ( "BENCH_serve.json",
       "serve",
       [ ("speedup_compiled", "read_path_speedup_compiled");
@@ -225,6 +226,20 @@ let run () =
           None
           (String.split_on_char '\n' (read_file history_path))
   in
+  (* Last recorded resilience recovery headline, read before this run is
+     appended (same discipline as the kernel gate above). *)
+  let previous_recovery =
+    if not (Sys.file_exists history_path) then None
+    else
+      List.fold_left
+        (fun acc line ->
+          match find_number line "recovery_headline_s" with
+          | Some v when v > 0.0 ->
+            Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' (read_file history_path))
+  in
   (* Append this run's headlines — one JSON line per run, so the perf
      trajectory accumulates across commits instead of being overwritten
      like BENCH_summary.json. *)
@@ -267,4 +282,31 @@ let run () =
         name ns
     | None, _ ->
       Printf.printf "regression gate: no kernel headline to check\n%!"
+  end;
+  (* Resilience headline: warehouse-crash recovery time at the default
+     checkpoint cadence. Simulated seconds — fully deterministic — so
+     any growth beyond the factor is a real protocol regression, not
+     measurement noise. *)
+  if !check_regression then begin
+    let current = List.assoc_opt "recovery_headline_s" all_metrics in
+    match (current, previous_recovery) with
+    | Some cur, Some (prev_s, prev_rev) ->
+      if prev_s > 0.0 && cur > regression_factor *. prev_s then begin
+        Printf.printf
+          "REGRESSION: warehouse-crash recovery at %.4f s, %.2fx the %.4f s \
+           recorded at %s (gate: %.1fx)\n\
+           %!"
+          cur (cur /. prev_s) prev_s prev_rev regression_factor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "regression gate: recovery headline %.4f s vs %.4f (ok)\n%!" cur
+          prev_s
+    | Some cur, None ->
+      Printf.printf
+        "regression gate: no prior recovery headline (recorded %.4f s)\n%!"
+        cur
+    | None, _ ->
+      Printf.printf "regression gate: no recovery headline to check\n%!"
   end

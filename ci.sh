@@ -15,6 +15,10 @@ dune build @shared-smoke
 # Columnar kernels must be observably invisible: identical traces with
 # the columnar path forced on and off, both runtimes, 1 and 4 domains.
 dune build @col-smoke
+# Process-crash durability: merge/integrator/warehouse crashes (columnar
+# on/off x domains 1/4) must recover — WAL + checkpoint replay plus the
+# resync protocol — to a state byte-identical to a crash-free run.
+dune build @crash-smoke
 # Fold every BENCH_*.json headline into BENCH_summary.json, append this
 # run to BENCH_history.jsonl, and fail if the kernel headline regressed
 # more than 1.5x against the last recorded run of the same kernel.

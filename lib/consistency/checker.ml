@@ -506,6 +506,69 @@ let check_with_witness ~views ~transactions ~source_states ~warehouse_states =
 let check ~views ~transactions ~source_states ~warehouse_states =
   fst (check_with_witness ~views ~transactions ~source_states ~warehouse_states)
 
+(* ---------- crash-recovery certificate ---------- *)
+
+type recovery_certificate = {
+  no_loss : bool;
+  no_double_apply : bool;
+  monotonic_serving : bool;
+  rc_detail : string;
+}
+
+let certified c = c.no_loss && c.no_double_apply && c.monotonic_serving
+
+let pp_certificate ppf c =
+  Fmt.pf ppf "no_loss=%b no_double_apply=%b monotonic_serving=%b%s" c.no_loss
+    c.no_double_apply c.monotonic_serving
+    (if String.equal c.rc_detail "ok" then "" else " [" ^ c.rc_detail ^ "]")
+
+(* Pure set arithmetic over (view, txn id) application pairs plus a
+   per-session order check — deliberately independent of the cut-chain
+   machinery above, so a recovery bug cannot hide behind search budgets
+   or commuting reorderings: every relevant pair must be applied exactly
+   once, full stop. *)
+let certify_recovery ~expected ~applied ~served =
+  let count = Hashtbl.create 256 in
+  List.iter
+    (fun commit ->
+      List.iter
+        (fun pair ->
+          Hashtbl.replace count pair
+            (1 + Option.value ~default:0 (Hashtbl.find_opt count pair)))
+        commit)
+    applied;
+  let missing =
+    List.filter (fun pair -> not (Hashtbl.mem count pair)) expected
+  in
+  let doubled =
+    Hashtbl.fold (fun pair n acc -> if n > 1 then pair :: acc else acc) count []
+  in
+  let non_monotonic =
+    List.filter_map
+      (fun (session, versions) ->
+        let rec ok = function
+          | a :: (b :: _ as rest) -> if a > b then false else ok rest
+          | _ -> true
+        in
+        if ok versions then None else Some session)
+      served
+  in
+  let pp_pair (v, i) = Printf.sprintf "%s<-U%d" v i in
+  let detail =
+    match (missing, doubled, non_monotonic) with
+    | [], [], [] -> "ok"
+    | (p :: _ as m), _, _ ->
+      Printf.sprintf "lost %d committed application(s), e.g. %s"
+        (List.length m) (pp_pair p)
+    | [], (p :: _ as d), _ ->
+      Printf.sprintf "%d application(s) applied twice, e.g. %s"
+        (List.length d) (pp_pair p)
+    | [], [], s :: _ ->
+      Printf.sprintf "session %d served a version out of order" s
+  in
+  { no_loss = missing = []; no_double_apply = doubled = [];
+    monotonic_serving = non_monotonic = []; rc_detail = detail }
+
 let check_single_view ~view ~transactions ~source_states ~contents =
   let schema =
     match source_states with

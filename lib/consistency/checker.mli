@@ -99,3 +99,41 @@ val check_single_view :
     content history. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {2 Crash-recovery certificate}
+
+    The consistency ladder above judges the warehouse {e state} history;
+    after process crashes the certificate additionally judges the
+    {e application} history: durability (nothing committed was lost),
+    idempotence (nothing was applied twice), and serving order (no
+    session observed versions going backwards across a restart). *)
+
+type recovery_certificate = {
+  no_loss : bool;
+      (** Every expected (view, transaction) application appears in some
+          committed WT. *)
+  no_double_apply : bool;
+      (** No (view, transaction) application appears in more than one
+          committed WT — recovery resubmission did not duplicate work. *)
+  monotonic_serving : bool;
+      (** Every session's served version sequence is nondecreasing. *)
+  rc_detail : string;  (** First violation, or ["ok"]. *)
+}
+
+val certify_recovery :
+  expected:(string * int) list ->
+  applied:(string * int) list list ->
+  served:(int * int list) list ->
+  recovery_certificate
+(** [expected] is every (view name, transaction id) pair that must be
+    applied (the relevant-view set of each source transaction); [applied]
+    is, per committed WT in commit order, the (view, id) pairs its action
+    lists carry; [served] is, per session, the warehouse version indices
+    its reads observed, in completion order (restrict to sessions whose
+    read policy promises monotonicity). Pure — no search, no budgets: a
+    violated clause is a real violation. *)
+
+val certified : recovery_certificate -> bool
+(** All three clauses hold. *)
+
+val pp_certificate : Format.formatter -> recovery_certificate -> unit

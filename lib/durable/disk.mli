@@ -1,0 +1,83 @@
+(** Simulated crash-consistent stable storage: one append-only log plus
+    one atomically-replaced checkpoint slot.
+
+    The log is a byte image of framed records — [length, checksum,
+    payload] — with an unsynced tail buffer. {!append} only buffers;
+    {!sync} makes the buffered frames durable (group commit: callers
+    batch several appends per sync). {!crash} models a process crash
+    mid-batch: synced bytes survive, the unsynced tail is lost except
+    for a torn prefix of its first frame, which survives as garbage.
+    {!recover} scans the image frame by frame, validating lengths and
+    checksums, and truncates at the first bad frame — the torn tail is
+    detected and discarded, never replayed.
+
+    {!write_checkpoint} atomically replaces the checkpoint state and
+    truncates the log, bounding replay work to the records appended
+    since the last checkpoint. {!add_checkpoint} appends an incremental
+    checkpoint segment instead — cost proportional to the delta, not to
+    total history — and {!recover} returns every segment oldest
+    first. *)
+
+type stats = {
+  mutable appends : int;  (** Records appended (buffered). *)
+  mutable syncs : int;  (** Group-commit flushes. *)
+  mutable synced_bytes : int;  (** Total bytes made durable. *)
+  mutable checkpoints : int;  (** Checkpoint writes, full or incremental. *)
+  mutable truncated_records : int;
+      (** Durable records discarded by checkpoint truncation. *)
+  mutable torn_discarded : int;
+      (** Torn/corrupt tails discarded by {!recover}. *)
+}
+
+type segment =
+  | Snapshot of bytes  (** a caller-marshaled checkpoint payload *)
+  | Sealed of bytes list
+      (** a log image adopted as a checkpoint: its framed records,
+          oldest first, already validated *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> bytes -> unit
+(** Buffer one record. Not durable until the next {!sync}. Takes
+    ownership of the bytes: the caller must not mutate them after. *)
+
+val sync : t -> unit
+(** Make every buffered record durable (no-op when none are). *)
+
+val pending : t -> int
+(** Buffered records not yet synced. *)
+
+val durable_records : t -> int
+(** Records currently durable in the log (excludes the checkpoint). *)
+
+val crash : t -> unit
+(** Lose the unsynced tail. When records were buffered, the first half
+    of the oldest buffered frame survives as a torn write — garbage
+    bytes {!recover} must detect and cut. *)
+
+val write_checkpoint : t -> bytes -> unit
+(** Atomically replace every checkpoint segment with this one full
+    image, then truncate the log (both its durable image and any
+    unsynced tail). *)
+
+val add_checkpoint : t -> bytes -> unit
+(** Append one incremental checkpoint segment (a delta since the last
+    segment), then truncate the log. Recovery replays all segments in
+    order. *)
+
+val seal_checkpoint : t -> unit
+(** Zero-marshal incremental checkpoint: {!sync}, then adopt the
+    durable image itself as the next segment — the synced frames are
+    exactly the delta since the previous checkpoint. No-op on an empty
+    image beyond the truncation bookkeeping. *)
+
+val recover : t -> segment list * bytes list
+(** [(segments, records)]: the checkpoint segments (oldest first) and
+    every durable log record after them, oldest first. Scans the image
+    validating each frame's length and checksum; the image is truncated
+    in place at the first bad frame, so a recovered log continues
+    appending cleanly. *)
+
+val stats : t -> stats

@@ -1,0 +1,50 @@
+type ('ck, 'r) t = { disk : Disk.t; group_commit : int }
+
+let create ?(group_commit = 1) () =
+  if group_commit < 1 then invalid_arg "Wal.create: group_commit must be >= 1";
+  { disk = Disk.create (); group_commit }
+
+let sync t = Disk.sync t.disk
+
+(* Records and checkpoints are immutable trees (no cycles), so skipping
+   Marshal's sharing detection is safe and markedly faster. *)
+let encode r = Marshal.to_bytes r [ Marshal.No_sharing ]
+
+let append t r =
+  Disk.append t.disk (encode r);
+  if Disk.pending t.disk >= t.group_commit then sync t
+
+let checkpoint t ck = Disk.write_checkpoint t.disk (encode ck)
+
+let checkpoint_add t ck = Disk.add_checkpoint t.disk (encode ck)
+
+let seal t = Disk.seal_checkpoint t.disk
+
+let crash t = Disk.crash t.disk
+
+let decode b : 'a = Marshal.from_bytes b 0
+
+let recover_segments t =
+  let segs, records = Disk.recover t.disk in
+  ( List.filter_map
+      (function Disk.Snapshot b -> Some (decode b) | Disk.Sealed _ -> None)
+      segs,
+    List.map decode records )
+
+let recover_sealed t =
+  let segs, records = Disk.recover t.disk in
+  ( List.concat_map
+      (function Disk.Sealed rs -> List.map decode rs | Disk.Snapshot _ -> [])
+      segs,
+    List.map decode records )
+
+let recover t =
+  let cks, records = recover_segments t in
+  (* Replace-semantics view: only the newest full checkpoint matters.
+     Callers mixing in [checkpoint_add] want [recover_segments]. *)
+  let last = List.fold_left (fun _ ck -> Some ck) None cks in
+  (last, records)
+
+let stats t = Disk.stats t.disk
+
+let pending t = Disk.pending t.disk

@@ -1,0 +1,61 @@
+(** Typed write-ahead log over {!Disk}: Marshal-framed records of type
+    ['r] with group-commit batching, plus a checkpoint slot of type
+    ['ck].
+
+    The write-ahead discipline is the caller's: append (and sync) the
+    record describing a state change {e before} applying the change, and
+    every applied change is reproducible from checkpoint + log replay
+    after a crash. [group_commit] batches that sync — [append] flushes
+    automatically once [group_commit] records are buffered, so a crash
+    can lose up to a batch of appends (recovered out of band) and leaves
+    a torn tail {!recover} detects and discards. *)
+
+type ('ck, 'r) t
+
+val create : ?group_commit:int -> unit -> ('ck, 'r) t
+(** [group_commit] (default 1) is the number of buffered records that
+    triggers an automatic {!sync}; 1 syncs every append. *)
+
+val append : ('ck, 'r) t -> 'r -> unit
+
+val sync : ('ck, 'r) t -> unit
+(** Force the buffered records durable now (commit boundaries). *)
+
+val checkpoint : ('ck, 'r) t -> 'ck -> unit
+(** Atomically replace the checkpoint (every prior segment) and
+    truncate the log. *)
+
+val checkpoint_add : ('ck, 'r) t -> 'ck -> unit
+(** Append one incremental checkpoint segment and truncate the log.
+    Marshal cost is proportional to the delta being checkpointed, not
+    to total history; recover with {!recover_segments}. *)
+
+val seal : ('ck, 'r) t -> unit
+(** Zero-marshal incremental checkpoint for logs whose records {e are}
+    the checkpoint state: {!sync}, then adopt the durable image as the
+    next segment. Recover with {!recover_sealed}. *)
+
+val crash : ('ck, 'r) t -> unit
+(** Lose the unsynced tail, leaving a torn write (see {!Disk.crash}). *)
+
+val recover : ('ck, 'r) t -> 'ck option * 'r list
+(** The newest full checkpoint and the durable records appended after
+    it, oldest first, with any torn tail cut. Drops all but the last
+    segment — use {!recover_segments} when {!checkpoint_add} is in
+    play. *)
+
+val recover_segments : ('ck, 'r) t -> 'ck list * 'r list
+(** Every snapshot checkpoint segment oldest first, then the durable
+    records appended after the last one, with any torn tail cut.
+    Sealed segments are not ['ck]-typed and are skipped — a log using
+    {!seal} recovers with {!recover_sealed}. *)
+
+val recover_sealed : ('ck, 'r) t -> 'r list * 'r list
+(** [(checkpointed, tail)] for a {!seal}-checkpointed log: every sealed
+    segment's records in order, then the durable records appended after
+    the last seal (the replay tail), with any torn tail cut. Snapshot
+    segments are skipped. *)
+
+val stats : ('ck, 'r) t -> Disk.stats
+
+val pending : ('ck, 'r) t -> int

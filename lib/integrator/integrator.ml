@@ -46,6 +46,27 @@ let ingested t = t.next_id - 1
 
 let log_head t = t.next_id - 1
 
+let next_id t = t.next_id
+
+let retained_log t = List.rev t.log
+
+(* The newest [length log - skip] entries, ascending — what an
+   incremental checkpoint wants. The log is descending, so the suffix
+   (by ascending position) is a prefix here; one pass, no full rev. *)
+let retained_from t ~skip =
+  let take = List.length t.log - skip in
+  let rec go n acc = function
+    | e :: rest when n > 0 -> go (n - 1) (e :: acc) rest
+    | _ -> acc
+  in
+  go take [] t.log
+
+(* Crash recovery: adopt a recovered numbering position and log. [log] is
+   ascending (the order a WAL yields it); the internal list is descending. *)
+let restore t ~next_id ~log =
+  t.next_id <- next_id;
+  t.log <- List.rev log
+
 let replay_for t ~view ~after =
   List.fold_left
     (fun acc (txn, rel) ->

@@ -48,6 +48,24 @@ val log_head : t -> int
 (** Id of the newest logged transaction (0 before any ingest). Recovery
     replays up to this point and then resumes from live deliveries. *)
 
+val next_id : t -> int
+(** The id the next ingested transaction will be stamped with. *)
+
+val retained_log : t -> (Update.Transaction.t * string list) list
+(** The retained update log, ascending by id — what a durable layer
+    checkpoints. Empty unless created with [retain_log]. *)
+
+val retained_from : t -> skip:int -> (Update.Transaction.t * string list) list
+(** The retained log minus its oldest [skip] entries, ascending — the
+    delta an incremental checkpoint covers. One pass over the new
+    suffix, not a rebuild of the whole log. *)
+
+val restore : t -> next_id:int -> log:(Update.Transaction.t * string list) list -> unit
+(** Integrator crash recovery: adopt the recovered numbering position and
+    retained log ([log] ascending by id, as {!retained_log} returns it).
+    Re-ingesting a source transaction after [restore] stamps it [next_id],
+    exactly as the dead incarnation would have. *)
+
 val replay_for :
   t ->
   view:string ->

@@ -19,6 +19,7 @@ type t = {
   mutable slots : int array;  (* chain heads: row + 1; 0 = empty *)
   mutable next : int array;
   mutable used : int;  (* occupied slots (distinct keys) *)
+  mutable dead : int;  (* rows whose count reached exactly 0 (tombstones) *)
 }
 
 let dummy_tuple = Tuple.of_list []
@@ -53,7 +54,8 @@ let create ~key_pos cap =
   { key_pos; karity = Array.length key_pos;
     tups = Array.make cap dummy_tuple; counts = Array.make cap 0;
     keys = Array.make (cap * Array.length key_pos + 1) 0; n = 0;
-    slots = Array.make scap 0; next = Array.make cap (-1); used = 0 }
+    slots = Array.make scap 0; next = Array.make cap (-1); used = 0;
+    dead = 0 }
 
 (* Link [row] into the table: linear-probe for its key's slot. *)
 let link t row =
@@ -170,11 +172,40 @@ let groups t =
 
 let n_keys t = List.length (groups t)
 
+(* Tombstone compaction: slide live rows down over the dead ones and
+   relink every chain from scratch. Row order within a key's chain is
+   not preserved — consumers canonicalize into bags, so only the set of
+   live (tuple, count) entries matters, and that is untouched. *)
+let compact t =
+  let m = ref 0 in
+  for row = 0 to t.n - 1 do
+    if t.counts.(row) <> 0 then begin
+      let m' = !m in
+      if m' <> row then begin
+        t.tups.(m') <- t.tups.(row);
+        t.counts.(m') <- t.counts.(row);
+        Array.blit t.keys (row * t.karity) t.keys (m' * t.karity) t.karity
+      end;
+      incr m
+    end
+  done;
+  for row = !m to t.n - 1 do
+    t.tups.(row) <- dummy_tuple;
+    t.counts.(row) <- 0
+  done;
+  t.n <- !m;
+  t.dead <- 0;
+  Array.fill t.slots 0 (Array.length t.slots) 0;
+  t.used <- 0;
+  for row = 0 to t.n - 1 do
+    link t row
+  done
+
 (* In-place signed migration. The empty-delta fast path returns before
    touching (or allocating) anything — per-transaction maintenance
    calls this for every live index, delta or no delta. *)
 let apply_signed t delta =
-  if not (Signed_bag.is_zero delta) then
+  if not (Signed_bag.is_zero delta) then begin
     Signed_bag.fold
       (fun tup n () ->
         let ids =
@@ -184,9 +215,24 @@ let apply_signed t delta =
         in
         let rec adjust row =
           if row < 0 then push_row t tup n
-          else if t.counts.(row) <> 0 && Tuple.equal t.tups.(row) tup then
-            t.counts.(row) <- t.counts.(row) + n
+          else if t.counts.(row) <> 0 && Tuple.equal t.tups.(row) tup then begin
+            t.counts.(row) <- t.counts.(row) + n;
+            if t.counts.(row) = 0 then t.dead <- t.dead + 1
+          end
           else adjust t.next.(row)
         in
         adjust (find_head t ids))
-      delta ()
+      delta ();
+    (* Long-lived indexes under churn accumulate count-0 tombstones that
+       every probe must skip and that keep forcing slot-table growth.
+       Rehash in place once tombstones dominate: amortized O(1) per
+       migrated entry, and row/slot storage stays proportional to the
+       live population. *)
+    if t.n >= 16 && 2 * t.dead >= t.n then compact t
+  end
+
+type occupancy = { rows : int; live : int; tombstones : int; slots : int }
+
+let occupancy t =
+  { rows = t.n; live = t.n - t.dead; tombstones = t.dead;
+    slots = Array.length t.slots }

@@ -43,4 +43,20 @@ val apply_signed : t -> Signed_bag.t -> unit
     over a maintained intermediate ride through updates instead of being
     rebuilt per batch. Bucket order is not preserved; consumers must not
     depend on entry order (join results are canonicalized into bags).
-    An empty delta returns immediately without allocating. *)
+    An empty delta returns immediately without allocating.
+
+    Counts that reach exactly zero become tombstones; once tombstones
+    are at least half of the stored rows (and the index is non-trivial)
+    the index compacts in place — live entries and probe results are
+    unchanged, but row and slot storage stays proportional to the live
+    population under churn instead of growing forever. *)
+
+type occupancy = {
+  rows : int;  (** Stored rows, tombstones included. *)
+  live : int;
+  tombstones : int;
+  slots : int;  (** Physical slot-table size (power of two). *)
+}
+
+val occupancy : t -> occupancy
+(** Storage accounting, for the churn tests pinning bounded growth. *)

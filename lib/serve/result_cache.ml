@@ -167,6 +167,15 @@ let commit t ~version ~changed ~pre ~post =
     t.entries;
   List.iter (fun view -> note_change t ~view ~version) changed
 
+(* Warehouse crash: cached results and the change history both describe a
+   version sequence about to be republished from scratch, so both must
+   go. Keeping either would let a stale entry validate against a
+   half-rebuilt history. Statistics survive (they describe the run). *)
+let clear t =
+  Expr_tbl.reset t.entries;
+  Queue.clear t.insertion_order;
+  Hashtbl.reset t.changes
+
 let stats t =
   { hits = t.hits; misses = t.misses; stale = t.stale;
     evictions = t.evictions; entries = Expr_tbl.length t.entries;

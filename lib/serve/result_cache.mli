@@ -74,4 +74,10 @@ val store : t -> version:int -> support:string list -> Query.Algebra.t -> Bag.t 
     set of view names the result depends on
     ({!Query.Algebra.base_relations} of the expression). *)
 
+val clear : t -> unit
+(** Drop every entry {e and} the per-view change history — warehouse
+    crash recovery, where the version sequence is republished from
+    scratch and change notes will be re-reported as it rebuilds.
+    Cumulative statistics are kept. *)
+
 val stats : t -> stats

@@ -103,6 +103,19 @@ let publish t ~time ~changed state =
   prune t;
   v
 
+(* Warehouse crash: forget the published history and restart at version 0.
+   Recovery then republishes the restored commit sequence, reproducing
+   each version at its original index. The pins table survives — versions
+   are persistent snapshots, so leases taken by in-flight readers remain
+   valid, and republished versions land back at the indices those leases
+   name. *)
+let restart t ~initial =
+  t.buf <- Array.make 16 None;
+  t.start <- 0;
+  t.watermark <- 0;
+  t.buf.(0) <- Some { index = 0; time = 0.0; state = initial; changed = [] };
+  t.len <- 1
+
 let find t index =
   if index < t.watermark then raise (Pruned index)
   else if index >= version_count t then

@@ -52,6 +52,14 @@ val publish : t -> time:float -> changed:string list -> Database.t -> version
     shares its chunk by pointer.
     @raise Invalid_argument if [time] decreases. *)
 
+val restart : t -> initial:Database.t -> unit
+(** Warehouse crash recovery: discard the published history and restart
+    at version 0 = [initial]. The caller republishes the restored commit
+    sequence, landing each version back at its original index.
+    Outstanding pin leases are {e kept}: pinned versions are persistent
+    snapshots, so in-flight readers stay valid across the restart, and
+    their later {!unpin} calls match the republished indices. *)
+
 val latest : t -> version
 
 val version_count : t -> int

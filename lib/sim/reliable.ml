@@ -28,6 +28,7 @@ type 'a t = {
   params : params;
   rng : Rng.t;
   stats : stats;
+  on_give_up : unit -> unit;
   deliver : 'a -> unit;
   mutable data : 'a frame Channel.t option;
   mutable ctrl : ctrl Channel.t option;
@@ -69,7 +70,8 @@ let rec arm_timer t =
           (* Give up: stop retransmitting. The link is no longer quiescent,
              so the system reports stuck rather than a wrong answer. *)
           t.sender_gave_up <- true;
-          t.stats.gave_up <- t.stats.gave_up + 1
+          t.stats.gave_up <- t.stats.gave_up + 1;
+          t.on_give_up ()
         end
         else begin
           List.iter
@@ -180,14 +182,14 @@ let on_data t f =
     end
   end
 
-let create engine ?(name = "rel") ?(params = default_params) ~rng ~latency
-    deliver =
+let create engine ?(name = "rel") ?(params = default_params)
+    ?(on_give_up = fun () -> ()) ~rng ~latency deliver =
   let t =
     { engine; params; rng;
       stats =
         { msgs_sent = 0; retransmits = 0; acks_sent = 0; nacks_sent = 0;
           dups_dropped = 0; gave_up = 0 };
-      deliver; data = None; ctrl = None; s_epoch = 0; next_seq = 1;
+      on_give_up; deliver; data = None; ctrl = None; s_epoch = 0; next_seq = 1;
       unacked = []; timer_gen = 0; retries = 0; sender_gave_up = false;
       r_epoch = 0; expected = 1; buffer = []; last_nack = 0; r_down = false;
       adopt_next = false }

@@ -48,13 +48,17 @@ val create :
   Engine.t ->
   ?name:string ->
   ?params:params ->
+  ?on_give_up:(unit -> unit) ->
   rng:Rng.t ->
   latency:(unit -> float) ->
   ('a -> unit) ->
   'a t
 (** [create engine ~rng ~latency deliver] builds the link. The data channel
     is named [name]; the control (ack/nack) channel [name ^ "/ack"]. Both
-    sample [latency] per message and accept fault hooks. *)
+    sample [latency] per message and accept fault hooks. [on_give_up] fires
+    at the moment the sender exhausts [max_retries] and stops
+    retransmitting — link death is an event the embedding system can
+    surface immediately, not just an end-of-run statistic. *)
 
 val send : 'a t -> 'a -> unit
 

@@ -96,6 +96,23 @@ let apply t ?(time = 0.0) (wt : Wt.t) =
 
 let commits t = List.init t.len (fun i -> nth t i)
 
+let commits_from t i =
+  let local = max 0 (i - t.pruned) in
+  List.init (t.len - local) (fun k -> nth t (local + k))
+
+(* Crash recovery: rebuild the whole store from the initial state and the
+   recovered (time, transaction) sequence. Re-applying rather than
+   restoring snapshots keeps the durable record minimal (the WAL holds
+   transactions, not state vectors) and reproduces byte-identical state
+   because apply is deterministic. *)
+let restore t cs =
+  t.current <- t.initial;
+  t.buf <- Array.make 16 None;
+  t.start <- 0;
+  t.len <- 0;
+  t.pruned <- 0;
+  List.iter (fun (time, wt) -> apply t ~time wt) cs
+
 let states t = t.initial :: List.init t.len (fun i -> (nth t i).state)
 
 (* Rightmost retained commit with time <= query. Several commits may share

@@ -68,6 +68,19 @@ val commits : t -> commit list
 (** Retained committed transactions, oldest first (all of them under
     [Keep_all]). *)
 
+val commits_from : t -> int -> commit list
+(** [commits_from t i]: retained commits whose global index is [>= i],
+    oldest first — the delta an incremental checkpoint covers, built
+    without materializing the whole history. *)
+
+val restore : t -> (float * Wt.t) list -> unit
+(** [restore t commits] discards all in-memory state and rebuilds the
+    store by re-applying [commits] (oldest first, as [(time, wt)] pairs)
+    to the initial state — crash recovery from a checkpoint + WAL tail.
+    Deterministic re-application reproduces the exact pre-crash state
+    vector sequence, so downstream consumers (serving, the oracle) see
+    identical databases at identical commit indices. *)
+
 val commit_count : t -> int
 (** Total commits ever applied, including pruned ones. *)
 

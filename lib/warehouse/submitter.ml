@@ -8,31 +8,40 @@ type t = {
   commit_latency : unit -> float;
   batch_timeout : float;
   store : Store.t;
+  pre_commit : time:float -> Wt.t -> unit;
   on_commit : Wt.t -> unit;
   mutable queue : entry list; (* submission order: oldest first *)
   mutable batch : Wt.t list; (* reversed accumulation, Batched only *)
   mutable batch_flush_scheduled : bool;
   mutable busy : bool; (* Serial / Batched: a commit in progress *)
   mutable committed : int;
+  mutable gen : int; (* incarnation fence for scheduled completions *)
 }
 
 let create engine ~policy ~commit_latency ?(batch_timeout = 0.05) ~store
-    ?(on_commit = fun _ -> ()) () =
-  { engine; policy; commit_latency; batch_timeout; store; on_commit;
-    queue = []; batch = []; batch_flush_scheduled = false; busy = false;
-    committed = 0 }
+    ?(pre_commit = fun ~time:_ _ -> ()) ?(on_commit = fun _ -> ()) () =
+  { engine; policy; commit_latency; batch_timeout; store; pre_commit;
+    on_commit; queue = []; batch = []; batch_flush_scheduled = false;
+    busy = false; committed = 0; gen = 0 }
 
 let finish_commit t entry =
   t.queue <- List.filter (fun e -> e != entry) t.queue;
-  Store.apply t.store ~time:(Sim.Engine.now t.engine) entry.wt;
+  let time = Sim.Engine.now t.engine in
+  (* Write-ahead: the durable record must be synced before the store
+     mutates, or a crash between the two loses a committed transaction. *)
+  t.pre_commit ~time entry.wt;
+  Store.apply t.store ~time entry.wt;
   t.committed <- t.committed + 1;
   t.on_commit entry.wt
 
 let start_commit t entry ~after =
   entry.committing <- true;
+  let gen = t.gen in
   Sim.Engine.schedule_after t.engine (t.commit_latency ()) (fun () ->
-      finish_commit t entry;
-      after ())
+      if gen = t.gen then begin
+        finish_commit t entry;
+        after ()
+      end)
 
 (* Serial: commit the head of the queue, one at a time. *)
 let rec pump_serial t =
@@ -87,10 +96,24 @@ let submit t wt =
     if List.length t.batch >= size then flush_batch t
     else if not t.batch_flush_scheduled then begin
       t.batch_flush_scheduled <- true;
+      let gen = t.gen in
       Sim.Engine.schedule_after t.engine t.batch_timeout (fun () ->
-          t.batch_flush_scheduled <- false;
-          flush_batch t)
+          if gen = t.gen then begin
+            t.batch_flush_scheduled <- false;
+            flush_batch t
+          end)
     end
+
+(* Warehouse crash: queued and in-flight submissions are gone. The gen
+   bump fences every already-scheduled completion and batch flush —
+   their closures see a stale gen and do nothing. The committed counter
+   survives (it counts durable history, which restore re-applies). *)
+let reset t =
+  t.gen <- t.gen + 1;
+  t.queue <- [];
+  t.batch <- [];
+  t.batch_flush_scheduled <- false;
+  t.busy <- false
 
 let outstanding t = List.length t.queue + List.length t.batch
 

@@ -28,17 +28,26 @@ val create :
   commit_latency:(unit -> float) ->
   ?batch_timeout:float ->
   store:Store.t ->
+  ?pre_commit:(time:float -> Wt.t -> unit) ->
   ?on_commit:(Wt.t -> unit) ->
   unit ->
   t
 (** [batch_timeout] (default 0.05 simulated seconds) bounds how long a
     partially filled batch may wait before being flushed; only meaningful
-    for [Batched]. [on_commit] fires after the store has applied the
-    transaction. *)
+    for [Batched]. [pre_commit] fires immediately {e before} the store
+    applies the transaction — the write-ahead hook: a durable layer syncs
+    its log record there, so every applied commit is recoverable.
+    [on_commit] fires after the store has applied the transaction. *)
 
 val submit : t -> Wt.t -> unit
 (** Hand a warehouse transaction to the warehouse. Returns immediately;
     the commit happens later in simulated time per the policy. *)
+
+val reset : t -> unit
+(** Warehouse crash: drop every queued, batched, and in-flight
+    submission. Already-scheduled commit completions and batch flushes
+    are fenced by an incarnation counter and become no-ops when they
+    fire, so nothing from the dead incarnation reaches the store. *)
 
 val outstanding : t -> int
 (** Transactions submitted but not yet committed (including batched ones

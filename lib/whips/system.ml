@@ -27,8 +27,22 @@ type arrival = All_at_once | Uniform of float | Poisson of float
 type fault =
   | Drop_action_list of { view : string; nth : int }
   | Crash_vm of { view : string; at_event : int; restart_after : float }
+  | Crash_merge of { at_event : int; restart_after : float }
+  | Crash_integrator of { at_event : int; restart_after : float }
+  | Crash_warehouse of { at_event : int; restart_after : float }
 
 type reliability = Off | Acked of Sim.Reliable.params
+
+type durability = {
+  checkpoint_every : int;
+  integ_checkpoint_every : int;
+  group_commit : int;
+  replay_latency : float;
+}
+
+let default_durability =
+  { checkpoint_every = 8; integ_checkpoint_every = 16; group_commit = 4;
+    replay_latency = 0.0 }
 
 type latencies = {
   message : float;
@@ -84,6 +98,7 @@ type config = {
   faults : fault list;
   fault_plan : Workload.Fault_plan.t;
   reliability : reliability;
+  durable : durability option;
   reads : read_profile option;
   store_retention : Warehouse.Store.retention;
   record_timeline : bool;
@@ -98,12 +113,24 @@ let default scenario =
     latencies = default_latencies; merge_groups = None;
     semantic_filter = false; rel_routing = Direct; optimize_views = false;
     faults = []; fault_plan = Workload.Fault_plan.empty; reliability = Off;
-    reads = None; store_retention = Warehouse.Store.Keep_all;
+    durable = None; reads = None;
+    store_retention = Warehouse.Store.Keep_all;
     record_timeline = false; parallel = Parallel.Config.default ();
     shared_plans = false; seed = 1 }
 
 let faultless cfg =
   cfg.faults = [] && Workload.Fault_plan.is_empty cfg.fault_plan
+
+(* Process-level crash faults (merge / integrator / warehouse): these wipe
+   a whole process's in-memory state and require the durable layer for
+   recovery, unlike message-level faults and Crash_vm (whose recovery is
+   log replay from the live integrator). *)
+let process_crash_faults cfg =
+  List.exists
+    (function
+      | Crash_merge _ | Crash_integrator _ | Crash_warehouse _ -> true
+      | Drop_action_list _ | Crash_vm _ -> false)
+    cfg.faults
 
 type read_record = {
   read_session : int;
@@ -127,6 +154,19 @@ type serving = {
   reads_served : read_record list;
 }
 
+type durability_report = {
+  wal_appends : int;
+  wal_syncs : int;
+  wal_bytes : int;
+  wal_checkpoints : int;
+  wal_truncated : int;
+  torn_discarded : int;
+  wal_replayed : int;
+  commits_restored : int;
+  dup_wts_dropped : int;
+  recovery_time : float;
+}
+
 type result = {
   config : config;
   store : Warehouse.Store.t;
@@ -137,6 +177,7 @@ type result = {
   timeline : (float * string) list;
   stuck : bool;
   serving : serving option;
+  durability : durability_report option;
 }
 
 exception Stuck of string
@@ -224,6 +265,11 @@ type serving_ctx = {
   ctx_records : read_record list ref;
   ctx_publish : Warehouse.Wt.t -> unit;  (* call after each store commit *)
   ctx_pending : unit -> int;
+  ctx_freeze : bool -> unit;
+      (* warehouse down: stop starting new reads (queued reads wait; reads
+         already in service complete against their pinned versions) *)
+  ctx_recover : Warehouse.Store.commit list -> unit;
+      (* republish the restored commit history from version 0 *)
 }
 
 let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
@@ -252,6 +298,7 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
         | qs -> qs)
     in
     let records = ref [] in
+    let frozen = ref false in
     let servers =
       Array.of_list
         (List.mapi
@@ -260,7 +307,8 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
              let queue = Queue.create () in
              let busy = ref false in
              let rec pump () =
-               if (not !busy) && not (Queue.is_empty queue) then begin
+               if (not !frozen) && (not !busy) && not (Queue.is_empty queue)
+               then begin
                  busy := true;
                  let arrived, as_of, query = Queue.pop queue in
                  let pending =
@@ -333,7 +381,7 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
                pump ()
              in
              let pending () = Queue.length queue + if !busy then 1 else 0 in
-             (submit, pending))
+             (submit, pending, pump))
            population)
     in
     (* Read arrival process, independent of the update schedule. *)
@@ -359,7 +407,8 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
             then Some (Float.max 0.0 (at -. Sim.Rng.float pick_rng rp.as_of_lag))
             else None
           in
-          (fst servers.(sid)) (at, as_of, query))
+          let submit, _, _ = servers.(sid) in
+          submit (at, as_of, query))
     done;
     (* Warehouse state at the previously published version: the [pre]
        side of the commit's per-view deltas when the cache refreshes
@@ -389,17 +438,62 @@ let setup_serving engine ~rng ~sample ~metrics ~store ~views ~log cfg =
         (float_of_int (Serve.Version_manager.pinned vm))
     in
     let pending () =
-      Array.fold_left (fun acc (_, p) -> acc + p ()) 0 servers
+      Array.fold_left (fun acc (_, p, _) -> acc + p ()) 0 servers
+    in
+    let freeze f =
+      frozen := f;
+      if not f then Array.iter (fun (_, _, pump) -> pump ()) servers
+    in
+    (* Warehouse crash recovery: restart the version history at 0 and
+       republish the restored commits at their recorded times — each
+       version lands back at its original index, so leases held by
+       in-flight reads and the floors of monotonic sessions stay valid.
+       The result cache is wiped outright (entries and change history
+       describe the version sequence being rebuilt). *)
+    let recover commits =
+      Serve.Version_manager.restart vm
+        ~initial:(Warehouse.Store.initial store);
+      (match cache with Some c -> Serve.Result_cache.clear c | None -> ());
+      last_state := Warehouse.Store.initial store;
+      List.iter
+        (fun (c : Warehouse.Store.commit) ->
+          let changed = Warehouse.Wt.views c.transaction in
+          let v =
+            Serve.Version_manager.publish vm ~time:c.Warehouse.Store.time
+              ~changed c.Warehouse.Store.state
+          in
+          (match cache with
+          | Some rc ->
+            if rp.cache_refresh then
+              Serve.Result_cache.commit rc
+                ~version:v.Serve.Version_manager.index ~changed
+                ~pre:!last_state ~post:c.Warehouse.Store.state
+            else
+              List.iter
+                (fun view ->
+                  Serve.Result_cache.note_change rc ~view
+                    ~version:v.Serve.Version_manager.index)
+                changed
+          | None -> ());
+          last_state := c.Warehouse.Store.state)
+        commits
     in
     Some
       { ctx_vm = vm; ctx_cache = cache; ctx_records = records;
-        ctx_publish = publish; ctx_pending = pending }
+        ctx_publish = publish; ctx_pending = pending; ctx_freeze = freeze;
+        ctx_recover = recover }
 
 let serving_publish ctx wt =
   match ctx with Some c -> c.ctx_publish wt | None -> ()
 
 let serving_pending ctx =
   match ctx with Some c -> c.ctx_pending () | None -> 0
+
+let serving_freeze ctx f =
+  match ctx with Some c -> c.ctx_freeze f | None -> ()
+
+let serving_recover ctx commits =
+  match ctx with Some c -> c.ctx_recover commits | None -> ()
 
 let serving_result ctx =
   Option.map
@@ -444,6 +538,10 @@ let effective_views cfg schemas =
   else cfg.scenario.views
 
 let run_sequential cfg =
+  if process_crash_faults cfg then
+    invalid_arg
+      "System: process crash faults (merge/integrator/warehouse) need the \
+       pipelined runtime";
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create cfg.seed in
   let arrival_rng = Sim.Rng.split rng in
@@ -583,7 +681,7 @@ let run_sequential cfg =
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = "sequential"; timeline = []; stuck = false;
-    serving = serving_result serving }
+    serving = serving_result serving; durability = None }
 
 (* A single-threaded service queue: the merge process handles one message
    at a time, each costing a sampled latency. This is what lets benchmark
@@ -604,16 +702,23 @@ let run_sequential cfg =
 let make_server engine ~exec ~latency =
   let queue = Queue.create () in
   let busy = ref false in
+  let gen = ref 0 in
   let rec pump () =
     if (not !busy) && not (Queue.is_empty queue) then begin
       busy := true;
       let work, finish = Queue.pop queue in
       let fut = Parallel.Exec.spawn exec work in
+      let g = !gen in
       Sim.Engine.schedule_after engine (latency ()) (fun () ->
+          (* Always join the future (the pool domain must not be leaked),
+             but a completion fenced by [reset] publishes nothing: its
+             finish half — and the pump — belong to a dead incarnation. *)
           Parallel.Exec.await fut;
-          finish ();
-          busy := false;
-          pump ())
+          if g = !gen then begin
+            finish ();
+            busy := false;
+            pump ()
+          end)
     end
   in
   let submit job =
@@ -621,12 +726,25 @@ let make_server engine ~exec ~latency =
     pump ()
   in
   let pending () = Queue.length queue + if !busy then 1 else 0 in
-  (submit, pending)
+  (* Process crash: drop queued jobs and fence the in-flight one. *)
+  let reset () =
+    incr gen;
+    Queue.clear queue;
+    busy := false
+  in
+  (submit, pending, reset)
 
 (* Channels between processes, optionally wrapped in the ARQ layer. Both
    flavours expose the same [send]; reliable links additionally track
    quiescence (unacked / buffered frames) for the drain check. *)
 type 'a link = { send : 'a -> unit; reliable : 'a Sim.Reliable.t option }
+
+(* Control traffic merge -> manager. [Resync_reply] answers a restarting
+   manager's handshake with the merge's watermark for its view;
+   [Resync_demand] is the inverse direction of initiative — a restarted
+   merge asking every live manager to re-handshake and replay the action
+   lists the fresh incarnation has not seen. *)
+type ctrl_msg = Resync_reply of int * int | Resync_demand
 
 let run_pipelined cfg =
   let engine = Sim.Engine.create () in
@@ -635,6 +753,15 @@ let run_pipelined cfg =
   let lat_rng = Sim.Rng.split rng in
   let sample mean = Sim.Rng.exponential lat_rng ~mean in
   let exec = Parallel.Config.exec cfg.parallel in
+  let metrics = Metrics.create () in
+  let timeline = ref [] in
+  let record fmt =
+    Fmt.kstr
+      (fun msg ->
+        if cfg.record_timeline then
+          timeline := (Sim.Engine.now engine, msg) :: !timeline)
+      fmt
+  in
   (* Fault plan: the config's channel-level plan plus the deterministic
      translation of Drop_action_list faults (the nth physical message on
      the manager's action-list channel). Injection happens in the channel,
@@ -650,7 +777,9 @@ let run_pipelined cfg =
                Some
                  (Workload.Fault_plan.nth ~channel:(view ^ "->merge") ~nth
                     Workload.Fault_plan.Drop)
-             | Crash_vm _ -> None)
+             | Crash_vm _ | Crash_merge _ | Crash_integrator _
+             | Crash_warehouse _ ->
+               None)
            cfg.faults)
   in
   let quiescence : (unit -> bool) list ref = ref [] in
@@ -679,6 +808,11 @@ let run_pipelined cfg =
     | Acked params ->
       let rl =
         Sim.Reliable.create engine ~name ~params ~rng:(Sim.Rng.split link_rng)
+          ~on_give_up:(fun () ->
+            (* Link death surfaced at the instant it happens, not just as
+               an end-of-run statistic. *)
+            Atomic.incr metrics.Metrics.gave_up;
+            record "link %s gave up on a frame after max retries" name)
           ~latency:(fun () -> sample cfg.latencies.message)
           deliver
       in
@@ -698,7 +832,6 @@ let run_pipelined cfg =
          (fun v -> (Query.View.name v, Query.View.materialize initial_db v))
          views)
   in
-  let metrics = Metrics.create () in
   let contention0 = Query.Compiled.memo_contention () in
   (* Shared-plan engine for the pipelined runtime: complete managers
      route their per-update deltas through one sub-plan DAG instead of
@@ -720,23 +853,132 @@ let run_pipelined cfg =
     else None
   in
   let arrival_times = Hashtbl.create 64 in
-  let timeline = ref [] in
-  let record fmt =
-    Fmt.kstr
-      (fun msg ->
-        if cfg.record_timeline then
-          timeline := (Sim.Engine.now engine, msg) :: !timeline)
-      fmt
-  in
   let serving =
     setup_serving engine ~rng ~sample ~metrics ~store ~views
       ~log:(fun msg -> record "%s" msg)
       cfg
   in
+  (* ---- the durable layer and process-crash bookkeeping ----
+
+     Two write-ahead logs back the two stateful singleton processes: the
+     warehouse WAL records every WT just before the store applies it
+     (sync-per-append — the write-ahead is load-bearing), the integrator
+     WAL records every stamped transaction with its REL set under group
+     commit. Both are checkpointed periodically to bound replay. The WAL
+     handles exist unconditionally so the report can read their stats;
+     appends are gated on [durable_on]. *)
+  let process_crashes = process_crash_faults cfg in
+  let durable_on = process_crashes || cfg.durable <> None in
+  let dur = Option.value ~default:default_durability cfg.durable in
+  let wh_wal : (unit, float * Warehouse.Wt.t) Durable.Wal.t =
+    Durable.Wal.create ~group_commit:1 ()
+  in
+  let integ_wal : (unit, Update.Transaction.t * string list) Durable.Wal.t =
+    Durable.Wal.create ~group_commit:dur.group_commit ()
+  in
+  (* Checkpoints are sealed: both logs record exactly their recovery
+     state (commits; stamped ingests), so a checkpoint just adopts the
+     synced WAL image as the next segment ({!Durable.Wal.seal}) — zero
+     re-marshaling, cost independent of history and of delta size. *)
+  let wal_replayed = ref 0 in
+  let commits_restored = ref 0 in
+  let dup_wts = ref 0 in
+  let recovery_total = ref 0.0 in
+  (* Rows whose WTs have been handed to the submitter, and per view the
+     highest action-list state among them. This is the ground recovery
+     dedups against: a restarted merge re-derives exactly the rows not
+     here, and replayed action lists at or below a view's mark are
+     duplicates. Rebuilt from the restored commit history after a
+     warehouse crash (anything submitted but uncommitted died with the
+     submitter queue and must be re-derived). *)
+  let submitted_rows : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let submitted_marks : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let note_submitted (wt : Warehouse.Wt.t) =
+    List.iter (fun row -> Hashtbl.replace submitted_rows row ()) wt.rows;
+    List.iter
+      (fun al ->
+        let cur =
+          Option.value ~default:0
+            (Hashtbl.find_opt submitted_marks al.Query.Action_list.view)
+        in
+        if al.Query.Action_list.state > cur then
+          Hashtbl.replace submitted_marks al.Query.Action_list.view
+            al.Query.Action_list.state)
+      wt.actions
+  in
+  (* Crash specs fire once, on the nth event the process handles; the
+     crash bodies are tied through refs once the processes they wipe
+     exist. The message carrying the triggering event is the casualty. *)
+  let find_crash f = List.find_map f cfg.faults in
+  let merge_crash_spec =
+    find_crash (function
+      | Crash_merge { at_event; restart_after } ->
+        Some (at_event, restart_after)
+      | _ -> None)
+  in
+  let integ_crash_spec =
+    find_crash (function
+      | Crash_integrator { at_event; restart_after } ->
+        Some (at_event, restart_after)
+      | _ -> None)
+  in
+  let wh_crash_spec =
+    find_crash (function
+      | Crash_warehouse { at_event; restart_after } ->
+        Some (at_event, restart_after)
+      | _ -> None)
+  in
+  let merge_down = ref false in
+  let integ_down = ref false in
+  let wh_down = ref false in
+  let merge_crash_armed = ref (merge_crash_spec <> None) in
+  let integ_crash_armed = ref (integ_crash_spec <> None) in
+  let wh_crash_armed = ref (wh_crash_spec <> None) in
+  let merge_events = ref 0 in
+  let integ_events = ref 0 in
+  let wh_events = ref 0 in
+  let crash_merge_ref = ref (fun () -> ()) in
+  let crash_integ_ref = ref (fun () -> ()) in
+  let crash_wh_ref = ref (fun () -> ()) in
+  let note_merge_event () =
+    incr merge_events;
+    match merge_crash_spec with
+    | Some (n, _) when !merge_crash_armed && !merge_events = n ->
+      merge_crash_armed := false;
+      !crash_merge_ref ()
+    | _ -> ()
+  in
+  let note_integ_event () =
+    incr integ_events;
+    match integ_crash_spec with
+    | Some (n, _) when !integ_crash_armed && !integ_events = n ->
+      integ_crash_armed := false;
+      !crash_integ_ref ()
+    | _ -> ()
+  in
+  let note_wh_event () =
+    incr wh_events;
+    match wh_crash_spec with
+    | Some (n, _) when !wh_crash_armed && !wh_events = n ->
+      wh_crash_armed := false;
+      !crash_wh_ref ()
+    | _ -> ()
+  in
+  (* Per-link hooks collected as the links are built, so the crash bodies
+     can reach every receiver/sender half they must reset. *)
+  let merge_rx_down : (bool -> unit) list ref = ref [] in
+  let merge_rx_reset : (unit -> unit) list ref = ref [] in
+  let ctrl_bumps : (unit -> unit) list ref = ref [] in
+  let vm_ctrls : (ctrl_msg -> unit) list ref = ref [] in
+  let integ_sender_bumps : (unit -> unit) list ref = ref [] in
   let submitter =
     Warehouse.Submitter.create engine ~policy:cfg.submit
       ~commit_latency:(fun () -> sample cfg.latencies.commit)
       ~store
+      ~pre_commit:(fun ~time wt ->
+        (* Write-ahead: the WT is durable before the store applies it, so
+           every applied commit is reproducible from checkpoint + WAL. *)
+        if durable_on then Durable.Wal.append wh_wal (time, wt))
       ~on_commit:(fun wt ->
         record "warehouse commit: rows [%a] -> views {%s}"
           (Fmt.list ~sep:Fmt.comma Fmt.int)
@@ -746,6 +988,10 @@ let run_pipelined cfg =
         Metrics.add metrics.Metrics.actions_applied
           (Warehouse.Wt.action_count wt);
         serving_publish serving wt;
+        if
+          durable_on
+          && Warehouse.Store.commit_count store mod dur.checkpoint_every = 0
+        then Durable.Wal.seal wh_wal;
         List.iter
           (fun row ->
             match Hashtbl.find_opt arrival_times row with
@@ -781,41 +1027,109 @@ let run_pipelined cfg =
   in
   let levels = List.map (fun v -> level_of (kind_of cfg v)) views in
   let algorithm = algorithm_for cfg levels in
+  (* The crash-recovery protocol leans on invariants only this corner of
+     the configuration space provides: SPA's one-WT-per-row discipline
+     (submitted rows identify completed work), complete managers
+     (re-derivable from the integrator log), direct REL routing (the
+     integrator, not a manager, is the authority re-sending RELs), no
+     semantic filtering (syntactic REL sets are reproducible), and a
+     full commit history (checkpoints re-apply it). *)
+  if process_crashes then begin
+    if cfg.rel_routing <> Direct then
+      invalid_arg "System: process crash faults require Direct REL routing";
+    if cfg.semantic_filter then
+      invalid_arg
+        "System: process crash faults require semantic_filter = false";
+    if
+      not
+        (List.for_all
+           (fun v -> match kind_of cfg v with Complete_vm -> true | _ -> false)
+           views)
+    then
+      invalid_arg
+        "System: process crash faults require Complete_vm view managers";
+    if algorithm <> Mvc.Merge.Spa then
+      invalid_arg "System: process crash faults require the SPA merge";
+    if cfg.store_retention <> Warehouse.Store.Keep_all then
+      invalid_arg
+        "System: process crash faults require Keep_all store retention \
+         (checkpoints re-apply the full commit history)"
+  end;
   let n_groups = List.length groups in
   (* A merge's [emit] fires inside its group's work half, which may be
      running on a pool domain; WTs are buffered group-locally and
      submitted from the simulation domain — in emission order — by the
      job's finish half (or by the flush wrapper during drain). *)
   let emitted = Array.init n_groups (fun _ -> Queue.create ()) in
-  let merges =
-    List.mapi
-      (fun gi group ->
-        Mvc.Merge.create algorithm
-          ~views:(List.map Query.View.name group)
-          ~emit:(fun wt -> Queue.push wt emitted.(gi)))
-      groups
+  (* Merge state lives in a mutable array so a crash can replace a group's
+     merge with a fresh incarnation; everything downstream dereferences
+     through [merge_of] at use time. *)
+  let groups_arr = Array.of_list groups in
+  let make_merge gi group =
+    Mvc.Merge.create algorithm
+      ~views:(List.map Query.View.name group)
+      ~emit:(fun wt -> Queue.push wt emitted.(gi))
+  in
+  let merge_arr = Array.init n_groups (fun gi -> make_merge gi groups_arr.(gi)) in
+  let merge_of gi = merge_arr.(gi) in
+  (* Per-group row dedup for REL deliveries (process-crash runs only):
+     after a merge restart, the state transfer and the integrator's live
+     ARQ retransmits overlap, and SPA must see each group REL exactly
+     once. Seeded with the submitted rows on restart. *)
+  let rel_seen : (int, unit) Hashtbl.t array =
+    Array.init n_groups (fun _ -> Hashtbl.create 64)
   in
   let drain_emitted gi =
     while not (Queue.is_empty emitted.(gi)) do
-      Warehouse.Submitter.submit submitter (Queue.pop emitted.(gi))
+      let wt = Queue.pop emitted.(gi) in
+      if !wh_down then
+        record "warehouse down: WT for rows [%a] lost"
+          (Fmt.list ~sep:Fmt.comma Fmt.int)
+          wt.Warehouse.Wt.rows
+      else begin
+        note_wh_event ();
+        if !wh_down then
+          record "warehouse crashed receiving WT for rows [%a]"
+            (Fmt.list ~sep:Fmt.comma Fmt.int)
+            wt.Warehouse.Wt.rows
+        else if
+          process_crashes
+          && wt.Warehouse.Wt.rows <> []
+          && List.for_all
+               (fun r -> Hashtbl.mem submitted_rows r)
+               wt.Warehouse.Wt.rows
+        then begin
+          (* Recovery re-derived a WT the pre-crash incarnation already
+             submitted; committing it twice would double-apply. *)
+          incr dup_wts;
+          record "duplicate WT for rows [%a] dropped at submit"
+            (Fmt.list ~sep:Fmt.comma Fmt.int)
+            wt.Warehouse.Wt.rows
+        end
+        else begin
+          if process_crashes then note_submitted wt;
+          Warehouse.Submitter.submit submitter wt
+        end
+      end
     done
   in
   (* One service queue per merge process: messages from the REL channel and
      every view manager's AL channel are handled one at a time. *)
   let merge_servers =
-    List.map
-      (fun _ ->
+    Array.init n_groups (fun _ ->
         make_server engine ~exec
           ~latency:(fun () -> sample cfg.latencies.merge))
-      merges
   in
-  let merge_server_of =
-    let table = Hashtbl.create 8 in
-    List.iteri (fun i m -> Hashtbl.replace table i m) merge_servers;
-    fun gi -> fst (Hashtbl.find table gi)
+  let merge_server_of gi =
+    let submit, _, _ = merge_servers.(gi) in
+    submit
   in
   let merge_servers_pending () =
-    List.fold_left (fun acc (_, pending) -> acc + pending ()) 0 merge_servers
+    Array.fold_left (fun acc (_, pending, _) -> acc + pending ()) 0
+      merge_servers
+  in
+  let merge_servers_reset () =
+    Array.iter (fun (_, _, reset) -> reset ()) merge_servers
   in
   (* Merge occupancy is sampled from per-group snapshots refreshed on the
      simulation domain whenever that group's state settles (job finish,
@@ -841,8 +1155,7 @@ let run_pipelined cfg =
     List.iteri
       (fun gi group ->
         List.iter
-          (fun v ->
-            Hashtbl.replace table (Query.View.name v) (List.nth merges gi, gi))
+          (fun v -> Hashtbl.replace table (Query.View.name v) gi)
           group)
       groups;
     fun name -> Hashtbl.find table name
@@ -872,13 +1185,13 @@ let run_pipelined cfg =
     Hashtbl.create 16
   in
   let rel_reorderers =
-    List.map
-      (fun merge ->
+    List.mapi
+      (fun gi _ ->
         let held = Hashtbl.create 16 in
         let last = ref 0 in
         let rec ingest (row, rel, prev) =
           if prev = !last then begin
-            Mvc.Merge.receive_rel merge ~row ~rel;
+            Mvc.Merge.receive_rel (merge_of gi) ~row ~rel;
             last := row;
             match Hashtbl.find_opt held row with
             | Some next ->
@@ -889,7 +1202,7 @@ let run_pipelined cfg =
           else Hashtbl.replace held prev (row, rel, prev)
         in
         (ingest, fun () -> Hashtbl.length held))
-      merges
+      groups
   in
   let reorderer_of gi = List.nth rel_reorderers gi in
   let forwards_of name =
@@ -903,7 +1216,8 @@ let run_pipelined cfg =
   (* The integrator is created early so recovering view managers can close
      over it: crash recovery replays its retained update log. *)
   let retain_log =
-    List.exists (function Crash_vm _ -> true | _ -> false) cfg.faults
+    durable_on
+    || List.exists (function Crash_vm _ -> true | _ -> false) cfg.faults
   in
   let integ =
     Integrator.create ~semantic_filter:cfg.semantic_filter ~retain_log
@@ -913,10 +1227,19 @@ let run_pipelined cfg =
      watermark a restarting manager resyncs against (it replays only the
      log suffix the merge has not yet seen). *)
   let watermarks : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Views whose managers a restarted merge has not yet re-handshaked
+     with. Until a view's [`Resync] marker (the first frame of the
+     manager's fresh epoch) arrives, any action list delivered for it is
+     a remnant of the dead merge's stream — a pre-crash in-flight frame
+     the reset receiver adopted — and delivering it would violate SPA's
+     per-manager FIFO invariant (a later row's list overtaking an earlier
+     row still waiting). Dropping is safe: the resync replay re-derives
+     every state above the submitted watermark. *)
+  let awaiting_resync : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let make_vm view =
     let name = Query.View.name view in
     let kind = kind_of cfg view in
-    let merge, gi = merge_of_view name in
+    let gi = merge_of_view name in
     let crash_spec =
       List.find_map
         (function
@@ -933,47 +1256,122 @@ let run_pipelined cfg =
         "System: Crash_vm faults support Complete_vm and Batching_vm \
          managers (log-replay recovery)");
     (* Control channel merge -> manager, carrying resync replies
-       (epoch, watermark). Handler installed below. *)
-    let ctrl_handler = ref (fun ((_ : int), (_ : int)) -> ()) in
+       (epoch, watermark) and restarted-merge resync demands. Handler
+       installed below. *)
+    let ctrl_handler = ref (fun (_ : ctrl_msg) -> ()) in
     let ctrl_link =
       make_link ~name:("merge->" ^ name) (fun msg -> !ctrl_handler msg)
     in
     let al_link =
       make_link ~name:(name ^ "->merge") (fun msg ->
-          (* Work half: group-local painting/reordering, safe off the
-             simulation domain. Finish half: timeline records, the
-             watermark table (shared across groups), control replies and
-             buffered WT submission — simulation domain only. *)
-          let work, finish =
-            match msg with
-            | `Rel ((row, _, _) as fwd) ->
-              ( (fun () -> fst (reorderer_of gi) fwd),
-                fun () -> record "merge <- forwarded REL_%d (via %s)" row name
-              )
-            | `Al al ->
-              ( (fun () -> Mvc.Merge.receive_action_list merge al),
-                fun () ->
-                  record "merge <- AL(%s, %d)" al.Query.Action_list.view
-                    al.Query.Action_list.state;
-                  Hashtbl.replace watermarks al.Query.Action_list.view
-                    al.Query.Action_list.state )
-            | `Resync epoch ->
-              ( (fun () -> ()),
-                fun () ->
-                  record "merge <- resync(%s, epoch %d)" name epoch;
-                  let w =
-                    Option.value ~default:0 (Hashtbl.find_opt watermarks name)
+          if !merge_down then ()
+          else begin
+            note_merge_event ();
+            if !merge_down then ()
+              (* crashed on this very event; the message is the casualty *)
+            else begin
+              (match msg with
+              | `Resync _ -> Hashtbl.remove awaiting_resync name
+              | _ -> ());
+              if
+                (match msg with `Al _ -> true | _ -> false)
+                && Hashtbl.mem awaiting_resync name
+              then record "merge dropped pre-resync AL(%s)" name
+              else
+              (* Delivery-time dedup around merge restarts: a replayed
+                 action list at or below the view's delivered watermark
+                 would trip SPA's strictly-increasing state check. Only
+                 live under process-crash faults — crash-free runs keep
+                 the raw channel behaviour. *)
+              let duplicate =
+                match msg with
+                | `Al al when process_crashes ->
+                  let cur =
+                    Option.value ~default:0
+                      (Hashtbl.find_opt watermarks al.Query.Action_list.view)
                   in
-                  ctrl_link.send (epoch, w) )
-          in
-          merge_server_of gi
-            ( work,
-              fun () ->
-                finish ();
-                snapshot_group gi merge;
-                drain_emitted gi;
-                sample_merge_metrics () ))
+                  if al.Query.Action_list.state <= cur then true
+                  else begin
+                    Hashtbl.replace watermarks al.Query.Action_list.view
+                      al.Query.Action_list.state;
+                    false
+                  end
+                | _ -> false
+              in
+              if duplicate then
+                record "merge dropped duplicate AL(%s)" name
+              else begin
+                (* Work half: group-local painting/reordering, safe off
+                   the simulation domain. Finish half: timeline records,
+                   the watermark table (shared across groups), control
+                   replies and buffered WT submission — simulation domain
+                   only. *)
+                let work, finish =
+                  match msg with
+                  | `Rel ((row, _, _) as fwd) ->
+                    ( (fun () -> fst (reorderer_of gi) fwd),
+                      fun () ->
+                        record "merge <- forwarded REL_%d (via %s)" row name
+                    )
+                  | `Al al ->
+                    ( (fun () ->
+                        Mvc.Merge.receive_action_list (merge_of gi) al),
+                      fun () ->
+                        record "merge <- AL(%s, %d)" al.Query.Action_list.view
+                          al.Query.Action_list.state;
+                        let cur =
+                          Option.value ~default:0
+                            (Hashtbl.find_opt watermarks
+                               al.Query.Action_list.view)
+                        in
+                        if al.Query.Action_list.state > cur then
+                          Hashtbl.replace watermarks
+                            al.Query.Action_list.view
+                            al.Query.Action_list.state )
+                  | `Resync epoch ->
+                    ( (fun () -> ()),
+                      fun () ->
+                        record "merge <- resync(%s, epoch %d)" name epoch;
+                        let w =
+                          Option.value ~default:0
+                            (Hashtbl.find_opt watermarks name)
+                        in
+                        ctrl_link.send (Resync_reply (epoch, w)) )
+                in
+                merge_server_of gi
+                  ( work,
+                    fun () ->
+                      finish ();
+                      snapshot_group gi (merge_of gi);
+                      drain_emitted gi;
+                      sample_merge_metrics () )
+              end
+            end
+          end)
     in
+    (* Register the crash hooks this manager's links contribute: the
+       merge owns the receiving half of [al_link] and the sending half of
+       [ctrl_link]; the integrator owns the sending half of
+       [integ_link] (registered below, once it exists). *)
+    merge_rx_down :=
+      (fun d ->
+        match al_link.reliable with
+        | Some rl -> Sim.Reliable.set_receiver_down rl d
+        | None -> ())
+      :: !merge_rx_down;
+    merge_rx_reset :=
+      (fun () ->
+        match al_link.reliable with
+        | Some rl -> Sim.Reliable.reset_receiver rl
+        | None -> ())
+      :: !merge_rx_reset;
+    ctrl_bumps :=
+      (fun () ->
+        match ctrl_link.reliable with
+        | Some rl -> ignore (Sim.Reliable.bump_epoch rl)
+        | None -> ())
+      :: !ctrl_bumps;
+    vm_ctrls := (fun msg -> ctrl_link.send msg) :: !vm_ctrls;
     let emit_to_merge al =
       (* Forward any RELs this manager owes the merge for rows the list
          covers, ahead of the list itself (same FIFO channel). *)
@@ -1003,6 +1401,12 @@ let run_pipelined cfg =
     let integ_link =
       make_link ~name:("integ->" ^ name) (fun txn -> !receive_ref txn)
     in
+    integ_sender_bumps :=
+      (fun () ->
+        match integ_link.reliable with
+        | Some rl -> ignore (Sim.Reliable.bump_epoch rl)
+        | None -> ())
+      :: !integ_sender_bumps;
     let crash () =
       crash_armed := false;
       down := true;
@@ -1085,7 +1489,7 @@ let run_pipelined cfg =
        (replay overlaps live retransmissions); without a crash fault the
        raw channel behaviour — including duplicate delivery under
        reliability Off — must stay observable. *)
-    let dedup = crash_spec <> None in
+    let dedup = crash_spec <> None || process_crashes in
     let receive txn =
       if !down then ()
       else if !recovering then Queue.push txn pending_recovery
@@ -1097,14 +1501,40 @@ let run_pipelined cfg =
     in
     receive_ref := receive;
     (ctrl_handler :=
-       fun (epoch, w) ->
+       function
+       | Resync_demand ->
+         (* A restarted merge asks for a fresh handshake. The manager is
+            alive and its state is intact, but anything in flight or
+            unacked on the AL link belongs to a dead merge incarnation:
+            fence the current inner manager (its pending emissions are
+            re-derived by the replay) and re-run the resync protocol.
+            A demand that lands mid-recovery restarts the handshake —
+            the epoch bump voids any reply or replay the dead merge
+            still owes us. *)
+         if not !down then begin
+           recovering := true;
+           incr incarnation;
+           let epoch =
+             match al_link.reliable with
+             | Some rl -> Sim.Reliable.bump_epoch rl
+             | None -> !resync_epoch + 1
+           in
+           resync_epoch := epoch;
+           record "%s resyncing on merge demand, epoch %d" name epoch;
+           al_link.send (`Resync epoch)
+         end
+       | Resync_reply (epoch, w) ->
          if !recovering && epoch = !resync_epoch then begin
            (* Read the integrator's retained log (one query round trip),
               re-derive the base-relation cache, and recompute the action
-              lists the merge has not seen (states > watermark w). *)
+              lists the merge has not seen (states > watermark w). Both
+              scheduled halves re-check the epoch: a newer handshake
+              (another crash, a fresh merge demand) voids this one. *)
            Sim.Engine.schedule_after engine
              (sample cfg.latencies.query_roundtrip)
              (fun () ->
+               if epoch <> !resync_epoch then ()
+               else
                let base =
                  Database.restrict initial_db (Query.View.base_relations view)
                in
@@ -1135,6 +1565,8 @@ let run_pipelined cfg =
                Sim.Engine.schedule_after engine
                  (compute_latency ~batch:(max 1 n))
                  (fun () ->
+                   if epoch <> !resync_epoch then ()
+                   else begin
                    List.iter emit_to_merge lists;
                    inner := build_inner ~initial:!cache ~inc:!incarnation;
                    last_id := head;
@@ -1145,7 +1577,8 @@ let run_pipelined cfg =
                       up to U%d"
                      name w n head;
                    Queue.iter receive pending_recovery;
-                   Queue.clear pending_recovery))
+                   Queue.clear pending_recovery
+                   end))
          end);
     let vm0 = !inner in
     let vm =
@@ -1168,67 +1601,339 @@ let run_pipelined cfg =
   let vm_links = List.map make_vm views in
   let vms = List.map fst vm_links in
   let vm_chans = vm_links in
+  (* Hand one group REL to a merge server — shared by live channel
+     delivery and the restart-time state transfer (which bypasses the
+     channel: FIFO server queues then guarantee the transferred RELs
+     process before any replayed action list that needs them). *)
+  let deliver_rel gi row rel_group =
+    merge_server_of gi
+      ( (fun () -> Mvc.Merge.receive_rel (merge_of gi) ~row ~rel:rel_group),
+        fun () ->
+          record "merge <- REL_%d = {%s}" row (String.concat ", " rel_group);
+          snapshot_group gi (merge_of gi);
+          drain_emitted gi;
+          sample_merge_metrics () )
+  in
   let rel_chans =
     List.mapi
-      (fun gi merge ->
-        make_link ~name:"integ->merge" (fun (row, rel) ->
-            merge_server_of gi
-              ( (fun () -> Mvc.Merge.receive_rel merge ~row ~rel),
-                fun () ->
-                  record "merge <- REL_%d = {%s}" row
-                    (String.concat ", " rel);
-                  snapshot_group gi merge;
-                  drain_emitted gi;
-                  sample_merge_metrics () )))
-      merges
+      (fun gi _ ->
+        let link =
+          make_link ~name:"integ->merge" (fun (row, rel) ->
+              if !merge_down then ()
+              else begin
+                note_merge_event ();
+                if !merge_down then ()
+                else if process_crashes && Hashtbl.mem rel_seen.(gi) row then
+                  record "merge dropped duplicate REL_%d" row
+                else begin
+                  if process_crashes then Hashtbl.replace rel_seen.(gi) row ();
+                  deliver_rel gi row rel
+                end
+              end)
+        in
+        merge_rx_down :=
+          (fun d ->
+            match link.reliable with
+            | Some rl -> Sim.Reliable.set_receiver_down rl d
+            | None -> ())
+          :: !merge_rx_down;
+        merge_rx_reset :=
+          (fun () ->
+            match link.reliable with
+            | Some rl -> Sim.Reliable.reset_receiver rl
+            | None -> ())
+          :: !merge_rx_reset;
+        integ_sender_bumps :=
+          (fun () ->
+            match link.reliable with
+            | Some rl -> ignore (Sim.Reliable.bump_epoch rl)
+            | None -> ())
+          :: !integ_sender_bumps;
+        link)
+      groups
   in
   let group_names =
     List.map (fun group -> List.map Query.View.name group) groups
   in
   let group_last_routed = Array.make (List.length groups) 0 in
+  (* REL_i to the merge(s) owning affected views: either directly
+     (Figure 1) or carried by a relevant view manager (the Section 3.2
+     alternative, which saves messages but lets RELs trail other
+     managers' action lists). Factored out of ingest because integrator
+     recovery re-routes the unsubmitted suffix of the restored log. *)
+  let route_rels (stamped : Update.Transaction.t) rel =
+    List.iteri
+      (fun gi names ->
+        let rel_group = List.filter (fun v -> List.mem v names) rel in
+        if rel_group <> [] then
+          match cfg.rel_routing with
+          | Direct ->
+            (List.nth rel_chans gi).send
+              (stamped.Update.Transaction.id, rel_group)
+          | Via_manager ->
+            let carrier = List.hd rel_group in
+            Queue.push
+              ( stamped.Update.Transaction.id,
+                rel_group,
+                group_last_routed.(gi) )
+              (forwards_of carrier);
+            group_last_routed.(gi) <- stamped.Update.Transaction.id)
+      group_names
+  in
+  (* U_i to the relevant view managers (and tick-hungry ones). *)
+  let route_updates (stamped : Update.Transaction.t) rel =
+    List.iter
+      (fun (vm, link) ->
+        if vm.Viewmgr.Vm.needs_ticks || List.mem (Viewmgr.Vm.name vm) rel
+        then link.send stamped)
+      vm_chans
+  in
+  let process_ingest txn =
+    let stamped, rel = Integrator.ingest integ txn in
+    assert (stamped.Update.Transaction.id = txn.Update.Transaction.id);
+    if durable_on then begin
+      Durable.Wal.append integ_wal (stamped, rel);
+      if Integrator.ingested integ mod dur.integ_checkpoint_every = 0 then
+        Durable.Wal.seal integ_wal
+    end;
+    record "integrator: U%d (%a) REL = {%s}" stamped.Update.Transaction.id
+      Update.Transaction.pp stamped
+      (String.concat ", " rel);
+    route_rels stamped rel;
+    route_updates stamped rel;
+    let pending =
+      List.fold_left (fun acc vm -> acc + vm.Viewmgr.Vm.pending ()) 0 vms
+    in
+    Sim.Stats.Summary.add metrics.Metrics.vm_queue (float_of_int pending)
+  in
   let integrator_link =
     make_link ~faultable:false ~name:"sources->integ" (fun txn ->
-        let stamped, rel = Integrator.ingest integ txn in
-        assert (stamped.Update.Transaction.id = txn.Update.Transaction.id);
-        record "integrator: U%d (%a) REL = {%s}" stamped.Update.Transaction.id
-          Update.Transaction.pp stamped
-          (String.concat ", " rel);
-        (* REL_i to the merge(s) owning affected views: either directly
-           (Figure 1) or carried by a relevant view manager (the
-           Section 3.2 alternative, which saves messages but lets RELs
-           trail other managers' action lists). *)
-        List.iteri
-          (fun gi names ->
-            let rel_group = List.filter (fun v -> List.mem v names) rel in
-            if rel_group <> [] then
-              match cfg.rel_routing with
-              | Direct ->
-                (List.nth rel_chans gi).send
-                  (stamped.Update.Transaction.id, rel_group)
-              | Via_manager ->
-                let carrier = List.hd rel_group in
-                Queue.push
-                  ( stamped.Update.Transaction.id,
-                    rel_group,
-                    group_last_routed.(gi) )
-                  (forwards_of carrier);
-                group_last_routed.(gi) <- stamped.Update.Transaction.id)
-          group_names;
-        (* U_i to the relevant view managers (and tick-hungry ones). *)
-        List.iter
-          (fun (vm, link) ->
-            if
-              vm.Viewmgr.Vm.needs_ticks
-              || List.mem (Viewmgr.Vm.name vm) rel
-            then link.send stamped)
-          vm_chans;
-        let pending =
-          List.fold_left
-            (fun acc vm -> acc + vm.Viewmgr.Vm.pending ())
-            0 vms
-        in
-        Sim.Stats.Summary.add metrics.Metrics.vm_queue (float_of_int pending))
+        if !integ_down then
+          record "integrator down: U%d ignored in flight"
+            txn.Update.Transaction.id
+        else if
+          durable_on
+          && txn.Update.Transaction.id < Integrator.next_id integ
+        then
+          (* Post-restart ARQ retransmit of a transaction the recovery
+             re-fetch already pulled from the sources. *)
+          record "integrator dropped duplicate U%d" txn.Update.Transaction.id
+        else begin
+          note_integ_event ();
+          if !integ_down then
+            record "integrator crashed receiving U%d (re-fetched on restart)"
+              txn.Update.Transaction.id
+          else process_ingest txn
+        end)
   in
+  (* ---- process crash bodies ----
+
+     [wipe_*] runs synchronously at the crash instant and models the loss
+     of the process's in-memory state; recovery is scheduled
+     [restart_after] later (reliability [Acked] only — under [Off] there
+     is no resync protocol and the process stays dead: stuck-but-safe,
+     exactly like an unrecovered view-manager crash). *)
+  let wipe_merge () =
+    merge_down := true;
+    List.iter (fun f -> f true) !merge_rx_down;
+    merge_servers_reset ();
+    Array.iter Queue.clear emitted;
+    Array.iter Hashtbl.reset rel_seen;
+    Hashtbl.reset watermarks
+  in
+  let restart_merge () =
+    (* Fresh merge incarnations with empty VUTs. The row dedup is seeded
+       with every submitted row (their RELs must never be re-ingested),
+       and the watermark table restarts at what actually reached the
+       warehouse — the resync replies tell each manager to replay
+       everything after that. *)
+    Array.iteri
+      (fun gi group -> merge_arr.(gi) <- make_merge gi group)
+      groups_arr;
+    Array.iteri
+      (fun gi _ ->
+        let seen = rel_seen.(gi) in
+        Hashtbl.reset seen;
+        Hashtbl.iter (fun row () -> Hashtbl.replace seen row ()) submitted_rows;
+        snapshot_group gi (merge_of gi))
+      groups_arr;
+    Hashtbl.reset watermarks;
+    Hashtbl.iter (fun v s -> Hashtbl.replace watermarks v s) submitted_marks;
+    (* Fence every manager's stream until its fresh-epoch [`Resync]
+       marker arrives — adopted pre-crash frames must not reach SPA. *)
+    List.iter
+      (fun v -> Hashtbl.replace awaiting_resync (Query.View.name v) ())
+      views;
+    List.iter (fun reset -> reset ()) !merge_rx_reset;
+    List.iter (fun bump -> bump ()) !ctrl_bumps;
+    merge_down := false
+  in
+  let merge_state_transfer () =
+    (* State transfer from the integrator's retained log: the complete
+       group-REL set for every unsubmitted row, handed straight into the
+       merge servers in id order. The FIFO server queues then guarantee
+       each replayed action list (which arrives strictly later, after the
+       resync handshake) processes after every REL it depends on. *)
+    List.iter
+      (fun ((stamped : Update.Transaction.t), rel) ->
+        let row = stamped.Update.Transaction.id in
+        if not (Hashtbl.mem submitted_rows row) then
+          List.iteri
+            (fun gi names ->
+              let rel_group = List.filter (fun v -> List.mem v names) rel in
+              if rel_group <> [] && not (Hashtbl.mem rel_seen.(gi) row)
+              then begin
+                Hashtbl.replace rel_seen.(gi) row ();
+                record "merge restart: REL_%d transferred from integrator log"
+                  row;
+                deliver_rel gi row rel_group
+              end)
+            group_names)
+      (Integrator.retained_log integ);
+    List.iter (fun send -> send Resync_demand) !vm_ctrls
+  in
+  crash_merge_ref :=
+    (fun () ->
+      let crashed_at = Sim.Engine.now engine in
+      Atomic.incr metrics.Metrics.crashes;
+      record "merge crashed (losing VUT, reorderers and queued work)";
+      wipe_merge ();
+      match (cfg.reliability, merge_crash_spec) with
+      | Off, _ | _, None -> ()
+      | Acked _, Some (_, restart_after) ->
+        Sim.Engine.schedule_after engine restart_after (fun () ->
+            restart_merge ();
+            Atomic.incr metrics.Metrics.recoveries;
+            recovery_total :=
+              !recovery_total +. (Sim.Engine.now engine -. crashed_at);
+            record "merge restarted; reading integrator log for transfer";
+            Sim.Engine.schedule_after engine
+              (sample cfg.latencies.query_roundtrip)
+              merge_state_transfer));
+  crash_integ_ref :=
+    (fun () ->
+      let crashed_at = Sim.Engine.now engine in
+      integ_down := true;
+      Atomic.incr metrics.Metrics.crashes;
+      record "integrator crashed (losing numbering and log)";
+      Durable.Wal.crash integ_wal;
+      (match integrator_link.reliable with
+      | Some rl -> Sim.Reliable.set_receiver_down rl true
+      | None -> ());
+      match (cfg.reliability, integ_crash_spec) with
+      | Off, _ | _, None -> ()
+      | Acked _, Some (_, restart_after) ->
+        Sim.Engine.schedule_after engine restart_after (fun () ->
+            let ck_log, tail = Durable.Wal.recover_sealed integ_wal in
+            let log = ck_log @ tail in
+            (* Every ingest is logged before it routes, so the numbering
+               position is derivable from the log itself. *)
+            let next_id =
+              List.fold_left
+                (fun acc ((t : Update.Transaction.t), _) ->
+                  max acc (t.Update.Transaction.id + 1))
+                1 log
+            in
+            wal_replayed := !wal_replayed + List.length tail;
+            Integrator.restore integ ~next_id ~log;
+            record
+              "integrator restored: next id %d (%d WAL records replayed)"
+              next_id (List.length tail);
+            Sim.Engine.schedule_after engine
+              (dur.replay_latency *. float_of_int (List.length tail))
+              (fun () ->
+                (* Void every frame the dead incarnation left unacked,
+                   then re-route the unsubmitted suffix of the restored
+                   log: receivers dedup (rel_seen per merge group, id
+                   watermark per manager), so over-sending is safe while
+                   under-sending would lose updates. *)
+                List.iter (fun bump -> bump ()) !integ_sender_bumps;
+                List.iter
+                  (fun ((stamped : Update.Transaction.t), rel) ->
+                    if
+                      not
+                        (Hashtbl.mem submitted_rows
+                           stamped.Update.Transaction.id)
+                    then begin
+                      record "integrator re-sends U%d after restart"
+                        stamped.Update.Transaction.id;
+                      route_rels stamped rel;
+                      route_updates stamped rel
+                    end)
+                  (Integrator.retained_log integ);
+                (* Catch up on transactions lost with the dead
+                   incarnation: the sources retain their committed log
+                   (the paper's ground-truth boundary) and answer a
+                   catch-up query for everything at or above the restored
+                   numbering position. *)
+                Sim.Engine.schedule_after engine
+                  (sample cfg.latencies.query_roundtrip)
+                  (fun () ->
+                    let missed =
+                      List.filter
+                        (fun (t : Update.Transaction.t) ->
+                          t.Update.Transaction.id >= Integrator.next_id integ)
+                        (Source.Sources.transactions sources)
+                    in
+                    List.iter process_ingest missed;
+                    (match integrator_link.reliable with
+                    | Some rl -> Sim.Reliable.reset_receiver rl
+                    | None -> ());
+                    integ_down := false;
+                    Atomic.incr metrics.Metrics.recoveries;
+                    recovery_total :=
+                      !recovery_total +. (Sim.Engine.now engine -. crashed_at);
+                    record
+                      "integrator recovered (%d source transactions \
+                       re-fetched)"
+                      (List.length missed)))));
+  crash_wh_ref :=
+    (fun () ->
+      let crashed_at = Sim.Engine.now engine in
+      wh_down := true;
+      Atomic.incr metrics.Metrics.crashes;
+      record "warehouse crashed (losing store and submitter queue)";
+      Durable.Wal.crash wh_wal;
+      Warehouse.Submitter.reset submitter;
+      Hashtbl.reset submitted_rows;
+      Hashtbl.reset submitted_marks;
+      serving_freeze serving true;
+      (* Submitted-but-uncommitted WTs died in the submitter queue while
+         the merge had already retired their rows; the merge restarts too
+         and re-derives them from the integrator log + manager replay. *)
+      wipe_merge ();
+      match (cfg.reliability, wh_crash_spec) with
+      | Off, _ | _, None -> ()
+      | Acked _, Some (_, restart_after) ->
+        Sim.Engine.schedule_after engine restart_after (fun () ->
+            let restored_ck, tail = Durable.Wal.recover_sealed wh_wal in
+            let commits = restored_ck @ tail in
+            wal_replayed := !wal_replayed + List.length tail;
+            record "warehouse restored: %d commits (%d from the WAL tail)"
+              (List.length commits) (List.length tail);
+            Sim.Engine.schedule_after engine
+              (dur.replay_latency *. float_of_int (List.length tail))
+              (fun () ->
+                Warehouse.Store.restore store commits;
+                commits_restored := !commits_restored + List.length commits;
+                List.iter (fun (_, wt) -> note_submitted wt) commits;
+                (* Republish the restored version history, then unfreeze:
+                   sessions resume against indices identical to the
+                   pre-crash ones. *)
+                serving_recover serving (Warehouse.Store.commits store);
+                serving_freeze serving false;
+                wh_down := false;
+                restart_merge ();
+                Atomic.incr metrics.Metrics.recoveries;
+                recovery_total :=
+                  !recovery_total +. (Sim.Engine.now engine -. crashed_at);
+                record
+                  "warehouse recovered (%d commits restored); merge \
+                   restarting"
+                  (List.length commits);
+                Sim.Engine.schedule_after engine
+                  (sample cfg.latencies.query_roundtrip)
+                  merge_state_transfer)));
   schedule_script engine arrival_rng cfg ~execute:(fun updates ->
       let txn = Source.Sources.execute sources updates in
       record "source commit: U%d at %s" txn.Update.Transaction.id
@@ -1238,11 +1943,12 @@ let run_pipelined cfg =
         (Sim.Engine.now engine);
       integrator_link.send txn);
   let drained () =
-    List.for_all (fun vm -> vm.Viewmgr.Vm.pending () = 0) vms
+    (not !merge_down) && (not !integ_down) && (not !wh_down)
+    && List.for_all (fun vm -> vm.Viewmgr.Vm.pending () = 0) vms
     && merge_servers_pending () = 0
     && Array.for_all Queue.is_empty emitted
     && List.for_all (fun (_, held) -> held () = 0) rel_reorderers
-    && List.for_all Mvc.Merge.quiescent merges
+    && Array.for_all Mvc.Merge.quiescent merge_arr
     && Warehouse.Submitter.outstanding submitter = 0
     && serving_pending serving = 0
     && List.for_all (fun q -> q ()) !quiescence
@@ -1251,15 +1957,18 @@ let run_pipelined cfg =
     drain engine
       ~flushes:
         (List.map (fun vm -> vm.Viewmgr.Vm.flush) vms
-        @ List.mapi
-            (fun gi m () ->
+        @ List.init n_groups (fun gi () ->
               (* Flush runs between engine passes, with no job in flight;
                  refresh the group's snapshot and submit anything the
-                 flush emitted so snapshots track live state exactly. *)
-              Mvc.Merge.flush m;
-              snapshot_group gi m;
-              drain_emitted gi)
-            merges)
+                 flush emitted so snapshots track live state exactly. A
+                 down merge has nothing to flush (its restart is an
+                 engine event, so it never interleaves with a flush). *)
+              if not !merge_down then begin
+                let m = merge_of gi in
+                Mvc.Merge.flush m;
+                snapshot_group gi m;
+                drain_emitted gi
+              end))
       ~drained
   in
   if (not ok) && faultless cfg then
@@ -1275,14 +1984,37 @@ let run_pipelined cfg =
       Metrics.add metrics.Metrics.acks s.Sim.Reliable.acks_sent;
       Metrics.add metrics.Metrics.nacks s.Sim.Reliable.nacks_sent;
       Metrics.add metrics.Metrics.dup_frames_dropped
-        s.Sim.Reliable.dups_dropped;
-      Metrics.add metrics.Metrics.gave_up s.Sim.Reliable.gave_up)
+        s.Sim.Reliable.dups_dropped
+      (* give-ups are counted at event time by the link's on_give_up
+         hook, not re-added here *))
     !link_stats;
+  let durability =
+    if durable_on then begin
+      let a = Durable.Wal.stats wh_wal and b = Durable.Wal.stats integ_wal in
+      Some
+        { wal_appends = a.Durable.Disk.appends + b.Durable.Disk.appends;
+          wal_syncs = a.Durable.Disk.syncs + b.Durable.Disk.syncs;
+          wal_bytes =
+            a.Durable.Disk.synced_bytes + b.Durable.Disk.synced_bytes;
+          wal_checkpoints =
+            a.Durable.Disk.checkpoints + b.Durable.Disk.checkpoints;
+          wal_truncated =
+            a.Durable.Disk.truncated_records
+            + b.Durable.Disk.truncated_records;
+          torn_discarded =
+            a.Durable.Disk.torn_discarded + b.Durable.Disk.torn_discarded;
+          wal_replayed = !wal_replayed;
+          commits_restored = !commits_restored;
+          dup_wts_dropped = !dup_wts;
+          recovery_time = !recovery_total }
+    end
+    else None
+  in
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = Mvc.Merge.algorithm_name algorithm;
     timeline = List.rev !timeline; stuck = not ok;
-    serving = serving_result serving }
+    serving = serving_result serving; durability }
 
 let run cfg =
   match cfg.merge_kind with
@@ -1300,3 +2032,66 @@ let verdict result = fst (verdict_with_witness result)
 
 let view_contents result name =
   Relation.contents (Warehouse.Store.view result.store name)
+
+(* The crash-recovery certificate: durability (every relevant
+   (view, transaction) application reached some committed WT),
+   idempotence (none reached two), and serving monotonicity (no
+   monotonic-by-contract session observed versions going backwards
+   across a restart). Expected pairs come from syntactic relevance —
+   exactly the action lists complete managers emit, including
+   empty-delta ones. *)
+let recovery_certificate result =
+  let views = result.config.scenario.Workload.Scenarios.views in
+  let expected =
+    List.concat_map
+      (fun (txn : Update.Transaction.t) ->
+        let rels = Update.Transaction.relations txn in
+        List.filter_map
+          (fun v ->
+            if List.exists (fun r -> Query.View.uses v r) rels then
+              Some (Query.View.name v, txn.Update.Transaction.id)
+            else None)
+          views)
+      result.transactions
+  in
+  let applied =
+    List.map
+      (fun (c : Warehouse.Store.commit) ->
+        List.map
+          (fun al -> (al.Query.Action_list.view, al.Query.Action_list.state))
+          c.transaction.Warehouse.Wt.actions)
+      (Warehouse.Store.commits result.store)
+  in
+  let served =
+    match result.serving with
+    | None -> []
+    | Some s ->
+      let by_session : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          let monotonic =
+            r.read_as_of = None
+            &&
+            match r.read_guarantee with
+            | Serve.Session.Latest | Serve.Session.Monotonic_reads -> true
+            | Serve.Session.Bounded_staleness _ -> false
+          in
+          if monotonic then begin
+            let l =
+              match Hashtbl.find_opt by_session r.read_session with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.add by_session r.read_session l;
+                order := r.read_session :: !order;
+                l
+            in
+            l := r.read_version :: !l
+          end)
+        s.reads_served;
+      List.rev_map
+        (fun sid -> (sid, List.rev !(Hashtbl.find by_session sid)))
+        !order
+  in
+  Consistency.Checker.certify_recovery ~expected ~applied ~served

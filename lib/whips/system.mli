@@ -131,10 +131,42 @@ val default_reads : read_profile
     view, replays the integrator's retained update log to re-derive its
     cache and the missing action lists, and resumes; only [Complete_vm]
     and [Batching_vm] managers support this (log-replay recovery). With
-    reliability off the manager stays dead (stuck-but-safe). *)
+    reliability off the manager stays dead (stuck-but-safe).
+
+    The process crash faults kill one of the three stateful singleton
+    processes on the [at_event]-th message it handles (the message is
+    lost with it), wiping all of its in-memory state:
+
+    - [Crash_merge]: the merge layer loses its VUTs, reorderers, service
+      queues, buffered WTs and watermark table. Recovery restarts fresh
+      merge processes, transfers the REL sets of every unsubmitted row
+      from the integrator's retained log, and demands a resync from
+      every view manager, which replays its action lists above the
+      submitted watermark.
+    - [Crash_integrator]: the integrator loses its numbering position
+      and retained log. Recovery replays its checkpoint + WAL, re-routes
+      the unsubmitted suffix of the restored log (receivers dedup), and
+      re-fetches from the sources anything at or above the restored
+      numbering position.
+    - [Crash_warehouse]: the store and submitter queue die. Recovery
+      replays the warehouse checkpoint + WAL into the store, republishes
+      the restored version history to the serving layer (reads are
+      frozen, not failed, during the outage), and then performs the
+      merge restart above (submitted-but-uncommitted WTs died in the
+      submitter and must be re-derived).
+
+    Process crash runs require [Acked] reliability to recover (under
+    [Off] the process stays dead: stuck-but-safe), and are restricted to
+    the configuration corner whose invariants the protocol leans on:
+    SPA merge, [Complete_vm] managers, [Direct] REL routing, no semantic
+    filter, [Keep_all] store retention. The durable layer (WALs and
+    checkpoints, see {!durability}) is forced on. *)
 type fault =
   | Drop_action_list of { view : string; nth : int }
   | Crash_vm of { view : string; at_event : int; restart_after : float }
+  | Crash_merge of { at_event : int; restart_after : float }
+  | Crash_integrator of { at_event : int; restart_after : float }
+  | Crash_warehouse of { at_event : int; restart_after : float }
 
 (** The delivery layer under the system's channels. [Off] is the paper's
     assumption of reliable FIFO delivery — faults then corrupt or stall.
@@ -143,6 +175,32 @@ type fault =
     NACK-on-gap, timeout retransmit with capped jittered backoff), which
     restores the MVC guarantees under message loss and duplication. *)
 type reliability = Off | Acked of Sim.Reliable.params
+
+(** Tuning for the durable layer (write-ahead logs + checkpoints) behind
+    the warehouse and the integrator. The warehouse WAL records every WT
+    immediately before the store applies it and syncs per append (the
+    write-ahead discipline); the integrator WAL records every stamped
+    transaction with its REL set under group commit. *)
+type durability = {
+  checkpoint_every : int;
+      (** Warehouse checkpoint cadence, in commits. Each checkpoint
+          atomically replaces the checkpoint slot with the full commit
+          history and truncates the WAL. *)
+  integ_checkpoint_every : int;
+      (** Integrator checkpoint cadence, in ingested transactions. *)
+  group_commit : int;
+      (** Integrator WAL group-commit batch: a crash can lose up to a
+          batch of unsynced appends (recovered by re-fetching from the
+          sources). *)
+  replay_latency : float;
+      (** Simulated seconds charged per WAL-tail record replayed during
+          recovery — the knob the recovery-time-vs-checkpoint-interval
+          experiment sweeps. *)
+}
+
+val default_durability : durability
+(** Checkpoint every 8 commits / 16 ingests, group commit 4, zero replay
+    latency. *)
 
 type config = {
   scenario : Workload.Scenarios.t;
@@ -172,6 +230,10 @@ type config = {
           ground-truth boundary (the paper assumes sources report every
           committed transaction) and is never faulted. *)
   reliability : reliability;
+  durable : durability option;
+      (** [Some d] turns the durable layer on with tuning [d]; [None]
+          (the default) leaves it off unless a process crash fault is
+          configured, which forces it on with {!default_durability}. *)
   reads : read_profile option;
       (** [Some profile] attaches the snapshot-serving subsystem: every
           warehouse commit is published as a {!Serve.Version_manager}
@@ -246,6 +308,28 @@ type serving = {
           each session serves its reads one at a time). *)
 }
 
+(** What the durable layer did during the run — both WALs summed, plus
+    the recovery counters. *)
+type durability_report = {
+  wal_appends : int;
+  wal_syncs : int;
+  wal_bytes : int;  (** Bytes made durable (the WAL-overhead headline). *)
+  wal_checkpoints : int;
+  wal_truncated : int;
+      (** Durable records discarded by checkpoint truncation. *)
+  torn_discarded : int;
+      (** Torn/corrupt WAL tails detected and cut by recovery. *)
+  wal_replayed : int;  (** WAL-tail records replayed by recoveries. *)
+  commits_restored : int;
+      (** Commits re-applied to the store by warehouse recovery. *)
+  dup_wts_dropped : int;
+      (** Recovery-re-derived WTs dropped at submit because every row
+          was already committed (the idempotence guard). *)
+  recovery_time : float;
+      (** Total simulated seconds from crash to recovered, summed over
+          recoveries. *)
+}
+
 type result = {
   config : config;
   store : Warehouse.Store.t;
@@ -261,6 +345,9 @@ type result = {
           raises). *)
   serving : serving option;
       (** Present iff [config.reads] was set. *)
+  durability : durability_report option;
+      (** Present iff the durable layer was on (explicitly via
+          [config.durable] or forced by a process crash fault). *)
 }
 
 exception Stuck of string
@@ -279,3 +366,14 @@ val verdict_with_witness :
 
 val view_contents : result -> string -> Relational.Bag.t
 (** Final contents of a view at the warehouse. *)
+
+val recovery_certificate : result -> Consistency.Checker.recovery_certificate
+(** Judge the run's {e application} history across restarts: no committed
+    application lost, none applied twice, and every monotonic-by-contract
+    session's served versions nondecreasing (see
+    {!Consistency.Checker.certify_recovery}). Expected applications are
+    the syntactic relevance pairs — each source transaction crossed with
+    the views whose definitions mention one of its base relations —
+    which is exactly the action-list set complete managers emit, so the
+    certificate is meaningful for the crash-fault configuration corner
+    (and any other all-[Complete_vm], unfiltered run). *)

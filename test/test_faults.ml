@@ -260,7 +260,13 @@ let soak_run seed =
       arrival = System.Poisson 80.0;
       seed = Sim.Rng.int rng 10_000 }
   in
-  let result = System.run cfg in
+  (* Every seed runs twice — columnar kernels forced off and forced
+     on — and the two runs must be trace-identical: same stuck flag,
+     same drain time, and a byte-equal warehouse state sequence. The
+     columnar switch is a representation choice; faults, crashes and
+     repairs must not be able to observe it. *)
+  let result = Helpers.with_columnar false (fun () -> System.run cfg) in
+  let result_col = Helpers.with_columnar true (fun () -> System.run cfg) in
   let v = System.verdict result in
   if result.stuck then
     QCheck2.Test.fail_reportf "soak %d: stuck (%s)" seed result.merge_algorithm;
@@ -270,6 +276,20 @@ let soak_run seed =
       (Consistency.Checker.level_name want)
       Consistency.Checker.(level_name (level v))
       result.merge_algorithm (Atomic.get result.metrics.Metrics.msgs_dropped);
+  if result_col.stuck <> result.stuck then
+    QCheck2.Test.fail_reportf "soak %d: columnar changed the stuck flag" seed;
+  if result_col.metrics.Metrics.completed_at <> result.metrics.Metrics.completed_at
+  then
+    QCheck2.Test.fail_reportf "soak %d: columnar changed the drain time" seed;
+  let states r = Warehouse.Store.states r.System.store in
+  if
+    List.length (states result) <> List.length (states result_col)
+    || not
+         (List.for_all2 Relational.Database.equal (states result)
+            (states result_col))
+  then
+    QCheck2.Test.fail_reportf
+      "soak %d: columnar changed the warehouse state sequence" seed;
   true
 
 let soak_tests =
