@@ -31,6 +31,8 @@ let experiments =
     ("shared", Shared_bench.run);
     ("sharedsmoke", Shared_bench.sharedsmoke);
     ("colsmoke", Colsmoke.run);
+    ("dist", Dist_bench.run);
+    ("distsmoke", Dist_bench.distsmoke);
     ("summary", Summary.run);
     ("micro", Micro.run) ]
 

@@ -138,7 +138,11 @@ let catalogue =
     ( "BENCH_shared.json",
       "shared",
       [ ("rows_reduction_at_degree_3", "rows_reduction_at_degree_3");
-        ("mean_read_latency_ms", "invalidate_read_latency_ms") ] ) ]
+        ("mean_read_latency_ms", "invalidate_read_latency_ms") ] );
+    ( "BENCH_dist.json",
+      "dist",
+      [ ("dist_merge_events_per_update", "dist_merge_events_per_update");
+        ("tenant_scaling_ratio", "tenant_scaling_ratio") ] ) ]
 
 let history_path = "BENCH_history.jsonl"
 
@@ -240,6 +244,19 @@ let run () =
         None
         (String.split_on_char '\n' (read_file history_path))
   in
+  (* Last recorded distributed tenant-scaling ratio (same discipline). *)
+  let previous_dist =
+    if not (Sys.file_exists history_path) then None
+    else
+      List.fold_left
+        (fun acc line ->
+          match find_number line "tenant_scaling_ratio" with
+          | Some v when v > 0.0 ->
+            Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' (read_file history_path))
+  in
   (* Append this run's headlines — one JSON line per run, so the perf
      trajectory accumulates across commits instead of being overwritten
      like BENCH_summary.json. *)
@@ -309,4 +326,30 @@ let run () =
         cur
     | None, _ ->
       Printf.printf "regression gate: no recovery headline to check\n%!"
+  end;
+  (* Distributed headline: per-shard merge load growth when the tenant
+     population quadruples at a fixed shard count. Sharding by tenant
+     should keep this ~1.0; a jump past the factor means routing or the
+     per-shard merge started doing per-tenant work again. *)
+  if !check_regression then begin
+    let current = List.assoc_opt "tenant_scaling_ratio" all_metrics in
+    match (current, previous_dist) with
+    | Some cur, Some (prev_r, prev_rev) ->
+      if prev_r > 0.0 && cur > regression_factor *. prev_r then begin
+        Printf.printf
+          "REGRESSION: dist tenant-scaling ratio at %.4f, %.2fx the %.4f \
+           recorded at %s (gate: %.1fx)\n\
+           %!"
+          cur (cur /. prev_r) prev_r prev_rev regression_factor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "regression gate: dist scaling ratio %.4f vs %.4f (ok)\n%!" cur
+          prev_r
+    | Some cur, None ->
+      Printf.printf
+        "regression gate: no prior dist scaling ratio (recorded %.4f)\n%!" cur
+    | None, _ ->
+      Printf.printf "regression gate: no dist scaling ratio to check\n%!"
   end

@@ -584,3 +584,132 @@ let check_single_view ~view ~transactions ~source_states ~contents =
       contents
   in
   check ~views:[ view ] ~transactions ~source_states ~warehouse_states
+
+(* ---- distributed (cross-shard) certificate ----
+
+   A union view served from N warehouse shards never materializes
+   globally: a read stitches per-shard legs at a version vector — one
+   commit index per shard. The certificate proves each served read was a
+   prefix-consistent cut of the per-shard commit sequences: the vector
+   names each leg's shard exactly once (no shard observed at two
+   versions inside one read), every component points into the recorded
+   sequence, the served bag is exactly the union of the legs at those
+   versions, and each session's vectors only ever advance. Like
+   [certify_recovery] this is pure re-checking of recorded data — no
+   search, no budgets: a violated clause is a real violation. *)
+
+type cut_read = {
+  cr_session : int;
+  cr_legs : (int * string) list;
+  cr_vector : (int * int) list;
+  cr_result : Bag.t;
+}
+
+type distributed_certificate = {
+  cut_complete : bool;
+  cut_bounded : bool;
+  cut_exact : bool;
+  cut_monotonic : bool;
+  dc_detail : string;
+}
+
+let certify_distributed ~shard_states ~reads =
+  let states = Array.of_list shard_states in
+  let n_shards = Array.length states in
+  let fail = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  let complete = ref true and bounded = ref true and exact = ref true in
+  let monotonic = ref true in
+  let last_vector : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i r ->
+      (* One vector entry per shard, and every leg's shard covered. *)
+      let shards_in_vector = List.map fst r.cr_vector in
+      let dup =
+        List.exists
+          (fun s -> List.length (List.filter (Int.equal s) shards_in_vector) > 1)
+          shards_in_vector
+      in
+      if dup then begin
+        complete := false;
+        note "read %d observed a shard at two versions in one cut" i
+      end;
+      List.iter
+        (fun (s, _) ->
+          if not (List.mem_assoc s r.cr_vector) then begin
+            complete := false;
+            note "read %d has a leg on shard %d outside its cut vector" i s
+          end)
+        r.cr_legs;
+      (* Every component is a prefix index of its shard's sequence. *)
+      List.iter
+        (fun (s, v) ->
+          if s < 0 || s >= n_shards then begin
+            bounded := false;
+            note "read %d names unknown shard %d" i s
+          end
+          else if v < 0 || v >= List.length states.(s) then begin
+            bounded := false;
+            note "read %d pins shard %d at version %d (only %d recorded)" i s
+              v
+              (List.length states.(s))
+          end)
+        r.cr_vector;
+      (* The served bag is exactly the stitch of the legs at the cut. *)
+      if !complete && !bounded then begin
+        let stitched =
+          List.fold_left
+            (fun acc (s, leg) ->
+              let v = List.assoc s r.cr_vector in
+              let db = List.nth states.(s) v in
+              match Database.find_opt db leg with
+              | Some rel -> Bag.union acc (Relation.contents rel)
+              | None ->
+                exact := false;
+                note "read %d: leg %s missing from shard %d state" i leg s;
+                acc)
+            Bag.empty r.cr_legs
+        in
+        if not (Bag.equal stitched r.cr_result) then begin
+          exact := false;
+          note
+            "read %d served contents differ from the union of its legs at \
+             the cut"
+            i
+        end
+      end;
+      (* Sessions only ever advance: componentwise monotone vectors. *)
+      (match Hashtbl.find_opt last_vector r.cr_session with
+      | Some prev ->
+        List.iter
+          (fun (s, v) ->
+            match List.assoc_opt s prev with
+            | Some pv when v < pv ->
+              monotonic := false;
+              note "session %d saw shard %d go back from %d to %d"
+                r.cr_session s pv v
+            | _ -> ())
+          r.cr_vector
+      | None -> ());
+      (* Remember the newest position per shard this session observed. *)
+      let merged =
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt last_vector r.cr_session)
+        in
+        r.cr_vector
+        @ List.filter (fun (s, _) -> not (List.mem_assoc s r.cr_vector)) prev
+      in
+      Hashtbl.replace last_vector r.cr_session merged)
+    reads;
+  { cut_complete = !complete; cut_bounded = !bounded; cut_exact = !exact;
+    cut_monotonic = !monotonic;
+    dc_detail =
+      (match List.rev !fail with [] -> "ok" | first :: _ -> first) }
+
+let certified_distributed c =
+  c.cut_complete && c.cut_bounded && c.cut_exact && c.cut_monotonic
+
+let pp_distributed ppf c =
+  Format.fprintf ppf
+    "{complete=%b bounded=%b exact=%b monotonic=%b; %s}" c.cut_complete
+    c.cut_bounded c.cut_exact c.cut_monotonic c.dc_detail

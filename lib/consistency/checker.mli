@@ -137,3 +137,54 @@ val certified : recovery_certificate -> bool
 (** All three clauses hold. *)
 
 val pp_certificate : Format.formatter -> recovery_certificate -> unit
+
+(** {2 Distributed (cross-shard) certificate}
+
+    A cross-shard union view is stitched at read time from per-shard
+    materialized legs behind a version vector — one commit index per
+    shard. The certificate proves each served read was a
+    prefix-consistent cut of the per-shard commit sequences; the
+    per-shard SPA ladder ({!check} applied shard by shard) separately
+    certifies each leg's own history. *)
+
+type cut_read = {
+  cr_session : int;  (** Reader session (monotonicity is per session). *)
+  cr_legs : (int * string) list;
+      (** The union view's legs as (shard id, leg view name). *)
+  cr_vector : (int * int) list;
+      (** The global cut: (shard id, warehouse version index) — an index
+          into that shard's recorded state sequence ws_0..ws_q. *)
+  cr_result : Bag.t;  (** The contents actually served to the reader. *)
+}
+
+type distributed_certificate = {
+  cut_complete : bool;
+      (** Every leg's shard appears in the cut vector, and no shard
+          appears twice (a read never observes one shard at two
+          versions). *)
+  cut_bounded : bool;
+      (** Every vector component indexes into its shard's recorded
+          commit sequence. *)
+  cut_exact : bool;
+      (** The served bag equals the union of the legs' contents in the
+          shard states the vector pins — the stitch really came from
+          that cut, independent of message timing. *)
+  cut_monotonic : bool;
+      (** Per session, cut vectors are componentwise nondecreasing:
+          no reader ever saw a shard move backwards. *)
+  dc_detail : string;  (** First violation, or ["ok"]. *)
+}
+
+val certify_distributed :
+  shard_states:Database.t list list ->
+  reads:cut_read list ->
+  distributed_certificate
+(** [shard_states] lists, per shard, that shard's warehouse state
+    sequence ws_0..ws_q in commit order; [reads] lists every served
+    union-view read in completion order. Pure — no search, no budgets: a
+    violated clause is a real violation. *)
+
+val certified_distributed : distributed_certificate -> bool
+(** All four clauses hold. *)
+
+val pp_distributed : Format.formatter -> distributed_certificate -> unit

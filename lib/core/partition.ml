@@ -33,7 +33,7 @@ let groups views =
     view_arr;
   List.rev_map (fun root -> List.rev (Hashtbl.find buckets root)) !order
 
-let coarsen ?(weight = fun _ -> 1) ~max_groups fine =
+let coarsen_unconstrained ?(weight = fun _ -> 1) ~max_groups fine =
   if max_groups < 1 then invalid_arg "Partition.coarsen: max_groups < 1";
   if List.length fine <= max_groups then fine
   else begin
@@ -64,6 +64,92 @@ let coarsen ?(weight = fun _ -> 1) ~max_groups fine =
       sorted;
     List.filter (fun g -> g <> []) (Array.to_list bins)
   end
+
+(* With a shard-affinity constraint, bin-packing happens inside each
+   affinity class separately, so no output group ever mixes views pinned
+   to different shards — a parallel merge group must never straddle a
+   shard boundary (its two halves would live in different processes).
+   The [max_groups] budget is shared across classes: every class keeps at
+   least one group, and spare bins go greedily to the densest class
+   (highest weight per bin already granted), which is the same
+   makespan-greedy instinct as the unconstrained packing. *)
+let coarsen ?(weight = fun _ -> 1) ?affinity ~max_groups fine =
+  match affinity with
+  | None -> coarsen_unconstrained ~weight ~max_groups fine
+  | Some key_of ->
+    if max_groups < 1 then invalid_arg "Partition.coarsen: max_groups < 1";
+    (* Every fine group must be affinity-pure: its views share one base
+       relation closure, so splitting it across shards is impossible. *)
+    let class_of group =
+      match group with
+      | [] -> invalid_arg "Partition.coarsen: empty fine group"
+      | v :: rest ->
+        let k = key_of v in
+        List.iter
+          (fun v' ->
+            if key_of v' <> k then
+              invalid_arg
+                (Printf.sprintf
+                   "Partition.coarsen: fine group straddles shards %d and %d \
+                    (views sharing base relations must share a shard)"
+                   k (key_of v')))
+          rest;
+        k
+    in
+    (* Classes in first-occurrence order, each a list of fine groups. *)
+    let order = ref [] in
+    let classes : (int, Query.View.t list list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun group ->
+        let k = class_of group in
+        match Hashtbl.find_opt classes k with
+        | Some l -> l := group :: !l
+        | None ->
+          Hashtbl.add classes k (ref [ group ]);
+          order := k :: !order)
+      fine;
+    let order = List.rev !order in
+    let n_classes = List.length order in
+    if n_classes = 0 then []
+    else begin
+      let budget = max max_groups n_classes in
+      let class_weight k =
+        List.fold_left
+          (fun acc g ->
+            acc + List.fold_left (fun a v -> a + max 0 (weight v)) 0 g)
+          0
+          !(Hashtbl.find classes k)
+      in
+      let weights = List.map (fun k -> (k, max 1 (class_weight k))) order in
+      let quotas = Hashtbl.create 8 in
+      List.iter (fun k -> Hashtbl.replace quotas k 1) order;
+      for _ = 1 to budget - n_classes do
+        (* Grant the spare bin to the densest class (ties: first class). *)
+        let density k =
+          float_of_int (List.assoc k weights)
+          /. float_of_int (Hashtbl.find quotas k)
+        in
+        let best =
+          List.fold_left
+            (fun best k ->
+              match best with
+              | None -> Some k
+              | Some b -> if density k > density b then Some k else best)
+            None order
+        in
+        match best with
+        | Some k -> Hashtbl.replace quotas k (Hashtbl.find quotas k + 1)
+        | None -> ()
+      done;
+      List.concat_map
+        (fun k ->
+          let fine_k = List.rev !(Hashtbl.find classes k) in
+          coarsen_unconstrained ~weight ~max_groups:(Hashtbl.find quotas k)
+            fine_k)
+        order
+    end
 
 let route groups rel =
   List.concat

@@ -18,6 +18,7 @@ val groups : Query.View.t list -> Query.View.t list list
 
 val coarsen :
   ?weight:(Query.View.t -> int) ->
+  ?affinity:(Query.View.t -> int) ->
   max_groups:int ->
   Query.View.t list list ->
   Query.View.t list list
@@ -28,7 +29,16 @@ val coarsen :
     even work; the default weight of 1 balances by raw view count.
     Negative weights are clamped to 0. The disjointness property is
     preserved (unions of disjoint groups stay mutually disjoint).
-    @raise Invalid_argument if [max_groups < 1]. *)
+
+    [affinity], when given, is a hard shard-assignment constraint: views
+    mapping to different affinity keys are never packed into the same
+    group (a parallel merge group must not straddle a warehouse shard).
+    Packing then runs inside each affinity class with a shared bin
+    budget — every class keeps at least one group, spare bins go to the
+    densest class — so the result may have up to
+    [max max_groups n_classes] groups (each class needs one).
+    @raise Invalid_argument if [max_groups < 1], or if a fine group mixes
+    affinity keys (views sharing base relations must share a shard). *)
 
 val route : Query.View.t list list -> string list -> int list
 (** [route groups rel] lists the indices of groups containing at least one

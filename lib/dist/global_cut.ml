@@ -1,0 +1,28 @@
+type t = { serving : (int * Serve.Version_manager.t) list }
+
+type cut = (int * Serve.Version_manager.version) list
+
+let create serving = { serving }
+
+let manager t s =
+  match List.assoc_opt s t.serving with
+  | Some vm -> vm
+  | None ->
+    invalid_arg (Printf.sprintf "Global_cut.acquire: unknown shard %d" s)
+
+let acquire t ~shards =
+  let shards = List.sort_uniq Int.compare shards in
+  List.map (fun s -> (s, Serve.Version_manager.pin_latest (manager t s))) shards
+
+let release t cut =
+  List.iter
+    (fun (s, (v : Serve.Version_manager.version)) ->
+      Serve.Version_manager.unpin (manager t s) v.index)
+    cut
+
+let vector cut =
+  List.map
+    (fun (s, (v : Serve.Version_manager.version)) -> (s, v.index))
+    cut
+
+let state_of cut s = (List.assoc s cut).Serve.Version_manager.state

@@ -1,0 +1,32 @@
+(** Version-vector cuts over the per-shard serving layers.
+
+    A cross-shard read must observe each shard at exactly one committed
+    version; the cut acquires that position atomically per shard by
+    pinning the newest published version of every involved shard
+    ({!Serve.Version_manager.pin_latest}), so retention pruning can
+    never yank a leg's snapshot while the read is in flight. The
+    resulting vector is what {!Consistency.Checker.certify_distributed}
+    later re-checks against the recorded commit sequences. *)
+
+type t
+
+type cut = (int * Serve.Version_manager.version) list
+(** One pinned version per shard, ascending by shard id. *)
+
+val create : (int * Serve.Version_manager.t) list -> t
+(** The per-shard serving layers, keyed by shard id. *)
+
+val acquire : t -> shards:int list -> cut
+(** Pin the newest version of each listed shard (duplicates ignored).
+    @raise Invalid_argument on an unknown shard id. *)
+
+val release : t -> cut -> unit
+(** Unpin every component (the read completed). *)
+
+val vector : cut -> (int * int) list
+(** The cut as (shard id, commit index) pairs — the shape the
+    distributed certificate consumes. *)
+
+val state_of : cut -> int -> Relational.Database.t
+(** The warehouse state vector the cut pinned for one shard.
+    @raise Not_found if the shard is not in the cut. *)

@@ -1,0 +1,18 @@
+open Relational
+
+type t = { name : string; legs : (int * string) list }
+
+let make ~name ~assignment leg_names =
+  if leg_names = [] then invalid_arg "Union_view.make: no legs";
+  let legs = List.map (fun v -> (assignment v, v)) leg_names in
+  (* Stable: legs on the same shard keep their input order. *)
+  { name;
+    legs = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) legs }
+
+let shards t = List.sort_uniq Int.compare (List.map fst t.legs)
+
+let stitch t ~state_of =
+  List.fold_left
+    (fun acc (s, leg) ->
+      Bag.union acc (Relation.contents (Database.find (state_of s) leg)))
+    Bag.empty t.legs

@@ -1,0 +1,27 @@
+(** Cross-shard union views.
+
+    A union view is never materialized globally: each leg is an ordinary
+    materialized view living on some shard, and a read {e stitches} the
+    legs' contents together at a version-vector cut (see {!Global_cut}).
+    Legs must be union-compatible (identical schemas) — the multi-tenant
+    workload guarantees this by giving same-kind per-tenant views the
+    same attribute names. *)
+
+type t = {
+  name : string;
+  legs : (int * string) list;
+      (** (shard id, leg view name), ascending by shard then input
+          order. *)
+}
+
+val make : name:string -> assignment:(string -> int) -> string list -> t
+(** [make ~name ~assignment legs] places each leg view on its assigned
+    shard. @raise Invalid_argument on an empty leg list. *)
+
+val shards : t -> int list
+(** Distinct shards holding at least one leg, ascending. *)
+
+val stitch : t -> state_of:(int -> Relational.Database.t) -> Relational.Bag.t
+(** Bag-union of every leg's contents, reading each leg from
+    [state_of shard] — the warehouse state vector the cut pinned for
+    that shard. *)

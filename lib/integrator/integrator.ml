@@ -75,3 +75,23 @@ let replay_for t ~view ~after =
       else acc)
     [] t.log
 (* log is descending, so the fold yields ascending id order *)
+
+(* Shard router primitive: partition one update's relevant view set by
+   the shard each view is assigned to. The fan-out is exact — a shard
+   whose views are untouched never appears, so per-shard merge load
+   tracks only the updates its own views care about. *)
+let route_shards ~assignment rel =
+  let order = ref [] in
+  let buckets : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun view ->
+      let s = assignment view in
+      match Hashtbl.find_opt buckets s with
+      | Some l -> l := view :: !l
+      | None ->
+        Hashtbl.add buckets s (ref [ view ]);
+        order := s :: !order)
+    rel;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (List.rev_map (fun s -> (s, List.rev !(Hashtbl.find buckets s))) !order)

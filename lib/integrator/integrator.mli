@@ -73,3 +73,14 @@ val replay_for :
   (Update.Transaction.t * string list) list
 (** Retained transactions relevant to [view] with id > [after], ascending.
     Empty unless the integrator was created with [retain_log]. *)
+
+val route_shards :
+  assignment:(string -> int) ->
+  string list ->
+  (int * string list) list
+(** [route_shards ~assignment rel] partitions a relevant-view set by the
+    warehouse shard each view is assigned to: the per-shard [REL]
+    subsets a distributed integrator fans out, ascending by shard id,
+    views keeping their [rel] order within a shard. Shards with no
+    relevant view are absent — the router never wakes an unaffected
+    shard's merge. *)

@@ -184,3 +184,5 @@ let unpin t index =
     Hashtbl.remove t.pins index;
     prune t
   | Some n -> Hashtbl.replace t.pins index (n - 1)
+
+let pin_latest t = pin t (latest t).index

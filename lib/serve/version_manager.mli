@@ -113,3 +113,8 @@ val chunk_stats : t -> chunk_stats
     Relations a commit left untouched keep their record — and thus
     their chunk — so [distinct] grows only with actual change. Forces
     any not-yet-encoded chunk (once per distinct relation record). *)
+
+val pin_latest : t -> version
+(** Pin the newest version in one step — the leg-acquisition primitive of
+    a cross-shard global cut, where find-then-pin would race with a
+    concurrent publish advancing [latest] between the two calls. *)

@@ -29,6 +29,9 @@ type t = {
   memo_contention : int Atomic.t;
   cache_refreshes : int Atomic.t;
   cache_refresh_fallbacks : int Atomic.t;
+  routed_shards : Sim.Stats.Summary.t;
+  union_reads : int Atomic.t;
+  union_read_latency : Sim.Stats.Summary.t;
 }
 
 let create () =
@@ -50,7 +53,10 @@ let create () =
     cache_misses = Atomic.make 0; reads_clamped = Atomic.make 0;
     shared_hits = Atomic.make 0; shared_misses = Atomic.make 0;
     shared_rows = Atomic.make 0; memo_contention = Atomic.make 0;
-    cache_refreshes = Atomic.make 0; cache_refresh_fallbacks = Atomic.make 0 }
+    cache_refreshes = Atomic.make 0; cache_refresh_fallbacks = Atomic.make 0;
+    routed_shards = Sim.Stats.Summary.create ();
+    union_reads = Atomic.make 0;
+    union_read_latency = Sim.Stats.Summary.create () }
 
 let add counter n = Atomic.fetch_and_add counter n |> ignore
 
@@ -81,6 +87,7 @@ let pp ppf t =
      serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d \
      refreshed=%d refresh-fallbacks=%d@ \
      shared-plans: hits=%d/%d rows-maintained=%d memo-contention=%d@ \
+     distributed: union-reads=%d shard-fanout: %a@ \
      read-latency: %a@ served-staleness: %a@ versions-retained: %a@ \
      versions-pinned: %a@]"
     (Atomic.get t.transactions) (Atomic.get t.commits)
@@ -101,6 +108,8 @@ let pp ppf t =
     (Atomic.get t.shared_hits + Atomic.get t.shared_misses)
     (Atomic.get t.shared_rows)
     (Atomic.get t.memo_contention)
+    (Atomic.get t.union_reads)
+    Sim.Stats.Summary.pp t.routed_shards
     Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
     t.served_staleness Sim.Stats.Summary.pp t.versions_retained
     Sim.Stats.Summary.pp t.versions_pinned

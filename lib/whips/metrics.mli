@@ -65,6 +65,14 @@ type t = {
   cache_refresh_fallbacks : int Atomic.t;
       (** Touched cache entries left to invalidation because the
           commit's deltas were wider than the cached result. *)
+  routed_shards : Sim.Stats.Summary.t;
+      (** Per routed update in a distributed run: how many warehouse
+          shards its relevant-view set fanned out to (1 for a
+          tenant-local update — the common case the router exploits). *)
+  union_reads : int Atomic.t;
+      (** Cross-shard union-view reads served through a global cut. *)
+  union_read_latency : Sim.Stats.Summary.t;
+      (** Per union read: completion time minus arrival time. *)
 }
 (** Every integer counter is an [Atomic.t]: with [domains > 1] the
     maintenance runtime executes work on pool domains, and counters

@@ -71,6 +71,65 @@ let tests =
         let fine = [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ] ] ] in
         Alcotest.(check int) "unchanged" 2
           (List.length (Mvc.Partition.coarsen ~max_groups:5 fine)));
+    case "coarsen with affinity never straddles a shard" (fun () ->
+        (* Six singleton fine groups, alternating shard affinity, packed
+           hard (max_groups = 2): the budget must stretch to one group
+           per shard class and no output group may mix shards. *)
+        let shard_of view =
+          if String.length (View.name view) > 1 then 1 else 0
+        in
+        let fine =
+          [ [ v "A" [ "R" ] ]; [ v "BB" [ "S" ] ]; [ v "C" [ "T" ] ];
+            [ v "DD" [ "U" ] ]; [ v "E" [ "W" ] ]; [ v "FF" [ "X" ] ] ]
+        in
+        let coarse =
+          Mvc.Partition.coarsen ~affinity:shard_of ~max_groups:2 fine
+        in
+        Alcotest.(check bool) "within stretched budget" true
+          (List.length coarse >= 2 && List.length coarse <= 2);
+        Alcotest.(check int) "all views kept" 6
+          (List.length (List.concat coarse));
+        List.iter
+          (fun group ->
+            let shards =
+              List.map shard_of group |> List.sort_uniq compare
+            in
+            Alcotest.(check int) "one shard per group" 1 (List.length shards))
+          coarse);
+    case "affinity grants spare bins to the densest shard" (fun () ->
+        let shard_of view = if View.name view < "M" then 0 else 1 in
+        let fine =
+          [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ] ]; [ v "C" [ "T" ] ];
+            [ v "D" [ "U" ] ]; [ v "Z" [ "X" ] ] ]
+        in
+        let coarse =
+          Mvc.Partition.coarsen ~affinity:shard_of ~max_groups:3 fine
+        in
+        (* Shard 0 holds 4 views, shard 1 one: the spare bin goes to
+           shard 0, so it ends with two groups and shard 1 with one. *)
+        let by_shard s =
+          List.filter (fun g -> List.exists (fun x -> shard_of x = s) g) coarse
+        in
+        Alcotest.(check int) "3 groups" 3 (List.length coarse);
+        Alcotest.(check int) "shard 0 split in two" 2
+          (List.length (by_shard 0));
+        Alcotest.(check int) "shard 1 kept whole" 1 (List.length (by_shard 1));
+        List.iter
+          (fun group ->
+            Alcotest.(check int) "no straddle" 1
+              (List.length (List.sort_uniq compare (List.map shard_of group))))
+          coarse);
+    case "affinity rejects a fine group mixing shards" (fun () ->
+        let fine = [ [ v "A" [ "R" ]; v "BB" [ "R" ] ] ] in
+        Alcotest.(check bool) "raises" true
+          (match
+             Mvc.Partition.coarsen
+               ~affinity:(fun view ->
+                 String.length (View.name view))
+               ~max_groups:4 fine
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
     case "route finds owning groups" (fun () ->
         let groups = [ [ v "A" [ "R" ] ]; [ v "B" [ "S" ]; v "C" [ "S" ] ] ] in
         Alcotest.(check (list int)) "B in group 1" [ 1 ]
