@@ -33,6 +33,8 @@ let experiments =
     ("colsmoke", Colsmoke.run);
     ("dist", Dist_bench.run);
     ("distsmoke", Dist_bench.distsmoke);
+    ("selfmaint", Selfmaint_bench.run);
+    ("selfmaintsmoke", Selfmaint_bench.selfmaintsmoke);
     ("summary", Summary.run);
     ("micro", Micro.run) ]
 

@@ -142,7 +142,12 @@ let catalogue =
     ( "BENCH_dist.json",
       "dist",
       [ ("dist_merge_events_per_update", "dist_merge_events_per_update");
-        ("tenant_scaling_ratio", "tenant_scaling_ratio") ] ) ]
+        ("tenant_scaling_ratio", "tenant_scaling_ratio") ] );
+    ( "BENCH_selfmaint.json",
+      "selfmaint",
+      [ ("freshness_speedup_at_top_rate", "selfmaint_freshness_speedup");
+        ("roundtrips_per_update", "selfmaint_roundtrips_per_update");
+        ("aux_saved_cells_pct", "selfmaint_aux_saved_cells_pct") ] ) ]
 
 let history_path = "BENCH_history.jsonl"
 
@@ -238,6 +243,21 @@ let run () =
       List.fold_left
         (fun acc line ->
           match find_number line "recovery_headline_s" with
+          | Some v when v > 0.0 ->
+            Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' (read_file history_path))
+  in
+  (* Last recorded selfmaint freshness speedup (same discipline). This
+     one is bigger-is-better, so the gate below inverts the
+     comparison. *)
+  let previous_selfmaint =
+    if not (Sys.file_exists history_path) then None
+    else
+      List.fold_left
+        (fun acc line ->
+          match find_number line "selfmaint_freshness_speedup" with
           | Some v when v > 0.0 ->
             Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
           | _ -> acc)
@@ -352,4 +372,47 @@ let run () =
         "regression gate: no prior dist scaling ratio (recorded %.4f)\n%!" cur
     | None, _ ->
       Printf.printf "regression gate: no dist scaling ratio to check\n%!"
+  end;
+  (* Self-maintenance headline: freshness speedup over Strobe at the top
+     benched rate. Bigger is better, so the gate trips when the speedup
+     FALLS below 1/factor of the last recorded run — the selfmaint path
+     started paying round trips (the roundtrips gate below catches the
+     literal case) or lost its latency edge. Simulated time, so any
+     move past the factor is structural, not noise. *)
+  if !check_regression then begin
+    let current = List.assoc_opt "selfmaint_freshness_speedup" all_metrics in
+    (match (current, previous_selfmaint) with
+    | Some cur, Some (prev_s, prev_rev) ->
+      if prev_s > 0.0 && cur < prev_s /. regression_factor then begin
+        Printf.printf
+          "REGRESSION: selfmaint freshness speedup at %.2fx, down from \
+           %.2fx recorded at %s (gate: %.1fx)\n\
+           %!"
+          cur prev_s prev_rev regression_factor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "regression gate: selfmaint speedup %.2fx vs %.2fx (ok)\n%!" cur
+          prev_s
+    | Some cur, None ->
+      Printf.printf
+        "regression gate: no prior selfmaint speedup (recorded %.2fx)\n%!"
+        cur
+    | None, _ ->
+      Printf.printf "regression gate: no selfmaint speedup to check\n%!");
+    (* Round trips per update must stay pinned at zero — that is the
+       whole point of the subsystem. *)
+    match List.assoc_opt "selfmaint_roundtrips_per_update" all_metrics with
+    | Some rtpu when rtpu > 0.0 ->
+      Printf.printf
+        "REGRESSION: selfmaint issued %.3f source round trips per update \
+         (must be 0)\n\
+         %!"
+        rtpu;
+      exit 1
+    | Some _ ->
+      Printf.printf "regression gate: selfmaint round trips/update = 0 (ok)\n%!"
+    | None ->
+      Printf.printf "regression gate: no selfmaint round-trip count to check\n%!"
   end

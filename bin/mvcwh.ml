@@ -42,6 +42,7 @@ let list_cmd =
 let vm_kind_conv =
   let parse = function
     | "complete" -> Ok Whips.System.Complete_vm
+    | "selfmaint" -> Ok Whips.System.Selfmaint_vm
     | "batching" -> Ok Whips.System.Batching_vm
     | "strobe" -> Ok Whips.System.Strobe_vm
     | "convergent" -> Ok Whips.System.Convergent_vm
@@ -57,6 +58,7 @@ let vm_kind_conv =
   in
   let print ppf = function
     | Whips.System.Complete_vm -> Fmt.string ppf "complete"
+    | Whips.System.Selfmaint_vm -> Fmt.string ppf "selfmaint"
     | Whips.System.Batching_vm -> Fmt.string ppf "batching"
     | Whips.System.Strobe_vm -> Fmt.string ppf "strobe"
     | Whips.System.Periodic_vm p -> Fmt.pf ppf "periodic:%g" p

@@ -23,6 +23,9 @@ dune build @crash-smoke
 # (lossy links under ARQ) must serve byte-identical union contents,
 # stay certified, and keep per-shard merge load flat as tenants scale.
 dune build @dist-smoke
+# Self-maintenance: Selfmaint_vm must be trace-identical to Complete_vm
+# on every paper scenario (1 and 4 domains) with zero source queries.
+dune build @selfmaint-smoke
 # Fold every BENCH_*.json headline into BENCH_summary.json, append this
 # run to BENCH_history.jsonl, and fail if the kernel headline regressed
 # more than 1.5x against the last recorded run of the same kernel.

@@ -88,11 +88,25 @@ let coarsen ?(weight = fun _ -> 1) ?affinity ~max_groups fine =
         List.iter
           (fun v' ->
             if key_of v' <> k then
+              (* Name the whole offending group, with each member's
+                 shard: "V3" alone tells you nothing when debugging a
+                 tenant assignment — the conflict is between members. *)
+              let members =
+                String.concat ", "
+                  (List.map
+                     (fun m ->
+                       Printf.sprintf "%s->shard %d" (Query.View.name m)
+                         (key_of m))
+                     group)
+              in
               invalid_arg
                 (Printf.sprintf
-                   "Partition.coarsen: fine group straddles shards %d and %d \
-                    (views sharing base relations must share a shard)"
-                   k (key_of v')))
+                   "Partition.coarsen: fine group {%s} straddles shards %d \
+                    and %d (views %s and %s share a base-relation closure \
+                    but are pinned to different shards; views sharing base \
+                    relations must share a shard)"
+                   members k (key_of v') (Query.View.name v)
+                   (Query.View.name v')))
           rest;
         k
     in

@@ -40,7 +40,8 @@ let make_server engine ~latency =
   (enqueue, pending)
 
 let create ~engine ~id ~views ~initial ~compute_latency ~merge_latency
-    ~commit_latency ~durable ~al_link ?(on_merge_event = fun ~held:_ ~live:_ -> ())
+    ~commit_latency ~durable ?(selfmaint = false) ~al_link
+    ?(on_merge_event = fun ~held:_ ~live:_ -> ())
     ?(on_commit = fun _ -> ()) () =
   let names = List.map Query.View.name views in
   let store =
@@ -101,10 +102,21 @@ let create ~engine ~id ~views ~initial ~compute_latency ~merge_latency
         let send =
           al_link ~view:name ~deliver:receive_al
         in
-        ( name,
-          Viewmgr.Complete_vm.create ~engine
-            ~compute_latency:(fun ~batch:_ -> compute_latency ())
-            ~initial ~view ~emit:send () ))
+        let vm =
+          (* Self-maintaining shards keep keyed projections instead of
+             full replicas; both managers emit identical action lists,
+             so the shard merge, store, serving and certificate are
+             untouched. *)
+          if selfmaint then
+            Selfmaint.Vm.create ~engine
+              ~compute_latency:(fun ~batch:_ -> compute_latency ())
+              ~initial ~view ~emit:send ()
+          else
+            Viewmgr.Complete_vm.create ~engine
+              ~compute_latency:(fun ~batch:_ -> compute_latency ())
+              ~initial ~view ~emit:send ()
+        in
+        (name, vm))
       views
   in
   { sh_id = id; views; merge; store; versions; managers; enqueue;

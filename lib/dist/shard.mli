@@ -25,6 +25,7 @@ val create :
   merge_latency:(unit -> float) ->
   commit_latency:(unit -> float) ->
   durable:bool ->
+  ?selfmaint:bool ->
   al_link:
     (view:string ->
     deliver:(Query.Action_list.t -> unit) ->
@@ -34,7 +35,11 @@ val create :
   unit ->
   t
 (** [initial] is the full source state [ss_0] (managers cache the base
-    relations they need from it). [al_link ~view ~deliver] must return a
+    relations they need from it). [selfmaint] (default false) builds
+    {!Selfmaint.Vm} managers over derived auxiliary projections instead
+    of {!Viewmgr.Complete_vm} full replicas — action lists, and hence
+    the whole downstream shard pipeline, are identical.
+    [al_link ~view ~deliver] must return a
     send function for the view manager's action-list channel whose far
     end invokes [deliver] — the system assembly supplies it so every
     manager->merge hop is a named, fault-injectable simulator link.

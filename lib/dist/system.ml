@@ -8,6 +8,7 @@ type config = {
   reliability : Whips.System.reliability;
   fault_plan : Workload.Fault_plan.t;
   durable : bool;
+  selfmaint : bool;
   union_reads : int;
   read_sessions : int;
   seed : int;
@@ -17,7 +18,8 @@ let default ?(shards = 2) workload =
   { workload; shards; arrival = Whips.System.Uniform 0.05;
     latencies = Whips.System.default_latencies;
     reliability = Whips.System.Off; fault_plan = Workload.Fault_plan.empty;
-    durable = false; union_reads = 8; read_sessions = 2; seed = 42 }
+    durable = false; selfmaint = false; union_reads = 8; read_sessions = 2;
+    seed = 42 }
 
 type shard_result = {
   sh_id : int;
@@ -108,7 +110,7 @@ let run (cfg : config) =
           ~compute_latency:(fun () -> sample cfg.latencies.Whips.System.compute)
           ~merge_latency:(fun () -> sample cfg.latencies.Whips.System.merge)
           ~commit_latency:(fun () -> sample cfg.latencies.Whips.System.commit)
-          ~durable:cfg.durable
+          ~durable:cfg.durable ~selfmaint:cfg.selfmaint
           ~al_link:(fun ~view ~deliver ->
             (make_link ~name:(Printf.sprintf "%s->merge%d" view s) deliver)
               .send)

@@ -30,6 +30,11 @@ type config = {
   durable : bool;
       (** Give each shard a write-ahead log recording every WT before
           its store applies it. *)
+  selfmaint : bool;
+      (** Build each shard's managers as {!Selfmaint.Vm} over derived
+          auxiliary projections instead of {!Viewmgr.Complete_vm} full
+          replicas. Trace-identical (same action lists); the shard pays
+          projected storage instead of replica storage. *)
   union_reads : int;
       (** Cross-shard union reads issued while the update stream runs
           (spread uniformly over the script horizon). One final read per
@@ -41,7 +46,8 @@ type config = {
 
 val default : ?shards:int -> Workload.Tenants.t -> config
 (** 2 shards, uniform arrivals, default latencies, reliability off, no
-    faults, no WAL, 8 mid-run reads over 2 sessions, seed 42. *)
+    faults, no WAL, replica managers (no selfmaint), 8 mid-run reads
+    over 2 sessions, seed 42. *)
 
 type shard_result = {
   sh_id : int;

@@ -1,0 +1,96 @@
+open Relational
+module S = Set.Make (String)
+
+type aux = {
+  relation : string;
+  live : string list;
+  full : bool;
+}
+
+(* [All] is "every attribute of this node's output schema" — the demand
+   at the root (the view materializes its full output) and the
+   conservative escape hatch. [Attrs] is always a subset of the node's
+   original output schema, which keeps every pushed projection
+   well-typed. *)
+type demand = All | Attrs of S.t
+
+let analyze ~schemas def =
+  let acc : (string, demand) Hashtbl.t = Hashtbl.create 8 in
+  let note r d =
+    let joined =
+      match (Hashtbl.find_opt acc r, d) with
+      | (None, d) -> d
+      | (Some All, _) | (Some _, All) -> All
+      | (Some (Attrs a), Attrs b) -> Attrs (S.union a b)
+    in
+    Hashtbl.replace acc r joined
+  in
+  let widen d names =
+    match d with All -> All | Attrs s -> Attrs (S.union s (S.of_list names))
+  in
+  let schema_of e = Query.Algebra.schema_of schemas e in
+  let rec go d e =
+    match (e : Query.Algebra.t) with
+    | Base r -> note r d
+    | Select (p, e1) -> go (widen d (Query.Pred.attrs p)) e1
+    | Project (names, e1) ->
+      (* The node materializes exactly [names], regardless of what the
+         parent keeps of them. *)
+      go (Attrs (S.of_list names)) e1
+    | Join (a, b) ->
+      (match d with
+      | All ->
+        go All a;
+        go All b
+      | Attrs want ->
+        let sa = S.of_list (Schema.names (schema_of a)) in
+        let sb = S.of_list (Schema.names (schema_of b)) in
+        (* Shared attributes are the natural-join keys: both sides must
+           keep them even when the output never mentions them. *)
+        let shared = S.inter sa sb in
+        go (Attrs (S.union (S.inter want sa) shared)) a;
+        go (Attrs (S.union (S.inter want sb) shared)) b)
+    | Union (a, b) ->
+      (* Conservative: asymmetric branches (a bare Base on one side, a
+         Project on the other) can achieve different projections under a
+         partial demand, and the union would no longer type-check. Full
+         width on both sides is always exact. *)
+      go All a;
+      go All b
+    | Rename (mapping, e1) ->
+      let back n =
+        match List.find_opt (fun (_, fresh) -> String.equal fresh n) mapping with
+        | Some (old, _) -> old
+        | None -> n
+      in
+      (match d with
+      | All -> go All e1
+      | Attrs want -> go (Attrs (S.map back want)) e1)
+    | Group_by { keys; aggregates; input } ->
+      let agg_attrs =
+        List.filter_map
+          (fun ((_, agg) : string * Query.Algebra.aggregate) ->
+            match agg with
+            | Count -> None
+            | Sum a | Avg a | Min a | Max a -> Some a)
+          aggregates
+      in
+      go (Attrs (S.of_list (keys @ agg_attrs))) input
+  in
+  go All def;
+  List.map
+    (fun r ->
+      let names = Schema.names (schemas r) in
+      match Hashtbl.find_opt acc r with
+      | None | Some All -> { relation = r; live = names; full = true }
+      | Some (Attrs s) ->
+        let live = List.filter (fun n -> S.mem n s) names in
+        { relation = r; live; full = List.length live = List.length names })
+    (Query.Algebra.base_relations def)
+
+let pp_aux ppf a =
+  if a.full then Fmt.pf ppf "%s (replica)" a.relation
+  else
+    Fmt.pf ppf "pi[%a](%s)"
+      (Fmt.list ~sep:Fmt.comma Fmt.string)
+      a.live a.relation

@@ -1,0 +1,55 @@
+(** Static derivation of the auxiliary data that makes a view
+    self-maintainable at the warehouse.
+
+    The Strobe-style managers compensate for concurrent updates by
+    querying the sources — a full round trip per update. The classic
+    alternative (Quass/Gupta/Mumick/Widom, "Making views
+    self-maintainable for data warehousing") stores {e auxiliary
+    relations} next to the view: enough base data, replicated or
+    projected at the warehouse, that every maintenance delta is
+    answerable locally. This module computes that auxiliary set for an
+    {!Query.Algebra} view definition.
+
+    The analysis is a top-down {e demanded-attribute} pass. Starting
+    from the full view output, each node records what it needs from its
+    inputs:
+
+    - [Project names] materializes exactly [names], so everything below
+      must supply all of them;
+    - [Select p] additionally demands [p]'s attributes;
+    - [Join a b] splits the demand by side and adds the natural-join
+      shared attributes to {e both} sides (dropping a join attribute
+      would change the join);
+    - [Rename] maps the demand back through the renaming;
+    - [Group_by] demands its keys and aggregate inputs;
+    - [Union] conservatively demands everything from both branches (the
+      two branches may otherwise achieve different projections and the
+      union would no longer be well-typed);
+    - [Base r] accumulates the demand into [r]'s {e live} attribute
+      set, unioned across all occurrences of [r].
+
+    Under bag semantics, replacing each base relation [R] with the
+    keyed projection [pi_live(R)] is exact: projection merges
+    multiplicities linearly, and every attribute any operator touches
+    is live, so evaluation — and therefore every Griffin–Libkin delta —
+    over the projected replicas equals evaluation over the full base
+    data, tuple for tuple and multiplicity for multiplicity. *)
+
+open Relational
+
+type aux = {
+  relation : string;  (** base relation the auxiliary covers *)
+  live : string list;
+      (** live attributes, in base-schema order; the auxiliary stores
+          [pi_live(relation)] *)
+  full : bool;
+      (** [live] is the whole base schema: the auxiliary degenerates to
+          a replica and the projection is the identity *)
+}
+
+val analyze : schemas:(string -> Schema.t) -> Query.Algebra.t -> aux list
+(** One auxiliary per base relation of the expression, in
+    {!Query.Algebra.base_relations} order. Raises the same exceptions
+    as {!Query.Algebra.schema_of} on ill-typed definitions. *)
+
+val pp_aux : Format.formatter -> aux -> unit

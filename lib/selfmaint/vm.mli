@@ -1,0 +1,35 @@
+(** The self-maintaining view manager.
+
+    Shape and timing are identical to {!Viewmgr.Complete_vm} — one
+    transaction in computation at a time, the delta spawned as a future
+    over an immutable pre-state snapshot and joined after the compute
+    latency — but the local state is the view's {!Plan} auxiliaries
+    (keyed projections) instead of full base replicas, and incoming
+    deltas are projected before probing. It emits the same action lists
+    as [Complete_vm] (see {!Derive} for the exactness argument), runs at
+    consistency level [Complete], and never touches the sources. *)
+
+open Relational
+
+val create :
+  engine:Sim.Engine.t ->
+  compute_latency:(batch:int -> float) ->
+  ?exec:Parallel.Exec.t ->
+  ?state:Plan.t * Database.t ->
+  ?on_apply:(Update.Transaction.t -> Database.t -> unit) ->
+  initial:Database.t ->
+  view:Query.View.t ->
+  emit:(Query.Action_list.t -> unit) ->
+  unit ->
+  Viewmgr.Vm.t
+(** [state], when given, resumes an existing plan at a given auxiliary
+    state (crash recovery rebuilds it from the integrator log and the
+    WAL checkpoint) instead of deriving a fresh one from [initial].
+    [on_apply txn cache] fires after each transaction's changes are
+    applied to the auxiliary state — the durability hook the system
+    layer uses to append to and checkpoint the auxiliary WAL. *)
+
+val plan_of : initial:Database.t -> Query.View.t -> Plan.t
+(** Convenience alias of {!Plan.create} for callers that want the
+    derived auxiliaries (storage metrics, recovery) without building a
+    manager. *)

@@ -32,6 +32,11 @@ type t = {
   routed_shards : Sim.Stats.Summary.t;
   union_reads : int Atomic.t;
   union_read_latency : Sim.Stats.Summary.t;
+  source_queries : int Atomic.t;
+  source_query_latency : Sim.Stats.Summary.t;
+  aux_rows : int Atomic.t;
+  aux_cells : int Atomic.t;
+  aux_saved_cells : int Atomic.t;
 }
 
 let create () =
@@ -56,7 +61,11 @@ let create () =
     cache_refreshes = Atomic.make 0; cache_refresh_fallbacks = Atomic.make 0;
     routed_shards = Sim.Stats.Summary.create ();
     union_reads = Atomic.make 0;
-    union_read_latency = Sim.Stats.Summary.create () }
+    union_read_latency = Sim.Stats.Summary.create ();
+    source_queries = Atomic.make 0;
+    source_query_latency = Sim.Stats.Summary.create ();
+    aux_rows = Atomic.make 0; aux_cells = Atomic.make 0;
+    aux_saved_cells = Atomic.make 0 }
 
 let add counter n = Atomic.fetch_and_add counter n |> ignore
 
@@ -88,6 +97,8 @@ let pp ppf t =
      refreshed=%d refresh-fallbacks=%d@ \
      shared-plans: hits=%d/%d rows-maintained=%d memo-contention=%d@ \
      distributed: union-reads=%d shard-fanout: %a@ \
+     sources: queries=%d latency: %a@ \
+     selfmaint: aux-rows=%d aux-cells=%d saved-cells=%d@ \
      read-latency: %a@ served-staleness: %a@ versions-retained: %a@ \
      versions-pinned: %a@]"
     (Atomic.get t.transactions) (Atomic.get t.commits)
@@ -110,6 +121,10 @@ let pp ppf t =
     (Atomic.get t.memo_contention)
     (Atomic.get t.union_reads)
     Sim.Stats.Summary.pp t.routed_shards
+    (Atomic.get t.source_queries)
+    Sim.Stats.Summary.pp t.source_query_latency
+    (Atomic.get t.aux_rows) (Atomic.get t.aux_cells)
+    (Atomic.get t.aux_saved_cells)
     Sim.Stats.Summary.pp t.read_latency Sim.Stats.Summary.pp
     t.served_staleness Sim.Stats.Summary.pp t.versions_retained
     Sim.Stats.Summary.pp t.versions_pinned

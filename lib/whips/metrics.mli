@@ -73,6 +73,23 @@ type t = {
       (** Cross-shard union-view reads served through a global cut. *)
   union_read_latency : Sim.Stats.Summary.t;
       (** Per union read: completion time minus arrival time. *)
+  source_queries : int Atomic.t;
+      (** Compensation round trips to the sources (Strobe-style managers
+          querying per relevant update, integrator catch-up fetches).
+          Self-maintaining managers keep this at 0 on the steady-state
+          path — the headline of the selfmaint bench. *)
+  source_query_latency : Sim.Stats.Summary.t;
+      (** Per source query: answer arrival minus request issue (both
+          travel legs plus any modeled evaluation delay). *)
+  aux_rows : int Atomic.t;
+      (** Rows held in self-maintenance auxiliary relations at plan
+          derivation, summed across views. *)
+  aux_cells : int Atomic.t;
+      (** Cells (rows x live arity) in the auxiliaries — the storage the
+          warehouse pays to avoid the round trips. *)
+  aux_saved_cells : int Atomic.t;
+      (** Cells a full-replica cache ([Complete_vm]) would have held
+          minus [aux_cells]: what the keyed projections saved. *)
 }
 (** Every integer counter is an [Atomic.t]: with [domains > 1] the
     maintenance runtime executes work on pool domains, and counters

@@ -2,6 +2,7 @@ open Relational
 
 type vm_kind =
   | Complete_vm
+  | Selfmaint_vm
   | Batching_vm
   | Strobe_vm
   | Periodic_vm of float
@@ -188,7 +189,7 @@ let kind_of cfg view =
   | None -> cfg.vm_kind
 
 let level_of = function
-  | Complete_vm | Derived_vm _ -> Viewmgr.Vm.Complete
+  | Complete_vm | Selfmaint_vm | Derived_vm _ -> Viewmgr.Vm.Complete
   | Batching_vm | Strobe_vm | Periodic_vm _ -> Viewmgr.Vm.Strongly_consistent
   | Convergent_vm -> Viewmgr.Vm.Convergent
   | Complete_n_vm n -> Viewmgr.Vm.Complete_n n
@@ -881,6 +882,16 @@ let run_pipelined cfg =
      synced WAL image as the next segment ({!Durable.Wal.seal}) — zero
      re-marshaling, cost independent of history and of delta size. *)
   let wal_replayed = ref 0 in
+  (* Auxiliary-state WALs of the self-maintaining managers (one per
+     Selfmaint_vm when durable): records are applied transaction ids,
+     the checkpoint slot snapshots the projected auxiliary database.
+     Recovery restarts log replay from the checkpointed id instead of
+     source state 0 — and never queries the sources. Collected here so
+     the durability report can fold their disk stats in. *)
+  let aux_wals :
+      (string * (Database.t * int, int) Durable.Wal.t) list ref =
+    ref []
+  in
   let commits_restored = ref 0 in
   let dup_wts = ref 0 in
   let recovery_total = ref 0.0 in
@@ -1043,11 +1054,15 @@ let run_pipelined cfg =
     if
       not
         (List.for_all
-           (fun v -> match kind_of cfg v with Complete_vm -> true | _ -> false)
+           (fun v ->
+             match kind_of cfg v with
+             | Complete_vm | Selfmaint_vm -> true
+             | _ -> false)
            views)
     then
       invalid_arg
-        "System: process crash faults require Complete_vm view managers";
+        "System: process crash faults require Complete_vm or Selfmaint_vm \
+         view managers";
     if algorithm <> Mvc.Merge.Spa then
       invalid_arg "System: process crash faults require the SPA merge";
     if cfg.store_retention <> Warehouse.Store.Keep_all then
@@ -1162,14 +1177,20 @@ let run_pipelined cfg =
   in
   let remote_query expr k =
     (* Request travel, evaluation at the source's then-current state,
-       answer travel. *)
+       answer travel. Each call is a compensation round trip the
+       self-maintaining managers exist to avoid, so it is counted. *)
+    Atomic.incr metrics.Metrics.source_queries;
+    let issued = Sim.Engine.now engine in
     Sim.Engine.schedule_after engine (sample (cfg.latencies.query_roundtrip /. 2.))
       (fun () ->
         let contents = Relation.contents (Source.Sources.query sources expr) in
         let version = Source.Sources.last_id sources in
         Sim.Engine.schedule_after engine
           (sample (cfg.latencies.query_roundtrip /. 2.))
-          (fun () -> k (contents, version)))
+          (fun () ->
+            Sim.Stats.Summary.add metrics.Metrics.source_query_latency
+              (Sim.Engine.now engine -. issued);
+            k (contents, version)))
   in
   (* Pending REL forwards per view manager (Section 3.2's alternative
      scheme: the integrator hands REL_i to a relevant manager, which
@@ -1250,11 +1271,11 @@ let run_pipelined cfg =
         cfg.faults
     in
     (match (crash_spec, kind) with
-    | Some _, (Complete_vm | Batching_vm) | None, _ -> ()
+    | Some _, (Complete_vm | Selfmaint_vm | Batching_vm) | None, _ -> ()
     | Some _, _ ->
       invalid_arg
-        "System: Crash_vm faults support Complete_vm and Batching_vm \
-         managers (log-replay recovery)");
+        "System: Crash_vm faults support Complete_vm, Selfmaint_vm and \
+         Batching_vm managers (log-replay recovery)");
     (* Control channel merge -> manager, carrying resync replies
        (epoch, watermark) and restarted-merge resync demands. Handler
        installed below. *)
@@ -1397,6 +1418,33 @@ let run_pipelined cfg =
     let emit_count = ref 0 in
     let crash_armed = ref (crash_spec <> None) in
     let resync_epoch = ref 0 in
+    (* Self-maintenance state. [selfmaint_resume] carries a rebuilt
+       (plan, auxiliary cache) pair from the resync replay into the next
+       [build_inner]; the aux WAL checkpoints the auxiliary state so that
+       replay starts from the checkpoint, not from ss_0. *)
+    let selfmaint_resume : (Selfmaint.Plan.t * Database.t) option ref =
+      ref None
+    in
+    let aux_wal =
+      if durable_on && kind = Selfmaint_vm then begin
+        let wal : (Database.t * int, int) Durable.Wal.t =
+          Durable.Wal.create ~group_commit:dur.group_commit ()
+        in
+        aux_wals := (name, wal) :: !aux_wals;
+        Some wal
+      end
+      else None
+    in
+    let aux_applies = ref 0 in
+    let aux_on_apply (txn : Update.Transaction.t) cache =
+      match aux_wal with
+      | None -> ()
+      | Some wal ->
+        Durable.Wal.append wal txn.Update.Transaction.id;
+        incr aux_applies;
+        if !aux_applies mod dur.checkpoint_every = 0 then
+          Durable.Wal.checkpoint wal (cache, txn.Update.Transaction.id)
+    in
     let receive_ref = ref (fun (_ : Update.Transaction.t) -> ()) in
     let integ_link =
       make_link ~name:("integ->" ^ name) (fun txn -> !receive_ref txn)
@@ -1413,6 +1461,11 @@ let run_pipelined cfg =
       incr incarnation;
       Atomic.incr metrics.Metrics.crashes;
       record "%s crashed (losing its in-memory state)" name;
+      (* The auxiliary WAL is a disk: it survives, minus the unsynced
+         tail. *)
+      (match aux_wal with
+      | Some wal -> Durable.Wal.crash wal
+      | None -> ());
       (match integ_link.reliable with
       | Some rl -> Sim.Reliable.set_receiver_down rl true
       | None -> ());
@@ -1464,6 +1517,23 @@ let run_pipelined cfg =
         in
         Viewmgr.Complete_vm.create ~engine ~compute_latency ~exec ?delta_fn
           ~initial ~view ~emit ()
+      | Selfmaint_vm ->
+        let state = !selfmaint_resume in
+        selfmaint_resume := None;
+        (match state with
+        | None ->
+          let plan = Selfmaint.Plan.create ~initial view in
+          let s = Selfmaint.Plan.storage plan in
+          Metrics.add metrics.Metrics.aux_rows s.Selfmaint.Plan.aux_rows;
+          Metrics.add metrics.Metrics.aux_cells s.Selfmaint.Plan.aux_cells;
+          Metrics.add metrics.Metrics.aux_saved_cells
+            (s.Selfmaint.Plan.replica_cells - s.Selfmaint.Plan.aux_cells);
+          Selfmaint.Vm.create ~engine ~compute_latency ~exec
+            ~state:(plan, Selfmaint.Plan.initial_cache plan)
+            ~on_apply:aux_on_apply ~initial ~view ~emit ()
+        | Some st ->
+          Selfmaint.Vm.create ~engine ~compute_latency ~exec ~state:st
+            ~on_apply:aux_on_apply ~initial ~view ~emit ())
       | Batching_vm ->
         Viewmgr.Batching_vm.create ~engine ~compute_latency ~exec ~initial
           ~view ~emit ()
@@ -1535,32 +1605,83 @@ let run_pipelined cfg =
              (fun () ->
                if epoch <> !resync_epoch then ()
                else
-               let base =
-                 Database.restrict initial_db (Query.View.base_relations view)
-               in
-               let vplan =
-                 Query.Compiled.compile ~lookup:(Database.schema base)
-                   view.Query.View.def
-               in
                let head = Integrator.log_head integ in
-               let cache = ref base in
-               let replayed = ref [] in
-               List.iter
-                 (fun (txn, _rel) ->
-                   let changes = Query.Delta.of_transaction txn in
-                   if txn.Update.Transaction.id > w then begin
-                     let delta =
-                       Query.Delta.eval_plan ~exec ~pre:!cache changes vplan
-                     in
-                     let al =
-                       Query.Action_list.delta ~view:name
-                         ~state:txn.Update.Transaction.id delta
-                     in
-                     replayed := al :: !replayed
-                   end;
-                   cache := Database.apply_relevant !cache txn)
-                 (Integrator.replay_for integ ~view:name ~after:0);
-               let lists = List.rev !replayed in
+               let lists, rebuild_initial =
+                 match kind with
+                 | Selfmaint_vm ->
+                   (* Self-maintaining recovery never queries the
+                      sources: the auxiliary state is rebuilt from its
+                      WAL checkpoint (when one exists at or below the
+                      merge watermark — later checkpoints cannot
+                      re-derive the action lists the merge still needs)
+                      plus the integrator log suffix, with every replayed
+                      delta projected exactly like the live path. *)
+                   let plan =
+                     Selfmaint.Plan.create ~initial:initial_db view
+                   in
+                   let start_cache, from_id =
+                     match aux_wal with
+                     | Some wal ->
+                       (match Durable.Wal.recover wal with
+                       | Some (ck, id), _ when id <= w -> (ck, id)
+                       | _ -> (Selfmaint.Plan.initial_cache plan, 0))
+                     | None -> (Selfmaint.Plan.initial_cache plan, 0)
+                   in
+                   let cache = ref start_cache in
+                   let replayed = ref [] in
+                   List.iter
+                     (fun ((txn : Update.Transaction.t), _rel) ->
+                       if txn.Update.Transaction.id > from_id then begin
+                         let changes =
+                           Selfmaint.Plan.project plan
+                             (Query.Delta.of_transaction txn)
+                         in
+                         if txn.Update.Transaction.id > w then begin
+                           let delta =
+                             Selfmaint.Plan.delta ~exec plan ~pre:!cache
+                               changes
+                           in
+                           replayed :=
+                             Query.Action_list.delta ~view:name
+                               ~state:txn.Update.Transaction.id delta
+                             :: !replayed
+                         end;
+                         cache := Selfmaint.Plan.advance plan !cache changes
+                       end)
+                     (Integrator.replay_for integ ~view:name ~after:0);
+                   ( List.rev !replayed,
+                     fun () ->
+                       selfmaint_resume := Some (plan, !cache);
+                       initial_db )
+                 | _ ->
+                   let base =
+                     Database.restrict initial_db
+                       (Query.View.base_relations view)
+                   in
+                   let vplan =
+                     Query.Compiled.compile ~lookup:(Database.schema base)
+                       view.Query.View.def
+                   in
+                   let cache = ref base in
+                   let replayed = ref [] in
+                   List.iter
+                     (fun (txn, _rel) ->
+                       let changes = Query.Delta.of_transaction txn in
+                       if txn.Update.Transaction.id > w then begin
+                         let delta =
+                           Query.Delta.eval_plan ~exec ~pre:!cache changes
+                             vplan
+                         in
+                         let al =
+                           Query.Action_list.delta ~view:name
+                             ~state:txn.Update.Transaction.id delta
+                         in
+                         replayed := al :: !replayed
+                       end;
+                       cache := Database.apply_relevant !cache txn)
+                     (Integrator.replay_for integ ~view:name ~after:0);
+                   (List.rev !replayed, fun () -> !cache)
+               in
                let n = List.length lists in
                Sim.Engine.schedule_after engine
                  (compute_latency ~batch:(max 1 n))
@@ -1568,7 +1689,9 @@ let run_pipelined cfg =
                    if epoch <> !resync_epoch then ()
                    else begin
                    List.iter emit_to_merge lists;
-                   inner := build_inner ~initial:!cache ~inc:!incarnation;
+                   inner :=
+                     build_inner ~initial:(rebuild_initial ())
+                       ~inc:!incarnation;
                    last_id := head;
                    recovering := false;
                    Atomic.incr metrics.Metrics.recoveries;
@@ -1866,9 +1989,14 @@ let run_pipelined cfg =
                    (the paper's ground-truth boundary) and answer a
                    catch-up query for everything at or above the restored
                    numbering position. *)
+                Atomic.incr metrics.Metrics.source_queries;
+                let issued = Sim.Engine.now engine in
                 Sim.Engine.schedule_after engine
                   (sample cfg.latencies.query_roundtrip)
                   (fun () ->
+                    Sim.Stats.Summary.add
+                      metrics.Metrics.source_query_latency
+                      (Sim.Engine.now engine -. issued);
                     let missed =
                       List.filter
                         (fun (t : Update.Transaction.t) ->
@@ -1991,18 +2119,17 @@ let run_pipelined cfg =
   let durability =
     if durable_on then begin
       let a = Durable.Wal.stats wh_wal and b = Durable.Wal.stats integ_wal in
+      let aux =
+        List.map (fun (_, wal) -> Durable.Wal.stats wal) !aux_wals
+      in
+      let total f = List.fold_left (fun acc s -> acc + f s) (f a + f b) aux in
       Some
-        { wal_appends = a.Durable.Disk.appends + b.Durable.Disk.appends;
-          wal_syncs = a.Durable.Disk.syncs + b.Durable.Disk.syncs;
-          wal_bytes =
-            a.Durable.Disk.synced_bytes + b.Durable.Disk.synced_bytes;
-          wal_checkpoints =
-            a.Durable.Disk.checkpoints + b.Durable.Disk.checkpoints;
-          wal_truncated =
-            a.Durable.Disk.truncated_records
-            + b.Durable.Disk.truncated_records;
-          torn_discarded =
-            a.Durable.Disk.torn_discarded + b.Durable.Disk.torn_discarded;
+        { wal_appends = total (fun s -> s.Durable.Disk.appends);
+          wal_syncs = total (fun s -> s.Durable.Disk.syncs);
+          wal_bytes = total (fun s -> s.Durable.Disk.synced_bytes);
+          wal_checkpoints = total (fun s -> s.Durable.Disk.checkpoints);
+          wal_truncated = total (fun s -> s.Durable.Disk.truncated_records);
+          torn_discarded = total (fun s -> s.Durable.Disk.torn_discarded);
           wal_replayed = !wal_replayed;
           commits_restored = !commits_restored;
           dup_wts_dropped = !dup_wts;

@@ -17,6 +17,15 @@
 
 type vm_kind =
   | Complete_vm
+  | Selfmaint_vm
+      (** Complete, self-maintaining: the manager derives warehouse-local
+          auxiliary relations (base-table replicas or keyed projections of
+          join partners — {!Selfmaint.Derive}) and answers every update
+          from them, emitting the same action lists as [Complete_vm] with
+          zero source round trips on the steady-state path. Crash
+          recovery replays the integrator log over the projected
+          auxiliaries (from the auxiliary WAL checkpoint when durable),
+          never re-querying the sources. *)
   | Batching_vm  (** Strongly consistent, greedy batching. *)
   | Strobe_vm  (** Strongly consistent, source-querying. *)
   | Periodic_vm of float  (** Refresh period (simulated seconds). *)

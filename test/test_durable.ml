@@ -265,7 +265,8 @@ let validation_tests =
       "System: process crash faults require semantic_filter = false"
       { base with semantic_filter = true };
     rejects "process crashes need complete view managers"
-      "System: process crash faults require Complete_vm view managers"
+      "System: process crash faults require Complete_vm or Selfmaint_vm view \
+       managers"
       { base with vm_kind = System.Batching_vm };
     rejects "process crashes need the SPA merge"
       "System: process crash faults require the SPA merge"

@@ -181,8 +181,8 @@ let reliable_tests =
     case "crash faults on source-querying managers are rejected" (fun () ->
         Alcotest.check_raises "invalid_arg"
           (Invalid_argument
-             "System: Crash_vm faults support Complete_vm and Batching_vm \
-              managers (log-replay recovery)")
+             "System: Crash_vm faults support Complete_vm, Selfmaint_vm and \
+              Batching_vm managers (log-replay recovery)")
           (fun () ->
             ignore
               (System.run
