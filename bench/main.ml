@@ -35,6 +35,8 @@ let experiments =
     ("distsmoke", Dist_bench.distsmoke);
     ("selfmaint", Selfmaint_bench.run);
     ("selfmaintsmoke", Selfmaint_bench.selfmaintsmoke);
+    ("merge", Merge_bench.run);
+    ("mergesmoke", Merge_bench.mergesmoke);
     ("summary", Summary.run);
     ("micro", Micro.run) ]
 

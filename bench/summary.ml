@@ -147,7 +147,12 @@ let catalogue =
       "selfmaint",
       [ ("freshness_speedup_at_top_rate", "selfmaint_freshness_speedup");
         ("roundtrips_per_update", "selfmaint_roundtrips_per_update");
-        ("aux_saved_cells_pct", "selfmaint_aux_saved_cells_pct") ] ) ]
+        ("aux_saved_cells_pct", "selfmaint_aux_saved_cells_pct") ] );
+    ( "BENCH_merge.json",
+      "merge",
+      [ ("merge_saturation_speedup", "merge_saturation_speedup");
+        ("saturation_rate_fused", "merge_saturation_rate_fused");
+        ("coalesce_cancel_ratio", "merge_coalesce_cancel_ratio") ] ) ]
 
 let history_path = "BENCH_history.jsonl"
 
@@ -271,6 +276,20 @@ let run () =
       List.fold_left
         (fun acc line ->
           match find_number line "tenant_scaling_ratio" with
+          | Some v when v > 0.0 ->
+            Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' (read_file history_path))
+  in
+  (* Last recorded merge fast-path saturation speedup (same discipline;
+     bigger-is-better like the selfmaint gate). *)
+  let previous_merge =
+    if not (Sys.file_exists history_path) then None
+    else
+      List.fold_left
+        (fun acc line ->
+          match find_number line "merge_saturation_speedup" with
           | Some v when v > 0.0 ->
             Some (v, Option.value ~default:"unknown" (find_string line "git_rev"))
           | _ -> acc)
@@ -415,4 +434,35 @@ let run () =
       Printf.printf "regression gate: selfmaint round trips/update = 0 (ok)\n%!"
     | None ->
       Printf.printf "regression gate: no selfmaint round-trip count to check\n%!"
+  end;
+  (* Merge fast-path headline: how much further the fused path pushes
+     the merge's saturation point past per-message merging. Bigger is
+     better — the gate trips when the speedup falls below 1/factor of
+     the last recorded run (the fast path stopped amortizing service
+     events, or per-message merging mysteriously sped up). Simulated
+     time, so any move past the factor is structural. *)
+  if !check_regression then begin
+    let current = List.assoc_opt "merge_saturation_speedup" all_metrics in
+    match (current, previous_merge) with
+    | Some cur, Some (prev_s, prev_rev) ->
+      if prev_s > 0.0 && cur < prev_s /. regression_factor then begin
+        Printf.printf
+          "REGRESSION: merge saturation speedup at %.2fx, down from %.2fx \
+           recorded at %s (gate: %.1fx)\n\
+           %!"
+          cur prev_s prev_rev regression_factor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "regression gate: merge saturation speedup %.2fx vs %.2fx (ok)\n%!"
+          cur prev_s
+    | Some cur, None ->
+      Printf.printf
+        "regression gate: no prior merge saturation speedup (recorded \
+         %.2fx)\n\
+         %!"
+        cur
+    | None, _ ->
+      Printf.printf "regression gate: no merge saturation speedup to check\n%!"
   end

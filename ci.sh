@@ -26,6 +26,10 @@ dune build @dist-smoke
 # Self-maintenance: Selfmaint_vm must be trace-identical to Complete_vm
 # on every paper scenario (1 and 4 domains) with zero source queries.
 dune build @selfmaint-smoke
+# Merge fast path: the coalesced default must be trace-identical to
+# per-message merging on every paper scenario (1 and 4 domains); every
+# fused run must pass certify_fused and stay strongly consistent.
+dune build @merge-smoke
 # Fold every BENCH_*.json headline into BENCH_summary.json, append this
 # run to BENCH_history.jsonl, and fail if the kernel headline regressed
 # more than 1.5x against the last recorded run of the same kernel.

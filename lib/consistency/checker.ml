@@ -569,6 +569,136 @@ let certify_recovery ~expected ~applied ~served =
   { no_loss = missing = []; no_double_apply = doubled = [];
     monotonic_serving = non_monotonic = []; rc_detail = detail }
 
+(* ---- fused-merge certificate ----
+
+   The [Fused] merge policy releases a ready run of warehouse
+   transactions as one fused transaction — the paper's batching
+   consistency level: the warehouse may skip the run's intermediate
+   states but must land exactly on its endpoint. Like [certify_recovery]
+   this is pure re-checking of recorded data, independent of the cut
+   search: the fused transaction must carry exactly its parts (coverage),
+   no emitted row may be fused twice (no_dup), the parts must be
+   consecutive in emission order (contiguous), and replaying the parts
+   one by one from the recorded pre-state must reproduce the recorded
+   post-state (exact) — a tampered coalesced sum fails that clause. *)
+
+type fused_batch = {
+  fb_parts : (int list * Query.Action_list.t list) list;
+      (* constituent transactions in emission order: (rows, action lists) *)
+  fb_rows : int list; (* the fused transaction's covered rows *)
+  fb_actions : Query.Action_list.t list; (* its action lists, in order *)
+  fb_pre : Database.t;
+  fb_post : Database.t;
+}
+
+type fused_certificate = {
+  fused_coverage : bool;
+  fused_no_dup : bool;
+  fused_contiguous : bool;
+  fused_exact : bool;
+  fc_detail : string;
+}
+
+let certify_fused ~emitted ~batches =
+  let fail = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> fail := m :: !fail) fmt in
+  let coverage = ref true and no_dup = ref true in
+  let contiguous = ref true and exact = ref true in
+  let seen_rows = Hashtbl.create 64 in
+  let al_key (al : Query.Action_list.t) = (al.view, al.state) in
+  List.iteri
+    (fun b batch ->
+      let part_rows = List.concat_map fst batch.fb_parts in
+      let part_actions = List.concat_map snd batch.fb_parts in
+      (* Coverage: the fused transaction is exactly its parts. *)
+      if
+        List.sort_uniq Int.compare part_rows
+        <> List.sort_uniq Int.compare batch.fb_rows
+      then begin
+        coverage := false;
+        note "batch %d covers different rows than its parts" b
+      end;
+      if
+        List.length part_actions <> List.length batch.fb_actions
+        || not
+             (List.for_all2
+                (fun a a' -> al_key a = al_key a')
+                part_actions batch.fb_actions)
+      then begin
+        coverage := false;
+        note "batch %d carries different action lists than its parts" b
+      end;
+      (* No row fused twice across batches. *)
+      List.iter
+        (fun r ->
+          if Hashtbl.mem seen_rows r then begin
+            no_dup := false;
+            note "row %d appears in two fused batches" r
+          end
+          else Hashtbl.add seen_rows r ())
+        part_rows;
+      (* Exact: sequential replay of the parts from the pre-state lands
+         on the recorded post-state. *)
+      let replayed =
+        List.fold_left
+          (fun db (_, als) ->
+            List.fold_left
+              (fun db (al : Query.Action_list.t) ->
+                match Database.find_opt db al.view with
+                | None ->
+                  exact := false;
+                  note "batch %d targets unknown view %s" b al.view;
+                  db
+                | Some rel ->
+                  let contents =
+                    Query.Action_list.apply al (Relation.contents rel)
+                  in
+                  Database.add al.view
+                    (Relation.with_contents rel contents)
+                    db)
+              db als)
+          batch.fb_pre batch.fb_parts
+      in
+      List.iter
+        (fun name ->
+          let same =
+            match
+              ( Database.find_opt replayed name,
+                Database.find_opt batch.fb_post name )
+            with
+            | Some a, Some p -> Relation.equal_contents a p
+            | None, None -> true
+            | _ -> false
+          in
+          if not same then begin
+            exact := false;
+            note
+              "batch %d: view %s diverges from sequential application of \
+               its parts"
+              b name
+          end)
+        (Database.names batch.fb_post))
+    batches;
+  (* Contiguous: the batches, in commit order, partition the emission
+     sequence — every emitted transaction fused exactly once, in order. *)
+  let fused_seq = List.concat_map (fun b -> List.map fst b.fb_parts) batches in
+  if fused_seq <> emitted then begin
+    contiguous := false;
+    note "fused batches do not partition the emission sequence in order"
+  end;
+  { fused_coverage = !coverage; fused_no_dup = !no_dup;
+    fused_contiguous = !contiguous; fused_exact = !exact;
+    fc_detail =
+      (match List.rev !fail with [] -> "ok" | first :: _ -> first) }
+
+let certified_fused c =
+  c.fused_coverage && c.fused_no_dup && c.fused_contiguous && c.fused_exact
+
+let pp_fused ppf c =
+  Format.fprintf ppf "{coverage=%b no_dup=%b contiguous=%b exact=%b; %s}"
+    c.fused_coverage c.fused_no_dup c.fused_contiguous c.fused_exact
+    c.fc_detail
+
 let check_single_view ~view ~transactions ~source_states ~contents =
   let schema =
     match source_states with

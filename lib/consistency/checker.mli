@@ -188,3 +188,54 @@ val certified_distributed : distributed_certificate -> bool
 (** All four clauses hold. *)
 
 val pp_distributed : Format.formatter -> distributed_certificate -> unit
+
+(** {2 Fused-merge certificate}
+
+    The merge fast path's opt-in [Fused] policy releases a ready run of
+    warehouse transactions as one fused transaction — the paper's
+    batching consistency level: the warehouse may skip the run's
+    intermediate states but must land exactly on its endpoint. The
+    certificate re-checks the recorded fusions, independent of the cut
+    search. *)
+
+type fused_batch = {
+  fb_parts : (int list * Query.Action_list.t list) list;
+      (** The constituent transactions in emission order, each as its
+          covered source-transaction rows and its action lists. *)
+  fb_rows : int list;  (** Rows the fused transaction claims to cover. *)
+  fb_actions : Query.Action_list.t list;
+      (** The fused transaction's action lists, in application order. *)
+  fb_pre : Database.t;  (** Warehouse state before the fused commit. *)
+  fb_post : Database.t;  (** Recorded state after it. *)
+}
+
+type fused_certificate = {
+  fused_coverage : bool;
+      (** Each fused transaction covers exactly its parts' rows and
+          carries exactly their action lists, in order. *)
+  fused_no_dup : bool;
+      (** No source transaction row was fused into two batches. *)
+  fused_contiguous : bool;
+      (** The batches, in commit order, partition the merge's emission
+          sequence — runs are consecutive, nothing skipped. *)
+  fused_exact : bool;
+      (** Replaying each batch's parts one by one from its recorded
+          pre-state reproduces its recorded post-state: fusing (and any
+          coalesced summing inside it) changed no view contents. A
+          tampered coalesced sum fails here. *)
+  fc_detail : string;  (** First violation, or ["ok"]. *)
+}
+
+val certify_fused :
+  emitted:int list list ->
+  batches:fused_batch list ->
+  fused_certificate
+(** [emitted] is the merge's emission sequence — per emitted warehouse
+    transaction, in order, its covered rows; [batches] is every fused
+    commit in commit order. Pure — no search, no budgets: a violated
+    clause is a real violation. *)
+
+val certified_fused : fused_certificate -> bool
+(** All four clauses hold. *)
+
+val pp_fused : Format.formatter -> fused_certificate -> unit

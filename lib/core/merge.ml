@@ -72,6 +72,20 @@ let wts_emitted t =
   | Passthrough_impl p -> p.emitted
   | Holdall_impl _ -> 0
 
+let runs_emitted t =
+  match t.impl with
+  | Spa_impl spa -> (Spa.stats spa).runs_emitted
+  | Pa_impl pa -> (Pa.stats pa).wts_emitted
+  | Passthrough_impl p -> p.emitted
+  | Holdall_impl _ -> 0
+
+let max_run_rows t =
+  match t.impl with
+  | Spa_impl spa -> (Spa.stats spa).max_run_rows
+  | Pa_impl pa -> (Pa.stats pa).max_rows_per_wt
+  | Passthrough_impl p -> if p.emitted > 0 then 1 else 0
+  | Holdall_impl _ -> 0
+
 let algorithm_name = function
   | Spa -> "SPA"
   | Pa -> "PA"

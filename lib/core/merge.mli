@@ -45,4 +45,12 @@ val flush : t -> unit
 
 val wts_emitted : t -> int
 
+val runs_emitted : t -> int
+(** Ready runs released so far: for SPA, maximal cascades of rows unlocked
+    by one incoming message; for PA, applied closures; for pass-through,
+    emitted lists. 0 for hold-all. *)
+
+val max_run_rows : t -> int
+(** Longest ready run, in VUT rows. *)
+
 val algorithm_name : algorithm -> string

@@ -70,8 +70,7 @@ let is_red (e : Vut.entry) = e.color = Vut.Red
 let rec collect t i =
   if Int_set.mem i t.apply_rows then true
   else if not (Vut.has_row t.vut i) then false
-  else if Vut.exists_in_row t.vut ~row:i (fun _ e -> e.color = Vut.White)
-  then false
+  else if Vut.white_count t.vut ~row:i > 0 then false
   else begin
     t.apply_rows <- Int_set.add i t.apply_rows;
     let views = Vut.views t.vut in
@@ -112,7 +111,11 @@ let rec apply_closure t =
   t.max_rows_per_wt <- max t.max_rows_per_wt (List.length rows);
   t.emit (Warehouse.Wt.make ~rows actions);
   (* Line 9: applying may enable later rows; each rescan is a fresh
-     top-level attempt. *)
+     top-level attempt. A row can only have become appliable because a
+     cell of this closure went red -> gray in one of its columns, so the
+     rescan probes nextRed from the closure's own gray cells instead of
+     scanning the whole table: any extra target the full scan would have
+     produced is either already purged or still blocked, and no-ops. *)
   let targets =
     List.concat_map
       (fun row ->
@@ -124,13 +127,17 @@ let rec apply_closure t =
               if next <> 0 then Some next else None
             else None)
           views)
-      (Vut.rows t.vut)
+      rows
   in
   List.iter (top_process_row t) (List.sort_uniq Int.compare targets);
-  (* Line 10 *)
+  (* Line 10: only the closure's rows can have newly become purgeable
+     (every cell gray or black after Line 6), so purge exactly those —
+     descendant rescans purge their own closures. *)
   List.iter
-    (fun row -> if Vut.purgeable t.vut ~row then Vut.purge_row t.vut row)
-    (Vut.rows t.vut)
+    (fun row ->
+      if Vut.has_row t.vut row && Vut.purgeable t.vut ~row then
+        Vut.purge_row t.vut row)
+    rows
 
 and top_process_row t i =
   t.apply_rows <- Int_set.empty;

@@ -4,6 +4,8 @@ type stats = {
   wts_emitted : int;
   empty_rels : int;
   max_live_rows : int;
+  runs_emitted : int;
+  max_run_rows : int;
 }
 
 type t = {
@@ -20,13 +22,18 @@ type t = {
   mutable wts_emitted : int;
   mutable empty_rels : int;
   mutable max_live_rows : int;
+  mutable run_rows : int;
+      (* Rows emitted by the cascade currently in flight (the ready run a
+         single incoming message unlocked via nextRed chains). *)
+  mutable runs_emitted : int;
+  mutable max_run_rows : int;
 }
 
 let create ~views ~emit () =
   { vut = Vut.create ~views; emit; pending = Hashtbl.create 64;
     watermark = Hashtbl.create 16; held = 0;
     rels_received = 0; als_received = 0; wts_emitted = 0; empty_rels = 0;
-    max_live_rows = 0 }
+    max_live_rows = 0; run_rows = 0; runs_emitted = 0; max_run_rows = 0 }
 
 let vut t = t.vut
 
@@ -37,7 +44,8 @@ let quiescent t = Vut.row_count t.vut = 0 && t.held = 0
 let stats t =
   { rels_received = t.rels_received; als_received = t.als_received;
     wts_emitted = t.wts_emitted; empty_rels = t.empty_rels;
-    max_live_rows = t.max_live_rows }
+    max_live_rows = t.max_live_rows; runs_emitted = t.runs_emitted;
+    max_run_rows = t.max_run_rows }
 
 let buffered t row =
   match Hashtbl.find_opt t.pending row with Some als -> als | None -> []
@@ -47,15 +55,17 @@ let is_red (e : Vut.entry) = e.color = Vut.Red
 (* Procedure ProcessRow(i), Algorithm 1. *)
 let rec process_row t i =
   if Vut.has_row t.vut i then begin
-    (* Line 1: some action list of the row has not arrived. *)
-    let some_white =
-      Vut.exists_in_row t.vut ~row:i (fun _ e -> e.color = Vut.White)
-    in
+    (* Line 1: some action list of the row has not arrived. The per-row
+       completion counter answers this in O(1) — no column scan. *)
+    let some_white = Vut.white_count t.vut ~row:i > 0 in
     (* Line 2: an earlier action list from the same view manager is still
-       unapplied; lists must reach the warehouse in generation order. *)
+       unapplied; lists must reach the warehouse in generation order. A row
+       with no red cells cannot be blocked, so the counter short-circuits
+       the per-column index probes. *)
     let blocked_by_earlier =
-      Vut.exists_in_row t.vut ~row:i (fun view e ->
-          is_red e && Vut.has_earlier_red t.vut ~row:i ~view)
+      Vut.red_count t.vut ~row:i > 0
+      && Vut.exists_in_row t.vut ~row:i (fun view e ->
+             is_red e && Vut.has_earlier_red t.vut ~row:i ~view)
     in
     if not (some_white || blocked_by_earlier) then begin
       (* Line 3: red -> gray. *)
@@ -69,6 +79,7 @@ let rec process_row t i =
       Hashtbl.remove t.pending i;
       t.held <- t.held - List.length actions;
       t.wts_emitted <- t.wts_emitted + 1;
+      t.run_rows <- t.run_rows + 1;
       t.emit (Warehouse.Wt.make ~rows:[ i ] actions);
       (* Line 5: applying this row may enable later rows. *)
       List.iter
@@ -111,6 +122,15 @@ let process_action t (al : Query.Action_list.t) =
   Vut.set_color t.vut ~row:al.state ~view:al.view Vut.Red;
   process_row t al.state
 
+(* One incoming message unlocks at most one cascade of emissions (a ready
+   run); close it out so run lengths feed the merge batch histogram. *)
+let finish_run t =
+  if t.run_rows > 0 then begin
+    t.runs_emitted <- t.runs_emitted + 1;
+    t.max_run_rows <- max t.max_run_rows t.run_rows;
+    t.run_rows <- 0
+  end
+
 let receive_rel t ~row ~rel:views =
   t.rels_received <- t.rels_received + 1;
   if views = [] then
@@ -120,7 +140,8 @@ let receive_rel t ~row ~rel:views =
   else begin
     Vut.add_row t.vut ~row ~rel:views;
     t.max_live_rows <- max t.max_live_rows (Vut.row_count t.vut);
-    List.iter (process_action t) (buffered t row)
+    List.iter (process_action t) (buffered t row);
+    finish_run t
   end
 
 let check_watermark t (al : Query.Action_list.t) =
@@ -142,4 +163,7 @@ let receive_action_list t (al : Query.Action_list.t) =
   t.held <- t.held + 1;
   let existing = buffered t al.state in
   Hashtbl.replace t.pending al.state (existing @ [ al ]);
-  if Vut.has_row t.vut al.state then process_action t al
+  if Vut.has_row t.vut al.state then begin
+    process_action t al;
+    finish_run t
+  end

@@ -22,6 +22,10 @@ type stats = {
   wts_emitted : int;
   empty_rels : int;  (** Transactions relevant to no view. *)
   max_live_rows : int;  (** High-water mark of the VUT. *)
+  runs_emitted : int;
+      (** Cascades: maximal groups of rows released by one incoming
+          message via nextRed chains (the merge fast path's ready runs). *)
+  max_run_rows : int;  (** Longest such cascade, in rows. *)
 }
 
 type t

@@ -9,7 +9,11 @@ module Int_set = Set.Make (Int)
 
 type cell = { mutable color : color; mutable state : int }
 
-type row = cell array
+(* Each live row also carries completion counters — how many of its cells
+   are currently white / red — so the per-row guards the merge algorithms
+   ask on every message ("does this row still wait for a list", "is this
+   row fully received") are O(1) instead of a scan across the columns. *)
+type row = { cells : cell array; mutable n_white : int; mutable n_red : int }
 
 (* Besides the row-major table the VUT keeps, per column (view), the sorted
    sets of row numbers currently white and currently red. Every merge guard
@@ -58,6 +62,16 @@ let track_color t ~row ~col old_color new_color =
   | Red -> t.reds.(col) <- Int_set.add row t.reds.(col)
   | Gray | Black -> ()
 
+let bump r old_color new_color =
+  (match old_color with
+  | White -> r.n_white <- r.n_white - 1
+  | Red -> r.n_red <- r.n_red - 1
+  | Gray | Black -> ());
+  match new_color with
+  | White -> r.n_white <- r.n_white + 1
+  | Red -> r.n_red <- r.n_red + 1
+  | Gray | Black -> ()
+
 let add_row t ~row ~rel =
   if Int_map.mem row t.table then protocol_error "row %d already exists" row;
   let cells =
@@ -69,7 +83,12 @@ let add_row t ~row ~rel =
       cells.(col) <- { color = White; state = 0 };
       track_color t ~row ~col Black White)
     rel;
-  t.table <- Int_map.add row cells t.table
+  let n_white =
+    Array.fold_left
+      (fun acc c -> if c.color = White then acc + 1 else acc)
+      0 cells
+  in
+  t.table <- Int_map.add row { cells; n_white; n_red = 0 } t.table
 
 let has_row t row = Int_map.mem row t.table
 
@@ -77,10 +96,12 @@ let rows t = List.map fst (Int_map.bindings t.table)
 
 let row_count t = Int_map.cardinal t.table
 
-let cell t ~row ~view =
+let find_row t row =
   match Int_map.find_opt row t.table with
   | None -> protocol_error "row %d is not in the VUT" row
-  | Some cells -> cells.(index t view)
+  | Some r -> r
+
+let cell t ~row ~view = (find_row t row).cells.(index t view)
 
 let entry t ~row ~view =
   let c = cell t ~row ~view in
@@ -88,43 +109,46 @@ let entry t ~row ~view =
 
 let set_color t ~row ~view color =
   let col = index t view in
-  let c = cell t ~row ~view in
+  let r = find_row t row in
+  let c = r.cells.(col) in
   if c.color <> color then begin
     track_color t ~row ~col c.color color;
+    bump r c.color color;
     c.color <- color
   end
 
 let set_state t ~row ~view state = (cell t ~row ~view).state <- state
 
+let white_count t ~row = (find_row t row).n_white
+
+let red_count t ~row = (find_row t row).n_red
+
 let exists_in_row t ~row f =
-  match Int_map.find_opt row t.table with
-  | None -> protocol_error "row %d is not in the VUT" row
-  | Some cells ->
-    let n = Array.length cells in
-    let rec loop i =
-      i < n
-      && (f t.view_order.(i) ({ color = cells.(i).color; state = cells.(i).state } : entry)
-         || loop (i + 1))
-    in
-    loop 0
+  let cells = (find_row t row).cells in
+  let n = Array.length cells in
+  let rec loop i =
+    i < n
+    && (f t.view_order.(i)
+          ({ color = cells.(i).color; state = cells.(i).state } : entry)
+       || loop (i + 1))
+  in
+  loop 0
 
 let fold_row t ~row f init =
-  match Int_map.find_opt row t.table with
-  | None -> protocol_error "row %d is not in the VUT" row
-  | Some cells ->
-    let acc = ref init in
-    Array.iteri
-      (fun i c ->
-        acc := f t.view_order.(i) ({ color = c.color; state = c.state } : entry) !acc)
-      cells;
-    !acc
+  let cells = (find_row t row).cells in
+  let acc = ref init in
+  Array.iteri
+    (fun i c ->
+      acc := f t.view_order.(i) ({ color = c.color; state = c.state } : entry) !acc)
+    cells;
+  !acc
 
 let earlier_with t ~row ~view pred =
   let col = index t view in
   Int_map.fold
-    (fun i cells acc ->
+    (fun i r acc ->
       if i < row
-         && pred ({ color = cells.(col).color; state = cells.(col).state } : entry)
+         && pred ({ color = r.cells.(col).color; state = r.cells.(col).state } : entry)
       then i :: acc
       else acc)
     t.table []
@@ -156,14 +180,13 @@ let next_red t ~row ~view =
 let purge_row t row =
   (match Int_map.find_opt row t.table with
   | None -> ()
-  | Some cells ->
-    Array.iteri (fun col c -> track_color t ~row ~col c.color Black) cells);
+  | Some r ->
+    Array.iteri (fun col c -> track_color t ~row ~col c.color Black) r.cells);
   t.table <- Int_map.remove row t.table
 
 let purgeable t ~row =
-  not
-    (exists_in_row t ~row (fun _ e ->
-         match e.color with White | Red -> true | Gray | Black -> false))
+  let r = find_row t row in
+  r.n_white = 0 && r.n_red = 0
 
 let white_rows_up_to t ~view i =
   let col = index t view in
@@ -177,17 +200,15 @@ let color_letter = function
   | Black -> "b"
 
 let render_row t ?(show_state = false) row =
-  match Int_map.find_opt row t.table with
-  | None -> protocol_error "row %d is not in the VUT" row
-  | Some cells ->
-    let render_cell i c =
-      if show_state then
-        Printf.sprintf "%s=(%s,%d)" t.view_order.(i) (color_letter c.color)
-          c.state
-      else Printf.sprintf "%s=%s" t.view_order.(i) (color_letter c.color)
-    in
-    Printf.sprintf "U%d: %s" row
-      (String.concat " " (Array.to_list (Array.mapi render_cell cells)))
+  let cells = (find_row t row).cells in
+  let render_cell i c =
+    if show_state then
+      Printf.sprintf "%s=(%s,%d)" t.view_order.(i) (color_letter c.color)
+        c.state
+    else Printf.sprintf "%s=%s" t.view_order.(i) (color_letter c.color)
+  in
+  Printf.sprintf "U%d: %s" row
+    (String.concat " " (Array.to_list (Array.mapi render_cell cells)))
 
 let render ?show_state t =
   String.concat "\n" (List.map (render_row t ?show_state) (rows t))

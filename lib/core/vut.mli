@@ -52,6 +52,17 @@ val set_color : t -> row:int -> view:string -> color -> unit
 
 val set_state : t -> row:int -> view:string -> int -> unit
 
+val white_count : t -> row:int -> int
+(** Number of white cells in the row — O(1), maintained incrementally by
+    [add_row]/[set_color]. [white_count = 0] is SPA/PA's "no list still
+    outstanding for this update" guard without a column scan.
+    @raise Protocol_error if the row is absent. *)
+
+val red_count : t -> row:int -> int
+(** Number of red cells in the row — O(1). A row with [white_count = 0]
+    and [red_count = 0] is fully applied (purgeable).
+    @raise Protocol_error if the row is absent. *)
+
 val exists_in_row : t -> row:int -> (string -> entry -> bool) -> bool
 
 val fold_row : t -> row:int -> (string -> entry -> 'a -> 'a) -> 'a -> 'a

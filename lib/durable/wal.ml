@@ -14,6 +14,15 @@ let append t r =
   Disk.append t.disk (encode r);
   if Disk.pending t.disk >= t.group_commit then sync t
 
+(* One durable frame for a whole ready run: every record lands, then a
+   single sync — regardless of [group_commit]. The caller must be at a
+   commit boundary for all of them (they become durable together). *)
+let append_group t rs =
+  if rs <> [] then begin
+    List.iter (fun r -> Disk.append t.disk (encode r)) rs;
+    sync t
+  end
+
 let checkpoint t ck = Disk.write_checkpoint t.disk (encode ck)
 
 let checkpoint_add t ck = Disk.add_checkpoint t.disk (encode ck)

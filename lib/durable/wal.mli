@@ -18,6 +18,13 @@ val create : ?group_commit:int -> unit -> ('ck, 'r) t
 
 val append : ('ck, 'r) t -> 'r -> unit
 
+val append_group : ('ck, 'r) t -> 'r list -> unit
+(** Append every record and sync exactly once: one durable group frame
+    for a ready run released as a unit (the merge fast path's [Fused]
+    policy commits a run this way). All records become durable together,
+    so the caller must be at a commit boundary for the whole group; an
+    empty list is a no-op and does not sync. *)
+
 val sync : ('ck, 'r) t -> unit
 (** Force the buffered records durable now (commit boundaries). *)
 

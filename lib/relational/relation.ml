@@ -73,6 +73,8 @@ let index t ~key_pos =
     t.idxs <- (key_pos, idx) :: t.idxs;
     idx
 
+let index_stats t = List.map (fun (_, idx) -> Bag_index.occupancy idx) t.idxs
+
 let cardinal t = Bag.cardinal t.contents
 
 let is_empty t = Bag.is_empty t.contents

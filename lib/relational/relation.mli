@@ -39,6 +39,11 @@ val index : t -> key_pos:int array -> Bag_index.t
     returned index is shared — callers must treat it as read-only
     (never {!Bag_index.apply_signed} it); the delta rules only probe. *)
 
+val index_stats : t -> Bag_index.occupancy list
+(** Occupancy of every memoized index of this relation version (empty if
+    none has been built) — surfaced through the system metrics so index
+    churn is observable next to the merge batch counters. *)
+
 val cardinal : t -> int
 
 val is_empty : t -> bool

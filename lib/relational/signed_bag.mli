@@ -51,6 +51,15 @@ val applies_exactly : t -> Bag.t -> bool
 (** True when applying [delta] to [bag] would not floor any multiplicity,
     i.e. the delta's deletions are all present. *)
 
+val coalesce : t list -> bag:Bag.t -> t option
+(** [coalesce deltas ~bag] is [Some] of the pointwise sum of [deltas]
+    when applying the sum to [bag] is guaranteed to equal applying the
+    deltas one by one in order — i.e. no intermediate application would
+    floor a multiplicity at zero ({!apply}'s clamp). [None] means the
+    sum may be unfaithful and the caller must fall back to sequential
+    application. [coalesce [] ~bag = Some zero]; a singleton always
+    coalesces to itself. *)
+
 val map : (Tuple.t -> Tuple.t) -> t -> t
 
 val filter : (Tuple.t -> bool) -> t -> t

@@ -94,6 +94,158 @@ let apply t ?(time = 0.0) (wt : Wt.t) =
   t.len <- t.len + 1;
   prune t
 
+(* ---- merge fast path: batched run application ----
+
+   A ready run of warehouse transactions is planned as a whole: the
+   per-view action lists of each transaction are summed (opposing deltas
+   cancel) and each view's post-state timeline is computed in a single
+   in-order walk, independent per view — so the per-view walks can be
+   fanned across a domain pool via [run_tasks]. The plan then installs
+   the same per-WT state sequence the one-at-a-time [apply] would have
+   produced: views untouched by a transaction share their relation (and
+   its memoized chunks/indexes) by pointer, and summing is guarded by
+   {!Signed_bag.coalesce} so a sum that clamping could make unfaithful
+   falls back to sequential application of that group. *)
+
+type run_plan = {
+  planned : (Wt.t * Database.t) list;
+  coalesced_in : int;
+  coalesced_out : int;
+  seq_fallbacks : int;
+}
+
+let plan_run ?(run_tasks = List.iter (fun task -> task ())) t wts =
+  let wts = Array.of_list wts in
+  let n = Array.length wts in
+  (* Per view, the transactions that touch it, with the view's action
+     lists of each transaction in application order. *)
+  let order = ref [] in
+  let groups : (string, (int * Query.Action_list.t list) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun i (wt : Wt.t) ->
+      List.iter
+        (fun (al : Query.Action_list.t) ->
+          let cell =
+            match Hashtbl.find_opt groups al.view with
+            | Some cell -> cell
+            | None ->
+              let cell = ref [] in
+              Hashtbl.add groups al.view cell;
+              order := al.view :: !order;
+              cell
+          in
+          match !cell with
+          | (j, als) :: rest when j = i -> cell := (j, al :: als) :: rest
+          | _ -> cell := (i, [ al ]) :: !cell)
+        wt.actions)
+    wts;
+  let views = Array.of_list (List.rev !order) in
+  let n_views = Array.length views in
+  let timelines = Array.make n_views [] in
+  let c_in = Array.make n_views 0 in
+  let c_out = Array.make n_views 0 in
+  let fallbacks = Array.make n_views 0 in
+  let plan_view v =
+    let name = views.(v) in
+    let rel0 =
+      match Database.find_opt t.current name with
+      | Some rel -> rel
+      | None -> raise (Unknown_view name)
+    in
+    let vgroups =
+      List.rev_map (fun (i, als) -> (i, List.rev als)) !(Hashtbl.find groups name)
+    in
+    let rel = ref rel0 in
+    let timeline =
+      List.map
+        (fun (i, als) ->
+          let contents = Relation.contents !rel in
+          let deltas =
+            List.filter_map
+              (fun (al : Query.Action_list.t) ->
+                match al.payload with
+                | Query.Action_list.Delta d -> Some d
+                | Query.Action_list.Refresh _ -> None)
+              als
+          in
+          let contents' =
+            if List.length deltas <> List.length als then
+              (* A refresh overwrites rather than composes: apply the
+                 group one list at a time. *)
+              List.fold_left
+                (fun acc al -> Query.Action_list.apply al acc)
+                contents als
+            else begin
+              List.iter
+                (fun d -> c_in.(v) <- c_in.(v) + Signed_bag.size d)
+                deltas;
+              match Signed_bag.coalesce deltas ~bag:contents with
+              | Some net ->
+                c_out.(v) <- c_out.(v) + Signed_bag.size net;
+                Signed_bag.apply net contents
+              | None ->
+                (* The sum could clamp differently from the sequence —
+                   stay faithful. *)
+                fallbacks.(v) <- fallbacks.(v) + 1;
+                c_out.(v)
+                <- c_out.(v)
+                   + List.fold_left
+                       (fun acc d -> acc + Signed_bag.size d)
+                       0 deltas;
+                List.fold_left
+                  (fun acc d -> Signed_bag.apply d acc)
+                  contents deltas
+            end
+          in
+          rel := Relation.with_contents !rel contents';
+          (i, !rel))
+        vgroups
+    in
+    timelines.(v) <- timeline;
+    (* Warm the run's final chunk off the hot path: serving reads after
+       the run hit a prebuilt snapshot instead of encoding on demand. *)
+    if !Columnar.enabled then ignore (Relation.columnar !rel)
+  in
+  run_tasks (List.init n_views (fun v () -> plan_view v));
+  (* Scatter the per-view timelines back into per-transaction updates and
+     roll the database forward once per transaction. *)
+  let updates = Array.make n [] in
+  Array.iteri
+    (fun v timeline ->
+      List.iter
+        (fun (i, rel) -> updates.(i) <- (views.(v), rel) :: updates.(i))
+        timeline)
+    timelines;
+  let planned = ref [] in
+  let db = ref t.current in
+  Array.iteri
+    (fun i (wt : Wt.t) ->
+      db :=
+        List.fold_left
+          (fun acc (name, rel) -> Database.add name rel acc)
+          !db
+          (List.rev updates.(i));
+      planned := (wt, !db) :: !planned)
+    wts;
+  { planned = List.rev !planned;
+    coalesced_in = Array.fold_left ( + ) 0 c_in;
+    coalesced_out = Array.fold_left ( + ) 0 c_out;
+    seq_fallbacks = Array.fold_left ( + ) 0 fallbacks }
+
+let apply_planned t ?(time = 0.0) (wt : Wt.t) state =
+  t.current <- state;
+  ensure_room t;
+  t.buf.(t.start + t.len) <- Some { time; transaction = wt; state };
+  t.len <- t.len + 1;
+  prune t
+
+let commit_run t ?time wts =
+  let plan = plan_run t wts in
+  List.iter (fun (wt, state) -> apply_planned t ?time wt state) plan.planned;
+  plan
+
 let commits t = List.init t.len (fun i -> nth t i)
 
 let commits_from t i =

@@ -64,6 +64,43 @@ val apply : t -> ?time:float -> Wt.t -> unit
     from the simulation clock.
     @raise Unknown_view if an action list targets an unknown view. *)
 
+type run_plan = {
+  planned : (Wt.t * Database.t) list;
+      (** One entry per transaction of the run, in order, with the
+          warehouse state vector after it — exactly the states the
+          one-at-a-time {!apply} would have recorded. *)
+  coalesced_in : int;
+      (** Elementary delta operations fed into per-transaction summing. *)
+  coalesced_out : int;
+      (** Operations left after summing — [1 - out/in] is the
+          cancellation ratio. *)
+  seq_fallbacks : int;
+      (** (transaction, view) groups where the clamp guard refused the
+          sum and the group was applied list by list. *)
+}
+
+val plan_run :
+  ?run_tasks:((unit -> unit) list -> unit) -> t -> Wt.t list -> run_plan
+(** Plan a ready run of transactions against the current state without
+    committing it. Per view, the run's action lists are summed
+    transaction by transaction ({!Signed_bag.coalesce} guards against
+    clamping divergence) and the view's relation timeline is built in
+    one walk; views untouched by a transaction share their relation by
+    pointer. [run_tasks] executes the independent per-view walks — pass
+    a domain-pool iterator to fan them out (default: run in place). The
+    plan is only valid while no other commit intervenes.
+    @raise Unknown_view if an action list targets an unknown view. *)
+
+val apply_planned : t -> ?time:float -> Wt.t -> Database.t -> unit
+(** Install one planned entry as a commit, identical in shape and
+    sequence to what {!apply} records. Entries of a plan must be
+    installed in order, with no interleaved {!apply}. *)
+
+val commit_run : t -> ?time:float -> Wt.t list -> run_plan
+(** [plan_run] + install every entry at one [time]: the run committed as
+    a batch (the paper's batching consistency level releases a run this
+    way). Returns the plan for its counters. *)
+
 val commits : t -> commit list
 (** Retained committed transactions, oldest first (all of them under
     [Keep_all]). *)

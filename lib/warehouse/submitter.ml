@@ -1,6 +1,21 @@
 type policy = Serial | Dependency | Batched of int
 
-type entry = { wt : Wt.t; mutable committing : bool }
+(* A ready run submitted as one unit: the per-entry commits keep their
+   own latency samples and commit times (identical event schedule to
+   per-item submission), but the store work is planned once for the
+   whole run — at the first entry's commit, when the store sits exactly
+   at the run's pre-state — and each entry installs its precomputed
+   state. Serial FIFO ordering guarantees the run's entries commit
+   contiguously, which is what makes planning at the first commit
+   sound. *)
+type run = { run_wts : Wt.t list; mutable plan : Store.run_plan option }
+
+type entry = {
+  wt : Wt.t;
+  mutable committing : bool;
+  run : run option;
+  run_pos : int;
+}
 
 type t = {
   engine : Sim.Engine.t;
@@ -8,9 +23,15 @@ type t = {
   commit_latency : unit -> float;
   batch_timeout : float;
   store : Store.t;
+  run_tasks : ((unit -> unit) list -> unit) option;
   pre_commit : time:float -> Wt.t -> unit;
   on_commit : Wt.t -> unit;
-  mutable queue : entry list; (* submission order: oldest first *)
+  on_plan : Store.run_plan -> unit;
+  (* Submission-order queue as a front list + reversed rear list, so a
+     burst of transactions becoming ready at the same simulated instant
+     drains into the queue in one pass instead of an O(n) append each. *)
+  mutable front : entry list;
+  mutable rear : entry list;
   mutable batch : Wt.t list; (* reversed accumulation, Batched only *)
   mutable batch_flush_scheduled : bool;
   mutable busy : bool; (* Serial / Batched: a commit in progress *)
@@ -19,18 +40,65 @@ type t = {
 }
 
 let create engine ~policy ~commit_latency ?(batch_timeout = 0.05) ~store
-    ?(pre_commit = fun ~time:_ _ -> ()) ?(on_commit = fun _ -> ()) () =
-  { engine; policy; commit_latency; batch_timeout; store; pre_commit;
-    on_commit; queue = []; batch = []; batch_flush_scheduled = false;
-    busy = false; committed = 0; gen = 0 }
+    ?run_tasks ?(pre_commit = fun ~time:_ _ -> ())
+    ?(on_commit = fun _ -> ()) ?(on_plan = fun _ -> ()) () =
+  { engine; policy; commit_latency; batch_timeout; store; run_tasks;
+    pre_commit; on_commit; on_plan; front = []; rear = []; batch = [];
+    batch_flush_scheduled = false; busy = false; committed = 0; gen = 0 }
+
+let normalize t =
+  if t.front = [] && t.rear <> [] then begin
+    t.front <- List.rev t.rear;
+    t.rear <- []
+  end
+
+let head_opt t =
+  normalize t;
+  match t.front with [] -> None | e :: _ -> Some e
+
+let push t e = t.rear <- e :: t.rear
+
+let queued t =
+  if t.rear <> [] then begin
+    t.front <- t.front @ List.rev t.rear;
+    t.rear <- []
+  end;
+  t.front
+
+let remove t entry =
+  (match t.front with
+  | e :: rest when e == entry -> t.front <- rest
+  | _ ->
+    t.front <- List.filter (fun e -> e != entry) t.front;
+    t.rear <- List.filter (fun e -> e != entry) t.rear);
+  normalize t
+
+let install t ~time entry =
+  match entry.run with
+  | None -> Store.apply t.store ~time entry.wt
+  | Some r ->
+    let plan =
+      match r.plan with
+      | Some p -> p
+      | None ->
+        (* First entry of the run: the store is at the run's pre-state
+           (Serial FIFO — everything submitted earlier has committed). *)
+        let p = Store.plan_run ?run_tasks:t.run_tasks t.store r.run_wts in
+        r.plan <- Some p;
+        t.on_plan p;
+        p
+    in
+    (match List.nth_opt plan.planned entry.run_pos with
+    | Some (wt, state) -> Store.apply_planned t.store ~time wt state
+    | None -> Store.apply t.store ~time entry.wt)
 
 let finish_commit t entry =
-  t.queue <- List.filter (fun e -> e != entry) t.queue;
+  remove t entry;
   let time = Sim.Engine.now t.engine in
   (* Write-ahead: the durable record must be synced before the store
      mutates, or a crash between the two loses a committed transaction. *)
   t.pre_commit ~time entry.wt;
-  Store.apply t.store ~time entry.wt;
+  install t ~time entry;
   t.committed <- t.committed + 1;
   t.on_commit entry.wt
 
@@ -46,9 +114,9 @@ let start_commit t entry ~after =
 (* Serial: commit the head of the queue, one at a time. *)
 let rec pump_serial t =
   if not t.busy then
-    match t.queue with
-    | [] -> ()
-    | entry :: _ ->
+    match head_opt t with
+    | None -> ()
+    | Some entry ->
       t.busy <- true;
       start_commit t entry ~after:(fun () ->
           t.busy <- false;
@@ -66,7 +134,7 @@ let rec pump_dependency t =
       then Some entry
       else eligible (entry :: earlier) rest
   in
-  match eligible [] t.queue with
+  match eligible [] (queued t) with
   | None -> ()
   | Some entry ->
     start_commit t entry ~after:(fun () -> pump_dependency t);
@@ -79,17 +147,16 @@ let flush_batch t =
   | wts ->
     t.batch <- [];
     let bwt = Wt.batch wts in
-    let entry = { wt = bwt; committing = false } in
-    t.queue <- t.queue @ [ entry ];
+    push t { wt = bwt; committing = false; run = None; run_pos = 0 };
     pump_serial t
 
 let submit t wt =
   match t.policy with
   | Serial ->
-    t.queue <- t.queue @ [ { wt; committing = false } ];
+    push t { wt; committing = false; run = None; run_pos = 0 };
     pump_serial t
   | Dependency ->
-    t.queue <- t.queue @ [ { wt; committing = false } ];
+    push t { wt; committing = false; run = None; run_pos = 0 };
     pump_dependency t
   | Batched size ->
     t.batch <- wt :: t.batch;
@@ -104,18 +171,34 @@ let submit t wt =
           end)
     end
 
+let submit_run t wts =
+  match (t.policy, wts) with
+  | _, [] -> ()
+  | Serial, _ ->
+    let run = { run_wts = wts; plan = None } in
+    List.iteri
+      (fun i wt -> push t { wt; committing = false; run = Some run; run_pos = i })
+      wts;
+    pump_serial t
+  | (Dependency | Batched _), _ ->
+    (* Out-of-order or fusing policies void the contiguity the run plan
+       relies on; fall back to per-item submission. *)
+    List.iter (submit t) wts
+
 (* Warehouse crash: queued and in-flight submissions are gone. The gen
    bump fences every already-scheduled completion and batch flush —
    their closures see a stale gen and do nothing. The committed counter
    survives (it counts durable history, which restore re-applies). *)
 let reset t =
   t.gen <- t.gen + 1;
-  t.queue <- [];
+  t.front <- [];
+  t.rear <- [];
   t.batch <- [];
   t.batch_flush_scheduled <- false;
   t.busy <- false
 
-let outstanding t = List.length t.queue + List.length t.batch
+let outstanding t =
+  List.length t.front + List.length t.rear + List.length t.batch
 
 let committed t = t.committed
 

@@ -28,8 +28,10 @@ val create :
   commit_latency:(unit -> float) ->
   ?batch_timeout:float ->
   store:Store.t ->
+  ?run_tasks:((unit -> unit) list -> unit) ->
   ?pre_commit:(time:float -> Wt.t -> unit) ->
   ?on_commit:(Wt.t -> unit) ->
+  ?on_plan:(Store.run_plan -> unit) ->
   unit ->
   t
 (** [batch_timeout] (default 0.05 simulated seconds) bounds how long a
@@ -37,11 +39,25 @@ val create :
     for [Batched]. [pre_commit] fires immediately {e before} the store
     applies the transaction — the write-ahead hook: a durable layer syncs
     its log record there, so every applied commit is recoverable.
-    [on_commit] fires after the store has applied the transaction. *)
+    [on_commit] fires after the store has applied the transaction.
+    [run_tasks] is handed to {!Store.plan_run} when a submitted run is
+    planned — pass a domain-pool iterator to fan the per-view planning
+    work out. [on_plan] fires once per planned run with the plan's
+    coalescing counters. *)
 
 val submit : t -> Wt.t -> unit
 (** Hand a warehouse transaction to the warehouse. Returns immediately;
     the commit happens later in simulated time per the policy. *)
+
+val submit_run : t -> Wt.t list -> unit
+(** Hand a ready run — transactions that became ready at the same
+    simulated instant, in emission order — to the warehouse in one pass.
+    Under [Serial] the entries keep per-item commit latencies and commit
+    times (the event schedule is identical to submitting them one by
+    one), but the store work is planned once for the whole run via
+    {!Store.plan_run} at the first entry's commit and each entry
+    installs its precomputed state. Other policies fall back to per-item
+    {!submit}. *)
 
 val reset : t -> unit
 (** Warehouse crash: drop every queued, batched, and in-flight

@@ -2,6 +2,16 @@ type t = {
   staleness : Sim.Stats.Summary.t;
   merge_held : Sim.Stats.Summary.t;
   merge_live_rows : Sim.Stats.Summary.t;
+  merge_queue_depth : Sim.Stats.Summary.t;
+  merge_batch_size : Sim.Stats.Summary.t;
+  merge_service_time : Sim.Stats.Summary.t;
+  merge_runs : int Atomic.t;
+  coalesced_in : int Atomic.t;
+  coalesced_out : int Atomic.t;
+  coalesce_fallbacks : int Atomic.t;
+  index_slots : Sim.Stats.Summary.t;
+  index_live : Sim.Stats.Summary.t;
+  index_tombstones : Sim.Stats.Summary.t;
   vm_queue : Sim.Stats.Summary.t;
   read_latency : Sim.Stats.Summary.t;
   served_staleness : Sim.Stats.Summary.t;
@@ -43,6 +53,16 @@ let create () =
   { staleness = Sim.Stats.Summary.create ();
     merge_held = Sim.Stats.Summary.create ();
     merge_live_rows = Sim.Stats.Summary.create ();
+    merge_queue_depth = Sim.Stats.Summary.create ();
+    merge_batch_size = Sim.Stats.Summary.create ();
+    merge_service_time = Sim.Stats.Summary.create ();
+    merge_runs = Atomic.make 0;
+    coalesced_in = Atomic.make 0;
+    coalesced_out = Atomic.make 0;
+    coalesce_fallbacks = Atomic.make 0;
+    index_slots = Sim.Stats.Summary.create ();
+    index_live = Sim.Stats.Summary.create ();
+    index_tombstones = Sim.Stats.Summary.create ();
     vm_queue = Sim.Stats.Summary.create ();
     read_latency = Sim.Stats.Summary.create ();
     served_staleness = Sim.Stats.Summary.create ();
@@ -87,10 +107,19 @@ let shared_hit_ratio t =
   if total = 0 then 0.0
   else float_of_int (Atomic.get t.shared_hits) /. float_of_int total
 
+let coalesce_cancel_ratio t =
+  let inn = Atomic.get t.coalesced_in in
+  if inn = 0 then 0.0
+  else
+    float_of_int (inn - Atomic.get t.coalesced_out) /. float_of_int inn
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>txns=%d commits=%d actions=%d completed=%.3fs tput=%.2f/s@ \
      staleness: %a@ merge-held: %a@ vut-rows: %a@ vm-queue: %a@ \
+     merge-fastpath: runs=%d coalesced=%d->%d (cancel %.2f) fallbacks=%d@ \
+     merge-queue-depth: %a@ merge-batch-size: %a@ merge-service: %a@ \
+     index-occupancy: slots: %a live: %a tombstones: %a@ \
      resilience: dropped=%d retx=%d acks=%d nacks=%d dups=%d gave-up=%d \
      crashes=%d recoveries=%d@ \
      serving: reads=%d rtput=%.2f/s cache=%d/%d clamped=%d \
@@ -105,6 +134,16 @@ let pp ppf t =
     (Atomic.get t.actions_applied) t.completed_at (throughput t)
     Sim.Stats.Summary.pp t.staleness Sim.Stats.Summary.pp t.merge_held
     Sim.Stats.Summary.pp t.merge_live_rows Sim.Stats.Summary.pp t.vm_queue
+    (Atomic.get t.merge_runs)
+    (Atomic.get t.coalesced_in) (Atomic.get t.coalesced_out)
+    (coalesce_cancel_ratio t)
+    (Atomic.get t.coalesce_fallbacks)
+    Sim.Stats.Summary.pp t.merge_queue_depth
+    Sim.Stats.Summary.pp t.merge_batch_size
+    Sim.Stats.Summary.pp t.merge_service_time
+    Sim.Stats.Summary.pp t.index_slots
+    Sim.Stats.Summary.pp t.index_live
+    Sim.Stats.Summary.pp t.index_tombstones
     (Atomic.get t.msgs_dropped) (Atomic.get t.retransmits) (Atomic.get t.acks)
     (Atomic.get t.nacks)
     (Atomic.get t.dup_frames_dropped)

@@ -12,6 +12,38 @@ type t = {
       (** Action lists held at the merge, sampled after each merge event. *)
   merge_live_rows : Sim.Stats.Summary.t;
       (** Live VUT rows, sampled after each merge event. *)
+  merge_queue_depth : Sim.Stats.Summary.t;
+      (** Messages queued (or in flight) at the merge servers, sampled
+          after each merge event — the saturation signal of benchmark
+          P2: a depth that grows with offered load means the merge can
+          no longer keep up. *)
+  merge_batch_size : Sim.Stats.Summary.t;
+      (** Warehouse transactions released per ready run (sampled per
+          non-empty drain) — the batch-size histogram of the merge fast
+          path. Per-message merging pins this at 1. *)
+  merge_service_time : Sim.Stats.Summary.t;
+      (** Latency charged per merge service event. Under the [Fused]
+          policy one service event covers a whole queued batch, so the
+          mean stays flat while per-message throughput rises. *)
+  merge_runs : int Atomic.t;
+      (** Ready runs released by the merge and planned as a unit by the
+          commit submitter. *)
+  coalesced_in : int Atomic.t;
+      (** Action-list delta entries entering run coalescing. *)
+  coalesced_out : int Atomic.t;
+      (** Delta entries remaining after per-view signed-bag summing —
+          [in - out] is the work cancellation the fast path saved. *)
+  coalesce_fallbacks : int Atomic.t;
+      (** Per-view groups applied sequentially because summing would
+          have clamped (see {!Relational.Signed_bag.coalesce}). *)
+  index_slots : Sim.Stats.Summary.t;
+      (** Physical slot-table sizes of the memoized {!Relational.Bag_index}es
+          of committed warehouse states, sampled per index at commit. *)
+  index_live : Sim.Stats.Summary.t;
+      (** Live entries per sampled index. *)
+  index_tombstones : Sim.Stats.Summary.t;
+      (** Tombstoned entries per sampled index — churn that compaction
+          has not yet reclaimed. *)
   vm_queue : Sim.Stats.Summary.t;
       (** Pending work across view managers, sampled on update routing. *)
   read_latency : Sim.Stats.Summary.t;
@@ -115,5 +147,10 @@ val cache_hit_ratio : t -> float
 val shared_hit_ratio : t -> float
 (** Shared-plan engine [hits / (hits + misses)]; 0 when the engine was
     off or never demanded. *)
+
+val coalesce_cancel_ratio : t -> float
+(** [(coalesced_in - coalesced_out) / coalesced_in]: the fraction of
+    delta entries run coalescing cancelled; 0 when nothing was
+    coalesced. *)
 
 val pp : Format.formatter -> t -> unit

@@ -84,11 +84,22 @@ let default_reads =
     serve_retention = Serve.Version_manager.Keep_last 64;
     queries = [] }
 
+(* How a merge's ready run reaches the commit submitter. [Per_message]
+   is the pre-fast-path baseline: one submit per emitted WT.
+   [Coalesced] (the default) hands the run to the submitter as a unit so
+   it can plan the whole run's store work in one coalesced pass — pure
+   CPU batching, byte-identical traces. [Fused] additionally releases
+   the run as one batched warehouse transaction (BWT) after a batched
+   merge service event — the paper's batching consistency level, which
+   changes timing and skips the run's intermediate states. *)
+type merge_batch = Per_message | Coalesced | Fused
+
 type config = {
   scenario : Workload.Scenarios.t;
   vm_kind : vm_kind;
   vm_overrides : (string * vm_kind) list;
   merge_kind : merge_kind;
+  merge_batch : merge_batch;
   submit : Warehouse.Submitter.policy;
   arrival : arrival;
   latencies : latencies;
@@ -110,6 +121,7 @@ type config = {
 
 let default scenario =
   { scenario; vm_kind = Complete_vm; vm_overrides = []; merge_kind = Auto;
+    merge_batch = Coalesced;
     submit = Warehouse.Submitter.Serial; arrival = Uniform 0.05;
     latencies = default_latencies; merge_groups = None;
     semantic_filter = false; rel_routing = Direct; optimize_views = false;
@@ -179,6 +191,12 @@ type result = {
   stuck : bool;
   serving : serving option;
   durability : durability_report option;
+  fused : (int list list * (int list * Query.Action_list.t list) list list)
+            option;
+      (* Recorded under [merge_batch = Fused]: the merge's emission
+         sequence (per emitted WT, its covered rows, in order) and, per
+         fused batch in release order, its constituent parts — the raw
+         material of {!Consistency.Checker.certify_fused}. *)
 }
 
 exception Stuck of string
@@ -682,7 +700,7 @@ let run_sequential cfg =
   { config = cfg; store; sources;
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = "sequential"; timeline = []; stuck = false;
-    serving = serving_result serving; durability = None }
+    serving = serving_result serving; durability = None; fused = None }
 
 (* A single-threaded service queue: the merge process handles one message
    at a time, each costing a sampled latency. This is what lets benchmark
@@ -700,15 +718,35 @@ let run_sequential cfg =
    runs on the simulation domain at the completion event, in the same
    order as the fully sequential server, which is why [domains = 1] and
    [domains = n] produce identical traces. *)
-let make_server engine ~exec ~latency =
+let make_server ?(batch = false) engine ~exec ~latency =
   let queue = Queue.create () in
   let busy = ref false in
   let gen = ref 0 in
   let rec pump () =
     if (not !busy) && not (Queue.is_empty queue) then begin
       busy := true;
-      let work, finish = Queue.pop queue in
-      let fut = Parallel.Exec.spawn exec work in
+      (* [batch] is the fused fast path's service model: one service
+         event covers everything queued at pump time — the whole backlog
+         is charged a single latency sample, which is what moves the
+         merge's saturation point. The default pops one message, the
+         paper's single-threaded merge server. Either way the work
+         halves run in queue order on one pool domain (the group's state
+         stays single-writer) and the finish halves run in the same
+         order on the simulation domain. *)
+      let jobs =
+        if batch then begin
+          let js = ref [] in
+          while not (Queue.is_empty queue) do
+            js := Queue.pop queue :: !js
+          done;
+          List.rev !js
+        end
+        else [ Queue.pop queue ]
+      in
+      let fut =
+        Parallel.Exec.spawn exec (fun () ->
+            List.iter (fun (work, _) -> work ()) jobs)
+      in
       let g = !gen in
       Sim.Engine.schedule_after engine (latency ()) (fun () ->
           (* Always join the future (the pool domain must not be leaked),
@@ -716,7 +754,7 @@ let make_server engine ~exec ~latency =
              finish half — and the pump — belong to a dead incarnation. *)
           Parallel.Exec.await fut;
           if g = !gen then begin
-            finish ();
+            List.iter (fun (_, finish) -> finish ()) jobs;
             busy := false;
             pump ()
           end)
@@ -870,6 +908,19 @@ let run_pipelined cfg =
      appends are gated on [durable_on]. *)
   let process_crashes = process_crash_faults cfg in
   let durable_on = process_crashes || cfg.durable <> None in
+  (* Process-crash recovery accounts for completed work per submitted WT
+     (dup-row guards, submitted-row seeding), so crash runs drain the
+     merge per message; [Fused] is rejected outright below, and
+     [Coalesced] — whose whole point is being observably identical —
+     silently degrades to the per-message path. *)
+  let batch_mode = if process_crashes then Per_message else cfg.merge_batch in
+  (* Fused-run records for {!Consistency.Checker.certify_fused}: the
+     emission sequence (rows per emitted WT) and each fused batch's
+     constituent parts, both accumulated newest-first. *)
+  let fused_emitted : int list list ref = ref [] in
+  let fused_parts : (int list * Query.Action_list.t list) list list ref =
+    ref []
+  in
   let dur = Option.value ~default:default_durability cfg.durable in
   let wh_wal : (unit, float * Warehouse.Wt.t) Durable.Wal.t =
     Durable.Wal.create ~group_commit:1 ()
@@ -986,10 +1037,32 @@ let run_pipelined cfg =
     Warehouse.Submitter.create engine ~policy:cfg.submit
       ~commit_latency:(fun () -> sample cfg.latencies.commit)
       ~store
+      ~run_tasks:(fun tasks ->
+        (* Fan a run plan's independent per-view walks across the domain
+           pool; planning happens on the simulation domain at the run's
+           first commit event, so joining here blocks nothing else. *)
+        match tasks with
+        | [] -> ()
+        | [ task ] -> task ()
+        | _ ->
+          let futs =
+            List.map (fun task -> Parallel.Exec.spawn exec task) tasks
+          in
+          List.iter Parallel.Exec.await futs)
+      ~on_plan:(fun (p : Warehouse.Store.run_plan) ->
+        Atomic.incr metrics.Metrics.merge_runs;
+        Metrics.add metrics.Metrics.coalesced_in p.Warehouse.Store.coalesced_in;
+        Metrics.add metrics.Metrics.coalesced_out
+          p.Warehouse.Store.coalesced_out;
+        Metrics.add metrics.Metrics.coalesce_fallbacks
+          p.Warehouse.Store.seq_fallbacks)
       ~pre_commit:(fun ~time wt ->
         (* Write-ahead: the WT is durable before the store applies it, so
-           every applied commit is reproducible from checkpoint + WAL. *)
-        if durable_on then Durable.Wal.append wh_wal (time, wt))
+           every applied commit is reproducible from checkpoint + WAL. A
+           fused run was already logged as one group frame at release
+           ({!Durable.Wal.append_group}), part by part. *)
+        if durable_on && batch_mode <> Fused then
+          Durable.Wal.append wh_wal (time, wt))
       ~on_commit:(fun wt ->
         record "warehouse commit: rows [%a] -> views {%s}"
           (Fmt.list ~sep:Fmt.comma Fmt.int)
@@ -1010,7 +1083,22 @@ let run_pipelined cfg =
               Sim.Stats.Summary.add metrics.Metrics.staleness
                 (Sim.Engine.now engine -. t0)
             | None -> ())
-          wt.Warehouse.Wt.rows)
+          wt.Warehouse.Wt.rows;
+        (* Index churn next to the batch counters: occupancy of every
+           memoized hash index of the views this commit touched. The
+           sample is free when the kernels built no index. *)
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (o : Bag_index.occupancy) ->
+                Sim.Stats.Summary.add metrics.Metrics.index_slots
+                  (float_of_int o.Bag_index.slots);
+                Sim.Stats.Summary.add metrics.Metrics.index_live
+                  (float_of_int o.Bag_index.live);
+                Sim.Stats.Summary.add metrics.Metrics.index_tombstones
+                  (float_of_int o.Bag_index.tombstones))
+              (Relation.index_stats (Warehouse.Store.view store v)))
+          (Warehouse.Wt.views wt))
       ()
   in
   (* Merge processes: one per group (Section 6.1), or a single one. Groups
@@ -1046,6 +1134,10 @@ let run_pipelined cfg =
      semantic filtering (syntactic REL sets are reproducible), and a
      full commit history (checkpoints re-apply it). *)
   if process_crashes then begin
+    if cfg.merge_batch = Fused then
+      invalid_arg
+        "System: process crash faults require a non-Fused merge_batch \
+         (recovery identifies completed work by per-row WTs)";
     if cfg.rel_routing <> Direct then
       invalid_arg "System: process crash faults require Direct REL routing";
     if cfg.semantic_filter then
@@ -1094,7 +1186,10 @@ let run_pipelined cfg =
   let rel_seen : (int, unit) Hashtbl.t array =
     Array.init n_groups (fun _ -> Hashtbl.create 64)
   in
-  let drain_emitted gi =
+  (* Per-message draining: one submit per emitted WT, with the
+     process-crash guards (duplicate-row drop, submitted-row seeding)
+     that recovery's accounting depends on. *)
+  let drain_per_message gi =
     while not (Queue.is_empty emitted.(gi)) do
       let wt = Queue.pop emitted.(gi) in
       if !wh_down then
@@ -1128,12 +1223,79 @@ let run_pipelined cfg =
       end
     done
   in
+  (* Pop everything the last merge step emitted — the ready run, in
+     emission order. Only reached with [batch_mode <> Per_message], so
+     [process_crashes] is false and the warehouse can never be down;
+     [note_wh_event] keeps the event counter truthful all the same. *)
+  let pop_ready gi =
+    let run = ref [] in
+    while not (Queue.is_empty emitted.(gi)) do
+      let wt = Queue.pop emitted.(gi) in
+      note_wh_event ();
+      run := wt :: !run
+    done;
+    List.rev !run
+  in
+  let drain_emitted gi =
+    match batch_mode with
+    | Per_message -> drain_per_message gi
+    | Coalesced -> (
+      (* The whole run reaches the submitter as a unit: the same commit
+         events fire at the same instants as per-message submission (the
+         head entry alone schedules work), but the store plans the run's
+         view timelines in one coalesced pass at the first commit. *)
+      match pop_ready gi with
+      | [] -> ()
+      | wts ->
+        Sim.Stats.Summary.add metrics.Metrics.merge_batch_size
+          (float_of_int (List.length wts));
+        Warehouse.Submitter.submit_run submitter wts)
+    | Fused -> (
+      (* The run is released as one batched warehouse transaction: the
+         store lands on the run's endpoint and skips its intermediate
+         states (batching consistency). The parts and the emission
+         sequence are recorded for {!Consistency.Checker.certify_fused},
+         and the durable layer gets the run as one WAL group frame. *)
+      match pop_ready gi with
+      | [] -> ()
+      | wts ->
+        Sim.Stats.Summary.add metrics.Metrics.merge_batch_size
+          (float_of_int (List.length wts));
+        List.iter
+          (fun (wt : Warehouse.Wt.t) ->
+            fused_emitted := wt.Warehouse.Wt.rows :: !fused_emitted)
+          wts;
+        fused_parts :=
+          List.map
+            (fun (wt : Warehouse.Wt.t) ->
+              (wt.Warehouse.Wt.rows, wt.Warehouse.Wt.actions))
+            wts
+          :: !fused_parts;
+        if durable_on then
+          Durable.Wal.append_group wh_wal
+            (List.map (fun wt -> (Sim.Engine.now engine, wt)) wts);
+        let bwt = Warehouse.Wt.batch wts in
+        if List.length wts > 1 then
+          record "merge: fused %d WTs into one BWT (rows [%a])"
+            (List.length wts)
+            (Fmt.list ~sep:Fmt.comma Fmt.int)
+            bwt.Warehouse.Wt.rows;
+        (* As a single-entry run so the submitter plans it: the BWT's
+           action lists are coalesced per view — a batch cancels its own
+           churn — and the per-view walks fan across the pool. *)
+        Warehouse.Submitter.submit_run submitter [ bwt ])
+  in
   (* One service queue per merge process: messages from the REL channel and
      every view manager's AL channel are handled one at a time. *)
   let merge_servers =
     Array.init n_groups (fun _ ->
-        make_server engine ~exec
-          ~latency:(fun () -> sample cfg.latencies.merge))
+        make_server ~batch:(batch_mode = Fused) engine ~exec
+          ~latency:(fun () ->
+            (* Wrapping the sample changes no RNG draw — the service-time
+               summary rides along for free. *)
+            let l = sample cfg.latencies.merge in
+            Sim.Stats.Summary.add metrics.Metrics.merge_service_time l;
+            l))
   in
   let merge_server_of gi =
     let submit, _, _ = merge_servers.(gi) in
@@ -1162,7 +1324,9 @@ let run_pipelined cfg =
     Sim.Stats.Summary.add metrics.Metrics.merge_held
       (float_of_int (Array.fold_left ( + ) 0 held_snapshot));
     Sim.Stats.Summary.add metrics.Metrics.merge_live_rows
-      (float_of_int (Array.fold_left ( + ) 0 rows_snapshot))
+      (float_of_int (Array.fold_left ( + ) 0 rows_snapshot));
+    Sim.Stats.Summary.add metrics.Metrics.merge_queue_depth
+      (float_of_int (merge_servers_pending ()))
   in
   (* View managers and their AL channels to the owning merge. *)
   let merge_of_view =
@@ -2141,7 +2305,11 @@ let run_pipelined cfg =
     transactions = Source.Sources.transactions sources; metrics;
     merge_algorithm = Mvc.Merge.algorithm_name algorithm;
     timeline = List.rev !timeline; stuck = not ok;
-    serving = serving_result serving; durability }
+    serving = serving_result serving; durability;
+    fused =
+      (if batch_mode = Fused then
+         Some (List.rev !fused_emitted, List.rev !fused_parts)
+       else None) }
 
 let run cfg =
   match cfg.merge_kind with
@@ -2222,3 +2390,53 @@ let recovery_certificate result =
         !order
   in
   Consistency.Checker.certify_recovery ~expected ~applied ~served
+
+(* The fused-merge certificate: rebuild each fused batch from the
+   recorded parts and the store's commit history (pre/post states are
+   the states around the batch's commit), then let the checker prove
+   coverage, no duplication, emission contiguity and replay exactness.
+   Requires [Keep_all] retention — the replay needs every commit. *)
+let fused_certificate result =
+  match result.fused with
+  | None ->
+    invalid_arg "System.fused_certificate: run did not use merge_batch = Fused"
+  | Some (emitted, parts) ->
+    let states = Warehouse.Store.states result.store in
+    let commits = Warehouse.Store.commits result.store in
+    if List.length commits + 1 <> List.length states then
+      invalid_arg
+        "System.fused_certificate: pruned commit history (use Keep_all \
+         store retention)";
+    (* Batches in release order; each looks up its commit — and the
+       states around it — by its covered-row set (unique across batches
+       when no duplication happened; a duplicate fails the checker's
+       no-dup clause against whichever commit it grabs). *)
+    let indexed = List.mapi (fun i c -> (i, c)) commits in
+    let states_arr = Array.of_list states in
+    let batches =
+      List.map
+        (fun batch_parts ->
+          let rows = List.concat_map fst batch_parts in
+          let at =
+            List.find_opt
+              (fun (_, (c : Warehouse.Store.commit)) ->
+                c.transaction.Warehouse.Wt.rows = rows)
+              indexed
+          in
+          match at with
+          | None ->
+            (* No commit carries these rows: synthesize an impossible
+               batch (empty actions, initial states) so the checker's
+               coverage clause reports the mismatch instead of this
+               function raising. *)
+            { Consistency.Checker.fb_parts = batch_parts; fb_rows = rows;
+              fb_actions = []; fb_pre = states_arr.(0);
+              fb_post = states_arr.(0) }
+          | Some (i, c) ->
+            { Consistency.Checker.fb_parts = batch_parts;
+              fb_rows = c.transaction.Warehouse.Wt.rows;
+              fb_actions = c.transaction.Warehouse.Wt.actions;
+              fb_pre = states_arr.(i); fb_post = states_arr.(i + 1) })
+        parts
+    in
+    Consistency.Checker.certify_fused ~emitted ~batches

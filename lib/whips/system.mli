@@ -211,12 +211,42 @@ val default_durability : durability
 (** Checkpoint every 8 commits / 16 ingests, group commit 4, zero replay
     latency. *)
 
+(** How a merge's ready run — the warehouse transactions one merge step
+    releases together — reaches the commit submitter (the merge fast
+    path).
+
+    [Per_message] is the pre-fast-path baseline: every emitted WT is
+    submitted individually and the store applies it in its own pass.
+
+    [Coalesced] (the default) hands the run to the submitter as a unit
+    ({!Warehouse.Submitter.submit_run}): the store plans the whole run's
+    per-view timelines in one pass at the run's first commit, summing
+    each view's action-list deltas ({!Relational.Signed_bag.coalesce})
+    and fanning the independent per-view walks across the domain pool.
+    Pure CPU batching — the simulated event schedule, every RNG draw,
+    every commit, read and verdict are byte-identical to [Per_message];
+    only real machine time changes.
+
+    [Fused] is the opt-in behavioral change: each merge service event
+    covers the whole queued backlog for one latency sample, and the
+    resulting ready run commits as one batched warehouse transaction
+    (BWT) — the paper's batching consistency level (Section 4.3), which
+    skips the run's intermediate warehouse states and therefore trades
+    completeness for throughput. Certified by {!fused_certificate};
+    rejected in process-crash runs (recovery accounts for completed
+    work per-row). Process-crash runs silently degrade [Coalesced] to
+    the per-message path for the same reason — an observably identical
+    downgrade. *)
+type merge_batch = Per_message | Coalesced | Fused
+
 type config = {
   scenario : Workload.Scenarios.t;
   vm_kind : vm_kind;
   vm_overrides : (string * vm_kind) list;
       (** Per-view exceptions to [vm_kind] (mixed systems, Section 6.3). *)
   merge_kind : merge_kind;
+  merge_batch : merge_batch;
+      (** Merge fast path (see {!merge_batch}); [Coalesced] by default. *)
   submit : Warehouse.Submitter.policy;
   arrival : arrival;
   latencies : latencies;
@@ -357,6 +387,13 @@ type result = {
   durability : durability_report option;
       (** Present iff the durable layer was on (explicitly via
           [config.durable] or forced by a process crash fault). *)
+  fused : (int list list * (int list * Query.Action_list.t list) list list)
+            option;
+      (** Present iff the run used [merge_batch = Fused]: the merge's
+          emission sequence (per emitted WT, in order, its covered
+          rows) and, per fused batch in release order, the constituent
+          (rows, action lists) parts — the raw material
+          {!fused_certificate} feeds to the checker. *)
 }
 
 exception Stuck of string
@@ -386,3 +423,14 @@ val recovery_certificate : result -> Consistency.Checker.recovery_certificate
     which is exactly the action-list set complete managers emit, so the
     certificate is meaningful for the crash-fault configuration corner
     (and any other all-[Complete_vm], unfiltered run). *)
+
+val fused_certificate : result -> Consistency.Checker.fused_certificate
+(** Judge a [merge_batch = Fused] run's batching: every fused commit
+    covers exactly its recorded parts, no source row was fused twice,
+    the batches partition the merge's emission sequence, and replaying
+    each batch's parts one by one from its recorded pre-state reproduces
+    its recorded post-state (see
+    {!Consistency.Checker.certify_fused}). Requires [Keep_all] store
+    retention (the replay walks every commit).
+    @raise Invalid_argument if the run did not use [Fused] or the
+    commit history was pruned. *)
